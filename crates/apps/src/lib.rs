@@ -1,0 +1,30 @@
+//! Demonstration applications for the hyperspace solver stack.
+//!
+//! The paper closes by noting the fork-join mechanism "is in fact more
+//! general" than SAT solving (§VI-C). These programs exercise that
+//! generality — and double as workload generators for the benchmark
+//! harness:
+//!
+//! * [`SumProgram`] — Listings 2/3: the linear recursion `sum(n)`;
+//!   zero parallelism, pure call/reply chain (a latency probe).
+//! * [`FibProgram`] — naive Fibonacci; exponential fan-out of tiny tasks
+//!   joined with `All` (a throughput/mapping stress test).
+//! * [`NQueensProgram`] — counts N-Queens placements; irregular fan-out
+//!   with `All` joins summing counts.
+//! * [`KnapsackProgram`] — 0/1 knapsack by branch and bound; demonstrates
+//!   cross-layer weight hints (§III-B3).
+//! * [`traversal`] — Listing 1's flood-fill, written directly against
+//!   layer 1.
+
+#![warn(missing_docs)]
+
+pub mod fib;
+pub mod knapsack;
+pub mod nqueens;
+pub mod sum;
+pub mod traversal;
+
+pub use fib::FibProgram;
+pub use knapsack::{Item, KnapsackProgram, KnapsackTask};
+pub use nqueens::{NQueensProgram, QueensTask};
+pub use sum::SumProgram;

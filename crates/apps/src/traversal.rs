@@ -1,0 +1,90 @@
+//! Listing 1: mesh traversal written directly against layer 1.
+//!
+//! Two variants: the paper's boolean flood-fill, and a distance-labelling
+//! extension that records each node's BFS distance from the trigger —
+//! handy for validating topologies inside the simulator.
+
+use hyperspace_sim::{InitCtx, NodeId, NodeProgram, Outbox};
+
+/// Listing 1 verbatim: `visited` flags flooding outward from the trigger.
+pub struct FloodFill;
+
+impl NodeProgram for FloodFill {
+    type Msg = ();
+    type State = bool;
+
+    fn init(&self, _node: NodeId, _ctx: &InitCtx) -> bool {
+        false
+    }
+
+    fn on_message(&self, visited: &mut bool, _msg: (), ctx: &mut Outbox<'_, ()>) {
+        if !*visited {
+            *visited = true;
+            ctx.broadcast(());
+        }
+    }
+}
+
+/// Distance-labelling flood: messages carry the hop count, nodes keep the
+/// minimum they have seen and forward `d + 1`.
+pub struct DistanceLabel;
+
+impl NodeProgram for DistanceLabel {
+    type Msg = u32;
+    type State = Option<u32>;
+
+    fn init(&self, _node: NodeId, _ctx: &InitCtx) -> Option<u32> {
+        None
+    }
+
+    fn on_message(&self, best: &mut Option<u32>, d: u32, ctx: &mut Outbox<'_, u32>) {
+        if best.is_none_or(|b| d < b) {
+            *best = Some(d);
+            ctx.broadcast(d + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperspace_sim::{SimConfig, Simulation};
+    use hyperspace_topology::{bfs_distances, Hypercube, Topology, Torus};
+
+    #[test]
+    fn flood_fill_covers_torus() {
+        let mut sim = Simulation::new(Torus::new_2d(5, 5), FloodFill, SimConfig::default());
+        sim.inject(7, ());
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.states().iter().all(|&v| v));
+    }
+
+    #[test]
+    fn distance_label_matches_bfs() {
+        let topo = Hypercube::new(4);
+        let start = 9;
+        let expect = bfs_distances(&topo, start);
+        let mut sim = Simulation::new(Hypercube::new(4), DistanceLabel, SimConfig::default());
+        sim.inject(start, 0);
+        sim.run_to_quiescence().unwrap();
+        for node in 0..topo.num_nodes() as NodeId {
+            assert_eq!(
+                sim.state(node).expect("all reached"),
+                expect[node as usize],
+                "node {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn distance_label_handles_wraparound() {
+        let topo = Torus::new_2d(6, 1);
+        let expect = bfs_distances(&topo, 0);
+        let mut sim = Simulation::new(Torus::new_2d(6, 1), DistanceLabel, SimConfig::default());
+        sim.inject(0, 0);
+        sim.run_to_quiescence().unwrap();
+        for node in 0..6 {
+            assert_eq!(sim.state(node).unwrap(), expect[node as usize]);
+        }
+    }
+}

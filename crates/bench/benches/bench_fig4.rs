@@ -1,0 +1,53 @@
+//! Criterion companion to FIG4: wall-clock cost of the scaling runs on a
+//! representative subset (full sweep: `--bin fig4_scaling`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperspace_bench::experiments::{run_sat, SatRunConfig};
+use hyperspace_core::{MapperSpec, TopologySpec};
+use hyperspace_sat::gen;
+
+fn bench_fig4(c: &mut Criterion) {
+    let cnf = gen::uf20_91(2017);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, topo, mapper) in [
+        (
+            "torus2d-196-rr",
+            TopologySpec::Torus2D { w: 14, h: 14 },
+            MapperSpec::RoundRobin,
+        ),
+        (
+            "torus2d-196-lbn",
+            TopologySpec::Torus2D { w: 14, h: 14 },
+            MapperSpec::LeastBusy {
+                status_period: None,
+            },
+        ),
+        (
+            "torus3d-216-lbn",
+            TopologySpec::Torus3D { x: 6, y: 6, z: 6 },
+            MapperSpec::LeastBusy {
+                status_period: None,
+            },
+        ),
+        (
+            "full-256-random",
+            TopologySpec::Full { n: 256 },
+            MapperSpec::Random { seed: 7 },
+        ),
+    ] {
+        let cfg = SatRunConfig::new(topo, mapper);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let report = run_sat(std::hint::black_box(&cnf), &cfg);
+                assert!(report.result.is_some());
+                report.computation_time
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! SAT substrate microbenchmarks: sequential solver per heuristic,
+//! instance generation, and the simplification pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperspace_sat::heuristics::ALL_HEURISTICS;
+use hyperspace_sat::simplify::{simplify_with, SimplifyMode};
+use hyperspace_sat::{cdcl, dpll, gen, Assignment};
+
+fn bench_sequential_solver(c: &mut Criterion) {
+    let cnf = gen::uf20_91(2017);
+    let mut group = c.benchmark_group("dpll-seq");
+    group.sample_size(20);
+    for h in ALL_HEURISTICS {
+        group.bench_function(BenchmarkId::from_parameter(h.to_string()), |b| {
+            b.iter(|| {
+                let (r, stats) = dpll::solve(std::hint::black_box(&cnf), h);
+                assert!(r.is_sat());
+                stats.nodes
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cdcl(c: &mut Criterion) {
+    let cnf = gen::uf20_91(2017);
+    let mut group = c.benchmark_group("cdcl-lite");
+    group.sample_size(20);
+    group.bench_function("uf20-91", |b| {
+        b.iter(|| {
+            let (r, stats) = cdcl::solve(std::hint::black_box(&cnf));
+            assert!(r.is_sat());
+            stats.decisions
+        })
+    });
+    group.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gen");
+    group.sample_size(20);
+    group.bench_function("random_ksat-20-91", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            gen::random_ksat(seed, 20, 91, 3)
+        })
+    });
+    group.bench_function("uf20_91-filtered", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            gen::uf20_91(seed)
+        })
+    });
+    group.bench_function("planted-50-210", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            gen::planted_ksat(seed, 50, 210, 3)
+        })
+    });
+    group.finish();
+}
+
+fn bench_simplify(c: &mut Criterion) {
+    let cnf = gen::uf20_91(2017);
+    let assigned = cnf.assign(hyperspace_sat::Var(0), true);
+    let mut group = c.benchmark_group("simplify");
+    group.sample_size(50);
+    for mode in [SimplifyMode::Fixpoint, SimplifyMode::SinglePass] {
+        group.bench_function(BenchmarkId::from_parameter(mode.to_string()), |b| {
+            b.iter(|| {
+                let mut f = assigned.clone();
+                let mut a = Assignment::new(f.num_vars());
+                simplify_with(&mut f, &mut a, mode)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential_solver,
+    bench_cdcl,
+    bench_generator,
+    bench_simplify
+);
+criterion_main!(benches);

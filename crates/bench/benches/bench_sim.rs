@@ -1,0 +1,60 @@
+//! Layer-1 engine microbenchmarks: message throughput of the sequential
+//! versus rayon-parallel steppers, on light (flood-fill) and heavy
+//! (DPLL activation) handlers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperspace_apps::traversal::FloodFill;
+use hyperspace_bench::experiments::{run_sat, SatRunConfig};
+use hyperspace_core::{MapperSpec, TopologySpec};
+use hyperspace_sat::gen;
+use hyperspace_sim::{SimConfig, Simulation};
+use hyperspace_topology::Torus;
+
+fn bench_flood_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim-flood-32x32");
+    group.sample_size(20);
+    for parallel in [false, true] {
+        let name = if parallel { "parallel" } else { "sequential" };
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut sim = Simulation::new(
+                    Torus::new_2d(32, 32),
+                    FloodFill,
+                    SimConfig {
+                        parallel,
+                        record_queue_series: false,
+                        ..SimConfig::default()
+                    },
+                );
+                sim.inject(0, ());
+                sim.run_to_quiescence().unwrap();
+                sim.metrics().total_delivered
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sat_stepper(c: &mut Criterion) {
+    let cnf = gen::uf20_91(2017);
+    let mut group = c.benchmark_group("sim-sat-14x14");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for parallel in [false, true] {
+        let name = if parallel { "parallel" } else { "sequential" };
+        let mut cfg = SatRunConfig::new(
+            TopologySpec::Torus2D { w: 14, h: 14 },
+            MapperSpec::LeastBusy {
+                status_period: None,
+            },
+        );
+        cfg.parallel = parallel;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| run_sat(std::hint::black_box(&cnf), &cfg).computation_time)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flood_fill, bench_sat_stepper);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Topology substrate microbenchmarks: the operations on the simulator's
+//! hot path (neighbour enumeration, distance, next-hop routing) across
+//! mesh families, plus CSR construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperspace_topology::{Csr, FullyConnected, Hypercube, Topology, Torus};
+
+fn for_each_topology(mut f: impl FnMut(&str, &dyn Topology)) {
+    let t2 = Torus::new_2d(32, 32);
+    let t3 = Torus::new_3d(10, 10, 10);
+    let hc = Hypercube::new(10);
+    let fc = FullyConnected::new(1024);
+    f("torus2d-1024", &t2);
+    f("torus3d-1000", &t3);
+    f("hypercube-1024", &hc);
+    f("full-1024", &fc);
+}
+
+fn bench_neighbours(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology-neighbours");
+    group.sample_size(50);
+    for_each_topology(|name, topo| {
+        let n = topo.num_nodes() as u32;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for node in (0..n).step_by(37) {
+                    for p in 0..topo.degree(node) {
+                        acc = acc.wrapping_add(topo.neighbour(node, p) as u64);
+                    }
+                }
+                acc
+            })
+        });
+    });
+    group.finish();
+}
+
+fn bench_distance_and_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology-next-hop");
+    group.sample_size(50);
+    for_each_topology(|name, topo| {
+        let n = topo.num_nodes() as u32;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in (0..n).step_by(41) {
+                    let a = i;
+                    let z = (i * 7 + 13) % n;
+                    acc = acc.wrapping_add(topo.distance(a, z) as u64);
+                    acc = acc.wrapping_add(topo.next_hop(a, z) as u64);
+                }
+                acc
+            })
+        });
+    });
+    group.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology-csr-build");
+    group.sample_size(20);
+    let t3 = Torus::new_3d(10, 10, 10);
+    group.bench_function("torus3d-1000", |b| b.iter(|| Csr::build(&t3)));
+    let hc = Hypercube::new(10);
+    group.bench_function("hypercube-1024", |b| b.iter(|| Csr::build(&hc)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_neighbours,
+    bench_distance_and_routing,
+    bench_csr_build
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! **ABL-H** — branching-heuristic ablation (§V-B calls the heuristic
+//! "algorithm-independent"; this quantifies how much it matters).
+//!
+//! For every heuristic: sequential search statistics and distributed
+//! computation time on the Figure 5 machine. Writes
+//! `results/ablation_heuristics.csv`.
+
+use hyperspace_bench::experiments::{paper_suite, run_sat, write_results_csv, SatRunConfig};
+use hyperspace_core::{MapperSpec, TopologySpec};
+use hyperspace_metrics::Stats;
+use hyperspace_sat::heuristics::ALL_HEURISTICS;
+use hyperspace_sat::{cdcl, dpll, SimplifyMode};
+
+fn main() {
+    let suite = paper_suite();
+    let topo = TopologySpec::Torus2D { w: 14, h: 14 };
+    let mapper = MapperSpec::LeastBusy {
+        status_period: None,
+    };
+
+    println!(
+        "{:>16} {:>12} {:>12} {:>14} {:>14}",
+        "heuristic", "seq nodes", "seq decisions", "mesh time", "mesh messages"
+    );
+    let mut csv = String::from(
+        "heuristic,seq_nodes_mean,seq_decisions_mean,mesh_time_mean,mesh_msgs_mean\n",
+    );
+    for h in ALL_HEURISTICS {
+        let mut seq_nodes = Vec::new();
+        let mut seq_decisions = Vec::new();
+        let mut mesh_times = Vec::new();
+        let mut mesh_msgs = Vec::new();
+        for cnf in &suite {
+            let (result, stats) = dpll::solve(cnf, h);
+            assert!(result.is_sat());
+            seq_nodes.push(stats.nodes as f64);
+            seq_decisions.push(stats.decisions as f64);
+
+            let mut cfg = SatRunConfig::new(topo.clone(), mapper.clone());
+            cfg.heuristic = h;
+            cfg.mode = SimplifyMode::Fixpoint; // heuristics matter most with the real solver
+            let report = run_sat(cnf, &cfg);
+            mesh_times.push(report.computation_time as f64);
+            mesh_msgs.push(report.metrics.total_sent as f64);
+        }
+        let (n, d, t, m) = (
+            Stats::from_slice(&seq_nodes).mean,
+            Stats::from_slice(&seq_decisions).mean,
+            Stats::from_slice(&mesh_times).mean,
+            Stats::from_slice(&mesh_msgs).mean,
+        );
+        println!("{:>16} {n:>12.1} {d:>12.1} {t:>14.1} {m:>14.1}", h.to_string());
+        csv.push_str(&format!("{h},{n:.3},{d:.3},{t:.3},{m:.3}\n"));
+    }
+    match write_results_csv("ablation_heuristics.csv", &csv) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+
+    // Solver-strength footnote: the clause-learning baseline the paper's
+    // barebone DPLL deliberately omits (§V-B).
+    let mut cdcl_decisions = Vec::new();
+    let mut cdcl_learned = Vec::new();
+    for cnf in &suite {
+        let (r, stats) = cdcl::solve(cnf);
+        assert!(r.is_sat());
+        cdcl_decisions.push(stats.decisions as f64);
+        cdcl_learned.push(stats.learned as f64);
+    }
+    println!(
+        "\nCDCL-lite baseline (sequential): {:.1} decisions, {:.1} learned clauses (mean)",
+        Stats::from_slice(&cdcl_decisions).mean,
+        Stats::from_slice(&cdcl_learned).mean,
+    );
+}

@@ -1,0 +1,72 @@
+//! **ABL-W** — workload-regime calibration (documented in EXPERIMENTS.md).
+//!
+//! Shows how per-activation simplification strength sets the speculative
+//! tree size, and hence which regime the scaling experiments run in:
+//! fixpoint simplification solves uf20-91 almost outright (tens of
+//! activations, no congestion — no scaling signal), while split-only
+//! reproduces the message volumes visible in the paper's Figure 5. Writes
+//! `results/ablation_simplify.csv`.
+
+use hyperspace_bench::experiments::{paper_suite, run_sat, write_results_csv, SatRunConfig};
+use hyperspace_core::{MapperSpec, TopologySpec};
+use hyperspace_metrics::Stats;
+use hyperspace_sat::SimplifyMode;
+
+fn main() {
+    let suite = paper_suite();
+    let modes = [
+        SimplifyMode::Fixpoint,
+        SimplifyMode::SinglePass,
+        SimplifyMode::SplitOnly,
+    ];
+    let machines = [16usize, 196, 1024];
+    println!(
+        "{:>13} {:>8} {:>14} {:>14} {:>12} {:>14}",
+        "mode", "cores", "time (mean)", "activations", "peak queue", "speedup 16->1024"
+    );
+    let mut csv = String::from("mode,cores,time_mean,activations_mean,peak_queue_mean\n");
+    for mode in modes {
+        let mut first_time = 0.0;
+        let mut last_time = 0.0;
+        for &cores in &machines {
+            let mut cfg = SatRunConfig::new(
+                TopologySpec::torus2d_fitting(cores),
+                MapperSpec::LeastBusy {
+                    status_period: None,
+                },
+            );
+            cfg.mode = mode;
+            let mut times = Vec::new();
+            let mut acts = Vec::new();
+            let mut peaks = Vec::new();
+            for cnf in &suite {
+                let report = run_sat(cnf, &cfg);
+                times.push(report.computation_time as f64);
+                acts.push(report.rec_totals.started as f64);
+                peaks.push(report.metrics.peak_queued() as f64);
+            }
+            let (t, a, p) = (
+                Stats::from_slice(&times).mean,
+                Stats::from_slice(&acts).mean,
+                Stats::from_slice(&peaks).mean,
+            );
+            if cores == machines[0] {
+                first_time = t;
+            }
+            if cores == machines[machines.len() - 1] {
+                last_time = t;
+            }
+            let speedup = if cores == machines[machines.len() - 1] {
+                format!("{:.2}x", first_time / last_time)
+            } else {
+                String::new()
+            };
+            println!("{:>13} {cores:>8} {t:>14.1} {a:>14.1} {p:>12.1} {speedup:>14}", mode.to_string());
+            csv.push_str(&format!("{mode},{cores},{t:.3},{a:.3},{p:.3}\n"));
+        }
+    }
+    match write_results_csv("ablation_simplify.csv", &csv) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

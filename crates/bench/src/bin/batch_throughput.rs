@@ -1,0 +1,80 @@
+//! **ABL-B** — batch throughput: many instances solved *concurrently* on
+//! one machine.
+//!
+//! The paper solves one problem at a time, leaving large machines idle
+//! once the search tree saturates. Injecting the whole 20-instance suite
+//! at 20 different roots simultaneously measures how much of that idle
+//! capacity a batch workload can reclaim: the makespan of the concurrent
+//! batch versus the sum of solo computation times.
+//!
+//! Writes `results/batch_throughput.csv`.
+
+use hyperspace_bench::experiments::{paper_suite, run_sat, write_results_csv, SatRunConfig};
+use hyperspace_core::{MapperSpec, StackBuilder, TopologySpec};
+use hyperspace_sat::{DpllProgram, Heuristic, SimplifyMode, SubProblem, Verdict};
+
+fn main() {
+    let suite = paper_suite();
+    let mapper = MapperSpec::LeastBusy {
+        status_period: None,
+    };
+    println!(
+        "{:>8} {:>16} {:>16} {:>12}",
+        "cores", "solo sum (steps)", "batch makespan", "speed-up"
+    );
+    let mut csv = String::from("cores,solo_sum,batch_makespan,speedup\n");
+    for cores in [196usize, 400, 1024] {
+        let topo = TopologySpec::torus2d_fitting(cores);
+
+        // Solo: one instance at a time (the paper's protocol).
+        let cfg = SatRunConfig::new(topo.clone(), mapper.clone());
+        let solo_sum: u64 = suite
+            .iter()
+            .map(|cnf| run_sat(cnf, &cfg).computation_time)
+            .sum();
+
+        // Batch: all twenty at once, roots spread across the mesh.
+        let program =
+            DpllProgram::new(Heuristic::FirstUnassigned).with_mode(SimplifyMode::SplitOnly);
+        let mut sim = StackBuilder::new(program)
+            .topology(topo.clone())
+            .mapper(mapper.clone())
+            .halt_on_root_reply(false)
+            .build();
+        let n = topo.num_nodes() as u32;
+        // Spread roots pseudo-randomly: a regular stride can alias with the
+        // torus width and line every root up in one column.
+        for (i, cnf) in suite.iter().enumerate() {
+            let root = ((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64) as u32;
+            sim.inject(
+                root,
+                hyperspace_mapping::trigger(SubProblem::root(cnf.clone())),
+            );
+        }
+        sim.run_to_quiescence().expect("unbounded queues");
+        let makespan = sim.metrics().computation_time();
+        // Every root got a SAT verdict.
+        let verdicts: usize = (0..n)
+            .map(|node| sim.state(node).root_results.len())
+            .sum();
+        assert_eq!(verdicts, suite.len(), "every instance must be answered");
+        for node in 0..n {
+            for (_, v) in &sim.state(node).root_results {
+                assert!(matches!(v, Verdict::Sat(_)));
+            }
+        }
+
+        let speedup = solo_sum as f64 / makespan as f64;
+        println!("{cores:>8} {solo_sum:>16} {makespan:>16} {speedup:>11.2}x");
+        csv.push_str(&format!("{cores},{solo_sum},{makespan},{speedup:.3}\n"));
+    }
+    match write_results_csv("batch_throughput.csv", &csv) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+    println!(
+        "\nReading: concurrent instances interleave on the mesh, reclaiming\n\
+         capacity that a single search tree cannot occupy — the speed-up is\n\
+         the batch parallel efficiency of the machine."
+    );
+}

@@ -1,0 +1,136 @@
+//! Shared experiment plumbing.
+
+use hyperspace_core::{MapperSpec, RecRunReport, StackBuilder, TopologySpec};
+use hyperspace_metrics::Stats;
+use hyperspace_sat::{Cnf, DpllProgram, Heuristic, SimplifyMode, SubProblem, Verdict};
+use hyperspace_sim::NodeId;
+
+/// Everything that parameterises one SAT solve on the simulated machine.
+#[derive(Clone, Debug)]
+pub struct SatRunConfig {
+    /// Machine topology.
+    pub topology: TopologySpec,
+    /// Mapping policy.
+    pub mapper: MapperSpec,
+    /// Branching heuristic (the paper leaves this "algorithm-independent";
+    /// we default to first-unassigned, the barebone choice).
+    pub heuristic: Heuristic,
+    /// Per-activation simplification strength (workload regime; see
+    /// EXPERIMENTS.md on calibration).
+    pub mode: SimplifyMode,
+    /// Withdraw losing speculative branches (beyond-paper, ABL-C).
+    pub cancellation: bool,
+    /// Node receiving the trigger.
+    pub root: NodeId,
+    /// rayon-parallel stepping.
+    pub parallel: bool,
+    /// End the run at the root verdict instead of draining to quiescence.
+    /// Required when status broadcasts are enabled (they keep the machine
+    /// non-quiescent); changes the meaning of `computation_time` to
+    /// "time to solution".
+    pub halt_on_root: bool,
+}
+
+impl SatRunConfig {
+    /// The paper's baseline configuration on the given machine/mapper.
+    pub fn new(topology: TopologySpec, mapper: MapperSpec) -> Self {
+        SatRunConfig {
+            topology,
+            mapper,
+            heuristic: Heuristic::FirstUnassigned,
+            mode: SimplifyMode::SplitOnly,
+            cancellation: false,
+            root: 0,
+            parallel: false,
+            halt_on_root: false,
+        }
+    }
+}
+
+/// Solves one instance on the simulated machine.
+///
+/// §V-C measures computation time as "the number of simulation time steps
+/// between the first (trigger) and last messages": the run continues until
+/// the machine drains — losing speculative branches are "ignored", not
+/// cancelled, and their traffic counts (that is precisely what makes small
+/// machines slow and Figure 4's scaling signal). The root verdict is still
+/// validated.
+pub fn run_sat(cnf: &Cnf, cfg: &SatRunConfig) -> RecRunReport<Verdict> {
+    StackBuilder::new(DpllProgram::new(cfg.heuristic).with_mode(cfg.mode))
+        .topology(cfg.topology.clone())
+        .mapper(cfg.mapper.clone())
+        .cancellation(cfg.cancellation)
+        .parallel(cfg.parallel)
+        .halt_on_root_reply(cfg.halt_on_root)
+        .run(SubProblem::root(cnf.clone()), cfg.root)
+}
+
+/// Mean performance (1/computation-time) over a suite of instances — one
+/// Figure 4 data point. Also returns the per-instance values.
+pub fn suite_performance(suite: &[Cnf], cfg: &SatRunConfig) -> (Stats, Vec<f64>) {
+    let perfs: Vec<f64> = suite
+        .iter()
+        .map(|cnf| {
+            let report = run_sat(cnf, cfg);
+            assert!(
+                matches!(report.result, Some(Verdict::Sat(_))),
+                "uf20-91 instances are satisfiable ({}, {})",
+                cfg.topology.name(),
+                cfg.mapper.name(),
+            );
+            report.performance()
+        })
+        .collect();
+    (Stats::from_slice(&perfs), perfs)
+}
+
+/// The Figure 4 x-axis: target core counts, log-spaced 16..1024.
+pub const FIG4_CORE_COUNTS: [usize; 7] = [16, 32, 64, 128, 256, 512, 1024];
+
+/// The five Figure 4 curves: (label, topology for each core count, mapper).
+///
+/// The fully-connected baseline uses *random* mapping — the decentralised
+/// reading of "send to any core". (Port-indexed round robin on a complete
+/// graph degenerates: port `k` of every node points at the same low-id
+/// victims, so the work frontier grows linearly instead of exponentially.)
+pub fn fig4_curves(status_period: Option<u64>) -> Vec<(String, Vec<TopologySpec>, MapperSpec)> {
+    let torus2d: Vec<TopologySpec> = FIG4_CORE_COUNTS
+        .iter()
+        .map(|&n| TopologySpec::torus2d_fitting(n))
+        .collect();
+    let torus3d: Vec<TopologySpec> = FIG4_CORE_COUNTS
+        .iter()
+        .map(|&n| TopologySpec::torus3d_fitting(n))
+        .collect();
+    let full: Vec<TopologySpec> = FIG4_CORE_COUNTS
+        .iter()
+        .map(|&n| TopologySpec::Full { n: n as u32 })
+        .collect();
+    let rr = MapperSpec::RoundRobin;
+    let lbn = MapperSpec::LeastBusy { status_period };
+    vec![
+        ("2D Torus + RR".into(), torus2d.clone(), rr.clone()),
+        ("3D Torus + RR".into(), torus3d.clone(), rr.clone()),
+        ("2D Torus + LBN".into(), torus2d, lbn.clone()),
+        ("3D Torus + LBN".into(), torus3d, lbn),
+        (
+            "Fully connected".into(),
+            full,
+            MapperSpec::Random { seed: 0xF0_11 },
+        ),
+    ]
+}
+
+/// The paper's benchmark suite: 20 satisfiable uf20-91 instances (§V-C).
+pub fn paper_suite() -> Vec<Cnf> {
+    hyperspace_sat::gen::uf20_91_suite(2017, 20)
+}
+
+/// Writes a CSV file under `results/`, creating the directory.
+pub fn write_results_csv(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, content)?;
+    Ok(path)
+}

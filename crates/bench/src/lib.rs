@@ -1,0 +1,5 @@
+//! Experiment harness shared by the `src/bin` binaries and the criterion
+//! benches: one function per paper artefact (Figure 4, Figure 5) plus the
+//! ablations catalogued in DESIGN.md.
+
+pub mod experiments;

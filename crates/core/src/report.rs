@@ -1,0 +1,70 @@
+//! Run reports aggregating measurements from every layer.
+
+use hyperspace_recursion::RecStats;
+use hyperspace_sim::record::SimMetrics;
+use hyperspace_sim::RunOutcome;
+
+/// Everything measured in one stack run (§V-C's three quantities plus
+/// layer-level counters).
+#[derive(Clone, Debug)]
+pub struct RecRunReport<Out> {
+    /// The root call's result, if it arrived before the run ended.
+    pub result: Option<Out>,
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+    /// Steps executed.
+    pub steps: u64,
+    /// §V-C computation time (trigger to last message — with root-halt
+    /// enabled, trigger to root result).
+    pub computation_time: u64,
+    /// Layer-1 instrumentation: queue series, node activity, totals.
+    pub metrics: SimMetrics,
+    /// Layer-4 counters summed over all nodes.
+    pub rec_totals: RecStats,
+    /// Requests serviced, summed over all nodes.
+    pub requests_total: u64,
+    /// Replies delivered, summed over all nodes.
+    pub replies_total: u64,
+    /// Status broadcasts received, summed over all nodes.
+    pub status_total: u64,
+    /// Cancels received, summed over all nodes.
+    pub cancels_total: u64,
+}
+
+impl<Out> RecRunReport<Out> {
+    /// The paper's Figure 4 y-axis: `1 / computation_time`.
+    pub fn performance(&self) -> f64 {
+        if self.computation_time == 0 {
+            0.0
+        } else {
+            1.0 / self.computation_time as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_is_reciprocal_time() {
+        let report = RecRunReport::<u32> {
+            result: Some(1),
+            outcome: RunOutcome::Halted,
+            steps: 250,
+            computation_time: 200,
+            metrics: SimMetrics::default(),
+            rec_totals: RecStats::default(),
+            requests_total: 0,
+            replies_total: 0,
+            status_total: 0,
+            cancels_total: 0,
+        };
+        assert!((report.performance() - 0.005).abs() < 1e-12);
+        let zero = RecRunReport::<u32> {
+            computation_time: 0,
+            ..report
+        };
+        assert_eq!(zero.performance(), 0.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Runtime-selectable topology and mapper configurations.
+
+use hyperspace_mapping::{
+    GlobalRandomMapper, LeastBusyMapper, Mapper, MapperFactory, RandomMapper, RoundRobinMapper,
+    WeightAwareMapper,
+};
+use hyperspace_topology::{
+    FullyConnected, Grid, Hypercube, NodeId, Ring, Topology, Torus,
+};
+
+/// Machine topologies, as evaluated in §V-A (plus extras).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// 2-D torus, `w x h` cores.
+    Torus2D {
+        /// Width.
+        w: u32,
+        /// Height.
+        h: u32,
+    },
+    /// 3-D torus, `x*y*z` cores.
+    Torus3D {
+        /// X extent.
+        x: u32,
+        /// Y extent.
+        y: u32,
+        /// Z extent.
+        z: u32,
+    },
+    /// Arbitrary-dimension torus.
+    Torus(Vec<u32>),
+    /// Non-wrapping grid (transputer array).
+    Grid(Vec<u32>),
+    /// Binary hypercube with `2^dim` cores.
+    Hypercube {
+        /// Dimension.
+        dim: u32,
+    },
+    /// Ring of `n` cores.
+    Ring {
+        /// Node count.
+        n: u32,
+    },
+    /// Fully connected baseline of `n` cores.
+    Full {
+        /// Node count.
+        n: u32,
+    },
+}
+
+impl TopologySpec {
+    /// Instantiates the topology.
+    pub fn build(&self) -> Box<dyn Topology> {
+        match self {
+            TopologySpec::Torus2D { w, h } => Box::new(Torus::new_2d(*w, *h)),
+            TopologySpec::Torus3D { x, y, z } => Box::new(Torus::new_3d(*x, *y, *z)),
+            TopologySpec::Torus(dims) => Box::new(Torus::new(dims)),
+            TopologySpec::Grid(dims) => Box::new(Grid::new(dims)),
+            TopologySpec::Hypercube { dim } => Box::new(Hypercube::new(*dim)),
+            TopologySpec::Ring { n } => Box::new(Ring::new(*n)),
+            TopologySpec::Full { n } => Box::new(FullyConnected::new(*n)),
+        }
+    }
+
+    /// Number of cores this spec instantiates.
+    pub fn num_nodes(&self) -> usize {
+        self.build().num_nodes()
+    }
+
+    /// Human-readable name (matches `Topology::name`).
+    pub fn name(&self) -> String {
+        self.build().name()
+    }
+
+    /// The square-ish 2-D torus with at least `n` cores (for sweeps).
+    pub fn torus2d_fitting(n: usize) -> TopologySpec {
+        let side = (n as f64).sqrt().ceil() as u32;
+        TopologySpec::Torus2D { w: side, h: side }
+    }
+
+    /// The cube-ish 3-D torus with at least `n` cores (for sweeps).
+    pub fn torus3d_fitting(n: usize) -> TopologySpec {
+        let side = (n as f64).cbrt().ceil() as u32;
+        TopologySpec::Torus3D {
+            x: side,
+            y: side,
+            z: side,
+        }
+    }
+}
+
+/// Mapping policies, as evaluated in §V-D (plus extras).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MapperSpec {
+    /// Static round robin (the paper's RR).
+    RoundRobin,
+    /// Adaptive least-busy-neighbour (the paper's LBN), optionally
+    /// refreshed by periodic status broadcasts (§III-B2; the broadcasts
+    /// cost interconnect capacity — set `None` for pure piggy-backing).
+    LeastBusy {
+        /// Broadcast period in steps, if enabled.
+        status_period: Option<u64>,
+    },
+    /// Static uniform random over the local ports.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Static uniform random over *all* nodes; requires routed delivery
+    /// (the stack builder switches the engine to `DeliveryModel::Routed`
+    /// automatically). Models a virtualised any-to-any fabric (§II-A).
+    GlobalRandom {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Hint-aware (§III-B3): keep sub-problems lighter than the threshold
+    /// local, delegate the rest to the least busy neighbour.
+    WeightAware {
+        /// Keep-local weight threshold.
+        local_threshold: u32,
+        /// Optional status broadcast period.
+        status_period: Option<u64>,
+    },
+}
+
+impl MapperSpec {
+    /// The status-broadcast period this policy wants, if any.
+    pub fn status_period(&self) -> Option<u64> {
+        match self {
+            MapperSpec::LeastBusy { status_period }
+            | MapperSpec::WeightAware { status_period, .. } => *status_period,
+            _ => None,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MapperSpec::RoundRobin => "round-robin",
+            MapperSpec::LeastBusy { .. } => "least-busy",
+            MapperSpec::Random { .. } => "random",
+            MapperSpec::GlobalRandom { .. } => "global-random",
+            MapperSpec::WeightAware { .. } => "weight-aware",
+        }
+    }
+
+    /// Whether this policy targets arbitrary nodes and therefore needs a
+    /// delivery model that reaches non-neighbours.
+    pub fn needs_global_delivery(&self) -> bool {
+        matches!(self, MapperSpec::GlobalRandom { .. })
+    }
+
+    /// A factory producing boxed per-node mappers of this policy.
+    pub fn factory(&self) -> BoxedMapperFactory {
+        let spec = self.clone();
+        BoxedMapperFactory {
+            build_fn: Box::new(move |node, degree| match &spec {
+                MapperSpec::RoundRobin => {
+                    Box::new(RoundRobinMapper::starting_at(node as usize % degree.max(1)))
+                }
+                MapperSpec::LeastBusy { .. } => {
+                    Box::new(LeastBusyMapper::with_cursor(degree, node as usize))
+                }
+                MapperSpec::Random { seed } => Box::new(RandomMapper::new(
+                    seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )),
+                MapperSpec::GlobalRandom { seed } => Box::new(GlobalRandomMapper::new(
+                    seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )),
+                MapperSpec::WeightAware {
+                    local_threshold, ..
+                } => Box::new(WeightAwareMapper::new(degree, *local_threshold)),
+            }),
+        }
+    }
+}
+
+/// A [`MapperFactory`] whose product type is erased, letting one stack
+/// type serve every policy.
+pub struct BoxedMapperFactory {
+    #[allow(clippy::type_complexity)]
+    build_fn: Box<dyn Fn(NodeId, usize) -> Box<dyn Mapper> + Sync + Send>,
+}
+
+impl MapperFactory for BoxedMapperFactory {
+    type M = Box<dyn Mapper>;
+    fn build(&self, node: NodeId, degree: usize) -> Box<dyn Mapper> {
+        (self.build_fn)(node, degree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperspace_mapping::MapView;
+
+    #[test]
+    fn topology_specs_build() {
+        assert_eq!(TopologySpec::Torus2D { w: 14, h: 14 }.num_nodes(), 196);
+        assert_eq!(
+            TopologySpec::Torus3D { x: 6, y: 6, z: 6 }.num_nodes(),
+            216
+        );
+        assert_eq!(TopologySpec::Hypercube { dim: 5 }.num_nodes(), 32);
+        assert_eq!(TopologySpec::Full { n: 100 }.num_nodes(), 100);
+        assert_eq!(TopologySpec::Ring { n: 9 }.num_nodes(), 9);
+        assert_eq!(TopologySpec::Grid(vec![3, 4]).num_nodes(), 12);
+        assert_eq!(TopologySpec::Torus(vec![2, 3, 4]).num_nodes(), 24);
+    }
+
+    #[test]
+    fn fitting_helpers() {
+        assert_eq!(
+            TopologySpec::torus2d_fitting(196),
+            TopologySpec::Torus2D { w: 14, h: 14 }
+        );
+        assert_eq!(
+            TopologySpec::torus3d_fitting(216),
+            TopologySpec::Torus3D { x: 6, y: 6, z: 6 }
+        );
+        assert!(TopologySpec::torus2d_fitting(100).num_nodes() >= 100);
+        assert!(TopologySpec::torus3d_fitting(100).num_nodes() >= 100);
+    }
+
+    #[test]
+    fn mapper_specs_build_named_policies() {
+        let view = MapView {
+            degree: 4,
+            num_nodes: 16,
+            local_load: 0,
+            hint: 0,
+        };
+        for (spec, name) in [
+            (MapperSpec::RoundRobin, "round-robin"),
+            (
+                MapperSpec::LeastBusy {
+                    status_period: None,
+                },
+                "least-busy",
+            ),
+            (MapperSpec::Random { seed: 1 }, "random"),
+            (
+                MapperSpec::WeightAware {
+                    local_threshold: 4,
+                    status_period: None,
+                },
+                "weight-aware",
+            ),
+        ] {
+            assert_eq!(spec.name(), name);
+            let factory = spec.factory();
+            let mut mapper = factory.build(3, 4);
+            assert_eq!(mapper.name(), name);
+            let _ = mapper.choose(&view);
+        }
+    }
+
+    #[test]
+    fn status_period_propagates() {
+        assert_eq!(MapperSpec::RoundRobin.status_period(), None);
+        assert_eq!(
+            MapperSpec::LeastBusy {
+                status_period: Some(4)
+            }
+            .status_period(),
+            Some(4)
+        );
+    }
+}

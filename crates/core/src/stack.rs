@@ -1,0 +1,295 @@
+//! [`StackBuilder`]: wire layers 1–4 around a recursive program and run it.
+
+use hyperspace_mapping::{MapConfig, MappingHost, MapState};
+use hyperspace_recursion::{RecProgram, RecState, RecursionHost};
+use hyperspace_sim::{NodeId, RunOutcome, SimConfig, Simulation, Topology};
+
+use crate::report::RecRunReport;
+use crate::spec::{BoxedMapperFactory, MapperSpec, TopologySpec};
+
+/// The concrete layer-1 program type of an assembled stack.
+pub type StackProgram<P> = MappingHost<RecursionHost<P>, BoxedMapperFactory>;
+
+/// The concrete simulation type of an assembled stack.
+pub type StackSim<P> = Simulation<Box<dyn Topology>, StackProgram<P>>;
+
+/// Assembles the five-layer solver stack:
+///
+/// * layer 1: the time-stepped simulator ([`Simulation`]),
+/// * layer 2: single-process nodes (the mapping host *is* the node's
+///   process; multi-process nodes are available via `hyperspace-sched` for
+///   applications that need them),
+/// * layer 3: ticketed mapping with the chosen [`MapperSpec`],
+/// * layer 4: continuation-based recursion ([`RecursionHost`]),
+/// * layer 5: your [`RecProgram`].
+pub struct StackBuilder<P: RecProgram> {
+    program: P,
+    topology: TopologySpec,
+    mapper: MapperSpec,
+    cancellation: bool,
+    halt_on_root_reply: bool,
+    sim: SimConfig,
+}
+
+impl<P: RecProgram> StackBuilder<P> {
+    /// Starts a builder with the paper's defaults: a 14x14 torus (the
+    /// Figure 5 machine), round-robin mapping, no cancellation, halt on
+    /// root reply.
+    pub fn new(program: P) -> Self {
+        StackBuilder {
+            program,
+            topology: TopologySpec::Torus2D { w: 14, h: 14 },
+            mapper: MapperSpec::RoundRobin,
+            cancellation: false,
+            halt_on_root_reply: true,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Selects the machine topology.
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        self.topology = spec;
+        self
+    }
+
+    /// Selects the mapping policy.
+    pub fn mapper(mut self, spec: MapperSpec) -> Self {
+        self.mapper = spec;
+        self
+    }
+
+    /// Enables withdrawal of losing speculative branches (beyond-paper;
+    /// ablation ABL-C).
+    pub fn cancellation(mut self, on: bool) -> Self {
+        self.cancellation = on;
+        self
+    }
+
+    /// Whether the run halts as soon as the root result is known (the
+    /// paper's computation-time measurement) or drains to quiescence.
+    pub fn halt_on_root_reply(mut self, on: bool) -> Self {
+        self.halt_on_root_reply = on;
+        self
+    }
+
+    /// Overrides the layer-1 engine configuration (step caps, parallel
+    /// stepping, tracing, ...). The builder still forces `tick_every` to
+    /// match the mapper's status period.
+    pub fn sim_config(mut self, cfg: SimConfig) -> Self {
+        self.sim = cfg;
+        self
+    }
+
+    /// Runs the handler phase on a rayon thread pool (bit-identical
+    /// results, faster for large meshes).
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.sim.parallel = on;
+        self
+    }
+
+    /// Safety cap on simulated steps.
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.sim.max_steps = steps;
+        self
+    }
+
+    /// Builds the simulation without running it (for step-by-step
+    /// inspection); inject root problems with
+    /// [`hyperspace_mapping::trigger`].
+    pub fn build(self) -> StackSim<P> {
+        let topo = self.topology.build();
+        let mut sim_cfg = self.sim.clone();
+        sim_cfg.tick_every = self.mapper.status_period();
+        // Global mappers address arbitrary nodes: switch the engine to the
+        // hop-by-hop NoC model unless the user already chose one.
+        if self.mapper.needs_global_delivery()
+            && sim_cfg.delivery == hyperspace_sim::DeliveryModel::AdjacentOnly
+        {
+            sim_cfg.delivery = hyperspace_sim::DeliveryModel::Routed;
+        }
+        let host_cfg = MapConfig {
+            status_period: self.mapper.status_period(),
+            halt_on_root_reply: self.halt_on_root_reply,
+        };
+        let mut rec = RecursionHost::new(self.program);
+        if self.cancellation {
+            rec = rec.with_cancellation();
+        }
+        let host = MappingHost::new(rec, self.mapper.factory(), host_cfg);
+        Simulation::new(topo, host, sim_cfg)
+    }
+
+    /// Runs `program(root_arg)` rooted at `root_node` and collects the
+    /// full report.
+    pub fn run(self, root_arg: P::Arg, root_node: NodeId) -> RecRunReport<P::Out> {
+        let mut sim = self.build();
+        sim.inject(root_node, hyperspace_mapping::trigger(root_arg));
+        let report = sim
+            .run_to_quiescence()
+            .expect("stack runs use unbounded queues");
+        summarise(sim, report.outcome, root_node)
+    }
+}
+
+/// Extracts the aggregate report from a finished stack simulation.
+pub fn summarise<P: RecProgram>(
+    sim: StackSim<P>,
+    outcome: RunOutcome,
+    root_node: NodeId,
+) -> RecRunReport<P::Out> {
+    let steps = sim.current_step();
+    let n = sim.states().len();
+    let mut rec_totals = hyperspace_recursion::RecStats::default();
+    let (mut requests_total, mut replies_total, mut status_total, mut cancels_total) =
+        (0u64, 0u64, 0u64, 0u64);
+    for node in 0..n {
+        let st: &MapState<RecursionHost<P>, _> = &sim.states()[node];
+        let rs: &RecState<P> = &st.app;
+        let s = rs.stats;
+        rec_totals.started += s.started;
+        rec_totals.completed += s.completed;
+        rec_totals.stale_replies += s.stale_replies;
+        rec_totals.speculative_wins += s.speculative_wins;
+        rec_totals.cancels_sent += s.cancels_sent;
+        rec_totals.cancelled += s.cancelled;
+        requests_total += st.requests_in;
+        replies_total += st.replies_in;
+        status_total += st.status_in;
+        cancels_total += st.cancels_in;
+    }
+    let result = sim.states()[root_node as usize]
+        .root_result()
+        .cloned();
+    let computation_time = sim.metrics().computation_time();
+    let (_states, metrics) = sim.into_parts();
+    RecRunReport {
+        result,
+        outcome,
+        steps,
+        computation_time,
+        metrics,
+        rec_totals,
+        requests_total,
+        replies_total,
+        status_total,
+        cancels_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperspace_recursion::{FnProgram, Rec};
+
+    fn sum_program() -> impl RecProgram<Arg = u64, Out = u64> {
+        FnProgram::new(|n: u64| -> Rec<u64, u64> {
+            if n < 1 {
+                Rec::done(0)
+            } else {
+                Rec::call(n - 1).then(move |total| Rec::done(total + n))
+            }
+        })
+    }
+
+    #[test]
+    fn default_stack_runs() {
+        let report = StackBuilder::new(sum_program()).run(10, 0);
+        assert_eq!(report.result, Some(55));
+        assert_eq!(report.outcome, RunOutcome::Halted);
+        assert!(report.computation_time > 0);
+        assert!(report.performance() > 0.0);
+        assert_eq!(report.rec_totals.started, 11);
+    }
+
+    #[test]
+    fn every_mapper_spec_runs() {
+        for spec in [
+            MapperSpec::RoundRobin,
+            MapperSpec::LeastBusy {
+                status_period: None,
+            },
+            MapperSpec::LeastBusy {
+                status_period: Some(4),
+            },
+            MapperSpec::Random { seed: 9 },
+            MapperSpec::WeightAware {
+                local_threshold: 2,
+                status_period: None,
+            },
+        ] {
+            let report = StackBuilder::new(sum_program())
+                .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+                .mapper(spec.clone())
+                .run(8, 0);
+            assert_eq!(report.result, Some(36), "{:?}", spec);
+        }
+    }
+
+    #[test]
+    fn every_topology_spec_runs() {
+        for spec in [
+            TopologySpec::Torus2D { w: 4, h: 4 },
+            TopologySpec::Torus3D { x: 3, y: 3, z: 3 },
+            TopologySpec::Hypercube { dim: 4 },
+            TopologySpec::Full { n: 16 },
+            TopologySpec::Ring { n: 12 },
+            TopologySpec::Grid(vec![4, 4]),
+        ] {
+            let report = StackBuilder::new(sum_program())
+                .topology(spec.clone())
+                .run(6, 0);
+            assert_eq!(report.result, Some(21), "{:?}", spec);
+        }
+    }
+
+    #[test]
+    fn quiescent_run_counts_everything() {
+        let report = StackBuilder::new(sum_program())
+            .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+            .halt_on_root_reply(false)
+            .run(12, 5);
+        assert_eq!(report.outcome, RunOutcome::Quiescent);
+        assert_eq!(report.result, Some(78));
+        // 13 activations, each serviced exactly once.
+        assert_eq!(report.rec_totals.started, 13);
+        assert_eq!(report.rec_totals.completed, 13);
+        assert_eq!(report.requests_total, 13);
+        assert_eq!(report.replies_total, 13);
+    }
+
+    #[test]
+    fn global_random_mapper_switches_to_routed_delivery() {
+        // Global mapping targets arbitrary nodes; the builder must flip
+        // the engine into the NoC model so those sends are legal, and the
+        // computation must still be correct.
+        let report = StackBuilder::new(sum_program())
+            .topology(TopologySpec::Torus2D { w: 6, h: 6 })
+            .mapper(MapperSpec::GlobalRandom { seed: 3 })
+            .run(15, 0);
+        assert_eq!(report.result, Some(120));
+        // Multi-hop deliveries occurred (hop histogram saw > 1).
+        assert!(report.metrics.hop_histogram.max().unwrap_or(0) > 1);
+    }
+
+    #[test]
+    fn parallel_stepping_matches_sequential() {
+        let run = |parallel: bool| {
+            StackBuilder::new(sum_program())
+                .topology(TopologySpec::Torus3D { x: 3, y: 3, z: 3 })
+                .mapper(MapperSpec::LeastBusy {
+                    status_period: None,
+                })
+                .parallel(parallel)
+                .run(30, 13)
+        };
+        let seq = run(false);
+        let par = run(true);
+        assert_eq!(seq.result, par.result);
+        assert_eq!(seq.steps, par.steps);
+        assert_eq!(seq.computation_time, par.computation_time);
+        assert_eq!(
+            seq.metrics.delivered_per_node,
+            par.metrics.delivered_per_node
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Layer-3 wire format.
+
+use crate::ticket::Ticket;
+
+/// Cross-layer size hint attached to a call (§III-B3).
+///
+/// Solvers "often employ lazy evaluation functions to prune the search
+/// space... This heuristic can serve as an estimate of sub-problem size".
+/// The application layer may attach such an estimate to each call; hint-
+/// aware mappers use it, all others ignore it. `0` means "no estimate".
+pub type Weight = u32;
+
+/// The kinds of layer-3 message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MapPayload<Q, R> {
+    /// A sub-problem to evaluate; the reply must quote `ticket`.
+    Request {
+        /// Reply ticket issued by the caller.
+        ticket: Ticket,
+        /// Cross-layer size hint (0 = none).
+        hint: Weight,
+        /// The sub-problem itself.
+        req: Q,
+    },
+    /// A completed evaluation for the call identified by `ticket`.
+    Reply {
+        /// The quoted ticket.
+        ticket: Ticket,
+        /// The evaluation result.
+        resp: R,
+    },
+    /// External kick-off: the receiving node issues the root call (§IV-B's
+    /// `Trigger` message, Listing 2 line 13–14).
+    Trigger {
+        /// The root problem.
+        req: Q,
+    },
+    /// Periodic activity broadcast used by adaptive mappers configured with
+    /// a status period (§III-B2: "Status messages").
+    Status,
+    /// Withdraw an outstanding request (speculative-branch pruning). The
+    /// ticket is the one the canceller issued with its original `Request`;
+    /// layer 3 routes the cancel to wherever that request was mapped.
+    Cancel {
+        /// The ticket of the request being withdrawn.
+        ticket: Ticket,
+    },
+}
+
+/// A layer-3 message: payload plus the piggy-backed load estimate.
+///
+/// §V-D(2): "Embed a count of total messages received in all outgoing
+/// messages" — every message, of every kind, carries the sender's current
+/// received-message count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapMsg<Q, R> {
+    /// Sender's total received-message count at send time.
+    pub load: u64,
+    /// The message body.
+    pub payload: MapPayload<Q, R>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_variants_clone() {
+        let m: MapMsg<u32, u32> = MapMsg {
+            load: 7,
+            payload: MapPayload::Request {
+                ticket: Ticket::new(1, 2),
+                hint: 3,
+                req: 10,
+            },
+        };
+        assert_eq!(m.clone(), m);
+        let s: MapMsg<u32, u32> = MapMsg {
+            load: 0,
+            payload: MapPayload::Status,
+        };
+        assert_eq!(s.clone().load, 0);
+    }
+}

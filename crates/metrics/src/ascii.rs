@@ -1,0 +1,211 @@
+//! ASCII renderers for figures: the benchmark harness prints these so runs
+//! are inspectable without any plotting stack.
+
+use crate::Heatmap;
+
+/// Shade ramp used by [`render_heatmap`], darkest last.
+const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Renders a line chart of `series` into `width x height` characters.
+///
+/// Points are column-averaged when the series is longer than `width`.
+/// A `*` marks each sampled level. Returns a multi-line string, highest
+/// values at the top, with a y-axis legend.
+pub fn render_line_chart(series: &[f64], width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2, "chart too small");
+    if series.is_empty() {
+        return String::from("(empty series)\n");
+    }
+    // Downsample to `width` columns by averaging.
+    let cols: Vec<f64> = (0..width)
+        .map(|c| {
+            let lo = c * series.len() / width;
+            let hi = (((c + 1) * series.len()) / width).max(lo + 1);
+            let slice = &series[lo..hi.min(series.len())];
+            slice.iter().sum::<f64>() / slice.len() as f64
+        })
+        .collect();
+    let max = cols.iter().cloned().fold(f64::MIN, f64::max);
+    let min = cols.iter().cloned().fold(f64::MAX, f64::min);
+    let span = if (max - min).abs() < f64::EPSILON {
+        1.0
+    } else {
+        max - min
+    };
+    let mut rows = vec![vec![' '; width]; height];
+    for (c, &v) in cols.iter().enumerate() {
+        let level = ((v - min) / span * (height - 1) as f64).round() as usize;
+        rows[height - 1 - level][c] = '*';
+    }
+    let mut out = String::with_capacity((width + 16) * height);
+    for (i, row) in rows.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max:>10.2} |")
+        } else if i == height - 1 {
+            format!("{min:>10.2} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders several series superimposed (Figure 5, top row), one glyph per
+/// series. All series share the chart's y-scale.
+pub fn render_multi_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2, "chart too small");
+    let glyphs = ['*', 'o', '+', 'x', '~', '^'];
+    let global_max = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .fold(f64::MIN, f64::max);
+    let global_min = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .fold(f64::MAX, f64::min);
+    if series.iter().all(|(_, s)| s.is_empty()) {
+        return String::from("(empty series)\n");
+    }
+    let span = if (global_max - global_min).abs() < f64::EPSILON {
+        1.0
+    } else {
+        global_max - global_min
+    };
+    let mut rows = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        if s.is_empty() {
+            continue;
+        }
+        let glyph = glyphs[si % glyphs.len()];
+        #[allow(clippy::needless_range_loop)] // `rows` is indexed by derived `level`, not `c`
+        for c in 0..width {
+            let lo = c * s.len() / width;
+            let hi = (((c + 1) * s.len()) / width).max(lo + 1);
+            let slice = &s[lo..hi.min(s.len())];
+            let v = slice.iter().sum::<f64>() / slice.len() as f64;
+            let level = ((v - global_min) / span * (height - 1) as f64).round() as usize;
+            rows[height - 1 - level][c] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{global_max:>10.2} |")
+        } else if i == height - 1 {
+            format!("{global_min:>10.2} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", glyphs[i % glyphs.len()], name))
+        .collect();
+    out.push_str(&format!("{:>12}{}\n", "", legend.join("   ")));
+    out
+}
+
+/// Renders a heatmap with one shaded character per cell, normalised to the
+/// maximum cell value (Figure 5, bottom row).
+pub fn render_heatmap(map: &Heatmap) -> String {
+    let max = map.max().max(1);
+    let mut out = String::with_capacity((map.width() + 3) * map.height());
+    for y in 0..map.height() {
+        out.push('|');
+        for x in 0..map.width() {
+            let v = map.get(x, y);
+            let idx = ((v * (RAMP.len() as u64 - 1)) + max / 2) / max;
+            out.push(RAMP[idx as usize]);
+        }
+        out.push('|');
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a log-log scatter table (Figure 4 style): one row per x value,
+/// one column per labelled series, `NaN`-safe.
+pub fn render_loglog_table(
+    x_label: &str,
+    xs: &[usize],
+    series: &[(&str, &[f64])],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{x_label:>12}"));
+    for (name, _) in series {
+        out.push_str(&format!("  {name:>18}"));
+    }
+    out.push('\n');
+    for (i, &x) in xs.iter().enumerate() {
+        out.push_str(&format!("{x:>12}"));
+        for (_, ys) in series {
+            match ys.get(i) {
+                Some(v) if v.is_finite() => out.push_str(&format!("  {v:>18.6}")),
+                _ => out.push_str(&format!("  {:>18}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_shape() {
+        let series: Vec<f64> = (0..100).map(|v| v as f64).collect();
+        let chart = render_line_chart(&series, 40, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 10);
+        // Monotonic ramp: the star in the last column is on the top row.
+        assert!(lines[0].ends_with('*'));
+    }
+
+    #[test]
+    fn line_chart_constant_series() {
+        let chart = render_line_chart(&[5.0; 10], 20, 5);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn multi_chart_legend() {
+        let a: Vec<f64> = (0..50).map(|v| v as f64).collect();
+        let b: Vec<f64> = (0..50).map(|v| (50 - v) as f64).collect();
+        let chart = render_multi_chart(&[("up", &a), ("down", &b)], 30, 8);
+        assert!(chart.contains("* up"));
+        assert!(chart.contains("o down"));
+    }
+
+    #[test]
+    fn heatmap_extremes() {
+        let mut m = Heatmap::new(4, 2);
+        m.add(0, 0, 100);
+        let art = render_heatmap(&m);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("|@"));
+        assert!(lines[1].contains("    "));
+    }
+
+    #[test]
+    fn loglog_table_nan_safe() {
+        let t = render_loglog_table(
+            "cores",
+            &[16, 64],
+            &[("a", &[0.5, f64::NAN][..]), ("b", &[1.0][..])],
+        );
+        assert!(t.contains("cores"));
+        assert!(t.contains('-'));
+        assert!(t.contains("0.5"));
+    }
+}

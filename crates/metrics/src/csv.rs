@@ -1,0 +1,81 @@
+//! Minimal CSV writers (std-only) for experiment outputs.
+//!
+//! The benchmark harness emits one CSV per figure so results can be
+//! re-plotted with any external tool. Fields never contain commas or quotes
+//! in our usage, so no quoting layer is needed; `write_row` still escapes
+//! defensively.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Writes a header row followed by data rows to `out`.
+pub fn write_table<W: Write>(
+    out: &mut W,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> io::Result<()> {
+    write_row(out, header.iter().map(|s| s.to_string()))?;
+    for row in rows {
+        write_row(out, row)?;
+    }
+    Ok(())
+}
+
+/// Writes one CSV row, escaping fields containing commas/quotes/newlines.
+pub fn write_row<W: Write>(
+    out: &mut W,
+    fields: impl IntoIterator<Item = String>,
+) -> io::Result<()> {
+    let mut line = String::new();
+    for (i, field) in fields.into_iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        if field.contains([',', '"', '\n']) {
+            let _ = write!(line, "\"{}\"", field.replace('"', "\"\""));
+        } else {
+            line.push_str(&field);
+        }
+    }
+    line.push('\n');
+    out.write_all(line.as_bytes())
+}
+
+/// Formats a float compactly for CSV (6 significant digits).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "nan".to_string()
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_rows() {
+        let mut buf = Vec::new();
+        write_table(
+            &mut buf,
+            &["a", "b"],
+            vec![vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn escaping() {
+        let mut buf = Vec::new();
+        write_row(&mut buf, vec!["x,y".to_string(), "q\"t".to_string()]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "\"x,y\",\"q\"\"t\"\n");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.5), "0.500000");
+        assert_eq!(fmt_f64(f64::NAN), "nan");
+    }
+}

@@ -1,0 +1,142 @@
+//! 2-D activity heatmaps (Figure 5, bottom row).
+
+/// A dense row-major 2-D grid of counters, one per mesh node.
+///
+/// For 3-D tori the convention is to tile z-slices side by side before
+/// rendering (see [`crate::ascii::render_heatmap`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Heatmap {
+    width: usize,
+    height: usize,
+    data: Vec<u64>,
+}
+
+impl Heatmap {
+    /// A zeroed `width x height` heatmap.
+    pub fn new(width: usize, height: usize) -> Self {
+        Heatmap {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
+    }
+
+    /// Builds a heatmap from per-node counts laid out row-major.
+    pub fn from_counts(width: usize, height: usize, counts: &[u64]) -> Self {
+        assert_eq!(counts.len(), width * height, "count/shape mismatch");
+        Heatmap {
+            width,
+            height,
+            data: counts.to_vec(),
+        }
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Value at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u64 {
+        self.data[y * self.width + x]
+    }
+
+    /// Adds `delta` to the cell at `(x, y)`.
+    #[inline]
+    pub fn add(&mut self, x: usize, y: usize, delta: u64) {
+        self.data[y * self.width + x] += delta;
+    }
+
+    /// Maximum cell value.
+    pub fn max(&self) -> u64 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of all cells.
+    pub fn total(&self) -> u64 {
+        self.data.iter().sum()
+    }
+
+    /// Raw row-major cell values.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Coefficient of variation (std/mean) of cell values: a scalar measure
+    /// of how *unevenly* activity spread across the mesh. Lower is more
+    /// uniform; the paper's least-busy-neighbour mapping yields visibly
+    /// lower spread than round-robin (Figure 5 bottom).
+    pub fn spread(&self) -> f64 {
+        let n = self.data.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = self.total() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .data
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut h = Heatmap::new(3, 2);
+        h.add(2, 1, 5);
+        h.add(0, 0, 1);
+        h.add(2, 1, 2);
+        assert_eq!(h.get(2, 1), 7);
+        assert_eq!(h.get(0, 0), 1);
+        assert_eq!(h.get(1, 1), 0);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn from_counts_roundtrip() {
+        let counts = [1u64, 2, 3, 4, 5, 6];
+        let h = Heatmap::from_counts(3, 2, &counts);
+        assert_eq!(h.get(0, 0), 1);
+        assert_eq!(h.get(2, 1), 6);
+        assert_eq!(h.as_slice(), &counts);
+    }
+
+    #[test]
+    fn uniform_heatmap_has_zero_spread() {
+        let h = Heatmap::from_counts(2, 2, &[5, 5, 5, 5]);
+        assert_eq!(h.spread(), 0.0);
+    }
+
+    #[test]
+    fn skewed_heatmap_has_positive_spread() {
+        let uniform = Heatmap::from_counts(2, 2, &[5, 5, 5, 5]);
+        let skewed = Heatmap::from_counts(2, 2, &[20, 0, 0, 0]);
+        assert!(skewed.spread() > uniform.spread());
+        assert!(skewed.spread() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "count/shape mismatch")]
+    fn shape_mismatch_panics() {
+        Heatmap::from_counts(2, 2, &[1, 2, 3]);
+    }
+}

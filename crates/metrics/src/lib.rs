@@ -1,0 +1,43 @@
+//! Instrumentation primitives for hyperspace simulations.
+//!
+//! The paper's evaluation (§V-C) derives three quantities from simulation
+//! logs:
+//!
+//! 1. **computation time** — steps between the first (trigger) and last
+//!    messages;
+//! 2. **interconnect activity** — total queued messages across the mesh as
+//!    a time series (Figure 5, top);
+//! 3. **node activity** — total messages delivered to each node (Figure 5,
+//!    bottom heatmaps).
+//!
+//! This crate supplies the containers those logs are collected into
+//! ([`TimeSeries`], [`Heatmap`], [`Histogram`]), summary statistics
+//! ([`Stats`]), and renderers that regenerate the paper's figures as CSV
+//! files and ASCII charts ([`ascii`], [`csv`]).
+
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod csv;
+mod heatmap;
+mod histogram;
+mod series;
+mod stats;
+
+pub use heatmap::Heatmap;
+pub use histogram::Histogram;
+pub use series::TimeSeries;
+pub use stats::Stats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reexports_compile() {
+        let _ = TimeSeries::<u64>::new();
+        let _ = Histogram::new();
+        let _ = Heatmap::new(2, 2);
+        let _ = Stats::from_slice(&[1.0]);
+    }
+}

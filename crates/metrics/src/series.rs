@@ -1,0 +1,113 @@
+//! Append-only time series sampled once per simulation step.
+
+/// A time series of per-step samples (step `i` holds `data[i]`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries<T> {
+    data: Vec<T>,
+}
+
+impl<T> TimeSeries<T> {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries { data: Vec::new() }
+    }
+
+    /// An empty series with pre-reserved capacity (avoids reallocation in
+    /// the simulator's hot loop when the step budget is known).
+    pub fn with_capacity(cap: usize) -> Self {
+        TimeSeries {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends the sample for the next step.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        self.data.push(value);
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The recorded samples.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consumes the series, returning the raw samples.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl TimeSeries<u64> {
+    /// Samples converted to `f64` (for plotting / statistics).
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.data.iter().map(|&v| v as f64).collect()
+    }
+}
+
+impl<T: Copy + Ord> TimeSeries<T> {
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<T> {
+        self.data.iter().copied().max()
+    }
+
+    /// Index (step) of the first sample equal to the maximum.
+    pub fn argmax(&self) -> Option<usize> {
+        let max = self.max()?;
+        self.data.iter().position(|&v| v == max)
+    }
+
+    /// The last step with a sample strictly greater than `threshold`.
+    pub fn last_above(&self, threshold: T) -> Option<usize> {
+        self.data.iter().rposition(|&v| v > threshold)
+    }
+}
+
+impl<T> std::iter::FromIterator<T> for TimeSeries<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        TimeSeries {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_inspect() {
+        let mut s = TimeSeries::with_capacity(4);
+        assert!(s.is_empty());
+        for v in [3u32, 9, 2, 9] {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.max(), Some(9));
+        assert_eq!(s.argmax(), Some(1));
+        assert_eq!(s.last_above(2), Some(3));
+        assert_eq!(s.last_above(9), None);
+    }
+
+    #[test]
+    fn to_f64_converts() {
+        let s: TimeSeries<u64> = [3u64, 9, 2].into_iter().collect();
+        assert_eq!(s.to_f64(), vec![3.0, 9.0, 2.0]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: TimeSeries<u64> = (0..5).collect();
+        assert_eq!(s.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(s.into_vec(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Summary statistics over `f64` samples.
+
+/// Summary statistics of a sample set.
+///
+/// Figure 4's data points are means over 20 benchmark problems; the harness
+/// additionally reports spread so runs can be compared honestly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (lower-middle for even n).
+    pub median: f64,
+    /// Geometric mean (NaN if any sample is non-positive).
+    pub geomean: f64,
+}
+
+impl Stats {
+    /// Computes summary statistics. Panics on an empty slice.
+    pub fn from_slice(samples: &[f64]) -> Stats {
+        assert!(!samples.is_empty(), "Stats::from_slice on empty input");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let geomean = if sorted[0] > 0.0 {
+            (samples.iter().map(|v| v.ln()).sum::<f64>() / n as f64).exp()
+        } else {
+            f64::NAN
+        };
+        Stats {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: sorted[(n - 1) / 2],
+            geomean,
+        }
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) by nearest-rank.
+    pub fn quantile(samples: &[f64], q: f64) -> f64 {
+        assert!(!samples.is_empty());
+        assert!((0.0..=1.0).contains(&q));
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = Stats::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.0);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert!((s.geomean - 24f64.powf(0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Stats::from_slice(&[7.5]);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 7.5);
+    }
+
+    #[test]
+    fn geomean_nan_on_nonpositive() {
+        let s = Stats::from_slice(&[0.0, 1.0]);
+        assert!(s.geomean.is_nan());
+    }
+
+    #[test]
+    fn quantiles() {
+        let data: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(Stats::quantile(&data, 0.0), 1.0);
+        assert_eq!(Stats::quantile(&data, 1.0), 100.0);
+        let q50 = Stats::quantile(&data, 0.5);
+        assert!((49.0..=51.0).contains(&q50));
+    }
+}

@@ -1,0 +1,423 @@
+//! [`RecursionHost`]: drives a [`RecProgram`] over the layer-3 ticket
+//! interface, maintaining the paper's *call records* (Figure 3).
+//!
+//! Every suspended activation becomes a [`CallRecord`] holding the saved
+//! frame, one result slot per sub-call and the join mode. Sub-calls are
+//! issued through [`CallCtx::call_hint`]; their tickets index back into the
+//! records. When a join completes the frame is resumed, possibly producing
+//! more records, until the activation finishes and its result is replied to
+//! the parent ticket.
+
+use std::collections::HashMap;
+
+use hyperspace_mapping::{CallCtx, Ticket, TicketHandler};
+use hyperspace_sim::NodeId;
+
+use crate::program::{Join, RecProgram, Resumed, Spawn, Step};
+
+/// One suspended activation (a row of Figure 3's call-record table).
+struct CallRecord<P: RecProgram> {
+    /// Where this activation's final result must be sent.
+    parent: Ticket,
+    /// The saved continuation; taken when the join fires.
+    frame: Option<P::Frame>,
+    /// Join mode of the outstanding batch.
+    join: Join<P::Out>,
+    /// Result slots, one per sub-call, in issue order.
+    results: Vec<Option<P::Out>>,
+    /// Sub-call tickets still outstanding.
+    pending: Vec<Ticket>,
+    /// `Any` join already satisfied (or activation cancelled): remaining
+    /// replies are ignored, the record lingers only for bookkeeping.
+    closed: bool,
+}
+
+/// Counters exposed for experiments and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecStats {
+    /// Activations started (requests serviced).
+    pub started: u64,
+    /// Activations completed with a reply.
+    pub completed: u64,
+    /// Replies that arrived for already-closed or cancelled records.
+    pub stale_replies: u64,
+    /// Activations whose `Any` join was satisfied before all sub-calls
+    /// returned (speculation wins).
+    pub speculative_wins: u64,
+    /// Sub-calls withdrawn by cancellation.
+    pub cancels_sent: u64,
+    /// Activations abandoned because a parent cancelled them.
+    pub cancelled: u64,
+}
+
+/// Per-node layer-4 state.
+pub struct RecState<P: RecProgram> {
+    records: HashMap<u64, CallRecord<P>>,
+    /// sub-call ticket -> (record id, result slot).
+    ticket_index: HashMap<u64, (u64, usize)>,
+    /// parent ticket -> record id (for cancellation lookups).
+    parent_index: HashMap<u64, u64>,
+    next_record: u64,
+    /// Observable counters.
+    pub stats: RecStats,
+}
+
+impl<P: RecProgram> RecState<P> {
+    fn new() -> Self {
+        RecState {
+            records: HashMap::new(),
+            ticket_index: HashMap::new(),
+            parent_index: HashMap::new(),
+            next_record: 0,
+            stats: RecStats::default(),
+        }
+    }
+
+    /// Number of live call records (suspended activations) on this node.
+    pub fn live_records(&self) -> usize {
+        self.records.len()
+    }
+}
+
+/// Layer-4 host: adapts a [`RecProgram`] to layer 3's [`TicketHandler`].
+pub struct RecursionHost<P> {
+    program: P,
+    cancel_losers: bool,
+}
+
+impl<P: RecProgram> RecursionHost<P> {
+    /// Paper-faithful behaviour: when an `Any` join is satisfied, the
+    /// "remaining evaluations are ignored" (their work still runs to
+    /// completion and occupies the mesh).
+    pub fn new(program: P) -> Self {
+        RecursionHost {
+            program,
+            cancel_losers: false,
+        }
+    }
+
+    /// Beyond-paper extension: actively withdraw losing speculative
+    /// branches, pruning their entire sub-trees (ablation ABL-C).
+    pub fn with_cancellation(mut self) -> Self {
+        self.cancel_losers = true;
+        self
+    }
+
+    /// The wrapped program.
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// Runs an activation until it either completes (reply sent) or
+    /// suspends (record created).
+    fn drive(
+        &self,
+        state: &mut RecState<P>,
+        mut step: Step<P>,
+        parent: Ticket,
+        ctx: &mut dyn CallCtx<P::Arg, P::Out>,
+    ) {
+        loop {
+            match step {
+                Step::Done(out) => {
+                    ctx.reply(parent, out);
+                    state.stats.completed += 1;
+                    return;
+                }
+                Step::Spawn(Spawn { calls, join, frame }) => {
+                    if calls.is_empty() {
+                        // Degenerate batch: resume immediately.
+                        let resumed = match join {
+                            Join::All => Resumed::All(Vec::new()),
+                            Join::Any(_) => Resumed::Any(None),
+                        };
+                        step = self.program.resume(frame, resumed);
+                        continue;
+                    }
+                    let id = state.next_record;
+                    state.next_record += 1;
+                    let mut pending = Vec::with_capacity(calls.len());
+                    for (slot, arg) in calls.into_iter().enumerate() {
+                        let hint = self.program.weight(&arg);
+                        let t = ctx.call_hint(arg, hint);
+                        state.ticket_index.insert(t.raw(), (id, slot));
+                        pending.push(t);
+                    }
+                    let results = (0..pending.len()).map(|_| None).collect();
+                    state.parent_index.insert(parent.raw(), id);
+                    state.records.insert(
+                        id,
+                        CallRecord {
+                            parent,
+                            frame: Some(frame),
+                            join,
+                            results,
+                            pending,
+                            closed: false,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Removes a record's bookkeeping once no replies remain outstanding.
+    fn gc_record(state: &mut RecState<P>, id: u64) {
+        if let Some(rec) = state.records.get(&id) {
+            if rec.pending.is_empty() {
+                let rec = state.records.remove(&id).expect("checked");
+                state.parent_index.remove(&rec.parent.raw());
+            }
+        }
+    }
+}
+
+impl<P: RecProgram> TicketHandler for RecursionHost<P> {
+    type Req = P::Arg;
+    type Resp = P::Out;
+    type State = RecState<P>;
+
+    fn init(&self, _node: NodeId) -> RecState<P> {
+        RecState::new()
+    }
+
+    fn on_request(
+        &self,
+        state: &mut RecState<P>,
+        arg: P::Arg,
+        reply_to: Ticket,
+        ctx: &mut dyn CallCtx<P::Arg, P::Out>,
+    ) {
+        state.stats.started += 1;
+        let step = self.program.start(arg);
+        self.drive(state, step, reply_to, ctx);
+    }
+
+    fn on_reply(
+        &self,
+        state: &mut RecState<P>,
+        ticket: Ticket,
+        resp: P::Out,
+        ctx: &mut dyn CallCtx<P::Arg, P::Out>,
+    ) {
+        let Some((id, slot)) = state.ticket_index.remove(&ticket.raw()) else {
+            // Straggler for a record already resolved/cancelled.
+            state.stats.stale_replies += 1;
+            return;
+        };
+        let Some(rec) = state.records.get_mut(&id) else {
+            state.stats.stale_replies += 1;
+            return;
+        };
+        rec.pending.retain(|t| *t != ticket);
+
+        if rec.closed {
+            state.stats.stale_replies += 1;
+            Self::gc_record(state, id);
+            return;
+        }
+
+        match rec.join {
+            Join::All => {
+                rec.results[slot] = Some(resp);
+                if rec.pending.is_empty() {
+                    let rec = state.records.remove(&id).expect("present");
+                    state.parent_index.remove(&rec.parent.raw());
+                    let results: Vec<P::Out> = rec
+                        .results
+                        .into_iter()
+                        .map(|r| r.expect("all slots filled"))
+                        .collect();
+                    let frame = rec.frame.expect("frame present until resumed");
+                    let step = self.program.resume(frame, Resumed::All(results));
+                    self.drive(state, step, rec.parent, ctx);
+                }
+            }
+            Join::Any(valid) => {
+                if valid(&resp) {
+                    // First valid result wins; ignore (or cancel) the rest.
+                    rec.closed = true;
+                    if !rec.pending.is_empty() {
+                        state.stats.speculative_wins += 1;
+                    }
+                    let frame = rec.frame.take().expect("frame present until resumed");
+                    let parent = rec.parent;
+                    if self.cancel_losers {
+                        let losers: Vec<Ticket> = rec.pending.clone();
+                        for t in &losers {
+                            state.ticket_index.remove(&t.raw());
+                            ctx.cancel(*t);
+                            state.stats.cancels_sent += 1;
+                        }
+                        if let Some(rec) = state.records.get_mut(&id) {
+                            rec.pending.clear();
+                        }
+                    }
+                    Self::gc_record(state, id);
+                    let step = self.program.resume(frame, Resumed::Any(Some(resp)));
+                    self.drive(state, step, parent, ctx);
+                } else if rec.pending.is_empty() {
+                    // Everything returned, nothing valid: null result.
+                    let rec = state.records.remove(&id).expect("present");
+                    state.parent_index.remove(&rec.parent.raw());
+                    let frame = rec.frame.expect("frame present until resumed");
+                    let step = self.program.resume(frame, Resumed::Any(None));
+                    self.drive(state, step, rec.parent, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_cancel(
+        &self,
+        state: &mut RecState<P>,
+        reply_to: Ticket,
+        ctx: &mut dyn CallCtx<P::Arg, P::Out>,
+    ) {
+        // The caller withdrew the request it issued with `reply_to`. Find
+        // the activation working on it, abandon it, and recursively cancel
+        // its own outstanding sub-calls.
+        let Some(id) = state.parent_index.remove(&reply_to.raw()) else {
+            // Already replied (reply and cancel crossed in flight) — or the
+            // request never started an activation here. Nothing to do.
+            return;
+        };
+        let Some(rec) = state.records.get_mut(&id) else {
+            return;
+        };
+        rec.closed = true;
+        rec.frame = None;
+        state.stats.cancelled += 1;
+        let losers: Vec<Ticket> = rec.pending.drain(..).collect();
+        for t in &losers {
+            state.ticket_index.remove(&t.raw());
+            ctx.cancel(*t);
+            state.stats.cancels_sent += 1;
+        }
+        state.records.remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cps::{FnProgram, Rec};
+    use hyperspace_mapping::{
+        trigger, LeastBusyMapper, MapConfig, MappingHost, RoundRobinMapper,
+    };
+    use hyperspace_sim::{SimConfig, Simulation};
+    use hyperspace_topology::{Hypercube, Torus};
+
+    fn sum_program() -> FnProgram<u64, u64, impl Fn(u64) -> Rec<u64, u64> + Send + Sync> {
+        FnProgram::new(|n: u64| -> Rec<u64, u64> {
+            if n < 1 {
+                Rec::done(0)
+            } else {
+                Rec::call(n - 1).then(move |total| Rec::done(total + n))
+            }
+        })
+    }
+
+    #[test]
+    fn distributed_sum_matches_listing_3() {
+        let host = MappingHost::new(
+            RecursionHost::new(sum_program()),
+            RoundRobinMapper::factory(),
+            MapConfig::default(),
+        );
+        let mut sim = Simulation::new(Torus::new_2d(4, 4), host, SimConfig::default());
+        sim.inject(0, trigger(10));
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.state(0).root_result(), Some(&55));
+    }
+
+    #[test]
+    fn distributed_fib_fans_out() {
+        let fib = FnProgram::new(|n: u64| {
+            if n < 2 {
+                Rec::done(n)
+            } else {
+                Rec::call_all(vec![n - 1, n - 2]).then_all(|rs| Rec::done(rs[0] + rs[1]))
+            }
+        });
+        let host = MappingHost::new(
+            RecursionHost::new(fib),
+            LeastBusyMapper::factory(),
+            MapConfig::default(),
+        );
+        let mut sim = Simulation::new(Hypercube::new(4), host, SimConfig::default());
+        sim.inject(3, trigger(12));
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.state(3).root_result(), Some(&144));
+        // fib spreads real work across many nodes.
+        let busy = (0..16).filter(|&n| sim.state(n).requests_in > 0).count();
+        assert!(busy >= 8, "expected fan-out, only {busy} busy nodes");
+    }
+
+    #[test]
+    fn any_join_resolves_without_waiting() {
+        // Leaves return their argument; the root asks for any even result.
+        let pick = FnProgram::new(|n: u64| {
+            if n < 100 {
+                Rec::done(n)
+            } else {
+                Rec::call_any(vec![1, 2, 3, 4], |r| r % 2 == 0)
+                    .then_any(|r| Rec::done(r.unwrap_or(999)))
+            }
+        });
+        let host = MappingHost::new(
+            RecursionHost::new(pick),
+            RoundRobinMapper::factory(),
+            MapConfig::default(),
+        );
+        let mut sim = Simulation::new(Torus::new_2d(4, 4), host, SimConfig::default());
+        sim.inject(0, trigger(100));
+        sim.run_to_quiescence().unwrap();
+        let result = *sim.state(0).root_result().unwrap();
+        assert!(result == 2 || result == 4, "got {result}");
+    }
+
+    #[test]
+    fn any_join_exhaustion_yields_none() {
+        let pick = FnProgram::new(|n: u64| {
+            if n < 100 {
+                Rec::done(n)
+            } else {
+                Rec::call_any(vec![1, 3, 5], |r| r % 2 == 0)
+                    .then_any(|r| Rec::done(r.unwrap_or(999)))
+            }
+        });
+        let host = MappingHost::new(
+            RecursionHost::new(pick),
+            RoundRobinMapper::factory(),
+            MapConfig::default(),
+        );
+        let mut sim = Simulation::new(Torus::new_2d(4, 4), host, SimConfig::default());
+        sim.inject(0, trigger(100));
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.state(0).root_result(), Some(&999));
+    }
+
+    #[test]
+    fn no_records_leak_after_all_join_run() {
+        let host = MappingHost::new(
+            RecursionHost::new(sum_program()),
+            RoundRobinMapper::factory(),
+            MapConfig {
+                halt_on_root_reply: false,
+                ..MapConfig::default()
+            },
+        );
+        let mut sim = Simulation::new(Torus::new_2d(4, 4), host, SimConfig::default());
+        sim.inject(0, trigger(25));
+        sim.run_to_quiescence().unwrap();
+        for node in 0..16 {
+            assert_eq!(sim.state(node).app.live_records(), 0, "node {node} leaked");
+        }
+        let started: u64 = (0..16).map(|n| sim.state(n).app.stats.started).sum();
+        let completed: u64 = (0..16).map(|n| sim.state(n).app.stats.completed).sum();
+        assert_eq!(started, 26);
+        assert_eq!(completed, 26);
+    }
+}

@@ -1,0 +1,173 @@
+//! The defunctionalised recursive-program interface.
+
+use hyperspace_mapping::Weight;
+
+/// A recursive program in suspended-activation form.
+///
+/// A conventional recursive function
+///
+/// ```text
+/// f(arg) = ... f(a1) ... f(a2) ...
+/// ```
+///
+/// is encoded as a state machine: [`RecProgram::start`] runs the body up to
+/// the first batch of recursive calls and returns either the final answer
+/// ([`Step::Done`]) or a [`Spawn`]: the sub-call arguments, a join mode, and
+/// a `Frame` capturing everything needed to continue. When the join
+/// completes, [`RecProgram::resume`] continues from the frame. Programs may
+/// suspend any number of times before finishing.
+pub trait RecProgram: Send + Sync + 'static {
+    /// Argument of a (sub-)invocation — must be self-contained, as it
+    /// travels in messages.
+    type Arg: Clone + Send;
+    /// Result of an invocation.
+    type Out: Clone + Send;
+    /// A saved activation: everything live across a suspension point.
+    type Frame: Send;
+
+    /// Begins evaluating `f(arg)`, running until the first suspension.
+    fn start(&self, arg: Self::Arg) -> Step<Self>;
+
+    /// Continues a suspended activation with its sub-call results.
+    fn resume(&self, frame: Self::Frame, results: Resumed<Self::Out>) -> Step<Self>;
+
+    /// Cross-layer size hint for a sub-call (§III-B3); 0 means none.
+    /// Hint-aware mappers (layer 3) use this to keep small work local and
+    /// delegate big work to idle regions.
+    fn weight(&self, _arg: &Self::Arg) -> Weight {
+        0
+    }
+}
+
+/// Outcome of running an activation until its next suspension point.
+pub enum Step<P: RecProgram + ?Sized> {
+    /// The invocation finished with this result.
+    Done(P::Out),
+    /// The invocation suspended on a batch of sub-calls.
+    Spawn(Spawn<P>),
+}
+
+/// A batch of sub-calls plus the continuation to run when they join.
+pub struct Spawn<P: RecProgram + ?Sized> {
+    /// Sub-call arguments, issued in order (slot `i` of an
+    /// [`Resumed::All`] corresponds to `calls[i]`).
+    pub calls: Vec<P::Arg>,
+    /// When to resume.
+    pub join: Join<P::Out>,
+    /// The saved activation.
+    pub frame: P::Frame,
+}
+
+/// Join modes for a batch of sub-calls (§IV-C).
+#[derive(Clone, Copy)]
+pub enum Join<R> {
+    /// Wait for every result (`yield Sync()` after plain `Call`s).
+    All,
+    /// Non-deterministic choice: resume with the first result satisfying
+    /// the validator; if all results arrive and none does, resume with
+    /// `None` ("a null value is returned to the application").
+    Any(fn(&R) -> bool),
+}
+
+impl<R> std::fmt::Debug for Join<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Join::All => f.write_str("Join::All"),
+            Join::Any(_) => f.write_str("Join::Any(..)"),
+        }
+    }
+}
+
+/// The results handed back at resumption.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Resumed<R> {
+    /// All results, in sub-call order ([`Join::All`]).
+    All(Vec<R>),
+    /// The first valid result, or `None` if every sub-call returned an
+    /// invalid one ([`Join::Any`]).
+    Any(Option<R>),
+}
+
+impl<R> Resumed<R> {
+    /// Unwraps a single-call [`Join::All`] result.
+    pub fn into_single(self) -> R {
+        match self {
+            Resumed::All(mut v) if v.len() == 1 => v.pop().expect("len checked"),
+            Resumed::All(v) => panic!("expected exactly one result, got {}", v.len()),
+            Resumed::Any(_) => panic!("expected an All join"),
+        }
+    }
+
+    /// Unwraps a [`Join::All`] result vector.
+    pub fn into_all(self) -> Vec<R> {
+        match self {
+            Resumed::All(v) => v,
+            Resumed::Any(_) => panic!("expected an All join"),
+        }
+    }
+
+    /// Unwraps a [`Join::Any`] result.
+    pub fn into_any(self) -> Option<R> {
+        match self {
+            Resumed::Any(r) => r,
+            Resumed::All(_) => panic!("expected an Any join"),
+        }
+    }
+}
+
+/// Drives a [`RecProgram`] to completion *locally* (single core, no mesh),
+/// evaluating sub-calls depth-first in issue order.
+///
+/// This is the reference sequential semantics: the distributed execution
+/// over a hyperspace machine must produce the same result for programs
+/// whose `Any`-joins are confluent (and exactly the same result for pure
+/// `All`-join programs). The test-suites use it as an oracle.
+pub fn eval_local<P: RecProgram>(program: &P, arg: P::Arg) -> P::Out {
+    fn drive<P: RecProgram>(program: &P, step: Step<P>) -> P::Out {
+        match step {
+            Step::Done(v) => v,
+            Step::Spawn(Spawn { calls, join, frame }) => {
+                let results: Vec<P::Out> =
+                    calls.into_iter().map(|c| eval_local(program, c)).collect();
+                let resumed = match join {
+                    Join::All => Resumed::All(results),
+                    Join::Any(valid) => Resumed::Any(results.into_iter().find(valid)),
+                };
+                let next = program.resume(frame, resumed);
+                drive(program, next)
+            }
+        }
+    }
+    drive(program, program.start(arg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resumed_unwrappers() {
+        assert_eq!(Resumed::All(vec![7]).into_single(), 7);
+        assert_eq!(Resumed::All(vec![1, 2]).into_all(), vec![1, 2]);
+        assert_eq!(Resumed::<u32>::Any(Some(3)).into_any(), Some(3));
+        assert_eq!(Resumed::<u32>::Any(None).into_any(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected exactly one result")]
+    fn into_single_rejects_batches() {
+        Resumed::All(vec![1, 2]).into_single();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected an Any join")]
+    fn into_any_rejects_all() {
+        Resumed::All(vec![1]).into_any();
+    }
+
+    #[test]
+    fn join_debug() {
+        assert_eq!(format!("{:?}", Join::<u32>::All), "Join::All");
+        assert_eq!(format!("{:?}", Join::<u32>::Any(|_| true)), "Join::Any(..)");
+    }
+}

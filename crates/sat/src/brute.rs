@@ -1,0 +1,75 @@
+//! Exhaustive satisfiability oracle for property tests.
+
+use crate::cnf::{Cnf, Model};
+use crate::dpll::SatResult;
+
+/// Maximum variable count accepted (2^24 evaluations ≈ tens of ms on a 91-
+/// clause formula; beyond that the oracle is pointless anyway).
+pub const MAX_VARS: u32 = 24;
+
+/// Decides satisfiability by trying every assignment. Panics above
+/// [`MAX_VARS`] variables.
+pub fn solve(cnf: &Cnf) -> SatResult {
+    assert!(
+        cnf.num_vars() <= MAX_VARS,
+        "brute force limited to {MAX_VARS} variables"
+    );
+    let n = cnf.num_vars();
+    for bits in 0u64..(1u64 << n) {
+        let model: Model = (0..n).map(|v| bits >> v & 1 == 1).collect();
+        if cnf.eval(&model) {
+            return SatResult::Sat(model);
+        }
+    }
+    SatResult::Unsat
+}
+
+/// Counts the formula's models (for stronger test assertions).
+pub fn count_models(cnf: &Cnf) -> u64 {
+    assert!(cnf.num_vars() <= MAX_VARS);
+    let n = cnf.num_vars();
+    (0u64..(1u64 << n))
+        .filter(|bits| {
+            let model: Model = (0..n).map(|v| bits >> v & 1 == 1).collect();
+            cnf.eval(&model)
+        })
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Lit};
+
+    fn cnf(clauses: &[&[i32]], vars: u32) -> Cnf {
+        Cnf::new(
+            vars,
+            clauses
+                .iter()
+                .map(|c| c.iter().map(|&d| Lit::from_dimacs(d)).collect::<Clause>())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn oracle_agrees_on_basics() {
+        assert!(solve(&cnf(&[&[1]], 1)).is_sat());
+        assert_eq!(solve(&cnf(&[&[1], &[-1]], 1)), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_counting() {
+        // x1 | x2 has 3 models over 2 vars.
+        assert_eq!(count_models(&cnf(&[&[1, 2]], 2)), 3);
+        // A tautology-free empty formula has all 4.
+        assert_eq!(count_models(&cnf(&[], 2)), 4);
+        // Contradiction has none.
+        assert_eq!(count_models(&cnf(&[&[1], &[-1]], 2)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force limited")]
+    fn too_many_vars_rejected() {
+        solve(&cnf(&[], MAX_VARS + 1));
+    }
+}

@@ -1,0 +1,331 @@
+//! Clause-learning DPLL ("CDCL-lite").
+//!
+//! §V-B notes that "many state-of-the-art SAT solvers implement additional
+//! heuristics such as conflict-driven learning and non-chronological
+//! backtracking to prune the search space", which the paper deliberately
+//! leaves out. This module provides a compact sequential implementation of
+//! exactly those two mechanisms, as a stronger baseline to compare the
+//! barebone DPLL against:
+//!
+//! * a trail of assignments with decision levels;
+//! * unit propagation over the growing clause database;
+//! * on conflict, a *decision-negation* learned clause (the disjunction of
+//!   the negated decisions on the current path — always implied, one
+//!   literal per level), added to the database;
+//! * backjumping: pop one level; the learned clause immediately becomes
+//!   unit and drives propagation down the other branch.
+//!
+//! Clause learning in *distributed* form would require lemma exchange
+//! between nodes (the PaSAT approach the paper cites as \[38\]); that is
+//! out of scope here — sub-problems travel as independent messages with no
+//! shared state — which is precisely why the paper's mesh solver omits it.
+
+use crate::cnf::{check_model, Clause, Cnf, Lit, Model};
+use crate::dpll::SatResult;
+
+/// Search statistics for a CDCL-lite run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CdclStats {
+    /// Branching decisions.
+    pub decisions: u64,
+    /// Literals assigned by unit propagation.
+    pub propagations: u64,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Clauses learned (== conflicts above level 0).
+    pub learned: u64,
+}
+
+/// One assignment on the trail.
+#[derive(Clone, Copy, Debug)]
+struct TrailEntry {
+    lit: Lit,
+    decision: bool,
+}
+
+struct Solver {
+    clauses: Vec<Clause>,
+    num_vars: u32,
+    values: Vec<Option<bool>>,
+    trail: Vec<TrailEntry>,
+    /// Trail indices where each decision level starts.
+    level_starts: Vec<usize>,
+    stats: CdclStats,
+}
+
+/// Outcome of propagating to fixpoint.
+enum Propagated {
+    Ok,
+    Conflict,
+}
+
+impl Solver {
+    fn new(cnf: &Cnf) -> Solver {
+        Solver {
+            clauses: cnf.clauses().to_vec(),
+            num_vars: cnf.num_vars(),
+            values: vec![None; cnf.num_vars() as usize],
+            trail: Vec::with_capacity(cnf.num_vars() as usize),
+            level_starts: Vec::new(),
+            stats: CdclStats::default(),
+        }
+    }
+
+    #[inline]
+    fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.values[lit.var().0 as usize].map(|v| v == lit.demanded_value())
+    }
+
+    fn assign(&mut self, lit: Lit, decision: bool) {
+        debug_assert!(self.lit_value(lit).is_none());
+        self.values[lit.var().0 as usize] = Some(lit.demanded_value());
+        self.trail.push(TrailEntry { lit, decision });
+    }
+
+    /// Naive unit propagation: rescan the database until fixpoint. Fine at
+    /// benchmark scale; watched literals would replace this in a
+    /// production solver.
+    fn propagate(&mut self) -> Propagated {
+        loop {
+            let mut changed = false;
+            for ci in 0..self.clauses.len() {
+                let mut unassigned: Option<Lit> = None;
+                let mut satisfied = false;
+                let mut unassigned_count = 0;
+                for &lit in self.clauses[ci].lits() {
+                    match self.lit_value(lit) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => {
+                            unassigned_count += 1;
+                            unassigned = Some(lit);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => {
+                        self.stats.conflicts += 1;
+                        return Propagated::Conflict;
+                    }
+                    1 => {
+                        self.assign(unassigned.expect("counted"), false);
+                        self.stats.propagations += 1;
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return Propagated::Ok;
+            }
+        }
+    }
+
+    /// Whether every clause is satisfied under the current assignment.
+    fn all_satisfied(&self) -> bool {
+        self.clauses.iter().all(|c| {
+            c.lits()
+                .iter()
+                .any(|&lit| self.lit_value(lit) == Some(true))
+        })
+    }
+
+    /// First unassigned literal of the first unsatisfied clause.
+    fn pick_branch(&self) -> Option<Lit> {
+        for clause in &self.clauses {
+            let mut satisfied = false;
+            let mut candidate = None;
+            for &lit in clause.lits() {
+                match self.lit_value(lit) {
+                    Some(true) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => {
+                        if candidate.is_none() {
+                            candidate = Some(lit);
+                        }
+                    }
+                }
+            }
+            if !satisfied {
+                if let Some(lit) = candidate {
+                    return Some(lit);
+                }
+            }
+        }
+        None
+    }
+
+    /// Negated decisions on the current path: the learned clause.
+    fn decision_negation_clause(&self) -> Clause {
+        self.trail
+            .iter()
+            .filter(|e| e.decision)
+            .map(|e| e.lit.negated())
+            .collect()
+    }
+
+    /// Pops the deepest decision level entirely.
+    fn backjump(&mut self) {
+        let start = self.level_starts.pop().expect("level exists");
+        for entry in self.trail.drain(start..) {
+            self.values[entry.lit.var().0 as usize] = None;
+        }
+    }
+
+    fn current_model(&self) -> Model {
+        self.values.iter().map(|v| v.unwrap_or(false)).collect()
+    }
+
+    fn solve(mut self) -> (SatResult, CdclStats) {
+        loop {
+            match self.propagate() {
+                Propagated::Conflict => {
+                    if self.level_starts.is_empty() {
+                        // Conflict with no decisions: the formula itself is
+                        // contradictory.
+                        return (SatResult::Unsat, self.stats);
+                    }
+                    let learned = self.decision_negation_clause();
+                    debug_assert!(!learned.is_empty());
+                    self.stats.learned += 1;
+                    self.clauses.push(learned);
+                    // Non-chronological in effect: after popping one level
+                    // the learned clause is unit (all other negated
+                    // decisions still hold), so propagation immediately
+                    // drives the search down the untried branch — and any
+                    // *future* path sharing a decision prefix is pruned.
+                    self.backjump();
+                }
+                Propagated::Ok => {
+                    if self.all_satisfied() {
+                        let model = self.current_model();
+                        return (SatResult::Sat(model), self.stats);
+                    }
+                    let lit = self
+                        .pick_branch()
+                        .expect("unsatisfied clause has an unassigned literal");
+                    self.stats.decisions += 1;
+                    self.level_starts.push(self.trail.len());
+                    self.assign(lit, true);
+                }
+            }
+        }
+    }
+}
+
+/// Solves `cnf` with clause learning and backjumping.
+///
+/// The returned model (if any) is debug-verified against the input.
+pub fn solve(cnf: &Cnf) -> (SatResult, CdclStats) {
+    let (result, stats) = Solver::new(cnf).solve();
+    if let SatResult::Sat(model) = &result {
+        debug_assert!(check_model(cnf, model), "cdcl produced invalid model");
+    }
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::dpll;
+    use crate::gen;
+    use crate::heuristics::Heuristic;
+
+    fn cnf(clauses: &[&[i32]], vars: u32) -> Cnf {
+        Cnf::new(
+            vars,
+            clauses
+                .iter()
+                .map(|c| c.iter().map(|&d| Lit::from_dimacs(d)).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert!(solve(&cnf(&[], 1)).0.is_sat());
+        assert_eq!(solve(&cnf(&[&[1], &[-1]], 1)).0, SatResult::Unsat);
+        assert!(solve(&cnf(&[&[1]], 1)).0.is_sat());
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_random_population() {
+        for seed in 0..40u64 {
+            let f = gen::random_ksat(seed, 9, 42, 3);
+            let (result, _) = solve(&f);
+            let oracle = brute::solve(&f);
+            assert_eq!(result.is_sat(), oracle.is_sat(), "seed {seed}");
+            if let SatResult::Sat(model) = result {
+                assert!(check_model(&f, &model), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn learns_clauses_on_unsat_instances() {
+        // PHP(3,2): forces conflicts.
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..3i32 {
+            clauses.push(vec![i * 2 + 1, i * 2 + 2]);
+        }
+        for h in 0..2i32 {
+            for i in 0..3i32 {
+                for j in (i + 1)..3i32 {
+                    clauses.push(vec![-(i * 2 + h + 1), -(j * 2 + h + 1)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let f = cnf(&refs, 6);
+        let (result, stats) = solve(&f);
+        assert_eq!(result, SatResult::Unsat);
+        assert!(stats.conflicts > 0);
+        assert!(stats.learned > 0);
+    }
+
+    #[test]
+    fn solves_uf20_instances() {
+        for seed in 0..3 {
+            let f = gen::uf20_91(seed);
+            let (result, stats) = solve(&f);
+            let SatResult::Sat(model) = result else {
+                panic!("uf20-91 is satisfiable (seed {seed})");
+            };
+            assert!(check_model(&f, &model));
+            assert!(stats.decisions > 0);
+        }
+    }
+
+    #[test]
+    fn no_more_decisions_than_plain_dpll_on_unsat() {
+        // On UNSAT instances (where the whole tree must be refuted) the
+        // learned clauses prune repeated prefixes, so CDCL-lite should not
+        // need more decisions than barebone DPLL explores nodes.
+        for seed in 0..10u64 {
+            let f = gen::random_ksat(seed, 10, 55, 3); // ratio 5.5: mostly unsat
+            if brute::solve(&f).is_sat() {
+                continue;
+            }
+            let (r1, cdcl_stats) = solve(&f);
+            let (r2, dpll_stats) = dpll::solve(&f, Heuristic::FirstUnassigned);
+            assert_eq!(r1, SatResult::Unsat);
+            assert_eq!(r2, SatResult::Unsat);
+            assert!(
+                cdcl_stats.decisions <= dpll_stats.nodes,
+                "seed {seed}: {} decisions vs {} nodes",
+                cdcl_stats.decisions,
+                dpll_stats.nodes
+            );
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! CNF formula representation.
+
+/// A propositional variable, 0-based.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// A literal: a variable or its negation, packed as `var * 2 + negated`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    #[inline]
+    pub fn pos(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[inline]
+    pub fn neg(var: Var) -> Lit {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// Builds a literal with the given polarity (`true` = positive).
+    #[inline]
+    pub fn with_polarity(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the positive literal.
+    #[inline]
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The opposite literal of the same variable.
+    #[inline]
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// The truth value this literal demands of its variable.
+    #[inline]
+    pub fn demanded_value(self) -> bool {
+        self.is_pos()
+    }
+
+    /// Dense index usable for occurrence tables (`0..2 * num_vars`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Parses a non-zero DIMACS literal (`3` ⇒ x2 positive, `-1` ⇒ x0
+    /// negated).
+    pub fn from_dimacs(lit: i32) -> Lit {
+        assert!(lit != 0, "DIMACS literal cannot be zero");
+        let var = Var(lit.unsigned_abs() - 1);
+        Lit::with_polarity(var, lit > 0)
+    }
+
+    /// Serialises to DIMACS convention.
+    pub fn to_dimacs(self) -> i32 {
+        let v = (self.var().0 + 1) as i32;
+        if self.is_pos() {
+            v
+        } else {
+            -v
+        }
+    }
+}
+
+impl std::fmt::Debug for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_dimacs())
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Builds a clause from literals.
+    pub fn new(lits: Vec<Lit>) -> Clause {
+        Clause { lits }
+    }
+
+    /// The literals.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// An empty clause is unsatisfiable.
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// A unit clause forces its only literal (Listing 4 line 7).
+    pub fn is_unit(&self) -> bool {
+        self.lits.len() == 1
+    }
+
+    /// Whether the clause contains `lit`.
+    pub fn contains(&self, lit: Lit) -> bool {
+        self.lits.contains(&lit)
+    }
+}
+
+impl FromIterator<Lit> for Clause {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Clause {
+        Clause {
+            lits: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A complete truth assignment, indexed by variable.
+pub type Model = Vec<bool>;
+
+/// A partial truth assignment.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    values: Vec<Option<bool>>,
+}
+
+impl Assignment {
+    /// An empty assignment over `num_vars` variables.
+    pub fn new(num_vars: u32) -> Assignment {
+        Assignment {
+            values: vec![None; num_vars as usize],
+        }
+    }
+
+    /// Value of `var`, if assigned.
+    #[inline]
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.values[var.0 as usize]
+    }
+
+    /// Assigns `var := value`; panics if already assigned differently.
+    pub fn assign(&mut self, var: Var, value: bool) {
+        let slot = &mut self.values[var.0 as usize];
+        debug_assert!(
+            slot.is_none() || *slot == Some(value),
+            "conflicting assignment of {var:?}"
+        );
+        *slot = Some(value);
+    }
+
+    /// Number of assigned variables.
+    pub fn assigned_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Number of unassigned variables.
+    pub fn unassigned_count(&self) -> usize {
+        self.values.len() - self.assigned_count()
+    }
+
+    /// Completes the assignment into a [`Model`], defaulting free variables
+    /// to `false` (safe once the reduced formula is empty: no remaining
+    /// clause constrains them).
+    pub fn complete(&self) -> Model {
+        self.values.iter().map(|v| v.unwrap_or(false)).collect()
+    }
+
+    /// Whether a literal is satisfied/falsified/unassigned under this
+    /// assignment.
+    pub fn lit_status(&self, lit: Lit) -> Option<bool> {
+        self.value(lit.var()).map(|v| v == lit.demanded_value())
+    }
+}
+
+/// A CNF formula.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Builds a formula over `num_vars` variables.
+    pub fn new(num_vars: u32, clauses: Vec<Clause>) -> Cnf {
+        let cnf = Cnf { num_vars, clauses };
+        debug_assert!(cnf
+            .clauses
+            .iter()
+            .flat_map(|c| c.lits())
+            .all(|l| l.var().0 < num_vars));
+        cnf
+    }
+
+    /// Number of variables in the universe (not all need occur).
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// `consistent(problem)` from Listing 4 line 2: an empty clause set is
+    /// trivially satisfied.
+    pub fn is_trivially_sat(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// `exist_empty_clause(problem)` from Listing 4 line 4.
+    pub fn has_empty_clause(&self) -> bool {
+        self.clauses.iter().any(|c| c.is_empty())
+    }
+
+    /// Applies `var := value`: satisfied clauses vanish, falsified literals
+    /// are deleted (the `assign(problem, L, v)` of Listing 4 lines 13–14).
+    pub fn assign(&self, var: Var, value: bool) -> Cnf {
+        let satisfied = Lit::with_polarity(var, value);
+        let falsified = satisfied.negated();
+        let clauses = self
+            .clauses
+            .iter()
+            .filter(|c| !c.contains(satisfied))
+            .map(|c| c.lits().iter().copied().filter(|&l| l != falsified).collect())
+            .collect();
+        Cnf {
+            num_vars: self.num_vars,
+            clauses,
+        }
+    }
+
+    /// Evaluates the formula under a complete model.
+    pub fn eval(&self, model: &Model) -> bool {
+        self.clauses.iter().all(|c| {
+            c.lits()
+                .iter()
+                .any(|l| model[l.var().0 as usize] == l.demanded_value())
+        })
+    }
+
+    /// All literals occurring in the formula (with repetition).
+    pub fn iter_lits(&self) -> impl Iterator<Item = Lit> + '_ {
+        self.clauses.iter().flat_map(|c| c.lits().iter().copied())
+    }
+}
+
+/// Checks a model against a formula (used to validate solver output).
+pub fn check_model(cnf: &Cnf, model: &Model) -> bool {
+    model.len() == cnf.num_vars() as usize && cnf.eval(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(d: i32) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn literal_packing() {
+        let x0 = Var(0);
+        assert!(Lit::pos(x0).is_pos());
+        assert!(!Lit::neg(x0).is_pos());
+        assert_eq!(Lit::pos(x0).negated(), Lit::neg(x0));
+        assert_eq!(Lit::pos(x0).var(), x0);
+        assert_eq!(Lit::neg(Var(5)).index(), 11);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for d in [-7, -1, 1, 3, 42] {
+            assert_eq!(lit(d).to_dimacs(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be zero")]
+    fn zero_dimacs_rejected() {
+        Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn assign_simplifies() {
+        // (x1 | x2) & (!x1 | x3) & (x2 | x3)
+        let cnf = Cnf::new(
+            3,
+            vec![
+                Clause::new(vec![lit(1), lit(2)]),
+                Clause::new(vec![lit(-1), lit(3)]),
+                Clause::new(vec![lit(2), lit(3)]),
+            ],
+        );
+        let after = cnf.assign(Var(0), true);
+        // First clause satisfied; second loses !x1.
+        assert_eq!(after.num_clauses(), 2);
+        assert_eq!(after.clauses()[0], Clause::new(vec![lit(3)]));
+        assert!(after.clauses()[0].is_unit());
+
+        let contradiction = after.assign(Var(2), false);
+        assert!(contradiction.has_empty_clause());
+    }
+
+    #[test]
+    fn eval_and_check_model() {
+        let cnf = Cnf::new(
+            2,
+            vec![
+                Clause::new(vec![lit(1), lit(2)]),
+                Clause::new(vec![lit(-1), lit(2)]),
+            ],
+        );
+        assert!(cnf.eval(&vec![false, true]));
+        assert!(!cnf.eval(&vec![false, false]));
+        assert!(check_model(&cnf, &vec![true, true]));
+        assert!(!check_model(&cnf, &vec![true])); // wrong width
+    }
+
+    #[test]
+    fn assignment_bookkeeping() {
+        let mut a = Assignment::new(4);
+        assert_eq!(a.unassigned_count(), 4);
+        a.assign(Var(1), true);
+        a.assign(Var(3), false);
+        assert_eq!(a.assigned_count(), 2);
+        assert_eq!(a.value(Var(1)), Some(true));
+        assert_eq!(a.value(Var(0)), None);
+        assert_eq!(a.complete(), vec![false, true, false, false]);
+        assert_eq!(a.lit_status(lit(2)), Some(true));
+        assert_eq!(a.lit_status(lit(-2)), Some(false));
+        assert_eq!(a.lit_status(lit(1)), None);
+    }
+
+    #[test]
+    fn trivial_states() {
+        let empty = Cnf::new(2, vec![]);
+        assert!(empty.is_trivially_sat());
+        assert!(!empty.has_empty_clause());
+        let falsum = Cnf::new(2, vec![Clause::new(vec![])]);
+        assert!(falsum.has_empty_clause());
+        assert!(!falsum.is_trivially_sat());
+    }
+}

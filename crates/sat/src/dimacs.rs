@@ -1,0 +1,169 @@
+//! DIMACS CNF parsing and serialisation.
+//!
+//! The standard interchange format of the SATLIB benchmarks (§V-C, ref
+//! \[42\]): a `p cnf <vars> <clauses>` header followed by zero-terminated
+//! clauses; `c` lines are comments, `%`/`0` trailer lines (present in the
+//! SATLIB uf20-91 files) are tolerated.
+
+use crate::cnf::{Clause, Cnf, Lit};
+
+/// Errors from [`parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DimacsError {
+    /// No `p cnf` header line found.
+    MissingHeader,
+    /// Header malformed.
+    BadHeader(String),
+    /// A literal token failed to parse or referenced a variable beyond the
+    /// declared count.
+    BadLiteral(String),
+    /// Fewer clauses than declared.
+    TruncatedFormula {
+        /// Declared count.
+        declared: usize,
+        /// Clauses actually present.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::MissingHeader => write!(f, "missing 'p cnf' header"),
+            DimacsError::BadHeader(l) => write!(f, "malformed header: {l}"),
+            DimacsError::BadLiteral(t) => write!(f, "bad literal: {t}"),
+            DimacsError::TruncatedFormula { declared, found } => {
+                write!(f, "header declares {declared} clauses, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses a DIMACS CNF document.
+pub fn parse(text: &str) -> Result<Cnf, DimacsError> {
+    let mut num_vars: Option<u32> = None;
+    let mut declared_clauses = 0usize;
+    let mut clauses = Vec::new();
+    let mut current = Vec::new();
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('%') {
+            break; // SATLIB trailer
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(DimacsError::BadHeader(line.to_string()));
+            }
+            num_vars = Some(
+                parts[1]
+                    .parse()
+                    .map_err(|_| DimacsError::BadHeader(line.to_string()))?,
+            );
+            declared_clauses = parts[2]
+                .parse()
+                .map_err(|_| DimacsError::BadHeader(line.to_string()))?;
+            clauses.reserve(declared_clauses);
+            continue;
+        }
+        let vars = num_vars.ok_or(DimacsError::MissingHeader)?;
+        for tok in line.split_whitespace() {
+            let v: i32 = tok
+                .parse()
+                .map_err(|_| DimacsError::BadLiteral(tok.to_string()))?;
+            if v == 0 {
+                clauses.push(Clause::new(std::mem::take(&mut current)));
+            } else {
+                if v.unsigned_abs() > vars {
+                    return Err(DimacsError::BadLiteral(tok.to_string()));
+                }
+                current.push(Lit::from_dimacs(v));
+            }
+        }
+    }
+    let vars = num_vars.ok_or(DimacsError::MissingHeader)?;
+    if !current.is_empty() {
+        clauses.push(Clause::new(std::mem::take(&mut current)));
+    }
+    if clauses.len() < declared_clauses {
+        return Err(DimacsError::TruncatedFormula {
+            declared: declared_clauses,
+            found: clauses.len(),
+        });
+    }
+    Ok(Cnf::new(vars, clauses))
+}
+
+/// Serialises a formula to DIMACS.
+pub fn to_string(cnf: &Cnf) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses());
+    for clause in cnf.clauses() {
+        for lit in clause.lits() {
+            let _ = write!(out, "{} ", lit.to_dimacs());
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Var;
+
+    const SAMPLE: &str = "\
+c a tiny instance
+p cnf 3 2
+1 -2 0
+2 3 -1 0
+";
+
+    #[test]
+    fn parse_sample() {
+        let cnf = parse(SAMPLE).unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.clauses()[0].lits()[1], Lit::neg(Var(1)));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cnf = parse(SAMPLE).unwrap();
+        let text = to_string(&cnf);
+        let again = parse(&text).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn multiline_clause_and_trailer() {
+        let text = "p cnf 2 1\n1\n-2\n0\n%\n0\n";
+        let cnf = parse(text).unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(parse("1 2 0\n"), Err(DimacsError::MissingHeader));
+        assert!(matches!(
+            parse("p cnf x 2\n"),
+            Err(DimacsError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse("p cnf 2 1\n9 0\n"),
+            Err(DimacsError::BadLiteral(_))
+        ));
+        assert!(matches!(
+            parse("p cnf 2 5\n1 0\n"),
+            Err(DimacsError::TruncatedFormula { .. })
+        ));
+    }
+}

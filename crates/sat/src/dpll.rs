@@ -1,0 +1,181 @@
+//! Sequential DPLL: the single-core reference solver.
+//!
+//! Functionally identical to the distributed [`crate::DpllProgram`] but
+//! with classic depth-first backtracking: the "try `L = true` first, then
+//! `L = false`" order replaces the mesh's speculative evaluation of both.
+
+use crate::cnf::{check_model, Assignment, Cnf, Model};
+use crate::heuristics::Heuristic;
+use crate::simplify::{simplify, Simplified};
+
+/// Verdict of a solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witness model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// True for [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat => None,
+        }
+    }
+}
+
+/// Search statistics (workload measures for the experiments).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Unit propagations applied.
+    pub unit_props: u64,
+    /// Pure-literal assignments applied.
+    pub pure_assigns: u64,
+    /// Search-tree nodes visited (calls to the recursive solver).
+    pub nodes: u64,
+    /// Deepest decision level reached.
+    pub max_depth: u64,
+}
+
+/// Solves `cnf` with the given branching heuristic.
+///
+/// Returns the verdict and search statistics. Any returned model is
+/// verified against the input before returning (a `debug_assert`).
+pub fn solve(cnf: &Cnf, heuristic: Heuristic) -> (SatResult, SolveStats) {
+    let mut stats = SolveStats::default();
+    let assignment = Assignment::new(cnf.num_vars());
+    let result = recurse(cnf.clone(), assignment, heuristic, 0, &mut stats);
+    if let SatResult::Sat(model) = &result {
+        debug_assert!(check_model(cnf, model), "solver produced invalid model");
+    }
+    (result, stats)
+}
+
+fn recurse(
+    mut cnf: Cnf,
+    mut assignment: Assignment,
+    heuristic: Heuristic,
+    depth: u64,
+    stats: &mut SolveStats,
+) -> SatResult {
+    stats.nodes += 1;
+    stats.max_depth = stats.max_depth.max(depth);
+
+    let (state, sstats) = simplify(&mut cnf, &mut assignment);
+    stats.unit_props += sstats.unit_props;
+    stats.pure_assigns += sstats.pure_assigns;
+    match state {
+        Simplified::Sat => return SatResult::Sat(assignment.complete()),
+        Simplified::Unsat => return SatResult::Unsat,
+        Simplified::Undecided => {}
+    }
+
+    let lit = heuristic
+        .select(&cnf)
+        .expect("undecided formula has literals");
+    stats.decisions += 1;
+
+    // First branch: the heuristic's preferred polarity.
+    let mut first = assignment.clone();
+    first.assign(lit.var(), lit.demanded_value());
+    let sub1 = cnf.assign(lit.var(), lit.demanded_value());
+    if let SatResult::Sat(m) = recurse(sub1, first, heuristic, depth + 1, stats) {
+        return SatResult::Sat(m);
+    }
+
+    // Second branch: the negation.
+    assignment.assign(lit.var(), !lit.demanded_value());
+    let sub2 = cnf.assign(lit.var(), !lit.demanded_value());
+    recurse(sub2, assignment, heuristic, depth + 1, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Lit};
+    use crate::heuristics::ALL_HEURISTICS;
+
+    fn lit(d: i32) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn cnf(clauses: &[&[i32]], vars: u32) -> Cnf {
+        Cnf::new(
+            vars,
+            clauses
+                .iter()
+                .map(|c| c.iter().map(|&d| lit(d)).collect::<Clause>())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let (r, _) = solve(&cnf(&[], 1), Heuristic::FirstUnassigned);
+        assert!(r.is_sat());
+        let (r, _) = solve(&cnf(&[&[1], &[-1]], 1), Heuristic::FirstUnassigned);
+        assert_eq!(r, SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_is_unsat() {
+        // Two pigeons, one hole: p1 & p2 & (!p1 | !p2).
+        let f = cnf(&[&[1], &[2], &[-1, -2]], 2);
+        for h in ALL_HEURISTICS {
+            let (r, _) = solve(&f, h);
+            assert_eq!(r, SatResult::Unsat, "{h}");
+        }
+    }
+
+    #[test]
+    fn simple_sat_with_model_check() {
+        let f = cnf(&[&[1, 2, 3], &[-1, -2], &[-2, -3], &[-1, -3], &[2, 3]], 3);
+        for h in ALL_HEURISTICS {
+            let (r, _) = solve(&f, h);
+            let model = r.model().unwrap_or_else(|| panic!("{h} said UNSAT"));
+            assert!(check_model(&f, model), "{h} model invalid");
+        }
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        // Needs at least one real decision.
+        let f = cnf(&[&[1, 2], &[-1, -2], &[1, -2], &[-1, 2]], 2);
+        let (r, stats) = solve(&f, Heuristic::FirstUnassigned);
+        assert_eq!(r, SatResult::Unsat);
+        assert!(stats.decisions >= 1);
+        assert!(stats.nodes >= 3);
+        assert!(stats.max_depth >= 1);
+    }
+
+    #[test]
+    fn unsat_php_3_into_2() {
+        // Pigeonhole: 3 pigeons, 2 holes. Variables p(i,h) = i*2+h+1.
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..3i32 {
+            clauses.push(vec![i * 2 + 1, i * 2 + 2]); // each pigeon somewhere
+        }
+        for h in 0..2i32 {
+            for i in 0..3i32 {
+                for j in (i + 1)..3i32 {
+                    clauses.push(vec![-(i * 2 + h + 1), -(j * 2 + h + 1)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let f = cnf(&refs, 6);
+        let (r, stats) = solve(&f, Heuristic::JeroslowWang);
+        assert_eq!(r, SatResult::Unsat);
+        assert!(stats.nodes > 1);
+    }
+}

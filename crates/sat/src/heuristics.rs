@@ -1,0 +1,217 @@
+//! Branching heuristics: which literal to split on (Listing 4 line 12,
+//! "using an algorithm-independent heuristic").
+//!
+//! The returned literal is the *first* branch tried (assigned `true` in its
+//! demanded polarity); the sibling branch negates it. All heuristics are
+//! deterministic given their inputs (`Random` via an explicit seed), which
+//! keeps distributed runs reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// Branching-literal selection policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Heuristic {
+    /// The first literal of the first (shortest-index) clause — the
+    /// cheapest possible choice.
+    FirstUnassigned,
+    /// The variable with the most occurrences, tried in its more frequent
+    /// polarity.
+    MostFrequent,
+    /// Dynamic Largest Individual Sum: the single literal with the most
+    /// occurrences.
+    Dlis,
+    /// Jeroslow–Wang: maximise `J(l) = Σ 2^-|c|` over clauses containing
+    /// `l`, weighting short clauses exponentially higher.
+    JeroslowWang,
+    /// Uniformly random literal from the formula (seeded).
+    Random(u64),
+}
+
+impl std::fmt::Display for Heuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Heuristic::FirstUnassigned => "first",
+            Heuristic::MostFrequent => "most-frequent",
+            Heuristic::Dlis => "dlis",
+            Heuristic::JeroslowWang => "jeroslow-wang",
+            Heuristic::Random(_) => "random",
+        };
+        f.write_str(name)
+    }
+}
+
+impl Heuristic {
+    /// Selects the branching literal for a non-trivial formula.
+    ///
+    /// Returns `None` only for formulas with no literals (which the solver
+    /// never passes: those are SAT/UNSAT leaves).
+    pub fn select(&self, cnf: &Cnf) -> Option<Lit> {
+        match self {
+            Heuristic::FirstUnassigned => cnf.iter_lits().next(),
+            Heuristic::MostFrequent => most_frequent_var(cnf),
+            Heuristic::Dlis => best_lit_by_score(cnf, |_, count| count as f64),
+            Heuristic::JeroslowWang => jeroslow_wang(cnf),
+            Heuristic::Random(seed) => random_lit(cnf, *seed),
+        }
+    }
+}
+
+fn occurrence_counts(cnf: &Cnf) -> Vec<u32> {
+    let mut counts = vec![0u32; cnf.num_vars() as usize * 2];
+    for lit in cnf.iter_lits() {
+        counts[lit.index()] += 1;
+    }
+    counts
+}
+
+fn most_frequent_var(cnf: &Cnf) -> Option<Lit> {
+    let counts = occurrence_counts(cnf);
+    let n = cnf.num_vars() as usize;
+    let mut best: Option<(u32, Var, bool)> = None;
+    for v in 0..n {
+        let pos = counts[v * 2];
+        let neg = counts[v * 2 + 1];
+        let total = pos + neg;
+        if total == 0 {
+            continue;
+        }
+        if best.is_none_or(|(b, ..)| total > b) {
+            best = Some((total, Var(v as u32), pos >= neg));
+        }
+    }
+    best.map(|(_, var, positive)| Lit::with_polarity(var, positive))
+}
+
+fn best_lit_by_score(cnf: &Cnf, score: impl Fn(Lit, u32) -> f64) -> Option<Lit> {
+    let counts = occurrence_counts(cnf);
+    let mut best: Option<(f64, usize)> = None;
+    for (idx, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let lit = lit_from_index(idx);
+        let s = score(lit, count);
+        if best.is_none_or(|(b, _)| s > b) {
+            best = Some((s, idx));
+        }
+    }
+    best.map(|(_, idx)| lit_from_index(idx))
+}
+
+fn jeroslow_wang(cnf: &Cnf) -> Option<Lit> {
+    let mut scores = vec![0.0f64; cnf.num_vars() as usize * 2];
+    let mut seen = false;
+    for clause in cnf.clauses() {
+        let w = (2.0f64).powi(-(clause.len() as i32));
+        for lit in clause.lits() {
+            scores[lit.index()] += w;
+            seen = true;
+        }
+    }
+    if !seen {
+        return None;
+    }
+    let (idx, _) = scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))?;
+    Some(lit_from_index(idx))
+}
+
+fn random_lit(cnf: &Cnf, seed: u64) -> Option<Lit> {
+    // Derive the stream from the formula's shape so repeated calls at
+    // different search depths don't repeat choices.
+    let mix = cnf.num_clauses() as u64 ^ ((cnf.num_vars() as u64) << 32);
+    let mut rng = SmallRng::seed_from_u64(seed ^ mix.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let total: usize = cnf.clauses().iter().map(|c| c.len()).sum();
+    if total == 0 {
+        return None;
+    }
+    let k = rng.gen_range(0..total);
+    cnf.iter_lits().nth(k)
+}
+
+#[inline]
+fn lit_from_index(idx: usize) -> Lit {
+    let var = Var((idx / 2) as u32);
+    Lit::with_polarity(var, idx.is_multiple_of(2))
+}
+
+/// All heuristics, for sweeps and ablations.
+pub const ALL_HEURISTICS: [Heuristic; 5] = [
+    Heuristic::FirstUnassigned,
+    Heuristic::MostFrequent,
+    Heuristic::Dlis,
+    Heuristic::JeroslowWang,
+    Heuristic::Random(0xB01DFACE),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Clause;
+
+    fn lit(d: i32) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn cnf(clauses: &[&[i32]], vars: u32) -> Cnf {
+        Cnf::new(
+            vars,
+            clauses
+                .iter()
+                .map(|c| c.iter().map(|&d| lit(d)).collect::<Clause>())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn first_picks_first_literal() {
+        let f = cnf(&[&[2, -3], &[1]], 3);
+        assert_eq!(Heuristic::FirstUnassigned.select(&f), Some(lit(2)));
+    }
+
+    #[test]
+    fn most_frequent_counts_both_polarities() {
+        // x2 occurs 3 times (twice negative); x1 only twice.
+        let f = cnf(&[&[1, -2], &[-1, -2], &[2]], 2);
+        let picked = Heuristic::MostFrequent.select(&f).unwrap();
+        assert_eq!(picked.var(), Var(1));
+        assert!(!picked.is_pos(), "negative polarity is more frequent");
+    }
+
+    #[test]
+    fn dlis_picks_most_frequent_literal() {
+        let f = cnf(&[&[1, 2], &[1, 3], &[1, -2], &[-1, 3]], 3);
+        assert_eq!(Heuristic::Dlis.select(&f), Some(lit(1)));
+    }
+
+    #[test]
+    fn jeroslow_wang_prefers_short_clauses() {
+        // x3 appears once in a 1-weighted short clause pair; x1 twice in
+        // long clauses. JW weight of x3 in two 2-clauses = 0.5; x1 in two
+        // 4-clauses = 0.125. Pick x3.
+        let f = cnf(&[&[3, 2], &[3, -2], &[1, -2, 4, 5], &[1, 2, -4, -5]], 5);
+        assert_eq!(Heuristic::JeroslowWang.select(&f), Some(lit(3)));
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let f = cnf(&[&[1, -2], &[2, 3], &[-3, -1]], 3);
+        let a = Heuristic::Random(7).select(&f);
+        let b = Heuristic::Random(7).select(&f);
+        assert_eq!(a, b);
+        assert!(a.is_some());
+    }
+
+    #[test]
+    fn empty_formula_selects_none() {
+        let f = cnf(&[], 3);
+        for h in ALL_HEURISTICS {
+            assert_eq!(h.select(&f), None, "{h}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Boolean satisfiability substrate for the hyperspace solver stack.
+//!
+//! The paper's evaluation (§V) runs a "barebone implementation of the
+//! Davis-Putnam-Logemann-Loveland (DPLL) algorithm" over uniform random
+//! 3-SAT problems (20 variables, 91 clauses, all satisfiable — the SATLIB
+//! `uf20-91` suite). This crate supplies every piece of that workload:
+//!
+//! * [`Cnf`] / [`Lit`] / [`Clause`] — formula representation, plus DIMACS
+//!   parsing and serialisation ([`dimacs`]);
+//! * [`gen`] — seeded uniform random k-SAT (the SATLIB distribution), a
+//!   satisfiable-filtered `uf20_91` generator substituting for the offline
+//!   benchmark files, and a planted-solution generator for larger instances;
+//! * [`simplify`] — unit propagation and pure-literal assignment
+//!   (Listing 4 lines 6–11);
+//! * [`heuristics`] — branching-variable selection (first-unassigned,
+//!   most-frequent, DLIS, Jeroslow-Wang, seeded random);
+//! * [`dpll`] — the sequential reference solver with search statistics;
+//! * [`cdcl`] — a clause-learning/backjumping baseline (the machinery the
+//!   paper's barebone solver deliberately omits, §V-B);
+//! * [`brute`] — an exhaustive oracle for property tests;
+//! * [`DpllProgram`] — Listing 4 itself: DPLL as a layer-4/5
+//!   [`hyperspace_recursion::RecProgram`], forking each decision into two
+//!   speculative sub-problems joined by non-deterministic choice.
+
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod cdcl;
+mod cnf;
+pub mod dimacs;
+pub mod dpll;
+pub mod gen;
+pub mod heuristics;
+mod program;
+pub mod simplify;
+
+pub use cnf::{check_model, Assignment, Clause, Cnf, Lit, Model, Var};
+pub use dpll::{SatResult, SolveStats};
+pub use heuristics::Heuristic;
+pub use simplify::{Simplified, SimplifyMode};
+pub use program::{DpllProgram, SubProblem, Verdict};

@@ -1,0 +1,196 @@
+//! Listing 4: DPLL as a layer-4/5 recursive program.
+//!
+//! ```text
+//! function solve_sat(problem):
+//!     if consistent(problem) then yield Result(SAT)
+//!     if exist_empty_clause(problem) then yield Result(UNSAT)
+//!     ... unit_propagate ... assign_pure ...
+//!     L <- select_literal(problem)
+//!     subp1 <- assign(problem, L, True)
+//!     subp2 <- assign(problem, L, False)
+//!     yield [is_SAT, Call(subp1), Call(subp2)]
+//!     result <- yield Sync()
+//!     yield result
+//! ```
+//!
+//! Each activation simplifies its sub-problem, finishes if decided, and
+//! otherwise forks the two polarity branches as *speculative* sub-calls
+//! joined by non-deterministic choice: whichever returns SAT first resumes
+//! the activation "without waiting for [the] other result" (§V-B); if both
+//! return UNSAT the activation is UNSAT.
+
+use hyperspace_mapping::Weight;
+use hyperspace_recursion::{Join, RecProgram, Resumed, Spawn, Step};
+
+use crate::cnf::{Assignment, Cnf, Model};
+use crate::heuristics::Heuristic;
+use crate::simplify::{simplify_with, Simplified, SimplifyMode};
+
+/// A self-contained DPLL sub-problem, as shipped between nodes: the
+/// residual formula plus the assignment accumulated on the path to it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubProblem {
+    /// Residual formula (satisfied clauses and falsified literals already
+    /// removed).
+    pub cnf: Cnf,
+    /// Assignments made so far (decision + forced), full-width.
+    pub assign: Assignment,
+}
+
+impl SubProblem {
+    /// The root sub-problem of a formula.
+    pub fn root(cnf: Cnf) -> SubProblem {
+        let assign = Assignment::new(cnf.num_vars());
+        SubProblem { cnf, assign }
+    }
+}
+
+/// The verdict carried back through the mesh.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Satisfiable with this witness.
+    Sat(Model),
+    /// This branch admits no model.
+    Unsat,
+}
+
+impl Verdict {
+    /// The `is_SAT` validator of Listing 4 line 15.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Verdict::Sat(_))
+    }
+}
+
+/// Listing 4's `solve_sat` as a [`RecProgram`].
+pub struct DpllProgram {
+    heuristic: Heuristic,
+    mode: SimplifyMode,
+}
+
+impl DpllProgram {
+    /// A program branching with the given heuristic and fixpoint
+    /// simplification (the strongest solver).
+    pub fn new(heuristic: Heuristic) -> Self {
+        DpllProgram {
+            heuristic,
+            mode: SimplifyMode::Fixpoint,
+        }
+    }
+
+    /// Selects the per-activation simplification strength (workload knob
+    /// for the scaling experiments; see [`SimplifyMode`]).
+    pub fn with_mode(mut self, mode: SimplifyMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The branching heuristic in use.
+    pub fn heuristic(&self) -> Heuristic {
+        self.heuristic
+    }
+
+    /// The simplification mode in use.
+    pub fn mode(&self) -> SimplifyMode {
+        self.mode
+    }
+}
+
+impl RecProgram for DpllProgram {
+    type Arg = SubProblem;
+    type Out = Verdict;
+    /// Nothing is live across the suspension: the continuation merely
+    /// forwards the chosen branch's verdict (or UNSAT).
+    type Frame = ();
+
+    fn start(&self, mut sub: SubProblem) -> Step<Self> {
+        let (state, _) = simplify_with(&mut sub.cnf, &mut sub.assign, self.mode);
+        match state {
+            Simplified::Sat => return Step::Done(Verdict::Sat(sub.assign.complete())),
+            Simplified::Unsat => return Step::Done(Verdict::Unsat),
+            Simplified::Undecided => {}
+        }
+        let lit = self
+            .heuristic
+            .select(&sub.cnf)
+            .expect("undecided formula has literals");
+
+        let mut assign_true = sub.assign.clone();
+        assign_true.assign(lit.var(), lit.demanded_value());
+        let subp1 = SubProblem {
+            cnf: sub.cnf.assign(lit.var(), lit.demanded_value()),
+            assign: assign_true,
+        };
+
+        let mut assign_false = sub.assign;
+        assign_false.assign(lit.var(), !lit.demanded_value());
+        let subp2 = SubProblem {
+            cnf: sub.cnf.assign(lit.var(), !lit.demanded_value()),
+            assign: assign_false,
+        };
+
+        Step::Spawn(Spawn {
+            calls: vec![subp1, subp2],
+            join: Join::Any(|v: &Verdict| v.is_sat()),
+            frame: (),
+        })
+    }
+
+    fn resume(&self, _frame: (), results: Resumed<Verdict>) -> Step<Self> {
+        match results {
+            Resumed::Any(Some(v)) => Step::Done(v),
+            Resumed::Any(None) => Step::Done(Verdict::Unsat),
+            Resumed::All(_) => unreachable!("DPLL only uses Any joins"),
+        }
+    }
+
+    /// Cross-layer hint (§III-B3): residual clause count approximates the
+    /// work a sub-problem represents.
+    fn weight(&self, arg: &SubProblem) -> Weight {
+        arg.cnf.num_clauses() as Weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::cnf::check_model;
+    use crate::gen;
+    use hyperspace_recursion::eval_local;
+
+    #[test]
+    fn local_evaluation_matches_oracle() {
+        for seed in 0..20 {
+            let cnf = gen::random_ksat(seed, 8, 34, 3);
+            let program = DpllProgram::new(Heuristic::JeroslowWang);
+            let verdict = eval_local(&program, SubProblem::root(cnf.clone()));
+            let oracle = brute::solve(&cnf);
+            assert_eq!(
+                verdict.is_sat(),
+                oracle.is_sat(),
+                "seed {seed}: distributed-program semantics diverge from oracle"
+            );
+            if let Verdict::Sat(model) = verdict {
+                assert!(check_model(&cnf, &model), "seed {seed}: invalid model");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_is_clause_count() {
+        let cnf = gen::random_ksat(3, 10, 40, 3);
+        let program = DpllProgram::new(Heuristic::FirstUnassigned);
+        assert_eq!(program.weight(&SubProblem::root(cnf)), 40);
+    }
+
+    #[test]
+    fn uf20_local_run() {
+        let cnf = gen::uf20_91(42);
+        let program = DpllProgram::new(Heuristic::JeroslowWang);
+        let verdict = eval_local(&program, SubProblem::root(cnf.clone()));
+        match verdict {
+            Verdict::Sat(model) => assert!(check_model(&cnf, &model)),
+            Verdict::Unsat => panic!("uf20-91 instances are satisfiable"),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Node-level scheduling policies.
+
+/// Decides which pending process activation a node services next.
+///
+/// §III-A2 names round-robin and preemptive scheduling as example
+/// implementations; handlers here are run-to-completion, so "preemption"
+/// manifests as priority selection between handler activations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Service messages strictly in arrival order, regardless of process.
+    #[default]
+    Fifo,
+    /// Cycle through processes with pending messages, one activation each,
+    /// guaranteeing per-process fairness under load.
+    RoundRobin,
+    /// Always service the non-empty mailbox of the highest-priority process
+    /// (ties broken by lower process id). Priorities are fixed at spawn.
+    Priority,
+}
+
+impl std::fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::RoundRobin => "round-robin",
+            SchedPolicy::Priority => "priority",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SchedPolicy::Fifo.to_string(), "fifo");
+        assert_eq!(SchedPolicy::RoundRobin.to_string(), "round-robin");
+        assert_eq!(SchedPolicy::Priority.to_string(), "priority");
+    }
+
+    #[test]
+    fn default_is_fifo() {
+        assert_eq!(SchedPolicy::default(), SchedPolicy::Fifo);
+    }
+}

@@ -1,0 +1,133 @@
+//! The process abstraction and its execution context.
+
+use hyperspace_sim::{NodeId, Outbox};
+
+use crate::host::{LocalAction, SchedMsg};
+
+/// Global address of a process: node id plus node-local process id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcAddr {
+    /// Hosting node.
+    pub node: NodeId,
+    /// Node-local process id (0 is the process the factory created first).
+    pub proc: u32,
+}
+
+impl ProcAddr {
+    /// Convenience constructor.
+    pub fn new(node: NodeId, proc: u32) -> Self {
+        ProcAddr { node, proc }
+    }
+}
+
+impl std::fmt::Display for ProcAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.node, self.proc)
+    }
+}
+
+/// A lightweight process scheduled by layer 2.
+///
+/// Each process owns its state (the `self` value) and reacts to messages;
+/// there is no time-slicing because handlers are run-to-completion — the
+/// scheduling freedom lies in *which* pending message is serviced next.
+pub trait Process: Send {
+    /// Message payload exchanged between processes.
+    type Msg: Clone + Send;
+
+    /// Handles one message addressed to this process.
+    fn on_message(&mut self, msg: Self::Msg, ctx: &mut ProcCtx<'_, '_, '_, Self>);
+}
+
+/// Execution context of a process handler.
+pub struct ProcCtx<'a, 'b, 'c, P: Process + ?Sized> {
+    pub(crate) outbox: &'a mut Outbox<'b, SchedMsg<P::Msg>>,
+    pub(crate) self_addr: ProcAddr,
+    pub(crate) src: ProcAddr,
+    pub(crate) actions: &'a mut Vec<LocalAction<P::Msg>>,
+    pub(crate) spawned: &'c mut Vec<(u32, Box<P>)>,
+    pub(crate) next_proc_id: &'a mut u32,
+}
+
+impl<'a, 'b, 'c, P: Process> ProcCtx<'a, 'b, 'c, P> {
+    /// This process's global address.
+    pub fn self_addr(&self) -> ProcAddr {
+        self.self_addr
+    }
+
+    /// Address of the process that sent the message being handled.
+    pub fn sender(&self) -> ProcAddr {
+        self.src
+    }
+
+    /// Hosting node id.
+    pub fn node(&self) -> NodeId {
+        self.self_addr.node
+    }
+
+    /// Degree of the hosting node.
+    pub fn degree(&self) -> usize {
+        self.outbox.degree()
+    }
+
+    /// Neighbouring node reached through `port`.
+    pub fn neighbour(&self, port: usize) -> NodeId {
+        self.outbox.neighbour(port)
+    }
+
+    /// Neighbour list of the hosting node.
+    pub fn neighbours(&self) -> &[NodeId] {
+        self.outbox.neighbours()
+    }
+
+    /// Current simulation step.
+    pub fn step(&self) -> u64 {
+        self.outbox.step()
+    }
+
+    /// Sends `msg` to process `to`.
+    ///
+    /// Local destinations (same node) are delivered through the node's own
+    /// mailboxes without generating layer-1 traffic; remote destinations
+    /// must respect the mesh (adjacent-only under the paper's §V-A model).
+    pub fn send(&mut self, to: ProcAddr, msg: P::Msg) {
+        if to.node == self.self_addr.node {
+            self.actions
+                .push(LocalAction::Deliver(to.proc, self.self_addr, msg));
+        } else {
+            self.outbox.send(
+                to.node,
+                SchedMsg {
+                    src_proc: self.self_addr.proc,
+                    dst_proc: to.proc,
+                    inner: msg,
+                },
+            );
+        }
+    }
+
+    /// Replies to the sender of the current message.
+    pub fn reply(&mut self, msg: P::Msg) {
+        self.send(self.src, msg);
+    }
+
+    /// Spawns a new process on this node; returns its address. The process
+    /// becomes schedulable at the end of the current handler.
+    pub fn spawn(&mut self, process: P) -> ProcAddr {
+        let id = *self.next_proc_id;
+        *self.next_proc_id += 1;
+        self.spawned.push((id, Box::new(process)));
+        ProcAddr::new(self.self_addr.node, id)
+    }
+
+    /// Marks this process as finished; it is removed once the handler
+    /// returns and any further messages addressed to it are dropped.
+    pub fn exit(&mut self) {
+        self.actions.push(LocalAction::Exit(self.self_addr.proc));
+    }
+
+    /// Requests the whole simulation to halt at the end of this step.
+    pub fn halt(&mut self) {
+        self.outbox.halt();
+    }
+}

@@ -1,0 +1,45 @@
+//! In-flight message representation.
+
+use hyperspace_topology::NodeId;
+
+/// A message in flight between two nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Node that sent the message. For externally injected triggers this is
+    /// the destination itself (there is no external node id).
+    pub src: NodeId,
+    /// Final destination node.
+    pub dst: NodeId,
+    /// Simulation step at which the message was enqueued.
+    pub sent_step: u64,
+    /// Hops travelled so far (only exceeds 1 under routed delivery).
+    pub hops: u32,
+    /// Application payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// Queueing delay experienced so far, in steps, if delivered at
+    /// `now`.
+    pub fn age(&self, now: u64) -> u64 {
+        now.saturating_sub(self.sent_step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn age_is_saturating() {
+        let e = Envelope {
+            src: 0,
+            dst: 1,
+            sent_step: 10,
+            hops: 1,
+            payload: (),
+        };
+        assert_eq!(e.age(15), 5);
+        assert_eq!(e.age(5), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Simulation instrumentation: the quantities §V-C extracts from logs.
+
+use hyperspace_metrics::{Heatmap, Histogram, TimeSeries};
+use hyperspace_topology::NodeId;
+
+/// Aggregated measurements of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimMetrics {
+    /// Total messages queued across the mesh after each step
+    /// (*interconnect activity*, Figure 5 top).
+    pub queued_series: TimeSeries<u64>,
+    /// Messages delivered on each step.
+    pub delivered_series: TimeSeries<u64>,
+    /// Total messages delivered to each node (*node activity*, Figure 5
+    /// bottom).
+    pub delivered_per_node: Vec<u64>,
+    /// Total messages sent by each node.
+    pub sent_per_node: Vec<u64>,
+    /// Hop counts of delivered messages (always 1 under adjacent-only
+    /// delivery; informative under routed delivery).
+    pub hop_histogram: Histogram,
+    /// Total messages sent.
+    pub total_sent: u64,
+    /// Total messages delivered.
+    pub total_delivered: u64,
+    /// Step of the first delivery (the trigger).
+    pub first_delivery_step: Option<u64>,
+    /// Step of the most recent delivery.
+    pub last_delivery_step: Option<u64>,
+}
+
+impl SimMetrics {
+    pub(crate) fn new(num_nodes: usize, record_node_activity: bool) -> Self {
+        SimMetrics {
+            delivered_per_node: if record_node_activity {
+                vec![0; num_nodes]
+            } else {
+                Vec::new()
+            },
+            sent_per_node: if record_node_activity {
+                vec![0; num_nodes]
+            } else {
+                Vec::new()
+            },
+            ..Default::default()
+        }
+    }
+
+    /// *Computation time* per §V-C: the number of steps between the first
+    /// (trigger) and last messages, inclusive. Zero if nothing was
+    /// delivered.
+    pub fn computation_time(&self) -> u64 {
+        match (self.first_delivery_step, self.last_delivery_step) {
+            (Some(f), Some(l)) => l - f + 1,
+            _ => 0,
+        }
+    }
+
+    /// Node-activity heatmap for a `width x height` machine (row-major node
+    /// numbering, dimension 0 fastest — the torus convention).
+    pub fn heatmap(&self, width: usize, height: usize) -> Heatmap {
+        Heatmap::from_counts(width, height, &self.delivered_per_node)
+    }
+
+    /// Peak number of simultaneously queued messages.
+    pub fn peak_queued(&self) -> u64 {
+        self.queued_series.max().unwrap_or(0)
+    }
+}
+
+/// One entry of the optional full event trace (determinism testing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Step at which the event occurred.
+    pub step: u64,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Message source.
+    pub src: NodeId,
+    /// Message destination.
+    pub dst: NodeId,
+    /// Hops travelled at event time.
+    pub hops: u32,
+}
+
+/// Trace event kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A handler staged a message.
+    Send,
+    /// A message was popped from an inbox and handled.
+    Deliver,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computation_time_inclusive() {
+        let mut m = SimMetrics::new(4, true);
+        assert_eq!(m.computation_time(), 0);
+        m.first_delivery_step = Some(3);
+        m.last_delivery_step = Some(10);
+        assert_eq!(m.computation_time(), 8);
+    }
+
+    #[test]
+    fn heatmap_from_node_activity() {
+        let mut m = SimMetrics::new(4, true);
+        m.delivered_per_node = vec![1, 2, 3, 4];
+        let h = m.heatmap(2, 2);
+        assert_eq!(h.get(0, 0), 1);
+        assert_eq!(h.get(1, 1), 4);
+    }
+}

@@ -1,0 +1,151 @@
+//! Fixed-capacity coordinate vectors.
+//!
+//! Torus and grid topologies address nodes by a small tuple of per-dimension
+//! coordinates. Neighbour and routing computations run in the simulator's
+//! innermost loop, so coordinates use an inline fixed-size buffer rather than
+//! a heap `Vec`.
+
+/// Maximum number of mesh dimensions supported by [`Coords`].
+///
+/// Eight dimensions covers every machine in the paper (2-D/3-D tori) with
+/// generous headroom for experimentation; a 2^8-node binary hypercube is
+/// expressed via [`crate::Hypercube`] instead.
+pub const MAX_DIMS: usize = 8;
+
+/// A small inline vector of per-dimension coordinates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coords {
+    buf: [u32; MAX_DIMS],
+    len: u8,
+}
+
+impl Coords {
+    /// Creates coordinates from a slice. Panics if `vals.len() > MAX_DIMS`.
+    pub fn from_slice(vals: &[u32]) -> Self {
+        assert!(
+            vals.len() <= MAX_DIMS,
+            "at most {MAX_DIMS} dimensions supported, got {}",
+            vals.len()
+        );
+        let mut buf = [0u32; MAX_DIMS];
+        buf[..vals.len()].copy_from_slice(vals);
+        Coords {
+            buf,
+            len: vals.len() as u8,
+        }
+    }
+
+    /// All-zero coordinates of dimension `dims`.
+    pub fn zero(dims: usize) -> Self {
+        assert!(dims <= MAX_DIMS);
+        Coords {
+            buf: [0; MAX_DIMS],
+            len: dims as u8,
+        }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when holding zero dimensions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Coordinates as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Mutable access to the coordinate in dimension `d`.
+    #[inline]
+    pub fn get_mut(&mut self, d: usize) -> &mut u32 {
+        debug_assert!(d < self.len as usize);
+        &mut self.buf[d]
+    }
+}
+
+impl std::ops::Index<usize> for Coords {
+    type Output = u32;
+    #[inline]
+    fn index(&self, d: usize) -> &u32 {
+        debug_assert!(d < self.len as usize);
+        &self.buf[d]
+    }
+}
+
+impl std::fmt::Debug for Coords {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+/// Converts a linear node index into mixed-radix coordinates over `dims`
+/// (dimension 0 is the fastest-varying digit).
+#[inline]
+pub fn node_to_coords(node: u32, dims: &[u32]) -> Coords {
+    let mut c = Coords::zero(dims.len());
+    let mut rest = node;
+    for (d, &size) in dims.iter().enumerate() {
+        *c.get_mut(d) = rest % size;
+        rest /= size;
+    }
+    debug_assert_eq!(rest, 0, "node index out of range");
+    c
+}
+
+/// Converts mixed-radix coordinates back into a linear node index.
+#[inline]
+pub fn coords_to_node(coords: &[u32], dims: &[u32]) -> u32 {
+    debug_assert_eq!(coords.len(), dims.len());
+    let mut idx = 0u32;
+    for d in (0..dims.len()).rev() {
+        debug_assert!(coords[d] < dims[d], "coordinate out of range");
+        idx = idx * dims[d] + coords[d];
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_nodes() {
+        let dims = [3u32, 4, 5];
+        for node in 0..60u32 {
+            let c = node_to_coords(node, &dims);
+            assert_eq!(coords_to_node(c.as_slice(), &dims), node);
+        }
+    }
+
+    #[test]
+    fn fastest_dimension_is_first() {
+        let dims = [4u32, 4];
+        assert_eq!(node_to_coords(1, &dims).as_slice(), &[1, 0]);
+        assert_eq!(node_to_coords(4, &dims).as_slice(), &[0, 1]);
+        assert_eq!(node_to_coords(5, &dims).as_slice(), &[1, 1]);
+    }
+
+    #[test]
+    fn coords_basic_ops() {
+        let mut c = Coords::from_slice(&[1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c[2], 3);
+        *c.get_mut(0) = 9;
+        assert_eq!(c.as_slice(), &[9, 2, 3]);
+        assert_eq!(format!("{c:?}"), "[9, 2, 3]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_dims_panics() {
+        Coords::from_slice(&[0; MAX_DIMS + 1]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Classic topology embeddings (paper §II-A, refs \[14\]–\[16\]).
+//!
+//! Hypercubes "can embed other topologies including trees and
+//! lower-dimensional meshes efficiently". This module implements the
+//! standard constructions:
+//!
+//! * [`gray`]: the binary reflected Gray code, embedding a `2^n`-node ring
+//!   into an `n`-cube with dilation 1;
+//! * [`embed_grid_in_hypercube`]: per-dimension Gray codes embedding a grid
+//!   whose sides are powers of two, dilation 1;
+//! * [`binomial_tree_children`]: the binomial spanning tree rooted at node 0,
+//!   the canonical broadcast tree of the hypercube;
+//! * [`dilation`]: measures embedding quality (max stretch of any guest
+//!   edge in the host).
+
+use crate::{Hypercube, NodeId, Topology};
+
+/// The `i`-th codeword of the binary reflected Gray code.
+#[inline]
+pub fn gray(i: u32) -> u32 {
+    i ^ (i >> 1)
+}
+
+/// Inverse of [`gray`].
+#[inline]
+pub fn gray_inverse(mut g: u32) -> u32 {
+    let mut i = g;
+    while g > 0 {
+        g >>= 1;
+        i ^= g;
+    }
+    i
+}
+
+/// Embeds the `2^dim`-node ring into `Hypercube::new(dim)`: position `i` on
+/// the ring maps to hypercube node `gray(i)`. Adjacent ring positions land
+/// on adjacent hypercube nodes (dilation 1).
+pub fn embed_ring_in_hypercube(dim: u32) -> Vec<NodeId> {
+    let n = 1u32 << dim;
+    (0..n).map(gray).collect()
+}
+
+/// Embeds a grid with power-of-two sides into the smallest hypercube of
+/// matching size, using an independent Gray code per dimension.
+///
+/// Returns `mapping[guest_node] = host_node`. Panics unless every side is a
+/// power of two (the classical dilation-1 condition; arbitrary sides need
+/// dilation ≥ 2, see Chan \[14\]).
+pub fn embed_grid_in_hypercube(sides: &[u32]) -> (Vec<NodeId>, Hypercube) {
+    assert!(!sides.is_empty());
+    let mut total_bits = 0u32;
+    for &s in sides {
+        assert!(s.is_power_of_two(), "grid side {s} is not a power of two");
+        total_bits += s.trailing_zeros();
+    }
+    let host = Hypercube::new(total_bits.max(1));
+    let guest_nodes: usize = sides.iter().map(|&s| s as usize).product();
+    let mut mapping = Vec::with_capacity(guest_nodes);
+    for node in 0..guest_nodes as u32 {
+        // Decompose into per-dimension coordinates (dim 0 fastest), Gray-code
+        // each, then concatenate the codewords into one host address.
+        let mut rest = node;
+        let mut addr = 0u32;
+        let mut shift = 0u32;
+        for &s in sides {
+            let coord = rest % s;
+            rest /= s;
+            let bits = s.trailing_zeros();
+            addr |= gray(coord) << shift;
+            shift += bits;
+        }
+        mapping.push(addr);
+    }
+    (mapping, host)
+}
+
+/// Children of `node` in the binomial spanning tree of an `dim`-cube rooted
+/// at node 0: flip each zero bit above the highest set bit.
+///
+/// Broadcasting down this tree reaches all `2^dim` nodes in `dim` steps.
+pub fn binomial_tree_children(node: NodeId, dim: u32) -> Vec<NodeId> {
+    // Children flip the zero bits below the node's lowest set bit; the root
+    // (node 0) flips every bit.
+    let limit = if node == 0 { dim } else { node.trailing_zeros() };
+    (0..limit).map(|b| node | (1 << b)).collect()
+}
+
+/// Maximum host distance between images of guest-adjacent nodes.
+///
+/// A dilation of 1 means the embedding preserves adjacency exactly.
+pub fn dilation(guest: &dyn Topology, host: &dyn Topology, mapping: &[NodeId]) -> u32 {
+    assert_eq!(mapping.len(), guest.num_nodes());
+    let mut worst = 0;
+    for a in 0..guest.num_nodes() as NodeId {
+        for p in 0..guest.degree(a) {
+            let b = guest.neighbour(a, p);
+            worst = worst.max(host.distance(mapping[a as usize], mapping[b as usize]));
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Grid, Ring};
+
+    #[test]
+    fn gray_code_adjacent_codewords_differ_by_one_bit() {
+        for i in 0..255u32 {
+            assert_eq!((gray(i) ^ gray(i + 1)).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn gray_inverse_roundtrip() {
+        for i in 0..1024u32 {
+            assert_eq!(gray_inverse(gray(i)), i);
+        }
+    }
+
+    #[test]
+    fn ring_embedding_has_dilation_one() {
+        for dim in 2..6 {
+            let mapping = embed_ring_in_hypercube(dim);
+            let ring = Ring::new(1 << dim);
+            let cube = Hypercube::new(dim);
+            assert_eq!(dilation(&ring, &cube, &mapping), 1);
+            // Mapping is a bijection.
+            let mut sorted = mapping.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), mapping.len());
+        }
+    }
+
+    #[test]
+    fn grid_embedding_has_dilation_one() {
+        let sides = [4u32, 8];
+        let (mapping, cube) = embed_grid_in_hypercube(&sides);
+        let grid = Grid::new(&sides);
+        assert_eq!(cube.num_nodes(), grid.num_nodes());
+        assert_eq!(dilation(&grid, &cube, &mapping), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_grid_rejected() {
+        embed_grid_in_hypercube(&[3, 4]);
+    }
+
+    #[test]
+    fn binomial_tree_spans_cube() {
+        let dim = 4;
+        let mut seen = vec![false; 1 << dim];
+        let mut stack = vec![0u32];
+        let mut edges = 0;
+        while let Some(n) = stack.pop() {
+            assert!(!seen[n as usize], "node {n} visited twice");
+            seen[n as usize] = true;
+            for c in binomial_tree_children(n, dim) {
+                edges += 1;
+                stack.push(c);
+            }
+        }
+        assert!(seen.iter().all(|&v| v));
+        assert_eq!(edges, (1 << dim) - 1);
+    }
+
+    #[test]
+    fn binomial_tree_children_are_adjacent() {
+        let dim = 5;
+        let cube = Hypercube::new(dim);
+        for n in 0..cube.num_nodes() as NodeId {
+            for c in binomial_tree_children(n, dim) {
+                assert!(cube.are_adjacent(n, c));
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Fully-connected machines: the paper's scalability baseline (§V-A).
+
+use crate::{NodeId, Topology};
+
+/// A machine in which every pair of nodes is joined by a direct link.
+///
+/// Physically unrealisable at scale (which is the paper's point), but serves
+/// as the upper-bound baseline in the Figure 4 experiments.
+#[derive(Clone, Debug)]
+pub struct FullyConnected {
+    n: u32,
+}
+
+impl FullyConnected {
+    /// Creates a fully connected machine of `n >= 2` nodes.
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        FullyConnected { n }
+    }
+}
+
+impl Topology for FullyConnected {
+    fn num_nodes(&self) -> usize {
+        self.n as usize
+    }
+
+    fn degree(&self, _node: NodeId) -> usize {
+        (self.n - 1) as usize
+    }
+
+    fn neighbour(&self, node: NodeId, port: usize) -> NodeId {
+        // Ports enumerate all other nodes in ascending id order.
+        let p = port as u32;
+        if p < node {
+            p
+        } else {
+            p + 1
+        }
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        u32::from(a != b)
+    }
+
+    fn next_hop(&self, from: NodeId, to: NodeId) -> NodeId {
+        if from == to {
+            from
+        } else {
+            to
+        }
+    }
+
+    fn diameter(&self) -> u32 {
+        1
+    }
+
+    fn name(&self) -> String {
+        format!("full-{}", self.n)
+    }
+
+    fn are_adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && a < self.n && b < self.n
+    }
+
+    fn port_to(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        if a == b || b >= self.n {
+            None
+        } else if b < a {
+            Some(b as usize)
+        } else {
+            Some((b - 1) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_enumerate_everyone_else() {
+        let f = FullyConnected::new(5);
+        assert_eq!(f.neighbours(2), vec![0, 1, 3, 4]);
+        assert_eq!(f.neighbours(0), vec![1, 2, 3, 4]);
+        assert_eq!(f.neighbours(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn port_to_inverts_neighbour() {
+        let f = FullyConnected::new(7);
+        for a in 0..7 {
+            for p in 0..f.degree(a) {
+                let b = f.neighbour(a, p);
+                assert_eq!(f.port_to(a, b), Some(p));
+            }
+            assert_eq!(f.port_to(a, a), None);
+        }
+    }
+
+    #[test]
+    fn unit_distances() {
+        let f = FullyConnected::new(4);
+        assert_eq!(f.distance(1, 1), 0);
+        assert_eq!(f.distance(0, 3), 1);
+        assert_eq!(f.diameter(), 1);
+        assert_eq!(f.next_hop(0, 3), 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Non-wrapping n-dimensional grids (transputer arrays, Figure 1A).
+
+use crate::coords::{coords_to_node, node_to_coords, Coords};
+use crate::{NodeId, Topology};
+
+/// An n-dimensional grid *without* wrap-around links.
+///
+/// Unlike the torus, grids are not node-symmetric: corner and edge nodes
+/// have lower degree, so ports are computed per node.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    dims: Vec<u32>,
+    num_nodes: usize,
+}
+
+impl Grid {
+    /// Creates a grid with the given per-dimension sizes.
+    pub fn new(dims: &[u32]) -> Self {
+        assert!(!dims.is_empty(), "grid needs at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "zero-sized dimension");
+        let num_nodes = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d as usize))
+            .expect("node count overflow");
+        assert!(num_nodes <= u32::MAX as usize, "too many nodes");
+        Grid {
+            dims: dims.to_vec(),
+            num_nodes,
+        }
+    }
+
+    /// Per-dimension sizes.
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Coordinates of `node`.
+    pub fn node_coords(&self, node: NodeId) -> Coords {
+        node_to_coords(node, &self.dims)
+    }
+
+    /// Node at the given coordinates.
+    pub fn coords_to_node(&self, coords: &[u32]) -> NodeId {
+        coords_to_node(coords, &self.dims)
+    }
+
+    /// Enumerates the valid (dimension, delta) moves from `coords`.
+    fn moves(&self, coords: &Coords) -> impl Iterator<Item = (usize, i32)> + '_ {
+        let coords = *coords;
+        (0..self.dims.len()).flat_map(move |d| {
+            let mut out = [None, None];
+            if coords[d] + 1 < self.dims[d] {
+                out[0] = Some((d, 1));
+            }
+            if coords[d] > 0 {
+                out[1] = Some((d, -1));
+            }
+            out.into_iter().flatten()
+        })
+    }
+}
+
+impl Topology for Grid {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        let c = self.node_coords(node);
+        self.moves(&c).count()
+    }
+
+    fn neighbour(&self, node: NodeId, port: usize) -> NodeId {
+        let c = self.node_coords(node);
+        let (dim, delta) = self
+            .moves(&c)
+            .nth(port)
+            .expect("port out of range for grid node");
+        let mut c2 = c;
+        *c2.get_mut(dim) = (c[dim] as i64 + delta as i64) as u32;
+        coords_to_node(c2.as_slice(), &self.dims)
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.node_coords(a);
+        let cb = self.node_coords(b);
+        (0..self.dims.len())
+            .map(|d| ca[d].abs_diff(cb[d]))
+            .sum()
+    }
+
+    fn next_hop(&self, from: NodeId, to: NodeId) -> NodeId {
+        if from == to {
+            return from;
+        }
+        let cf = self.node_coords(from);
+        let ct = self.node_coords(to);
+        for d in 0..self.dims.len() {
+            if cf[d] != ct[d] {
+                let mut c = cf;
+                *c.get_mut(d) = if ct[d] > cf[d] { cf[d] + 1 } else { cf[d] - 1 };
+                return coords_to_node(c.as_slice(), &self.dims);
+            }
+        }
+        unreachable!("from != to but no differing dimension");
+    }
+
+    fn diameter(&self) -> u32 {
+        self.dims.iter().map(|&s| s - 1).sum()
+    }
+
+    fn name(&self) -> String {
+        let dims: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        format!("grid-{}", dims.join("x"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_edge_interior_degrees() {
+        let g = Grid::new(&[4, 4]);
+        assert_eq!(g.degree(g.coords_to_node(&[0, 0])), 2); // corner
+        assert_eq!(g.degree(g.coords_to_node(&[1, 0])), 3); // edge
+        assert_eq!(g.degree(g.coords_to_node(&[1, 1])), 4); // interior
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let g = Grid::new(&[5, 5]);
+        let a = g.coords_to_node(&[0, 0]);
+        let b = g.coords_to_node(&[4, 4]);
+        assert_eq!(g.distance(a, b), 8);
+        assert_eq!(g.diameter(), 8);
+    }
+
+    #[test]
+    fn no_wraparound() {
+        let g = Grid::new(&[4, 4]);
+        let corner = g.coords_to_node(&[0, 0]);
+        let far = g.coords_to_node(&[3, 0]);
+        assert!(!g.are_adjacent(corner, far));
+        assert_eq!(g.distance(corner, far), 3);
+    }
+
+    #[test]
+    fn line_graph() {
+        let g = Grid::new(&[6]);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(3), 2);
+        assert_eq!(g.distance(0, 5), 5);
+        assert_eq!(g.name(), "grid-6");
+    }
+}

@@ -1,0 +1,288 @@
+//! Regular mesh topologies for *hyperspace computers*.
+//!
+//! A hyperspace computer (Tarawneh et al., ICPP P2S2 2017) is a massively
+//! parallel machine whose cores form a regular mesh embedded in an
+//! n-dimensional space — a torus, grid or hypercube — and exchange messages
+//! only with immediate neighbours. This crate provides:
+//!
+//! * the [`Topology`] trait: node counts, neighbourhoods, shortest-path
+//!   distances and deterministic minimal routing;
+//! * concrete topologies: [`Torus`] (any dimension, the paper evaluates 2-D
+//!   and 3-D), [`Grid`] (non-wrapping transputer array), [`Hypercube`]
+//!   (NCUBE-style binary n-cube) and [`FullyConnected`] (the paper's
+//!   baseline);
+//! * [`Csr`]: a compressed-sparse-row adjacency cache for hot neighbour
+//!   lookups;
+//! * [`routing`]: explicit path enumeration built on `next_hop`;
+//! * [`embedding`]: classic Gray-code embeddings of rings and grids into
+//!   hypercubes.
+//!
+//! All topologies are `Send + Sync` value types; node identifiers are plain
+//! `u32`s in `0..num_nodes`.
+//!
+//! # Example
+//!
+//! ```
+//! use hyperspace_topology::{Topology, Torus};
+//!
+//! let t = Torus::new_2d(14, 14); // the paper's 196-core machine
+//! assert_eq!(t.num_nodes(), 196);
+//! assert_eq!(t.degree(0), 4);
+//! // Opposite corner is 7+7 hops away thanks to wrap-around links.
+//! let far = t.coords_to_node(&[7, 7]);
+//! assert_eq!(t.distance(0, far), 14);
+//! ```
+
+#![warn(missing_docs)]
+
+mod coords;
+mod csr;
+pub mod embedding;
+mod full;
+mod grid;
+mod hypercube;
+pub mod routing;
+mod torus;
+
+pub use coords::{Coords, MAX_DIMS};
+pub use csr::Csr;
+pub use full::FullyConnected;
+pub use grid::Grid;
+pub use hypercube::Hypercube;
+pub use torus::{Ring, Torus};
+
+/// Identifier of a node (core) in a hyperspace machine, in `0..num_nodes`.
+pub type NodeId = u32;
+
+/// A regular interconnect topology.
+///
+/// Implementations must be deterministic: `neighbour(n, p)` is a pure
+/// function, and ports `0..degree(n)` enumerate the neighbourhood in a fixed
+/// order (the mapping layer's round-robin mapper depends on this).
+pub trait Topology: Send + Sync + std::fmt::Debug {
+    /// Total number of nodes in the machine.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of neighbours of `node`.
+    fn degree(&self, node: NodeId) -> usize;
+
+    /// The neighbour of `node` reachable through local port `port`
+    /// (`port < degree(node)`).
+    fn neighbour(&self, node: NodeId, port: usize) -> NodeId;
+
+    /// Length (in hops) of a shortest path from `a` to `b`.
+    fn distance(&self, a: NodeId, b: NodeId) -> u32;
+
+    /// The next node on a deterministic shortest path from `from` to `to`.
+    ///
+    /// Must satisfy `distance(next_hop(from, to), to) == distance(from, to) - 1`
+    /// whenever `from != to`. Calling it with `from == to` returns `from`.
+    fn next_hop(&self, from: NodeId, to: NodeId) -> NodeId;
+
+    /// Maximum distance between any pair of nodes.
+    fn diameter(&self) -> u32;
+
+    /// Human-readable name, e.g. `"torus-14x14"`.
+    fn name(&self) -> String;
+
+    /// All neighbours of `node`, in port order.
+    fn neighbours(&self, node: NodeId) -> Vec<NodeId> {
+        (0..self.degree(node))
+            .map(|p| self.neighbour(node, p))
+            .collect()
+    }
+
+    /// Whether `a` and `b` are joined by a direct link.
+    fn are_adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && (0..self.degree(a)).any(|p| self.neighbour(a, p) == b)
+    }
+
+    /// The port of `a` whose link leads to `b`, if the two are adjacent.
+    fn port_to(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        (0..self.degree(a)).find(|&p| self.neighbour(a, p) == b)
+    }
+
+    /// Total number of undirected links in the machine.
+    fn num_links(&self) -> usize {
+        (0..self.num_nodes() as NodeId)
+            .map(|n| self.degree(n))
+            .sum::<usize>()
+            / 2
+    }
+}
+
+macro_rules! forward_topology {
+    ($ty:ty) => {
+        impl<T: Topology + ?Sized> Topology for $ty {
+            fn num_nodes(&self) -> usize {
+                (**self).num_nodes()
+            }
+            fn degree(&self, node: NodeId) -> usize {
+                (**self).degree(node)
+            }
+            fn neighbour(&self, node: NodeId, port: usize) -> NodeId {
+                (**self).neighbour(node, port)
+            }
+            fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+                (**self).distance(a, b)
+            }
+            fn next_hop(&self, from: NodeId, to: NodeId) -> NodeId {
+                (**self).next_hop(from, to)
+            }
+            fn diameter(&self) -> u32 {
+                (**self).diameter()
+            }
+            fn name(&self) -> String {
+                (**self).name()
+            }
+            fn neighbours(&self, node: NodeId) -> Vec<NodeId> {
+                (**self).neighbours(node)
+            }
+            fn are_adjacent(&self, a: NodeId, b: NodeId) -> bool {
+                (**self).are_adjacent(a, b)
+            }
+            fn port_to(&self, a: NodeId, b: NodeId) -> Option<usize> {
+                (**self).port_to(a, b)
+            }
+            fn num_links(&self) -> usize {
+                (**self).num_links()
+            }
+        }
+    };
+}
+
+forward_topology!(&T);
+forward_topology!(Box<T>);
+forward_topology!(std::sync::Arc<T>);
+
+/// Breadth-first distances from `from` to every node; an oracle used by the
+/// test-suite to validate analytic `distance` implementations.
+pub fn bfs_distances(topo: &dyn Topology, from: NodeId) -> Vec<u32> {
+    let n = topo.num_nodes();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    dist[from as usize] = 0;
+    queue.push_back(from);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for p in 0..topo.degree(u) {
+            let v = topo.neighbour(u, p);
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn check_symmetry(topo: &dyn Topology) {
+        for a in 0..topo.num_nodes() as NodeId {
+            for p in 0..topo.degree(a) {
+                let b = topo.neighbour(a, p);
+                assert_ne!(a, b, "{}: self-loop at {a}", topo.name());
+                assert!(
+                    topo.are_adjacent(b, a),
+                    "{}: asymmetric link {a}->{b}",
+                    topo.name()
+                );
+            }
+        }
+    }
+
+    fn check_distance_vs_bfs(topo: &dyn Topology) {
+        let n = topo.num_nodes() as NodeId;
+        for a in 0..n {
+            let bfs = bfs_distances(topo, a);
+            for b in 0..n {
+                assert_eq!(
+                    topo.distance(a, b),
+                    bfs[b as usize],
+                    "{}: distance({a},{b}) mismatch",
+                    topo.name()
+                );
+            }
+        }
+    }
+
+    fn check_next_hop(topo: &dyn Topology) {
+        let n = topo.num_nodes() as NodeId;
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    assert_eq!(topo.next_hop(a, b), a);
+                    continue;
+                }
+                let h = topo.next_hop(a, b);
+                assert!(topo.are_adjacent(a, h), "{}: hop not adjacent", topo.name());
+                assert_eq!(
+                    topo.distance(h, b),
+                    topo.distance(a, b) - 1,
+                    "{}: next_hop({a},{b}) not minimal",
+                    topo.name()
+                );
+            }
+        }
+    }
+
+    fn exercise(topo: &dyn Topology) {
+        check_symmetry(topo);
+        check_distance_vs_bfs(topo);
+        check_next_hop(topo);
+    }
+
+    #[test]
+    fn torus_2d_contract() {
+        exercise(&Torus::new_2d(4, 5));
+        exercise(&Torus::new_2d(3, 3));
+        exercise(&Torus::new_2d(2, 6));
+    }
+
+    #[test]
+    fn torus_3d_contract() {
+        exercise(&Torus::new_3d(3, 3, 3));
+        exercise(&Torus::new_3d(2, 3, 4));
+    }
+
+    #[test]
+    fn torus_1d_contract() {
+        exercise(&Torus::new(&[7]));
+        exercise(&Ring::new(9));
+    }
+
+    #[test]
+    fn grid_contract() {
+        exercise(&Grid::new(&[4, 5]));
+        exercise(&Grid::new(&[3, 3, 3]));
+        exercise(&Grid::new(&[10]));
+    }
+
+    #[test]
+    fn hypercube_contract() {
+        exercise(&Hypercube::new(1));
+        exercise(&Hypercube::new(3));
+        exercise(&Hypercube::new(5));
+    }
+
+    #[test]
+    fn full_contract() {
+        exercise(&FullyConnected::new(2));
+        exercise(&FullyConnected::new(17));
+    }
+
+    #[test]
+    fn link_counts() {
+        // nN/2 links for an n-dimensional hypercube with N nodes (paper §II-A).
+        let h = Hypercube::new(4);
+        assert_eq!(h.num_links(), 4 * 16 / 2);
+        // k x k torus has 2k^2 links when k > 2.
+        let t = Torus::new_2d(5, 5);
+        assert_eq!(t.num_links(), 2 * 25);
+        let f = FullyConnected::new(10);
+        assert_eq!(f.num_links(), 45);
+    }
+}

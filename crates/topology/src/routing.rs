@@ -1,0 +1,114 @@
+//! Path enumeration on top of [`Topology::next_hop`].
+//!
+//! The simulator's routed delivery model moves messages one hop per step
+//! along these deterministic minimal paths; this module exposes them for
+//! inspection, testing and link-load analysis.
+
+use crate::{NodeId, Topology};
+
+/// The full deterministic shortest path from `from` to `to`, inclusive of
+/// both endpoints. `route(t, a, a) == [a]`.
+pub fn route(topo: &dyn Topology, from: NodeId, to: NodeId) -> Vec<NodeId> {
+    let mut path = Vec::with_capacity(topo.distance(from, to) as usize + 1);
+    let mut cur = from;
+    path.push(cur);
+    let mut fuel = topo.diameter() + 1;
+    while cur != to {
+        assert!(fuel > 0, "routing did not converge: {} -> {}", from, to);
+        fuel -= 1;
+        cur = topo.next_hop(cur, to);
+        path.push(cur);
+    }
+    path
+}
+
+/// Number of hops on the deterministic route (== `topo.distance` for
+/// well-formed topologies; asserted in tests).
+pub fn route_len(topo: &dyn Topology, from: NodeId, to: NodeId) -> u32 {
+    (route(topo, from, to).len() - 1) as u32
+}
+
+/// Per-link traffic counts induced by routing one message for every
+/// (source, destination) pair: a simple static congestion model.
+///
+/// Returns a map from directed link `(u, v)` to the number of routes
+/// traversing it. Useful for comparing how evenly different topologies
+/// spread uniform traffic.
+pub fn uniform_link_loads(
+    topo: &dyn Topology,
+) -> std::collections::HashMap<(NodeId, NodeId), u32> {
+    let n = topo.num_nodes() as NodeId;
+    let mut loads = std::collections::HashMap::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let path = route(topo, a, b);
+            for w in path.windows(2) {
+                *loads.entry((w[0], w[1])).or_insert(0) += 1;
+            }
+        }
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FullyConnected, Grid, Hypercube, Torus};
+
+    fn check_routes(topo: &dyn Topology) {
+        let n = topo.num_nodes() as NodeId;
+        for a in 0..n {
+            for b in 0..n {
+                let path = route(topo, a, b);
+                assert_eq!(path[0], a);
+                assert_eq!(*path.last().unwrap(), b);
+                assert_eq!(path.len() as u32 - 1, topo.distance(a, b));
+                for w in path.windows(2) {
+                    assert!(topo.are_adjacent(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_shortest_paths() {
+        check_routes(&Torus::new_2d(4, 5));
+        check_routes(&Torus::new_3d(3, 3, 2));
+        check_routes(&Grid::new(&[4, 4]));
+        check_routes(&Hypercube::new(4));
+        check_routes(&FullyConnected::new(8));
+    }
+
+    #[test]
+    fn trivial_route() {
+        let t = Torus::new_2d(3, 3);
+        assert_eq!(route(&t, 4, 4), vec![4]);
+        assert_eq!(route_len(&t, 4, 4), 0);
+    }
+
+    #[test]
+    fn torus_uniform_loads_conserve_total_distance() {
+        // Every hop of every route crosses exactly one link, so the summed
+        // link loads equal the summed pairwise distances. (Loads are *not*
+        // uniform on even-sided tori: dimension-ordered routing breaks
+        // half-way ties towards the + direction.)
+        let t = Torus::new_2d(4, 4);
+        let loads = uniform_link_loads(&t);
+        let load_total: u32 = loads.values().sum();
+        let n = t.num_nodes() as NodeId;
+        let dist_total: u32 = (0..n)
+            .flat_map(|a| (0..n).map(move |b| (a, b)))
+            .map(|(a, b)| t.distance(a, b))
+            .sum();
+        assert_eq!(load_total, dist_total);
+        // Odd-sided tori have no ties, so node symmetry does make uniform
+        // traffic perfectly balanced there.
+        let t5 = Torus::new_2d(5, 5);
+        let loads5 = uniform_link_loads(&t5);
+        let vals: Vec<u32> = loads5.values().copied().collect();
+        assert_eq!(vals.iter().min(), vals.iter().max());
+    }
+}

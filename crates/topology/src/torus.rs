@@ -1,0 +1,287 @@
+//! n-dimensional torus (hyper-torus) topologies.
+//!
+//! The paper's SpiNNaker-style machines (§V-A) are 2-D and 3-D tori: each
+//! dimension wraps around, so every node has `2d` neighbours (fewer when a
+//! dimension has size 1 or 2, where the two directions coincide).
+
+use crate::coords::{coords_to_node, node_to_coords, Coords};
+use crate::{NodeId, Topology};
+
+/// An n-dimensional torus with per-dimension sizes `dims`.
+///
+/// Node `i`'s coordinates are the mixed-radix digits of `i` (dimension 0
+/// fastest). Ports enumerate `(dim 0, +1), (dim 0, -1), (dim 1, +1), ...`,
+/// skipping directions that would duplicate a link (size-2 dimensions) or
+/// self-loop (size-1 dimensions).
+#[derive(Clone, Debug)]
+pub struct Torus {
+    dims: Vec<u32>,
+    num_nodes: usize,
+    /// Port table template: (dimension, delta) pairs, identical for every
+    /// node because tori are node-symmetric.
+    ports: Vec<(usize, i32)>,
+}
+
+impl Torus {
+    /// Creates a torus with the given per-dimension sizes.
+    ///
+    /// Panics if `dims` is empty, any dimension is zero, or the node count
+    /// overflows `u32`.
+    pub fn new(dims: &[u32]) -> Self {
+        assert!(!dims.is_empty(), "torus needs at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "zero-sized dimension");
+        let num_nodes = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d as usize))
+            .expect("node count overflow");
+        assert!(num_nodes <= u32::MAX as usize, "too many nodes");
+        let mut ports = Vec::with_capacity(dims.len() * 2);
+        for (d, &size) in dims.iter().enumerate() {
+            match size {
+                1 => {}                        // self-loop: no link
+                2 => ports.push((d, 1)),       // +1 and -1 coincide
+                _ => {
+                    ports.push((d, 1));
+                    ports.push((d, -1));
+                }
+            }
+        }
+        Torus {
+            dims: dims.to_vec(),
+            num_nodes,
+            ports,
+        }
+    }
+
+    /// Convenience constructor for the paper's 2-D machines (`w x h`).
+    pub fn new_2d(w: u32, h: u32) -> Self {
+        Torus::new(&[w, h])
+    }
+
+    /// Convenience constructor for the paper's 3-D machines (`x*y*z`).
+    pub fn new_3d(x: u32, y: u32, z: u32) -> Self {
+        Torus::new(&[x, y, z])
+    }
+
+    /// Per-dimension sizes.
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Coordinates of `node`.
+    pub fn node_coords(&self, node: NodeId) -> Coords {
+        node_to_coords(node, &self.dims)
+    }
+
+    /// Node at the given coordinates.
+    pub fn coords_to_node(&self, coords: &[u32]) -> NodeId {
+        coords_to_node(coords, &self.dims)
+    }
+
+    #[inline]
+    fn wrap_step(&self, coord: u32, dim: usize, delta: i32) -> u32 {
+        let size = self.dims[dim];
+        if delta > 0 {
+            if coord + 1 == size {
+                0
+            } else {
+                coord + 1
+            }
+        } else if coord == 0 {
+            size - 1
+        } else {
+            coord - 1
+        }
+    }
+
+    /// Signed shortest displacement from `a` to `b` along `dim`
+    /// (positive = step `+1` direction; ties broken towards `+`).
+    #[inline]
+    fn arc(&self, a: u32, b: u32, dim: usize) -> i32 {
+        let size = self.dims[dim] as i32;
+        let fwd = (b as i32 - a as i32).rem_euclid(size);
+        if fwd * 2 <= size {
+            fwd
+        } else {
+            fwd - size
+        }
+    }
+}
+
+impl Topology for Torus {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn degree(&self, _node: NodeId) -> usize {
+        self.ports.len()
+    }
+
+    fn neighbour(&self, node: NodeId, port: usize) -> NodeId {
+        let (dim, delta) = self.ports[port];
+        let mut c = self.node_coords(node);
+        *c.get_mut(dim) = self.wrap_step(c[dim], dim, delta);
+        coords_to_node(c.as_slice(), &self.dims)
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.node_coords(a);
+        let cb = self.node_coords(b);
+        (0..self.dims.len())
+            .map(|d| self.arc(ca[d], cb[d], d).unsigned_abs())
+            .sum()
+    }
+
+    fn next_hop(&self, from: NodeId, to: NodeId) -> NodeId {
+        if from == to {
+            return from;
+        }
+        // Dimension-ordered routing: correct the lowest differing dimension
+        // first, stepping along the shorter arc.
+        let cf = self.node_coords(from);
+        let ct = self.node_coords(to);
+        for d in 0..self.dims.len() {
+            let step = self.arc(cf[d], ct[d], d);
+            if step != 0 {
+                let mut c = cf;
+                *c.get_mut(d) = self.wrap_step(cf[d], d, step.signum());
+                return coords_to_node(c.as_slice(), &self.dims);
+            }
+        }
+        unreachable!("from != to but no differing dimension");
+    }
+
+    fn diameter(&self) -> u32 {
+        self.dims.iter().map(|&s| s / 2).sum()
+    }
+
+    fn name(&self) -> String {
+        let dims: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        format!("torus-{}", dims.join("x"))
+    }
+}
+
+/// A 1-dimensional torus: the classic ring network.
+#[derive(Clone, Debug)]
+pub struct Ring(Torus);
+
+impl Ring {
+    /// A ring of `n` nodes.
+    pub fn new(n: u32) -> Self {
+        Ring(Torus::new(&[n]))
+    }
+}
+
+impl Topology for Ring {
+    fn num_nodes(&self) -> usize {
+        self.0.num_nodes()
+    }
+    fn degree(&self, node: NodeId) -> usize {
+        self.0.degree(node)
+    }
+    fn neighbour(&self, node: NodeId, port: usize) -> NodeId {
+        self.0.neighbour(node, port)
+    }
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.0.distance(a, b)
+    }
+    fn next_hop(&self, from: NodeId, to: NodeId) -> NodeId {
+        self.0.next_hop(from, to)
+    }
+    fn diameter(&self) -> u32 {
+        self.0.diameter()
+    }
+    fn name(&self) -> String {
+        format!("ring-{}", self.0.num_nodes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_2d_neighbours() {
+        let t = Torus::new_2d(4, 4);
+        // Node 0 = (0,0): +x -> 1, -x -> 3, +y -> 4, -y -> 12.
+        let n = t.neighbours(0);
+        assert_eq!(n, vec![1, 3, 4, 12]);
+        assert_eq!(t.degree(0), 4);
+    }
+
+    #[test]
+    fn wraparound_distance() {
+        let t = Torus::new_2d(8, 8);
+        let a = t.coords_to_node(&[0, 0]);
+        let b = t.coords_to_node(&[7, 7]);
+        // One wrap hop in each dimension.
+        assert_eq!(t.distance(a, b), 2);
+        assert_eq!(t.diameter(), 8);
+    }
+
+    #[test]
+    fn size_two_dimension_merges_ports() {
+        let t = Torus::new(&[2, 3]);
+        // Dimension 0 contributes a single port, dimension 1 two.
+        assert_eq!(t.degree(0), 3);
+        let n = t.neighbours(0);
+        assert_eq!(n.len(), 3);
+        // No duplicate neighbours.
+        let mut s = n.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn size_one_dimension_has_no_link() {
+        let t = Torus::new(&[1, 5]);
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.degree(0), 2);
+    }
+
+    #[test]
+    fn node_symmetry_of_degree() {
+        let t = Torus::new_3d(3, 4, 5);
+        let d0 = t.degree(0);
+        for n in 0..t.num_nodes() as NodeId {
+            assert_eq!(t.degree(n), d0);
+        }
+    }
+
+    #[test]
+    fn dimension_ordered_route_terminates() {
+        let t = Torus::new_3d(4, 4, 4);
+        let (mut cur, to) = (0, 63);
+        let mut hops = 0;
+        while cur != to {
+            cur = t.next_hop(cur, to);
+            hops += 1;
+            assert!(hops <= t.diameter());
+        }
+        assert_eq!(hops, t.distance(0, 63));
+    }
+
+    #[test]
+    fn ring_is_one_dimensional_torus() {
+        let r = Ring::new(6);
+        assert_eq!(r.num_nodes(), 6);
+        assert_eq!(r.degree(0), 2);
+        assert_eq!(r.distance(0, 3), 3);
+        assert_eq!(r.distance(0, 5), 1);
+        assert_eq!(r.diameter(), 3);
+        assert_eq!(r.name(), "ring-6");
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Torus::new_2d(14, 14).name(), "torus-14x14");
+        assert_eq!(Torus::new_3d(6, 6, 6).name(), "torus-6x6x6");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_dims_panic() {
+        Torus::new(&[]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for topology invariants.
+
+use hyperspace_topology::{
+    bfs_distances, routing, Csr, FullyConnected, Grid, Hypercube, NodeId, Ring, Topology, Torus,
+};
+use proptest::prelude::*;
+
+/// Strategy producing a boxed topology of modest size together with its name.
+fn arb_topology() -> impl Strategy<Value = Box<dyn Topology>> {
+    prop_oneof![
+        (2u32..8, 2u32..8).prop_map(|(w, h)| Box::new(Torus::new_2d(w, h)) as Box<dyn Topology>),
+        (2u32..5, 2u32..5, 2u32..5)
+            .prop_map(|(x, y, z)| Box::new(Torus::new_3d(x, y, z)) as Box<dyn Topology>),
+        (1u32..6).prop_map(|d| Box::new(Hypercube::new(d)) as Box<dyn Topology>),
+        (2u32..40).prop_map(|n| Box::new(FullyConnected::new(n)) as Box<dyn Topology>),
+        (2u32..7, 2u32..7).prop_map(|(w, h)| Box::new(Grid::new(&[w, h])) as Box<dyn Topology>),
+        (3u32..30).prop_map(|n| Box::new(Ring::new(n)) as Box<dyn Topology>),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Links are symmetric and free of self-loops.
+    #[test]
+    fn neighbour_symmetry(topo in arb_topology()) {
+        for a in 0..topo.num_nodes() as NodeId {
+            for p in 0..topo.degree(a) {
+                let b = topo.neighbour(a, p);
+                prop_assert_ne!(a, b);
+                prop_assert!(topo.are_adjacent(b, a));
+            }
+        }
+    }
+
+    /// The analytic distance function agrees with BFS on the link graph.
+    #[test]
+    fn distance_matches_bfs(topo in arb_topology(), seed in 0u32..1000) {
+        let n = topo.num_nodes() as u32;
+        let from = seed % n;
+        let bfs = bfs_distances(topo.as_ref(), from);
+        for b in 0..n {
+            prop_assert_eq!(topo.distance(from, b), bfs[b as usize]);
+        }
+    }
+
+    /// next_hop makes strict progress and routes have length == distance.
+    #[test]
+    fn routing_is_minimal(topo in arb_topology(), s1 in 0u32..10_000, s2 in 0u32..10_000) {
+        let n = topo.num_nodes() as u32;
+        let (a, b) = (s1 % n, s2 % n);
+        let path = routing::route(topo.as_ref(), a, b);
+        prop_assert_eq!(path.len() as u32 - 1, topo.distance(a, b));
+        for w in path.windows(2) {
+            prop_assert!(topo.are_adjacent(w[0], w[1]));
+        }
+    }
+
+    /// Distance is a metric: symmetric and satisfies the triangle inequality.
+    #[test]
+    fn distance_is_a_metric(topo in arb_topology(), s in any::<[u32; 3]>()) {
+        let n = topo.num_nodes() as u32;
+        let (a, b, c) = (s[0] % n, s[1] % n, s[2] % n);
+        prop_assert_eq!(topo.distance(a, b), topo.distance(b, a));
+        prop_assert!(topo.distance(a, c) <= topo.distance(a, b) + topo.distance(b, c));
+        prop_assert_eq!(topo.distance(a, a), 0);
+    }
+
+    /// Diameter really is the maximum pairwise distance (exhaustive on small
+    /// machines).
+    #[test]
+    fn diameter_is_max_distance(topo in arb_topology()) {
+        let n = topo.num_nodes() as u32;
+        if n <= 128 {
+            let max = (0..n)
+                .flat_map(|a| (0..n).map(move |b| (a, b)))
+                .map(|(a, b)| topo.distance(a, b))
+                .max()
+                .unwrap();
+            prop_assert_eq!(max, topo.diameter());
+        }
+    }
+
+    /// The CSR cache is an exact image of the trait's adjacency structure.
+    #[test]
+    fn csr_image_is_exact(topo in arb_topology()) {
+        let csr = Csr::build(topo.as_ref());
+        for node in 0..topo.num_nodes() as NodeId {
+            let expected = topo.neighbours(node);
+            prop_assert_eq!(csr.neighbours(node), expected.as_slice());
+        }
+    }
+
+    /// Tori and hypercubes are node-symmetric: every node has equal degree
+    /// and an identical sorted multiset of distances to all other nodes.
+    #[test]
+    fn torus_node_symmetry(w in 2u32..6, h in 2u32..6) {
+        let t = Torus::new_2d(w, h);
+        let profile = |node: NodeId| {
+            let mut d: Vec<u32> =
+                (0..t.num_nodes() as NodeId).map(|b| t.distance(node, b)).collect();
+            d.sort_unstable();
+            d
+        };
+        let p0 = profile(0);
+        for node in 1..t.num_nodes() as NodeId {
+            prop_assert_eq!(&profile(node), &p0);
+        }
+    }
+}

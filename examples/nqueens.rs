@@ -1,0 +1,35 @@
+//! Beyond SAT (§VI-C): counting N-Queens placements on a hypercube
+//! machine, exercising the `All`-join (sum the counts of every branch)
+//! rather than SAT's speculative `Any`-join.
+//!
+//! Run with: `cargo run --release --example nqueens [n]`
+
+use hyperspace::apps::{NQueensProgram, QueensTask};
+use hyperspace::apps::nqueens::QUEENS_COUNTS;
+use hyperspace::core::{MapperSpec, StackBuilder, TopologySpec};
+
+fn main() {
+    let n: u8 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+
+    // An NCUBE-style 256-core binary 8-cube.
+    let report = StackBuilder::new(NQueensProgram)
+        .topology(TopologySpec::Hypercube { dim: 8 })
+        .mapper(MapperSpec::LeastBusy {
+            status_period: None,
+        })
+        .halt_on_root_reply(false)
+        .run(QueensTask::root(n), 0);
+
+    let count = report.result.expect("count");
+    println!("{n}-queens solutions  = {count}");
+    println!("computation time    = {} steps", report.computation_time);
+    println!("board placements    = {} activations", report.rec_totals.started);
+    println!("messages sent       = {}", report.metrics.total_sent);
+    if (n as usize) < QUEENS_COUNTS.len() {
+        assert_eq!(count, QUEENS_COUNTS[n as usize]);
+        println!("verified against the known count.");
+    }
+}

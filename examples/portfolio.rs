@@ -1,0 +1,127 @@
+//! Layer-2 showcase: a portfolio of sequential SAT solvers racing as
+//! scheduled processes.
+//!
+//! Each node of a small mesh hosts several [`Process`]es, one per
+//! branching heuristic. A coordinator process on node 0 broadcasts the
+//! instance; every worker solves it locally (a coarse-grained portfolio,
+//! as real distributed SAT portfolios do) and replies with its search
+//! statistics; the coordinator reports the winner — the heuristic whose
+//! search tree was smallest.
+//!
+//! Run with: `cargo run --release --example portfolio [seed]`
+
+use hyperspace::sat::{dpll, gen, Cnf, Heuristic};
+use hyperspace::sched::{ProcAddr, ProcCtx, Process, SchedMsg, SchedPolicy, SchedulerHost};
+use hyperspace::sim::{SimConfig, Simulation};
+use hyperspace::topology::Ring;
+
+/// Portfolio protocol messages.
+#[derive(Clone)]
+enum Msg {
+    /// Coordinator -> worker: solve this.
+    Solve(Cnf),
+    /// Worker -> coordinator: finished, with (heuristic name, tree nodes).
+    Done(&'static str, u64),
+}
+
+enum Role {
+    Coordinator { replies: Vec<(&'static str, u64)>, expected: usize },
+    Worker { heuristic: Heuristic, name: &'static str },
+}
+
+struct Solver {
+    role: Role,
+}
+
+impl Process for Solver {
+    type Msg = Msg;
+
+    fn on_message(&mut self, msg: Msg, ctx: &mut ProcCtx<'_, '_, '_, Self>) {
+        match (&mut self.role, msg) {
+            (Role::Coordinator { .. }, Msg::Solve(cnf)) => {
+                // Fan the instance out along the ring: each node hosts one
+                // worker process per heuristic (process ids 1..).
+                for node in 0..2u32 {
+                    for proc in 1..=2u32 {
+                        let dst = ProcAddr::new(if node == 0 { ctx.node() } else { 1 }, proc);
+                        ctx.send(dst, Msg::Solve(cnf.clone()));
+                    }
+                }
+            }
+            (Role::Coordinator { replies, expected }, Msg::Done(name, nodes)) => {
+                replies.push((name, nodes));
+                if replies.len() == *expected {
+                    ctx.halt();
+                }
+            }
+            (Role::Worker { heuristic, name }, Msg::Solve(cnf)) => {
+                let (result, stats) = dpll::solve(&cnf, *heuristic);
+                assert!(result.is_sat());
+                ctx.reply(Msg::Done(name, stats.nodes));
+            }
+            _ => {}
+        }
+    }
+}
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2017u64);
+    let cnf = gen::uf20_91(seed);
+    println!(
+        "portfolio over uf20-91 seed {seed}: 4 workers x heuristics on 2 nodes"
+    );
+
+    let host = SchedulerHost::new(
+        |node, _ctx| {
+            let mut procs = vec![Solver {
+                role: Role::Coordinator {
+                    replies: Vec::new(),
+                    expected: 4,
+                },
+            }];
+            let pairs: [(Heuristic, &'static str); 2] = if node == 0 {
+                [
+                    (Heuristic::FirstUnassigned, "first"),
+                    (Heuristic::MostFrequent, "most-frequent"),
+                ]
+            } else {
+                [
+                    (Heuristic::JeroslowWang, "jeroslow-wang"),
+                    (Heuristic::Dlis, "dlis"),
+                ]
+            };
+            for (heuristic, name) in pairs {
+                procs.push(Solver {
+                    role: Role::Worker { heuristic, name },
+                });
+            }
+            procs
+        },
+        SchedPolicy::Fifo,
+    );
+    let mut sim = Simulation::new(Ring::new(3), host, SimConfig::default());
+    sim.inject(
+        0,
+        SchedMsg {
+            src_proc: 0,
+            dst_proc: 0,
+            inner: Msg::Solve(cnf),
+        },
+    );
+    sim.run_to_quiescence().unwrap();
+
+    let sched = sim.state(0);
+    let Role::Coordinator { replies, .. } = &sched.process(0).unwrap().role else {
+        unreachable!()
+    };
+    let mut sorted = replies.clone();
+    sorted.sort_by_key(|(_, nodes)| *nodes);
+    println!("{:>16} {:>12}", "heuristic", "tree nodes");
+    for (name, nodes) in &sorted {
+        println!("{name:>16} {nodes:>12}");
+    }
+    println!("winner: {}", sorted[0].0);
+}

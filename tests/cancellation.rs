@@ -1,0 +1,72 @@
+//! Speculative-branch cancellation: soundness under the beyond-paper
+//! pruning extension, and the (measured) reason it cannot outrun the
+//! expansion frontier.
+
+use hyperspace::core::{MapperSpec, StackBuilder, TopologySpec};
+use hyperspace::sat::{
+    brute, check_model, gen, DpllProgram, Heuristic, SimplifyMode, SubProblem, Verdict,
+};
+
+fn solve(cnf: &hyperspace::sat::Cnf, cancel: bool) -> (Verdict, u64, u64) {
+    let program = DpllProgram::new(Heuristic::FirstUnassigned).with_mode(SimplifyMode::SplitOnly);
+    let report = StackBuilder::new(program)
+        .topology(TopologySpec::Torus2D { w: 6, h: 6 })
+        .mapper(MapperSpec::LeastBusy {
+            status_period: None,
+        })
+        .cancellation(cancel)
+        .halt_on_root_reply(false)
+        .run(SubProblem::root(cnf.clone()), 0);
+    (
+        report.result.expect("verdict"),
+        report.rec_totals.cancelled,
+        report.rec_totals.stale_replies,
+    )
+}
+
+#[test]
+fn cancellation_preserves_verdicts_and_models() {
+    for seed in 0..12u64 {
+        let cnf = gen::random_ksat(seed, 10, 44, 3);
+        let oracle = brute::solve(&cnf).is_sat();
+        let (verdict, ..) = solve(&cnf, true);
+        assert_eq!(verdict.is_sat(), oracle, "seed {seed}");
+        if let Verdict::Sat(model) = verdict {
+            assert!(check_model(&cnf, &model), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn cancellation_actually_fires_on_satisfiable_instances() {
+    // On satisfiable instances the winning SAT branch triggers cancels of
+    // its losing siblings.
+    let mut total_cancelled = 0;
+    for seed in 0..5u64 {
+        let cnf = gen::uf20_91(seed);
+        let (verdict, cancelled, _) = solve(&cnf, true);
+        assert!(verdict.is_sat());
+        total_cancelled += cancelled;
+    }
+    assert!(
+        total_cancelled > 0,
+        "speculative wins should cancel at least some losers"
+    );
+}
+
+#[test]
+fn no_cancels_without_the_extension() {
+    let cnf = gen::uf20_91(7);
+    let (_, cancelled, _) = solve(&cnf, false);
+    assert_eq!(cancelled, 0);
+}
+
+#[test]
+fn stale_replies_are_tolerated() {
+    // With cancellation, replies racing their cancel messages arrive as
+    // stale and must be dropped silently — the run still completes with a
+    // correct verdict.
+    let cnf = gen::uf20_91(3);
+    let (verdict, _, _stale) = solve(&cnf, true);
+    assert!(verdict.is_sat());
+}

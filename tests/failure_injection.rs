@@ -1,0 +1,74 @@
+//! Failure-injection paths: bounded queues and step caps surface as
+//! structured errors/outcomes rather than silent corruption.
+
+use hyperspace::core::{MapperSpec, StackBuilder, TopologySpec};
+use hyperspace::sat::{gen, DpllProgram, Heuristic, SimplifyMode, SubProblem};
+use hyperspace::sim::{RunOutcome, SimConfig, SimError};
+
+#[test]
+fn bounded_queues_overflow_with_diagnostics() {
+    // A split-only SAT run floods queues far beyond 3 entries on a small
+    // mesh; the engine must pinpoint the overflowing node and step.
+    let cnf = gen::uf20_91(1);
+    let program = DpllProgram::new(Heuristic::FirstUnassigned).with_mode(SimplifyMode::SplitOnly);
+    let mut sim = StackBuilder::new(program)
+        .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+        .mapper(MapperSpec::RoundRobin)
+        .sim_config(SimConfig {
+            queue_capacity: Some(3),
+            ..SimConfig::default()
+        })
+        .build();
+    sim.inject(0, hyperspace::mapping::trigger(SubProblem::root(cnf)));
+    let err = sim
+        .run_to_quiescence()
+        .expect_err("3-entry queues cannot hold a split-only search");
+    let SimError::QueueOverflow { node, step, len } = err;
+    assert!((node as usize) < 16);
+    assert!(step > 0);
+    assert!(len > 3);
+    // The error formats usefully.
+    let msg = format!("{err}");
+    assert!(msg.contains("overflowed"), "{msg}");
+}
+
+#[test]
+fn step_cap_reports_max_steps_outcome() {
+    let cnf = gen::uf20_91(2);
+    let program = DpllProgram::new(Heuristic::FirstUnassigned).with_mode(SimplifyMode::SplitOnly);
+    let mut sim = StackBuilder::new(program)
+        .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+        .mapper(MapperSpec::RoundRobin)
+        .halt_on_root_reply(false)
+        .max_steps(10) // far too few to finish
+        .build();
+    sim.inject(0, hyperspace::mapping::trigger(SubProblem::root(cnf)));
+    let report = sim.run_to_quiescence().unwrap();
+    assert_eq!(report.outcome, RunOutcome::MaxSteps);
+    assert_eq!(report.steps, 10);
+    // Messages remain queued: the run was genuinely truncated.
+    assert!(sim.queued() > 0);
+}
+
+#[test]
+fn generous_capacity_is_equivalent_to_unbounded() {
+    // With a cap the run never reaches, results match the unbounded run.
+    let cnf = gen::uf20_91(3);
+    let run = |capacity| {
+        let program =
+            DpllProgram::new(Heuristic::FirstUnassigned).with_mode(SimplifyMode::SplitOnly);
+        let mut sim = StackBuilder::new(program)
+            .topology(TopologySpec::Torus2D { w: 6, h: 6 })
+            .mapper(MapperSpec::RoundRobin)
+            .halt_on_root_reply(false)
+            .sim_config(SimConfig {
+                queue_capacity: capacity,
+                ..SimConfig::default()
+            })
+            .build();
+        sim.inject(0, hyperspace::mapping::trigger(SubProblem::root(cnf.clone())));
+        let report = sim.run_to_quiescence().unwrap();
+        (report.steps, sim.metrics().total_delivered)
+    };
+    assert_eq!(run(None), run(Some(1_000_000)));
+}

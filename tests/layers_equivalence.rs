@@ -1,0 +1,117 @@
+//! Cross-layer equivalence: the same recursive computation yields the same
+//! answer whether evaluated locally, over any topology, or under any
+//! mapping policy — the separation-of-concerns guarantee of §III-B1.
+
+use hyperspace::apps::{FibProgram, NQueensProgram, QueensTask, SumProgram};
+use hyperspace::apps::fib::fib_reference;
+use hyperspace::core::{MapperSpec, StackBuilder, TopologySpec};
+use hyperspace::recursion::eval_local;
+
+fn all_mappers() -> Vec<MapperSpec> {
+    vec![
+        MapperSpec::RoundRobin,
+        MapperSpec::LeastBusy {
+            status_period: None,
+        },
+        MapperSpec::Random { seed: 11 },
+        MapperSpec::WeightAware {
+            local_threshold: 3,
+            status_period: None,
+        },
+    ]
+}
+
+fn all_topologies() -> Vec<TopologySpec> {
+    vec![
+        TopologySpec::Torus2D { w: 4, h: 4 },
+        TopologySpec::Torus3D { x: 3, y: 3, z: 3 },
+        TopologySpec::Hypercube { dim: 4 },
+        TopologySpec::Full { n: 12 },
+        TopologySpec::Ring { n: 7 },
+        TopologySpec::Grid(vec![5, 3]),
+    ]
+}
+
+#[test]
+fn sum_is_mapper_and_topology_independent() {
+    let expect = eval_local(&SumProgram, 25);
+    assert_eq!(expect, 325);
+    for topo in all_topologies() {
+        for mapper in all_mappers() {
+            let report = StackBuilder::new(SumProgram)
+                .topology(topo.clone())
+                .mapper(mapper.clone())
+                .run(25, 0);
+            assert_eq!(
+                report.result,
+                Some(expect),
+                "sum diverged on {topo:?} + {mapper:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fib_is_mapper_and_topology_independent() {
+    let expect = fib_reference(14);
+    for topo in all_topologies() {
+        let report = StackBuilder::new(FibProgram)
+            .topology(topo.clone())
+            .mapper(MapperSpec::LeastBusy {
+                status_period: None,
+            })
+            .run(14, 1);
+        assert_eq!(report.result, Some(expect), "fib diverged on {topo:?}");
+    }
+}
+
+#[test]
+fn nqueens_count_is_placement_independent() {
+    // Same computation rooted at different nodes of different machines.
+    for (topo, root) in [
+        (TopologySpec::Torus2D { w: 5, h: 5 }, 0u32),
+        (TopologySpec::Torus2D { w: 5, h: 5 }, 24),
+        (TopologySpec::Hypercube { dim: 5 }, 17),
+    ] {
+        let report = StackBuilder::new(NQueensProgram)
+            .topology(topo.clone())
+            .mapper(MapperSpec::RoundRobin)
+            .run(QueensTask::root(6), root);
+        assert_eq!(report.result, Some(4), "{topo:?} root {root}");
+    }
+}
+
+#[test]
+fn status_broadcasts_do_not_change_results() {
+    // Periods below the node service rate (degree / period >= 1 msg/step)
+    // overload the machine by design — see ablation_status. These stay in
+    // the stable regime.
+    for period in [None, Some(16), Some(8)] {
+        let report = StackBuilder::new(SumProgram)
+            .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+            .mapper(MapperSpec::LeastBusy {
+                status_period: period,
+            })
+            .run(30, 0);
+        assert_eq!(report.result, Some(465), "period {period:?}");
+    }
+}
+
+#[test]
+fn conservation_no_activation_is_lost_or_duplicated() {
+    // Quiescent fib run: every request serviced exactly once, every call
+    // answered exactly once, no call records leak.
+    let report = StackBuilder::new(FibProgram)
+        .topology(TopologySpec::Torus3D { x: 3, y: 3, z: 3 })
+        .mapper(MapperSpec::LeastBusy {
+            status_period: None,
+        })
+        .halt_on_root_reply(false)
+        .run(13, 0);
+    // fib(13) spawns 2*fib(14)-1 = 753 activations.
+    assert_eq!(report.rec_totals.started, 753);
+    assert_eq!(report.rec_totals.completed, 753);
+    assert_eq!(report.requests_total, 753);
+    assert_eq!(report.replies_total, 753);
+    assert_eq!(report.rec_totals.stale_replies, 0);
+}

@@ -1,0 +1,128 @@
+//! End-to-end SAT correctness: the distributed solver agrees with the
+//! sequential solver and the brute-force oracle, and every model it
+//! returns satisfies the original formula.
+
+use hyperspace::core::{MapperSpec, StackBuilder, TopologySpec};
+use hyperspace::sat::{
+    brute, check_model, dpll, gen, DpllProgram, Heuristic, SimplifyMode, SubProblem, Verdict,
+};
+
+fn solve_distributed(
+    cnf: &hyperspace::sat::Cnf,
+    mode: SimplifyMode,
+    mapper: MapperSpec,
+) -> Verdict {
+    let program = DpllProgram::new(Heuristic::FirstUnassigned).with_mode(mode);
+    let report = StackBuilder::new(program)
+        .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+        .mapper(mapper)
+        .run(SubProblem::root(cnf.clone()), 0);
+    report.result.expect("root verdict")
+}
+
+#[test]
+fn distributed_agrees_with_oracle_on_random_instances() {
+    // Mixed SAT/UNSAT population: 10 vars, 50 clauses sits near ratio 5
+    // where many draws are unsatisfiable.
+    for seed in 0..30u64 {
+        let cnf = gen::random_ksat(seed, 10, 50, 3);
+        let oracle = brute::solve(&cnf);
+        let verdict = solve_distributed(
+            &cnf,
+            SimplifyMode::Fixpoint,
+            MapperSpec::LeastBusy {
+                status_period: None,
+            },
+        );
+        assert_eq!(verdict.is_sat(), oracle.is_sat(), "seed {seed}");
+        if let Verdict::Sat(model) = verdict {
+            assert!(check_model(&cnf, &model), "seed {seed}: invalid model");
+        }
+    }
+}
+
+#[test]
+fn every_simplify_mode_is_sound() {
+    for seed in 0..10u64 {
+        let cnf = gen::random_ksat(seed, 8, 36, 3);
+        let oracle = brute::solve(&cnf).is_sat();
+        for mode in [
+            SimplifyMode::Fixpoint,
+            SimplifyMode::SinglePass,
+            SimplifyMode::SplitOnly,
+        ] {
+            let verdict = solve_distributed(&cnf, mode, MapperSpec::RoundRobin);
+            assert_eq!(verdict.is_sat(), oracle, "seed {seed} mode {mode}");
+            if let Verdict::Sat(model) = verdict {
+                assert!(check_model(&cnf, &model), "seed {seed} mode {mode}");
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_agrees_with_sequential_on_uf20() {
+    for seed in [1u64, 2, 3] {
+        let cnf = gen::uf20_91(seed);
+        let (seq, _) = dpll::solve(&cnf, Heuristic::MostFrequent);
+        assert!(seq.is_sat());
+        let verdict = solve_distributed(
+            &cnf,
+            SimplifyMode::Fixpoint,
+            MapperSpec::LeastBusy {
+                status_period: None,
+            },
+        );
+        let Verdict::Sat(model) = verdict else {
+            panic!("seed {seed}: distributed said UNSAT on a satisfiable instance");
+        };
+        assert!(check_model(&cnf, &model));
+    }
+}
+
+#[test]
+fn unsat_instances_report_unsat_distributed() {
+    // Pigeonhole PHP(3,2) and a direct contradiction.
+    let php = {
+        use hyperspace::sat::{Clause, Cnf, Lit};
+        let lit = Lit::from_dimacs;
+        let mut clauses: Vec<Clause> = Vec::new();
+        for i in 0..3i32 {
+            clauses.push(Clause::new(vec![lit(i * 2 + 1), lit(i * 2 + 2)]));
+        }
+        for h in 0..2i32 {
+            for i in 0..3i32 {
+                for j in (i + 1)..3i32 {
+                    clauses.push(Clause::new(vec![
+                        lit(-(i * 2 + h + 1)),
+                        lit(-(j * 2 + h + 1)),
+                    ]));
+                }
+            }
+        }
+        Cnf::new(6, clauses)
+    };
+    for mode in [SimplifyMode::Fixpoint, SimplifyMode::SplitOnly] {
+        let verdict = solve_distributed(&php, mode, MapperSpec::RoundRobin);
+        assert_eq!(verdict, Verdict::Unsat, "{mode}");
+    }
+}
+
+#[test]
+fn planted_instances_solve_at_scale() {
+    // A 28-var planted instance on a 64-core machine — beyond the brute
+    // oracle, verified via the plant and the returned model.
+    let (cnf, hidden) = gen::planted_ksat(5, 28, 110, 3);
+    assert!(check_model(&cnf, &hidden));
+    let program = DpllProgram::new(Heuristic::JeroslowWang);
+    let report = StackBuilder::new(program)
+        .topology(TopologySpec::Torus2D { w: 8, h: 8 })
+        .mapper(MapperSpec::LeastBusy {
+            status_period: None,
+        })
+        .run(SubProblem::root(cnf.clone()), 0);
+    let Some(Verdict::Sat(model)) = report.result else {
+        panic!("planted instance must be satisfiable");
+    };
+    assert!(check_model(&cnf, &model));
+}

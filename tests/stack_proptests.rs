@@ -1,0 +1,92 @@
+//! Property-based tests over the full stack.
+
+use hyperspace::apps::SumProgram;
+use hyperspace::core::{MapperSpec, StackBuilder, TopologySpec};
+use hyperspace::sat::{brute, check_model, gen, DpllProgram, Heuristic, SubProblem, Verdict};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = TopologySpec> {
+    prop_oneof![
+        (2u32..6, 2u32..6).prop_map(|(w, h)| TopologySpec::Torus2D { w, h }),
+        (2u32..4, 2u32..4, 2u32..4).prop_map(|(x, y, z)| TopologySpec::Torus3D { x, y, z }),
+        (2u32..5).prop_map(|dim| TopologySpec::Hypercube { dim }),
+        (2u32..20).prop_map(|n| TopologySpec::Full { n }),
+    ]
+}
+
+fn arb_mapper() -> impl Strategy<Value = MapperSpec> {
+    prop_oneof![
+        Just(MapperSpec::RoundRobin),
+        Just(MapperSpec::LeastBusy {
+            status_period: None
+        }),
+        any::<u64>().prop_map(|seed| MapperSpec::Random { seed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// sum(n) is correct on arbitrary machines with arbitrary mappers and
+    /// arbitrary root placements.
+    #[test]
+    fn sum_closed_form_holds_everywhere(
+        topo in arb_topology(),
+        mapper in arb_mapper(),
+        n in 0u64..40,
+        root_seed in any::<u32>(),
+    ) {
+        let nodes = topo.num_nodes() as u32;
+        let root = root_seed % nodes;
+        let report = StackBuilder::new(SumProgram)
+            .topology(topo)
+            .mapper(mapper)
+            .run(n, root);
+        prop_assert_eq!(report.result, Some(n * (n + 1) / 2));
+    }
+
+    /// The distributed DPLL verdict matches the exhaustive oracle on
+    /// random formulas spanning SAT and UNSAT regimes, and any model it
+    /// returns satisfies the formula.
+    #[test]
+    fn distributed_dpll_matches_oracle(
+        seed in any::<u64>(),
+        vars in 4u32..10,
+        ratio_pct in 300u32..600,
+        mapper in arb_mapper(),
+    ) {
+        let clauses = (vars * ratio_pct / 100) as usize;
+        let cnf = gen::random_ksat(seed, vars, clauses, 3);
+        let oracle = brute::solve(&cnf).is_sat();
+        let report = StackBuilder::new(DpllProgram::new(Heuristic::MostFrequent))
+            .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+            .mapper(mapper)
+            .run(SubProblem::root(cnf.clone()), 0);
+        let verdict = report.result.expect("root verdict");
+        prop_assert_eq!(verdict.is_sat(), oracle);
+        if let Verdict::Sat(model) = verdict {
+            prop_assert!(check_model(&cnf, &model));
+        }
+    }
+
+    /// Message conservation on quiescent runs: sends + trigger equal
+    /// deliveries, and the queue series ends at zero.
+    #[test]
+    fn message_conservation(
+        topo in arb_topology(),
+        mapper in arb_mapper(),
+        n in 1u64..25,
+    ) {
+        let report = StackBuilder::new(SumProgram)
+            .topology(topo)
+            .mapper(mapper)
+            .halt_on_root_reply(false)
+            .run(n, 0);
+        let m = &report.metrics;
+        prop_assert_eq!(m.total_sent + 1, m.total_delivered);
+        prop_assert_eq!(m.queued_series.as_slice().last().copied(), Some(0));
+        // Activation accounting: n+1 activations, all completed.
+        prop_assert_eq!(report.rec_totals.started, n + 1);
+        prop_assert_eq!(report.rec_totals.completed, n + 1);
+    }
+}

@@ -142,12 +142,30 @@ mod tests {
 
     fn sample_items() -> Vec<Item> {
         let mut items = vec![
-            Item { weight: 3, value: 9 },
-            Item { weight: 5, value: 10 },
-            Item { weight: 2, value: 7 },
-            Item { weight: 4, value: 3 },
-            Item { weight: 6, value: 14 },
-            Item { weight: 1, value: 2 },
+            Item {
+                weight: 3,
+                value: 9,
+            },
+            Item {
+                weight: 5,
+                value: 10,
+            },
+            Item {
+                weight: 2,
+                value: 7,
+            },
+            Item {
+                weight: 4,
+                value: 3,
+            },
+            Item {
+                weight: 6,
+                value: 14,
+            },
+            Item {
+                weight: 1,
+                value: 2,
+            },
         ];
         sort_by_density(&mut items);
         items

@@ -25,6 +25,6 @@ pub mod sum;
 pub mod traversal;
 
 pub use fib::FibProgram;
-pub use knapsack::{Item, KnapsackProgram, KnapsackTask};
+pub use knapsack::{knapsack_reference, sort_by_density, Item, KnapsackProgram, KnapsackTask};
 pub use nqueens::{NQueensProgram, QueensTask};
 pub use sum::SumProgram;

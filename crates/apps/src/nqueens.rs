@@ -18,7 +18,10 @@ pub struct QueensTask {
 impl QueensTask {
     /// The empty board of size `n`.
     pub fn root(n: u8) -> QueensTask {
-        QueensTask { n, cols: Vec::new() }
+        QueensTask {
+            n,
+            cols: Vec::new(),
+        }
     }
 
     /// Whether a queen at (next row, `col`) is unattacked.

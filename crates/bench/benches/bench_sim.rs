@@ -1,5 +1,5 @@
 //! Layer-1 engine microbenchmarks: message throughput of the sequential
-//! versus rayon-parallel steppers, on light (flood-fill) and heavy
+//! versus thread-parallel steppers, on light (flood-fill) and heavy
 //! (DPLL activation) handlers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -22,9 +22,8 @@ fn main() {
         "{:>16} {:>12} {:>12} {:>14} {:>14}",
         "heuristic", "seq nodes", "seq decisions", "mesh time", "mesh messages"
     );
-    let mut csv = String::from(
-        "heuristic,seq_nodes_mean,seq_decisions_mean,mesh_time_mean,mesh_msgs_mean\n",
-    );
+    let mut csv =
+        String::from("heuristic,seq_nodes_mean,seq_decisions_mean,mesh_time_mean,mesh_msgs_mean\n");
     for h in ALL_HEURISTICS {
         let mut seq_nodes = Vec::new();
         let mut seq_decisions = Vec::new();
@@ -49,7 +48,10 @@ fn main() {
             Stats::from_slice(&mesh_times).mean,
             Stats::from_slice(&mesh_msgs).mean,
         );
-        println!("{:>16} {n:>12.1} {d:>12.1} {t:>14.1} {m:>14.1}", h.to_string());
+        println!(
+            "{:>16} {n:>12.1} {d:>12.1} {t:>14.1} {m:>14.1}",
+            h.to_string()
+        );
         csv.push_str(&format!("{h},{n:.3},{d:.3},{t:.3},{m:.3}\n"));
     }
     match write_results_csv("ablation_heuristics.csv", &csv) {

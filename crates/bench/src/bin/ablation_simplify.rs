@@ -61,7 +61,10 @@ fn main() {
             } else {
                 String::new()
             };
-            println!("{:>13} {cores:>8} {t:>14.1} {a:>14.1} {p:>12.1} {speedup:>14}", mode.to_string());
+            println!(
+                "{:>13} {cores:>8} {t:>14.1} {a:>14.1} {p:>12.1} {speedup:>14}",
+                mode.to_string()
+            );
             csv.push_str(&format!("{mode},{cores},{t:.3},{a:.3},{p:.3}\n"));
         }
     }

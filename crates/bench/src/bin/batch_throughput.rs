@@ -1,80 +1,229 @@
-//! **ABL-B** — batch throughput: many instances solved *concurrently* on
-//! one machine.
+//! **ABL-B** — batch throughput through the solver *service*.
 //!
-//! The paper solves one problem at a time, leaving large machines idle
-//! once the search tree saturates. Injecting the whole 20-instance suite
-//! at 20 different roots simultaneously measures how much of that idle
-//! capacity a batch workload can reclaim: the makespan of the concurrent
-//! batch versus the sum of solo computation times.
+//! Earlier revisions of this experiment injected a batch of SAT roots
+//! into one simulation; since the `hyperspace-service` subsystem exists,
+//! the realistic version of the question is end-to-end: how much mixed
+//! traffic (SAT + knapsack + sum, differing topologies and mappers per
+//! job) can a persistent worker pool sustain, with deadlines enforced
+//! and repeated submissions served from the result cache?
+//!
+//! The run drives 100+ mixed jobs through a >= 4-worker pool in two
+//! waves (the second wave repeats the first wave's specs, so every
+//! repeat must be a cache hit), plus one deliberately under-budgeted
+//! job that must come back timed-out without stalling the pool. Every
+//! handle is awaited and checked: no result may be lost, duplicated or
+//! wrong.
 //!
 //! Writes `results/batch_throughput.csv`.
 
-use hyperspace_bench::experiments::{paper_suite, run_sat, write_results_csv, SatRunConfig};
-use hyperspace_core::{MapperSpec, StackBuilder, TopologySpec};
-use hyperspace_sat::{DpllProgram, Heuristic, SimplifyMode, SubProblem, Verdict};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use hyperspace_apps::{knapsack_reference, sort_by_density, Item};
+use hyperspace_bench::experiments::write_results_csv;
+use hyperspace_core::{MapperSpec, TopologySpec};
+use hyperspace_sat::gen;
+use hyperspace_service::{JobKind, JobOutcome, JobRequest, JobResult, JobSpec, SolverService};
+
+/// One wave of mixed jobs: 25 SAT + 15 knapsack + 15 sum = 55 specs.
+/// (Two waves -> 110 jobs, satisfying the >= 100 mixed-job bar.)
+fn wave_requests() -> Vec<(JobRequest, Expected)> {
+    let mut jobs = Vec::new();
+
+    // SAT: distinct satisfiable uf20-91 instances, alternating machines.
+    for seed in 0..25u64 {
+        let topo = if seed % 2 == 0 {
+            TopologySpec::Torus2D { w: 14, h: 14 }
+        } else {
+            TopologySpec::Hypercube { dim: 7 }
+        };
+        let spec = JobSpec::new(JobKind::sat(gen::uf20_91(2017 + seed)))
+            .topology(topo)
+            .mapper(MapperSpec::LeastBusy {
+                status_period: None,
+            });
+        jobs.push((JobRequest::new(spec), Expected::Sat));
+    }
+
+    // Knapsack: seeded instances checked against the DP oracle.
+    for seed in 0..15u32 {
+        let mut items: Vec<Item> = (0..12)
+            .map(|i| Item {
+                weight: 1 + (seed * 7 + i * 13) % 9,
+                value: 1 + (seed * 11 + i * 5) % 17,
+            })
+            .collect();
+        sort_by_density(&mut items);
+        let capacity = 10 + seed % 13;
+        let expect = knapsack_reference(&items, capacity);
+        let spec = JobSpec::new(JobKind::knapsack(items, capacity))
+            .topology(TopologySpec::Torus2D { w: 8, h: 8 })
+            .mapper(MapperSpec::WeightAware {
+                local_threshold: 3,
+                status_period: None,
+            });
+        jobs.push((JobRequest::new(spec), Expected::Value(expect)));
+    }
+
+    // Sum: latency probes with varying priorities and root placements.
+    for i in 0..15u64 {
+        let n = 20 + i * 5;
+        let spec = JobSpec::new(JobKind::sum(n))
+            .topology(TopologySpec::Torus3D { x: 4, y: 4, z: 4 })
+            .mapper(MapperSpec::RoundRobin)
+            .root_node((i % 64) as u32);
+        let expect = n * (n + 1) / 2;
+        jobs.push((
+            JobRequest::new(spec).priority(i as i32 % 3),
+            Expected::Value(expect),
+        ));
+    }
+
+    jobs
+}
+
+/// What each job must come back with.
+#[derive(Clone, Copy, Debug)]
+enum Expected {
+    /// A SAT verdict (all instances are satisfiable by construction).
+    Sat,
+    /// An exact numeric result.
+    Value(u64),
+}
+
+fn check(result: &JobResult, expected: Expected) {
+    let summary = match &result.outcome {
+        JobOutcome::Completed(s) => s,
+        other => panic!("job {} did not complete: {other:?}", result.id),
+    };
+    let rendered = summary
+        .result
+        .as_deref()
+        .unwrap_or_else(|| panic!("job {} completed without a root result", result.id));
+    match expected {
+        Expected::Sat => assert!(
+            rendered.starts_with("Sat("),
+            "job {}: expected a SAT verdict, got {rendered}",
+            result.id
+        ),
+        Expected::Value(v) => {
+            assert_eq!(rendered, v.to_string(), "job {}: wrong result", result.id)
+        }
+    }
+}
 
 fn main() {
-    let suite = paper_suite();
-    let mapper = MapperSpec::LeastBusy {
-        status_period: None,
-    };
-    println!(
-        "{:>8} {:>16} {:>16} {:>12}",
-        "cores", "solo sum (steps)", "batch makespan", "speed-up"
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(4, 16);
+    let service = SolverService::with_workers(workers);
+    let started = Instant::now();
+
+    // A deliberately under-budgeted job, submitted first: naive fib(40)
+    // needs ~10^8 activations, far beyond its 150ms budget. It must
+    // come back TimedOut while the pool keeps serving everything else.
+    let doomed = service.submit(
+        JobRequest::new(
+            JobSpec::new(JobKind::fib(40)).topology(TopologySpec::Torus2D { w: 14, h: 14 }),
+        )
+        .deadline(Duration::from_millis(150)),
     );
-    let mut csv = String::from("cores,solo_sum,batch_makespan,speedup\n");
-    for cores in [196usize, 400, 1024] {
-        let topo = TopologySpec::torus2d_fitting(cores);
 
-        // Solo: one instance at a time (the paper's protocol).
-        let cfg = SatRunConfig::new(topo.clone(), mapper.clone());
-        let solo_sum: u64 = suite
-            .iter()
-            .map(|cnf| run_sat(cnf, &cfg).computation_time)
-            .sum();
+    // Wave 1: every spec solved for the first time.
+    let wave = wave_requests();
+    let expectations: Vec<Expected> = wave.iter().map(|(_, e)| *e).collect();
+    let first: Vec<_> = wave
+        .into_iter()
+        .map(|(req, _)| service.submit(req))
+        .collect();
+    let first_results: Vec<JobResult> = first.iter().map(|h| h.wait()).collect();
 
-        // Batch: all twenty at once, roots spread across the mesh.
-        let program =
-            DpllProgram::new(Heuristic::FirstUnassigned).with_mode(SimplifyMode::SplitOnly);
-        let mut sim = StackBuilder::new(program)
-            .topology(topo.clone())
-            .mapper(mapper.clone())
-            .halt_on_root_reply(false)
-            .build();
-        let n = topo.num_nodes() as u32;
-        // Spread roots pseudo-randomly: a regular stride can alias with the
-        // torus width and line every root up in one column.
-        for (i, cnf) in suite.iter().enumerate() {
-            let root = ((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64) as u32;
-            sim.inject(
-                root,
-                hyperspace_mapping::trigger(SubProblem::root(cnf.clone())),
-            );
-        }
-        sim.run_to_quiescence().expect("unbounded queues");
-        let makespan = sim.metrics().computation_time();
-        // Every root got a SAT verdict.
-        let verdicts: usize = (0..n)
-            .map(|node| sim.state(node).root_results.len())
-            .sum();
-        assert_eq!(verdicts, suite.len(), "every instance must be answered");
-        for node in 0..n {
-            for (_, v) in &sim.state(node).root_results {
-                assert!(matches!(v, Verdict::Sat(_)));
-            }
-        }
+    // Wave 2: identical specs again — every one must hit the cache.
+    let second: Vec<_> = wave_requests()
+        .into_iter()
+        .map(|(req, _)| service.submit(req))
+        .collect();
+    let second_results: Vec<JobResult> = second.iter().map(|h| h.wait()).collect();
 
-        let speedup = solo_sum as f64 / makespan as f64;
-        println!("{cores:>8} {solo_sum:>16} {makespan:>16} {speedup:>11.2}x");
-        csv.push_str(&format!("{cores},{solo_sum},{makespan},{speedup:.3}\n"));
+    let doomed_result = doomed.wait();
+    let elapsed = started.elapsed();
+
+    // --- Verification: nothing lost, duplicated, or wrong. ---
+    let mut seen_ids = HashSet::new();
+    for result in first_results
+        .iter()
+        .chain(second_results.iter())
+        .chain(std::iter::once(&doomed_result))
+    {
+        assert!(
+            seen_ids.insert(result.id),
+            "duplicate result id {}",
+            result.id
+        );
     }
+    let total_jobs = first_results.len() + second_results.len() + 1;
+    assert_eq!(seen_ids.len(), total_jobs, "a result was lost");
+    assert!(total_jobs > 100, "need >100 mixed jobs, got {total_jobs}");
+
+    for (result, expected) in first_results.iter().zip(&expectations) {
+        check(result, *expected);
+    }
+    let mut cache_served = 0;
+    for (result, expected) in second_results.iter().zip(&expectations) {
+        check(result, *expected);
+        if result.from_cache {
+            cache_served += 1;
+        }
+    }
+    // Wave 1 was fully awaited before wave 2 was submitted and every
+    // wave spec is cacheable, so *all* repeats must be cache hits.
+    assert_eq!(
+        cache_served,
+        second_results.len(),
+        "every wave-2 repeat must be served from the cache"
+    );
+    // Repeats are bit-identical to the original reports.
+    for (a, b) in first_results.iter().zip(&second_results) {
+        assert_eq!(
+            a.outcome.summary().unwrap(),
+            b.outcome.summary().unwrap(),
+            "cached report diverged"
+        );
+    }
+    assert_eq!(
+        doomed_result.outcome,
+        JobOutcome::TimedOut,
+        "the under-budgeted job must time out"
+    );
+
+    let stats = service.shutdown();
+    assert_eq!(stats.cache_hits as usize, cache_served);
+    assert_eq!(stats.timed_out, 1);
+    assert_eq!(stats.completed as usize, total_jobs - 1);
+
+    println!("{stats}");
+    println!(
+        "drove {total_jobs} mixed jobs ({} SAT, {} knapsack, {} sum x2 waves + 1 doomed fib) \
+         through {workers} workers in {elapsed:.2?}",
+        25, 15, 15
+    );
+    println!(
+        "cache served {cache_served}/{} repeats; deadline job timed out without stalling the pool",
+        second_results.len()
+    );
+
+    let csv = format!(
+        "workers,jobs,elapsed_s,throughput_jobs_per_s,cache_hits,timed_out\n{},{},{:.3},{:.1},{},{}\n",
+        workers,
+        total_jobs,
+        elapsed.as_secs_f64(),
+        stats.throughput(),
+        stats.cache_hits,
+        stats.timed_out
+    );
     match write_results_csv("batch_throughput.csv", &csv) {
         Ok(p) => println!("wrote {}", p.display()),
         Err(e) => eprintln!("could not write CSV: {e}"),
     }
-    println!(
-        "\nReading: concurrent instances interleave on the mesh, reclaiming\n\
-         capacity that a single search tree cannot occupy — the speed-up is\n\
-         the batch parallel efficiency of the machine."
-    );
 }

@@ -10,8 +10,7 @@
 //! Usage: `cargo run --release -p hyperspace-bench --bin fig4_scaling`
 
 use hyperspace_bench::experiments::{
-    fig4_curves, paper_suite, suite_performance, write_results_csv, SatRunConfig,
-    FIG4_CORE_COUNTS,
+    fig4_curves, paper_suite, suite_performance, write_results_csv, SatRunConfig, FIG4_CORE_COUNTS,
 };
 use hyperspace_metrics::{ascii, csv};
 
@@ -32,8 +31,7 @@ fn main() {
         for (i, topo) in topos.iter().enumerate() {
             let cfg = SatRunConfig::new(topo.clone(), mapper.clone());
             let (stats, perfs) = suite_performance(&suite, &cfg);
-            let mean_time: f64 =
-                perfs.iter().map(|p| 1.0 / p).sum::<f64>() / perfs.len() as f64;
+            let mean_time: f64 = perfs.iter().map(|p| 1.0 / p).sum::<f64>() / perfs.len() as f64;
             ys.push(stats.mean);
             csv_out.push_str(&format!(
                 "{label},{},{},{},{},{},{}\n",

@@ -71,7 +71,10 @@ fn main() {
         println!("{}", ascii::render_multi_chart(&shown, 64, 12));
 
         // Spatial unfolding: heatmap of deliveries (Figure 5 bottom).
-        println!("total messages delivered per node (problem 0), spread={:.3}:", heatmap.spread());
+        println!(
+            "total messages delivered per node (problem 0), spread={:.3}:",
+            heatmap.spread()
+        );
         println!("{}", ascii::render_heatmap(&heatmap));
 
         // CSVs: queue traces (column per problem) and the heatmap.

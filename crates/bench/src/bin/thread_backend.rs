@@ -1,6 +1,6 @@
 //! **PERF** — layer-1 interchangeability demo: the same `NodeProgram`
-//! run on the time-stepped simulator and on the crossbeam threaded
-//! backend, plus the rayon-parallel stepper. Reports wall-clock times.
+//! run on the time-stepped simulator and on the channel-based threaded
+//! backend, plus the thread-parallel stepper. Reports wall-clock times.
 
 use std::time::Instant;
 

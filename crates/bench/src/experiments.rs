@@ -22,7 +22,7 @@ pub struct SatRunConfig {
     pub cancellation: bool,
     /// Node receiving the trigger.
     pub root: NodeId,
-    /// rayon-parallel stepping.
+    /// Thread-parallel stepping.
     pub parallel: bool,
     /// End the run at the root verdict instead of draining to quiescence.
     /// Required when status broadcasts are enabled (they keep the machine

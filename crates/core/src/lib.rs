@@ -33,6 +33,8 @@ mod report;
 mod spec;
 mod stack;
 
-pub use report::RecRunReport;
-pub use spec::{MapperSpec, TopologySpec};
-pub use stack::{summarise, StackBuilder, StackProgram, StackSim};
+pub use report::{RecRunReport, RunSummary};
+pub use spec::{MapperSpec, SpecParseError, TopologySpec};
+pub use stack::{summarise, ErasedStackJob, JobParams, StackBuilder, StackProgram, StackSim};
+
+pub use hyperspace_sim::StopHandle;

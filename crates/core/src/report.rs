@@ -42,6 +42,56 @@ impl<Out> RecRunReport<Out> {
     }
 }
 
+impl<Out: std::fmt::Debug> RecRunReport<Out> {
+    /// Collapses this report into a type-erased [`RunSummary`].
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            result: self.result.as_ref().map(|r| format!("{r:?}")),
+            outcome: self.outcome,
+            steps: self.steps,
+            computation_time: self.computation_time,
+            total_sent: self.metrics.total_sent,
+            total_delivered: self.metrics.total_delivered,
+            activations_started: self.rec_totals.started,
+            activations_completed: self.rec_totals.completed,
+        }
+    }
+}
+
+/// A type-erased summary of one stack run: what a multi-tenant service
+/// stores, caches and hands back for jobs of arbitrary program types.
+///
+/// The root result is rendered via `Debug` (programs choose their `Out`
+/// types; the service cannot know them), and only scalar counters are
+/// kept — full [`RecRunReport`]s carry per-node series that are too big
+/// to cache per job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunSummary {
+    /// `Debug` rendering of the root result, if one arrived.
+    pub result: Option<String>,
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+    /// Steps executed.
+    pub steps: u64,
+    /// §V-C computation time.
+    pub computation_time: u64,
+    /// Total messages sent across the mesh.
+    pub total_sent: u64,
+    /// Total messages delivered across the mesh.
+    pub total_delivered: u64,
+    /// Layer-4 activations started.
+    pub activations_started: u64,
+    /// Layer-4 activations completed.
+    pub activations_completed: u64,
+}
+
+impl RunSummary {
+    /// Whether the run produced a root result.
+    pub fn has_result(&self) -> bool {
+        self.result.is_some()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,9 +4,7 @@ use hyperspace_mapping::{
     GlobalRandomMapper, LeastBusyMapper, Mapper, MapperFactory, RandomMapper, RoundRobinMapper,
     WeightAwareMapper,
 };
-use hyperspace_topology::{
-    FullyConnected, Grid, Hypercube, NodeId, Ring, Topology, Torus,
-};
+use hyperspace_topology::{FullyConnected, Grid, Hypercube, NodeId, Ring, Topology, Torus};
 
 /// Machine topologies, as evaluated in §V-A (plus extras).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -85,6 +83,92 @@ impl TopologySpec {
             x: side,
             y: side,
             z: side,
+        }
+    }
+}
+
+/// Error parsing a [`TopologySpec`] or [`MapperSpec`] from a string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecParseError(String);
+
+impl std::fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecParseError {}
+
+fn parse_dims(text: &str, spec: &str) -> Result<Vec<u32>, SpecParseError> {
+    let dims: Result<Vec<u32>, _> = text.split('x').map(str::parse::<u32>).collect();
+    match dims {
+        Ok(dims) if !dims.is_empty() && dims.iter().all(|&d| d > 0) => Ok(dims),
+        _ => Err(SpecParseError(format!(
+            "{spec:?}: expected positive dimensions like 4x4, got {text:?}"
+        ))),
+    }
+}
+
+fn parse_scalar(text: &str, spec: &str) -> Result<u32, SpecParseError> {
+    text.parse::<u32>()
+        .map_err(|_| SpecParseError(format!("{spec:?}: expected a number, got {text:?}")))
+}
+
+impl std::fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let join = |dims: &[u32]| {
+            dims.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x")
+        };
+        match self {
+            TopologySpec::Torus2D { w, h } => write!(f, "torus2d:{w}x{h}"),
+            TopologySpec::Torus3D { x, y, z } => write!(f, "torus3d:{x}x{y}x{z}"),
+            TopologySpec::Torus(dims) => write!(f, "torus:{}", join(dims)),
+            TopologySpec::Grid(dims) => write!(f, "grid:{}", join(dims)),
+            TopologySpec::Hypercube { dim } => write!(f, "hypercube:{dim}"),
+            TopologySpec::Ring { n } => write!(f, "ring:{n}"),
+            TopologySpec::Full { n } => write!(f, "full:{n}"),
+        }
+    }
+}
+
+impl std::str::FromStr for TopologySpec {
+    type Err = SpecParseError;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax: `torus2d:14x14`,
+    /// `torus3d:6x6x6`, `torus:2x3x4`, `grid:4x8`, `hypercube:5`,
+    /// `ring:9`, `full:64`.
+    fn from_str(s: &str) -> Result<Self, SpecParseError> {
+        let (name, args) = s
+            .split_once(':')
+            .ok_or_else(|| SpecParseError(format!("{s:?}: expected name:dims")))?;
+        match name {
+            "torus2d" => match parse_dims(args, s)?.as_slice() {
+                [w, h] => Ok(TopologySpec::Torus2D { w: *w, h: *h }),
+                _ => Err(SpecParseError(format!("{s:?}: torus2d takes WxH"))),
+            },
+            "torus3d" => match parse_dims(args, s)?.as_slice() {
+                [x, y, z] => Ok(TopologySpec::Torus3D {
+                    x: *x,
+                    y: *y,
+                    z: *z,
+                }),
+                _ => Err(SpecParseError(format!("{s:?}: torus3d takes XxYxZ"))),
+            },
+            "torus" => Ok(TopologySpec::Torus(parse_dims(args, s)?)),
+            "grid" => Ok(TopologySpec::Grid(parse_dims(args, s)?)),
+            "hypercube" => Ok(TopologySpec::Hypercube {
+                dim: parse_scalar(args, s)?,
+            }),
+            "ring" => Ok(TopologySpec::Ring {
+                n: parse_scalar(args, s)?,
+            }),
+            "full" => Ok(TopologySpec::Full {
+                n: parse_scalar(args, s)?,
+            }),
+            other => Err(SpecParseError(format!("unknown topology {other:?}"))),
         }
     }
 }
@@ -175,6 +259,73 @@ impl MapperSpec {
     }
 }
 
+impl std::fmt::Display for MapperSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapperSpec::RoundRobin => f.write_str("round-robin"),
+            MapperSpec::LeastBusy { status_period } => match status_period {
+                Some(p) => write!(f, "least-busy:{p}"),
+                None => f.write_str("least-busy"),
+            },
+            MapperSpec::Random { seed } => write!(f, "random:{seed}"),
+            MapperSpec::GlobalRandom { seed } => write!(f, "global-random:{seed}"),
+            MapperSpec::WeightAware {
+                local_threshold,
+                status_period,
+            } => match status_period {
+                Some(p) => write!(f, "weight-aware:{local_threshold}:{p}"),
+                None => write!(f, "weight-aware:{local_threshold}"),
+            },
+        }
+    }
+}
+
+impl std::str::FromStr for MapperSpec {
+    type Err = SpecParseError;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax: `round-robin`,
+    /// `least-busy`, `least-busy:PERIOD`, `random:SEED`,
+    /// `global-random:SEED`, `weight-aware:THRESHOLD[:PERIOD]`.
+    fn from_str(s: &str) -> Result<Self, SpecParseError> {
+        let mut parts = s.split(':');
+        let name = parts.next().unwrap_or_default();
+        let args: Vec<&str> = parts.collect();
+        let scalar = |text: &str| -> Result<u64, SpecParseError> {
+            text.parse::<u64>()
+                .map_err(|_| SpecParseError(format!("{s:?}: expected a number, got {text:?}")))
+        };
+        let threshold = |text: &str| -> Result<u32, SpecParseError> {
+            text.parse::<u32>().map_err(|_| {
+                SpecParseError(format!("{s:?}: expected a 32-bit threshold, got {text:?}"))
+            })
+        };
+        match (name, args.as_slice()) {
+            ("round-robin", []) => Ok(MapperSpec::RoundRobin),
+            ("least-busy", []) => Ok(MapperSpec::LeastBusy {
+                status_period: None,
+            }),
+            ("least-busy", [p]) => Ok(MapperSpec::LeastBusy {
+                status_period: Some(scalar(p)?),
+            }),
+            ("random", [seed]) => Ok(MapperSpec::Random {
+                seed: scalar(seed)?,
+            }),
+            ("global-random", [seed]) => Ok(MapperSpec::GlobalRandom {
+                seed: scalar(seed)?,
+            }),
+            ("weight-aware", [thr]) => Ok(MapperSpec::WeightAware {
+                local_threshold: threshold(thr)?,
+                status_period: None,
+            }),
+            ("weight-aware", [thr, p]) => Ok(MapperSpec::WeightAware {
+                local_threshold: threshold(thr)?,
+                status_period: Some(scalar(p)?),
+            }),
+            _ => Err(SpecParseError(format!("unknown mapper {s:?}"))),
+        }
+    }
+}
+
 /// A [`MapperFactory`] whose product type is erased, letting one stack
 /// type serve every policy.
 pub struct BoxedMapperFactory {
@@ -197,10 +348,7 @@ mod tests {
     #[test]
     fn topology_specs_build() {
         assert_eq!(TopologySpec::Torus2D { w: 14, h: 14 }.num_nodes(), 196);
-        assert_eq!(
-            TopologySpec::Torus3D { x: 6, y: 6, z: 6 }.num_nodes(),
-            216
-        );
+        assert_eq!(TopologySpec::Torus3D { x: 6, y: 6, z: 6 }.num_nodes(), 216);
         assert_eq!(TopologySpec::Hypercube { dim: 5 }.num_nodes(), 32);
         assert_eq!(TopologySpec::Full { n: 100 }.num_nodes(), 100);
         assert_eq!(TopologySpec::Ring { n: 9 }.num_nodes(), 9);
@@ -252,6 +400,83 @@ mod tests {
             let mut mapper = factory.build(3, 4);
             assert_eq!(mapper.name(), name);
             let _ = mapper.choose(&view);
+        }
+    }
+
+    #[test]
+    fn topology_spec_display_round_trips() {
+        let specs = [
+            TopologySpec::Torus2D { w: 14, h: 14 },
+            TopologySpec::Torus3D { x: 6, y: 6, z: 6 },
+            TopologySpec::Torus(vec![2, 3, 4]),
+            TopologySpec::Grid(vec![4, 8]),
+            TopologySpec::Hypercube { dim: 5 },
+            TopologySpec::Ring { n: 9 },
+            TopologySpec::Full { n: 64 },
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            let parsed: TopologySpec = text.parse().unwrap_or_else(|e| {
+                panic!("{text:?} failed to parse: {e}");
+            });
+            assert_eq!(parsed, spec, "round-trip through {text:?}");
+        }
+    }
+
+    #[test]
+    fn mapper_spec_display_round_trips() {
+        let specs = [
+            MapperSpec::RoundRobin,
+            MapperSpec::LeastBusy {
+                status_period: None,
+            },
+            MapperSpec::LeastBusy {
+                status_period: Some(8),
+            },
+            MapperSpec::Random { seed: 42 },
+            MapperSpec::GlobalRandom { seed: 7 },
+            MapperSpec::WeightAware {
+                local_threshold: 4,
+                status_period: None,
+            },
+            MapperSpec::WeightAware {
+                local_threshold: 4,
+                status_period: Some(16),
+            },
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            let parsed: MapperSpec = text.parse().unwrap_or_else(|e| {
+                panic!("{text:?} failed to parse: {e}");
+            });
+            assert_eq!(parsed, spec, "round-trip through {text:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "torus2d",
+            "torus2d:",
+            "torus2d:4",
+            "torus2d:4x0",
+            "torus2d:4x4x4",
+            "mobius:4",
+            "hypercube:x",
+            "torus:",
+        ] {
+            assert!(bad.parse::<TopologySpec>().is_err(), "{bad:?} should fail");
+        }
+        for bad in [
+            "",
+            "least-busy:x",
+            "random",
+            "weight-aware",
+            "rr:1",
+            // Out of u32 range: must be rejected, not truncated.
+            "weight-aware:4294967296",
+        ] {
+            assert!(bad.parse::<MapperSpec>().is_err(), "{bad:?} should fail");
         }
     }
 

@@ -1,10 +1,10 @@
 //! [`StackBuilder`]: wire layers 1–4 around a recursive program and run it.
 
-use hyperspace_mapping::{MapConfig, MappingHost, MapState};
+use hyperspace_mapping::{MapConfig, MapState, MappingHost};
 use hyperspace_recursion::{RecProgram, RecState, RecursionHost};
-use hyperspace_sim::{NodeId, RunOutcome, SimConfig, Simulation, Topology};
+use hyperspace_sim::{NodeId, RunOutcome, SimConfig, Simulation, StopHandle, Topology};
 
-use crate::report::RecRunReport;
+use crate::report::{RecRunReport, RunSummary};
 use crate::spec::{BoxedMapperFactory, MapperSpec, TopologySpec};
 
 /// The concrete layer-1 program type of an assembled stack.
@@ -80,7 +80,7 @@ impl<P: RecProgram> StackBuilder<P> {
         self
     }
 
-    /// Runs the handler phase on a rayon thread pool (bit-identical
+    /// Runs the handler phase on a thread pool (bit-identical
     /// results, faster for large meshes).
     pub fn parallel(mut self, on: bool) -> Self {
         self.sim.parallel = on;
@@ -90,6 +90,26 @@ impl<P: RecProgram> StackBuilder<P> {
     /// Safety cap on simulated steps.
     pub fn max_steps(mut self, steps: u64) -> Self {
         self.sim.max_steps = steps;
+        self
+    }
+
+    /// Attaches a cooperative stop handle: when it trips (external
+    /// cancellation or its wall-clock deadline), the run ends with
+    /// [`RunOutcome::Stopped`] instead of running to completion.
+    pub fn stop(mut self, handle: StopHandle) -> Self {
+        self.sim.stop = Some(handle);
+        self
+    }
+
+    /// Bounds the run to `budget` of wall-clock time from now, keeping
+    /// any stop handle already attached: its explicit flag still works,
+    /// and if it already carries a *tighter* deadline, that one wins.
+    pub fn deadline(mut self, budget: std::time::Duration) -> Self {
+        let deadline = std::time::Instant::now() + budget;
+        self.sim.stop = Some(match self.sim.stop.take() {
+            Some(handle) => handle.until(deadline),
+            None => StopHandle::with_deadline(deadline),
+        });
         self
     }
 
@@ -157,9 +177,7 @@ pub fn summarise<P: RecProgram>(
         status_total += st.status_in;
         cancels_total += st.cancels_in;
     }
-    let result = sim.states()[root_node as usize]
-        .root_result()
-        .cloned();
+    let result = sim.states()[root_node as usize].root_result().cloned();
     let computation_time = sim.metrics().computation_time();
     let (_states, metrics) = sim.into_parts();
     RecRunReport {
@@ -173,6 +191,84 @@ pub fn summarise<P: RecProgram>(
         replies_total,
         status_total,
         cancels_total,
+    }
+}
+
+/// Machine/run parameters applied to an [`ErasedStackJob`] at execution
+/// time: the part of a job a *service* decides per request, separate from
+/// the program + argument the submitter provides.
+#[derive(Clone, Debug)]
+pub struct JobParams {
+    /// Machine topology to assemble.
+    pub topology: TopologySpec,
+    /// Mapping policy.
+    pub mapper: MapperSpec,
+    /// Withdraw losing speculative branches (layer-4 cancellation).
+    pub cancellation: bool,
+    /// Safety cap on simulated steps.
+    pub max_steps: u64,
+    /// Node receiving the trigger.
+    pub root_node: NodeId,
+    /// Cooperative stop/deadline control.
+    pub stop: Option<StopHandle>,
+}
+
+impl Default for JobParams {
+    fn default() -> Self {
+        JobParams {
+            topology: TopologySpec::Torus2D { w: 14, h: 14 },
+            mapper: MapperSpec::LeastBusy {
+                status_period: None,
+            },
+            cancellation: false,
+            max_steps: 1_000_000,
+            root_node: 0,
+            stop: None,
+        }
+    }
+}
+
+/// A type-erased solver job: any [`RecProgram`] plus its root argument,
+/// boxed behind one uniform "run with these parameters" closure.
+///
+/// This is what lets a single worker pool host SAT, knapsack, n-queens
+/// and arbitrary user programs side by side: the pool sees only
+/// `ErasedStackJob`s and [`RunSummary`]s.
+pub struct ErasedStackJob {
+    run: Box<dyn FnOnce(&JobParams) -> RunSummary + Send + 'static>,
+}
+
+impl ErasedStackJob {
+    /// Erases `program(root_arg)` into a uniform job.
+    pub fn new<P>(program: P, root_arg: P::Arg) -> Self
+    where
+        P: RecProgram,
+        P::Out: std::fmt::Debug,
+    {
+        ErasedStackJob {
+            run: Box::new(move |params: &JobParams| {
+                let mut builder = StackBuilder::new(program)
+                    .topology(params.topology.clone())
+                    .mapper(params.mapper.clone())
+                    .cancellation(params.cancellation)
+                    .max_steps(params.max_steps);
+                if let Some(stop) = params.stop.clone() {
+                    builder = builder.stop(stop);
+                }
+                builder.run(root_arg, params.root_node).summary()
+            }),
+        }
+    }
+
+    /// Assembles the stack and runs the job.
+    pub fn run(self, params: &JobParams) -> RunSummary {
+        (self.run)(params)
+    }
+}
+
+impl std::fmt::Debug for ErasedStackJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ErasedStackJob(..)")
     }
 }
 
@@ -272,10 +368,60 @@ mod tests {
     }
 
     #[test]
+    fn tripped_stop_handle_interrupts_run() {
+        let stop = StopHandle::new();
+        stop.stop();
+        let report = StackBuilder::new(sum_program())
+            .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+            .stop(stop)
+            .run(1000, 0);
+        assert_eq!(report.outcome, RunOutcome::Stopped);
+        assert_eq!(report.result, None);
+    }
+
+    #[test]
+    fn expired_deadline_stops_immediately() {
+        let report = StackBuilder::new(sum_program())
+            .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+            .deadline(std::time::Duration::ZERO)
+            .run(1000, 0);
+        assert_eq!(report.outcome, RunOutcome::Stopped);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_interfere() {
+        let report = StackBuilder::new(sum_program())
+            .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+            .deadline(std::time::Duration::from_secs(3600))
+            .run(10, 0);
+        assert_eq!(report.result, Some(55));
+        assert_eq!(report.outcome, RunOutcome::Halted);
+    }
+
+    #[test]
+    fn erased_job_matches_typed_run() {
+        let params = JobParams {
+            topology: TopologySpec::Torus2D { w: 4, h: 4 },
+            mapper: MapperSpec::RoundRobin,
+            ..JobParams::default()
+        };
+        let job = ErasedStackJob::new(sum_program(), 10);
+        let summary = job.run(&params);
+        assert_eq!(summary.result.as_deref(), Some("55"));
+        let typed = StackBuilder::new(sum_program())
+            .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+            .mapper(MapperSpec::RoundRobin)
+            .run(10, 0);
+        assert_eq!(typed.summary(), summary);
+    }
+
+    #[test]
     fn parallel_stepping_matches_sequential() {
+        // 144 nodes: above the engine's parallel fallback threshold, so
+        // the parallel run really forks threads.
         let run = |parallel: bool| {
             StackBuilder::new(sum_program())
-                .topology(TopologySpec::Torus3D { x: 3, y: 3, z: 3 })
+                .topology(TopologySpec::Torus2D { w: 12, h: 12 })
                 .mapper(MapperSpec::LeastBusy {
                     status_period: None,
                 })

@@ -5,7 +5,7 @@ use std::collections::HashSet;
 
 use hyperspace_sim::{InitCtx, NodeId, NodeProgram, Outbox};
 
-use crate::mapper::{Mapper, MapperFactory, MapView, Target};
+use crate::mapper::{MapView, Mapper, MapperFactory, Target};
 use crate::msg::{MapMsg, MapPayload, Weight};
 use crate::ticket::Ticket;
 
@@ -330,7 +330,8 @@ where
             MapPayload::Request { ticket, req, .. } => {
                 state.requests_in += 1;
                 let mut ctx = ctx!();
-                self.handler.on_request(&mut state.app, req, ticket, &mut ctx);
+                self.handler
+                    .on_request(&mut state.app, req, ticket, &mut ctx);
             }
             MapPayload::Reply { ticket, resp } => {
                 state.replies_in += 1;
@@ -342,7 +343,8 @@ where
                     }
                 } else {
                     let mut ctx = ctx!();
-                    self.handler.on_reply(&mut state.app, ticket, resp, &mut ctx);
+                    self.handler
+                        .on_reply(&mut state.app, ticket, resp, &mut ctx);
                 }
             }
             MapPayload::Trigger { req } => {

@@ -32,7 +32,7 @@ mod ticket;
 
 pub use host::{trigger, CallCtx, MapConfig, MapState, MappingHost, TicketHandler};
 pub use mapper::{
-    GlobalRandomMapper, LeastBusyMapper, Mapper, MapperFactory, MapView, RandomMapper,
+    GlobalRandomMapper, LeastBusyMapper, MapView, Mapper, MapperFactory, RandomMapper,
     RoundRobinMapper, Target, WeightAwareMapper,
 };
 pub use msg::{MapMsg, MapPayload, Weight};

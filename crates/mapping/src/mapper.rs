@@ -225,7 +225,7 @@ impl RandomMapper {
     /// A factory giving each node an independent deterministic stream.
     pub fn factory(seed: u64) -> impl MapperFactory<M = Self> {
         move |node: NodeId, _degree: usize| {
-            RandomMapper::new(seed ^ ((node as u64) .wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            RandomMapper::new(seed ^ ((node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
         }
     }
 }
@@ -351,10 +351,7 @@ mod tests {
     fn round_robin_cycles_ports() {
         let mut m = RoundRobinMapper::new();
         let order: Vec<Target> = (0..6).map(|_| m.choose(&view(4))).collect();
-        assert_eq!(
-            order,
-            [0, 1, 2, 3, 0, 1].map(Target::Port).to_vec()
-        );
+        assert_eq!(order, [0, 1, 2, 3, 0, 1].map(Target::Port).to_vec());
     }
 
     #[test]
@@ -427,7 +424,12 @@ mod tests {
     #[test]
     fn weight_aware_keeps_small_work_local() {
         let mut m = WeightAwareMapper::new(4, 5);
-        let v = |hint| MapView { degree: 4, num_nodes: 64, local_load: 0, hint };
+        let v = |hint| MapView {
+            degree: 4,
+            num_nodes: 64,
+            local_load: 0,
+            hint,
+        };
         assert_eq!(m.choose(&v(2)), Target::Local);
         assert!(matches!(m.choose(&v(9)), Target::Port(_)));
         // Hint 0 (no estimate) is treated as heavy: delegate.

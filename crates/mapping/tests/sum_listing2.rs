@@ -5,8 +5,8 @@
 use std::collections::HashMap;
 
 use hyperspace_mapping::{
-    CallCtx, LeastBusyMapper, MapConfig, MappingHost, RandomMapper, RoundRobinMapper,
-    Ticket, TicketHandler,
+    CallCtx, LeastBusyMapper, MapConfig, MappingHost, RandomMapper, RoundRobinMapper, Ticket,
+    TicketHandler,
 };
 use hyperspace_sim::{NodeId, RunOutcome, SimConfig, Simulation};
 use hyperspace_topology::{Hypercube, Torus};
@@ -113,7 +113,11 @@ fn sum_chain_takes_two_steps_per_level() {
 
 #[test]
 fn sum_on_hypercube() {
-    let host = MappingHost::new(SumHandler, RoundRobinMapper::factory(), MapConfig::default());
+    let host = MappingHost::new(
+        SumHandler,
+        RoundRobinMapper::factory(),
+        MapConfig::default(),
+    );
     let mut sim = Simulation::new(Hypercube::new(4), host, SimConfig::default());
     sim.inject(5, hyperspace_mapping::trigger(12));
     sim.run_to_quiescence().unwrap();

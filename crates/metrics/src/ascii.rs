@@ -133,11 +133,7 @@ pub fn render_heatmap(map: &Heatmap) -> String {
 
 /// Renders a log-log scatter table (Figure 4 style): one row per x value,
 /// one column per labelled series, `NaN`-safe.
-pub fn render_loglog_table(
-    x_label: &str,
-    xs: &[usize],
-    series: &[(&str, &[f64])],
-) -> String {
+pub fn render_loglog_table(x_label: &str, xs: &[usize], series: &[(&str, &[f64])]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{x_label:>12}"));
     for (name, _) in series {

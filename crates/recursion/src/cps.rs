@@ -218,8 +218,7 @@ mod tests {
             if n < 2 {
                 Rec::done(n)
             } else {
-                Rec::call_all(vec![n - 1, n - 2])
-                    .then_all(|rs| Rec::done(rs[0] + rs[1]))
+                Rec::call_all(vec![n - 1, n - 2]).then_all(|rs| Rec::done(rs[0] + rs[1]))
             }
         });
         let expect = [0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55];
@@ -238,10 +237,9 @@ mod tests {
                 let root = (v as f64).sqrt() as u64;
                 Rec::done(if root * root == v { v } else { u64::MAX })
             } else {
-                Rec::call_any(
-                    vec![100 + probe, 100 + probe + 1, 100 + probe + 2],
-                    |r| *r != u64::MAX,
-                )
+                Rec::call_any(vec![100 + probe, 100 + probe + 1, 100 + probe + 2], |r| {
+                    *r != u64::MAX
+                })
                 .then_any(|r| Rec::done(r.unwrap_or(0)))
             }
         });
@@ -259,9 +257,8 @@ mod tests {
             if n == 0 {
                 Rec::done(1)
             } else {
-                Rec::call(0).then(move |a: u32| {
-                    Rec::call(0).then(move |b: u32| Rec::done(a + b + n))
-                })
+                Rec::call(0)
+                    .then(move |a: u32| Rec::call(0).then(move |b: u32| Rec::done(a + b + n)))
             }
         });
         assert_eq!(eval_local(&two_phase, 5), 7);

@@ -303,9 +303,7 @@ impl<P: RecProgram> TicketHandler for RecursionHost<P> {
 mod tests {
     use super::*;
     use crate::cps::{FnProgram, Rec};
-    use hyperspace_mapping::{
-        trigger, LeastBusyMapper, MapConfig, MappingHost, RoundRobinMapper,
-    };
+    use hyperspace_mapping::{trigger, LeastBusyMapper, MapConfig, MappingHost, RoundRobinMapper};
     use hyperspace_sim::{SimConfig, Simulation};
     use hyperspace_topology::{Hypercube, Torus};
 

@@ -45,7 +45,6 @@ struct TrailEntry {
 
 struct Solver {
     clauses: Vec<Clause>,
-    num_vars: u32,
     values: Vec<Option<bool>>,
     trail: Vec<TrailEntry>,
     /// Trail indices where each decision level starts.
@@ -63,7 +62,6 @@ impl Solver {
     fn new(cnf: &Cnf) -> Solver {
         Solver {
             clauses: cnf.clauses().to_vec(),
-            num_vars: cnf.num_vars(),
             values: vec![None; cnf.num_vars() as usize],
             trail: Vec::with_capacity(cnf.num_vars() as usize),
             level_starts: Vec::new(),

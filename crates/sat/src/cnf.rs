@@ -243,7 +243,13 @@ impl Cnf {
             .clauses
             .iter()
             .filter(|c| !c.contains(satisfied))
-            .map(|c| c.lits().iter().copied().filter(|&l| l != falsified).collect())
+            .map(|c| {
+                c.lits()
+                    .iter()
+                    .copied()
+                    .filter(|&l| l != falsified)
+                    .collect()
+            })
             .collect();
         Cnf {
             num_vars: self.num_vars,

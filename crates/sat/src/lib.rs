@@ -37,5 +37,5 @@ pub mod simplify;
 pub use cnf::{check_model, Assignment, Clause, Cnf, Lit, Model, Var};
 pub use dpll::{SatResult, SolveStats};
 pub use heuristics::Heuristic;
-pub use simplify::{Simplified, SimplifyMode};
 pub use program::{DpllProgram, SubProblem, Verdict};
+pub use simplify::{Simplified, SimplifyMode};

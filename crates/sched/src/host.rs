@@ -97,8 +97,7 @@ impl<P: Process> NodeSched<P> {
     fn ensure_slot(&mut self, id: u32) {
         if id as usize >= self.slots.len() {
             self.slots.resize_with(id as usize + 1, || None);
-            self.mailboxes
-                .resize_with(id as usize + 1, VecDeque::new);
+            self.mailboxes.resize_with(id as usize + 1, VecDeque::new);
         }
     }
 

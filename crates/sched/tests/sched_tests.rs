@@ -55,8 +55,22 @@ fn messages_to_dead_processes_are_dropped() {
     }
     let host = SchedulerHost::new(|_n, _c| vec![OneShot], SchedPolicy::Fifo);
     let mut sim = Simulation::new(Ring::new(3), host, SimConfig::default());
-    sim.inject(0, SchedMsg { src_proc: 0, dst_proc: 0, inner: 1 });
-    sim.inject(0, SchedMsg { src_proc: 0, dst_proc: 0, inner: 2 });
+    sim.inject(
+        0,
+        SchedMsg {
+            src_proc: 0,
+            dst_proc: 0,
+            inner: 1,
+        },
+    );
+    sim.inject(
+        0,
+        SchedMsg {
+            src_proc: 0,
+            dst_proc: 0,
+            inner: 2,
+        },
+    );
     sim.run_to_quiescence().unwrap();
     let sched = sim.state(0);
     assert_eq!(sched.live_processes(), 0);
@@ -84,7 +98,14 @@ fn spawn_creates_addressable_processes() {
     }
     let host = SchedulerHost::new(|_n, _c| vec![Root { child_payload: 0 }], SchedPolicy::Fifo);
     let mut sim = Simulation::new(Ring::new(3), host, SimConfig::default());
-    sim.inject(2, SchedMsg { src_proc: 0, dst_proc: 0, inner: 21 });
+    sim.inject(
+        2,
+        SchedMsg {
+            src_proc: 0,
+            dst_proc: 0,
+            inner: 21,
+        },
+    );
     sim.run_to_quiescence().unwrap();
     let sched = sim.state(2);
     assert_eq!(sched.live_processes(), 2);
@@ -113,7 +134,14 @@ fn remote_ping_pong_between_processes() {
     }
     let host = SchedulerHost::new(|_n, _c| vec![Ping { seen: Vec::new() }], SchedPolicy::Fifo);
     let mut sim = Simulation::new(Ring::new(3), host, SimConfig::default());
-    sim.inject(0, SchedMsg { src_proc: 0, dst_proc: 0, inner: 5 });
+    sim.inject(
+        0,
+        SchedMsg {
+            src_proc: 0,
+            dst_proc: 0,
+            inner: 5,
+        },
+    );
     sim.run_to_quiescence().unwrap();
     assert_eq!(sim.state(0).process(0).unwrap().seen, vec![5, 3, 1]);
     assert_eq!(sim.state(1).process(0).unwrap().seen, vec![4, 2, 0]);
@@ -181,7 +209,10 @@ fn fifo_services_in_arrival_order() {
 
 #[test]
 fn round_robin_alternates_processes() {
-    assert_eq!(service_order(SchedPolicy::RoundRobin), vec![0, 1, 2, 0, 1, 2]);
+    assert_eq!(
+        service_order(SchedPolicy::RoundRobin),
+        vec![0, 1, 2, 0, 1, 2]
+    );
 }
 
 #[test]
@@ -208,7 +239,14 @@ fn local_sends_cost_no_interconnect_traffic() {
     }
     let host = SchedulerHost::new(|_n, _c| vec![Relay, Relay], SchedPolicy::Fifo);
     let mut sim = Simulation::new(Torus::new_2d(4, 4), host, SimConfig::default());
-    sim.inject(5, SchedMsg { src_proc: 0, dst_proc: 0, inner: 0 });
+    sim.inject(
+        5,
+        SchedMsg {
+            src_proc: 0,
+            dst_proc: 0,
+            inner: 0,
+        },
+    );
     let report = sim.run_to_quiescence().unwrap();
     // The whole local cascade resolves within the trigger's step.
     assert_eq!(report.steps, 1);

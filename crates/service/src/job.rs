@@ -1,0 +1,411 @@
+//! Job specifications: what a tenant submits to the service.
+//!
+//! A [`JobSpec`] is the *full* description of one solve — the workload
+//! ([`JobKind`]) plus the machine/run configuration (topology, mapper,
+//! cancellation, step cap, root placement). Two submissions with equal
+//! specs are the same computation, which is what makes the service's
+//! result cache sound: [`JobSpec::cache_key`] renders the spec into a
+//! canonical string (erased user programs are opaque and therefore
+//! uncacheable).
+
+use std::time::Duration;
+
+use hyperspace_apps::{
+    FibProgram, Item, KnapsackProgram, KnapsackTask, NQueensProgram, QueensTask, SumProgram,
+};
+use hyperspace_core::{ErasedStackJob, JobParams, MapperSpec, RunSummary, TopologySpec};
+use hyperspace_recursion::RecProgram;
+use hyperspace_sat::{dimacs, Cnf, DpllProgram, Heuristic, SimplifyMode, SubProblem};
+
+/// The workload of one job: which program runs and on what input.
+pub enum JobKind {
+    /// Boolean satisfiability via the distributed DPLL program.
+    Sat {
+        /// The formula.
+        cnf: Cnf,
+        /// Branching heuristic.
+        heuristic: Heuristic,
+        /// Per-activation simplification strength.
+        mode: SimplifyMode,
+    },
+    /// 0/1 knapsack by distributed branch and bound.
+    Knapsack {
+        /// Item list (pre-sort by density for tighter bounds).
+        items: Vec<Item>,
+        /// Knapsack capacity.
+        capacity: u32,
+    },
+    /// Count of N-queens placements.
+    NQueens {
+        /// Board size.
+        n: u8,
+    },
+    /// Naive Fibonacci (throughput stress).
+    Fib {
+        /// Index.
+        n: u64,
+    },
+    /// Linear-recursion sum (latency probe).
+    Sum {
+        /// Upper bound.
+        n: u64,
+    },
+    /// An arbitrary user-supplied recursive program, type-erased.
+    /// Opaque to the cache.
+    Erased {
+        /// Display label for stats and debugging.
+        label: String,
+        /// The boxed job.
+        job: ErasedStackJob,
+    },
+}
+
+impl JobKind {
+    /// SAT with the service defaults (Jeroslow–Wang, fixpoint
+    /// simplification — the strongest solver).
+    pub fn sat(cnf: Cnf) -> JobKind {
+        JobKind::Sat {
+            cnf,
+            heuristic: Heuristic::JeroslowWang,
+            mode: SimplifyMode::Fixpoint,
+        }
+    }
+
+    /// SAT with explicit solver configuration.
+    pub fn sat_with(cnf: Cnf, heuristic: Heuristic, mode: SimplifyMode) -> JobKind {
+        JobKind::Sat {
+            cnf,
+            heuristic,
+            mode,
+        }
+    }
+
+    /// SAT parsed from DIMACS text.
+    pub fn sat_dimacs(text: &str) -> Result<JobKind, dimacs::DimacsError> {
+        Ok(JobKind::sat(dimacs::parse(text)?))
+    }
+
+    /// 0/1 knapsack.
+    pub fn knapsack(items: Vec<Item>, capacity: u32) -> JobKind {
+        JobKind::Knapsack { items, capacity }
+    }
+
+    /// N-queens placement count.
+    pub fn nqueens(n: u8) -> JobKind {
+        JobKind::NQueens { n }
+    }
+
+    /// Naive Fibonacci.
+    pub fn fib(n: u64) -> JobKind {
+        JobKind::Fib { n }
+    }
+
+    /// `sum(1..=n)`.
+    pub fn sum(n: u64) -> JobKind {
+        JobKind::Sum { n }
+    }
+
+    /// An arbitrary recursive program. Uncacheable (the service cannot
+    /// see inside the closure to normalise it).
+    pub fn erased<P>(label: impl Into<String>, program: P, root_arg: P::Arg) -> JobKind
+    where
+        P: RecProgram,
+        P::Out: std::fmt::Debug,
+    {
+        JobKind::Erased {
+            label: label.into(),
+            job: ErasedStackJob::new(program, root_arg),
+        }
+    }
+
+    /// Short workload label for stats.
+    pub fn label(&self) -> String {
+        match self {
+            JobKind::Sat { .. } => "sat".into(),
+            JobKind::Knapsack { .. } => "knapsack".into(),
+            JobKind::NQueens { .. } => "nqueens".into(),
+            JobKind::Fib { .. } => "fib".into(),
+            JobKind::Sum { .. } => "sum".into(),
+            JobKind::Erased { label, .. } => label.clone(),
+        }
+    }
+
+    /// Canonical rendering of the workload for cache keying; `None` for
+    /// uncacheable (erased) workloads.
+    fn cache_token(&self) -> Option<String> {
+        match self {
+            JobKind::Sat {
+                cnf,
+                heuristic,
+                mode,
+            } => Some(format!("sat/{heuristic}/{mode}/{}", dimacs::to_string(cnf))),
+            JobKind::Knapsack { items, capacity } => {
+                let items: Vec<String> = items
+                    .iter()
+                    .map(|i| format!("{}w{}v", i.weight, i.value))
+                    .collect();
+                Some(format!("knapsack/{capacity}/{}", items.join(",")))
+            }
+            JobKind::NQueens { n } => Some(format!("nqueens/{n}")),
+            JobKind::Fib { n } => Some(format!("fib/{n}")),
+            JobKind::Sum { n } => Some(format!("sum/{n}")),
+            JobKind::Erased { .. } => None,
+        }
+    }
+
+    /// Converts the workload into the uniform boxed job the pool runs.
+    pub(crate) fn into_erased(self) -> ErasedStackJob {
+        match self {
+            JobKind::Sat {
+                cnf,
+                heuristic,
+                mode,
+            } => ErasedStackJob::new(
+                DpllProgram::new(heuristic).with_mode(mode),
+                SubProblem::root(cnf),
+            ),
+            JobKind::Knapsack { items, capacity } => {
+                ErasedStackJob::new(KnapsackProgram, KnapsackTask::root(items, capacity))
+            }
+            JobKind::NQueens { n } => ErasedStackJob::new(NQueensProgram, QueensTask::root(n)),
+            JobKind::Fib { n } => ErasedStackJob::new(FibProgram, n),
+            JobKind::Sum { n } => ErasedStackJob::new(SumProgram, n),
+            JobKind::Erased { job, .. } => job,
+        }
+    }
+}
+
+impl std::fmt::Debug for JobKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JobKind::{}", self.label())
+    }
+}
+
+/// A complete job description: workload plus machine/run configuration.
+#[derive(Debug)]
+pub struct JobSpec {
+    /// The workload.
+    pub kind: JobKind,
+    /// Machine/run configuration. The defaults — and the single source
+    /// of truth for them — are [`JobParams::default`]; `params.stop` is
+    /// ignored at submission (the service installs its own handle).
+    pub params: JobParams,
+}
+
+impl JobSpec {
+    /// A spec with the service defaults ([`JobParams::default`]: the
+    /// paper's 14x14 torus, adaptive least-busy mapping, no layer-4
+    /// cancellation).
+    pub fn new(kind: JobKind) -> JobSpec {
+        JobSpec {
+            kind,
+            params: JobParams::default(),
+        }
+    }
+
+    /// Selects the machine topology.
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        self.params.topology = spec;
+        self
+    }
+
+    /// Selects the mapping policy.
+    pub fn mapper(mut self, spec: MapperSpec) -> Self {
+        self.params.mapper = spec;
+        self
+    }
+
+    /// Enables withdrawal of losing speculative branches.
+    pub fn cancellation(mut self, on: bool) -> Self {
+        self.params.cancellation = on;
+        self
+    }
+
+    /// Overrides the step cap.
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.params.max_steps = steps;
+        self
+    }
+
+    /// Places the root trigger.
+    pub fn root_node(mut self, node: u32) -> Self {
+        self.params.root_node = node;
+        self
+    }
+
+    /// The normalised cache key of this spec, or `None` if the workload
+    /// is uncacheable. Equal keys denote identical computations.
+    pub fn cache_key(&self) -> Option<String> {
+        self.kind.cache_token().map(|token| {
+            format!(
+                "{token}|{}|{}|cancel={}|steps={}|root={}",
+                self.params.topology,
+                self.params.mapper,
+                self.params.cancellation,
+                self.params.max_steps,
+                self.params.root_node
+            )
+        })
+    }
+}
+
+/// A [`JobSpec`] plus scheduling directives: queue priority and an
+/// optional deadline (measured from submission — queue wait counts).
+#[derive(Debug)]
+pub struct JobRequest {
+    /// What to solve and on which machine.
+    pub spec: JobSpec,
+    /// Queue priority: higher runs first; ties run in submission order.
+    pub priority: i32,
+    /// Wall-clock budget from submission; expiry yields
+    /// [`JobOutcome::TimedOut`].
+    pub deadline: Option<Duration>,
+}
+
+impl JobRequest {
+    /// A request with default priority (0) and no deadline.
+    pub fn new(spec: JobSpec) -> JobRequest {
+        JobRequest {
+            spec,
+            priority: 0,
+            deadline: None,
+        }
+    }
+
+    /// Sets the queue priority (higher runs first).
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the wall-clock budget from submission.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+}
+
+impl From<JobSpec> for JobRequest {
+    fn from(spec: JobSpec) -> JobRequest {
+        JobRequest::new(spec)
+    }
+}
+
+impl From<JobKind> for JobRequest {
+    fn from(kind: JobKind) -> JobRequest {
+        JobRequest::new(JobSpec::new(kind))
+    }
+}
+
+/// How a job ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The solve ran to completion (inspect the summary's `outcome` for
+    /// halted/quiescent/step-cap detail).
+    Completed(RunSummary),
+    /// The deadline expired — while queued or mid-solve.
+    TimedOut,
+    /// The submitter cancelled the job — while queued or mid-solve.
+    Cancelled,
+    /// The job panicked or the service shut down before running it.
+    Failed(String),
+}
+
+impl JobOutcome {
+    /// Whether the job produced a completed summary.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed(_))
+    }
+
+    /// The completed summary, if any.
+    pub fn summary(&self) -> Option<&RunSummary> {
+        match self {
+            JobOutcome::Completed(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Everything the service reports back for one job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The job's service-assigned id.
+    pub id: u64,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Whether the result was served from the cache (no solve ran).
+    pub from_cache: bool,
+    /// Time spent queued before a worker picked the job up.
+    pub queue_wait: Duration,
+    /// Time spent solving (zero for cache hits and pre-run rejections).
+    pub solve_time: Duration,
+    /// Worker that serviced the job, if it reached a worker.
+    pub worker: Option<usize>,
+    /// Global execution sequence number (order workers started jobs),
+    /// if the job reached a worker.
+    pub exec_seq: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperspace_sat::gen;
+
+    #[test]
+    fn cache_keys_identify_identical_specs() {
+        let a = JobSpec::new(JobKind::sat(gen::uf20_91(1)));
+        let b = JobSpec::new(JobKind::sat(gen::uf20_91(1)));
+        let c = JobSpec::new(JobKind::sat(gen::uf20_91(2)));
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_ne!(a.cache_key(), c.cache_key());
+        // Machine configuration is part of the computation.
+        let d = JobSpec::new(JobKind::sat(gen::uf20_91(1))).topology(TopologySpec::Ring { n: 8 });
+        assert_ne!(a.cache_key(), d.cache_key());
+    }
+
+    #[test]
+    fn erased_jobs_are_uncacheable() {
+        use hyperspace_recursion::{FnProgram, Rec};
+        let p = FnProgram::new(|n: u64| -> Rec<u64, u64> { Rec::done(n) });
+        let spec = JobSpec::new(JobKind::erased("identity", p, 3));
+        assert_eq!(spec.cache_key(), None);
+        assert_eq!(spec.kind.label(), "identity");
+    }
+
+    #[test]
+    fn dimacs_round_trip_feeds_sat_jobs() {
+        let cnf = gen::uf20_91(5);
+        let text = dimacs::to_string(&cnf);
+        let kind = JobKind::sat_dimacs(&text).expect("valid dimacs");
+        let direct = JobKind::sat(cnf);
+        assert_eq!(
+            JobSpec::new(kind).cache_key(),
+            JobSpec::new(direct).cache_key()
+        );
+    }
+
+    #[test]
+    fn scalar_kinds_have_distinct_keys() {
+        let keys: Vec<Option<String>> = [
+            JobKind::fib(10),
+            JobKind::sum(10),
+            JobKind::nqueens(6),
+            JobKind::knapsack(
+                vec![Item {
+                    weight: 1,
+                    value: 2,
+                }],
+                5,
+            ),
+        ]
+        .into_iter()
+        .map(|k| JobSpec::new(k).cache_key())
+        .collect();
+        for (i, a) in keys.iter().enumerate() {
+            assert!(a.is_some());
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,686 @@
+//! [`SolverService`]: the multi-tenant worker pool.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use hyperspace_core::{ErasedStackJob, JobParams, RunSummary};
+use hyperspace_sim::RunOutcome;
+
+use crate::handle::{JobHandle, JobShared};
+use crate::job::{JobOutcome, JobRequest, JobResult};
+use crate::stats::{ServiceStats, StatsInner};
+
+/// A job as it sits in the priority queue.
+struct QueuedJob {
+    priority: i32,
+    seq: u64,
+    submitted_at: Instant,
+    deadline_at: Option<Instant>,
+    params: JobParams,
+    job: ErasedStackJob,
+    cache_key: Option<String>,
+    label: String,
+    shared: Arc<JobShared>,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl Eq for QueuedJob {}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedJob {
+    /// Max-heap order: higher priority first; FIFO within a priority.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct QueueInner {
+    heap: BinaryHeap<QueuedJob>,
+    next_seq: u64,
+    running: usize,
+    shutdown: bool,
+}
+
+/// Bounded FIFO result cache: when full, the oldest entry is evicted.
+/// Bounded because the service is long-running and keys embed full
+/// problem renderings — an unbounded map would grow without limit under
+/// a stream of distinct jobs.
+struct ResultCache {
+    map: HashMap<String, RunSummary>,
+    order: std::collections::VecDeque<String>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            map: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            capacity,
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<RunSummary> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: &str, summary: RunSummary) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.contains_key(key) {
+            return; // identical computation; keep the original entry
+        }
+        while self.map.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        self.map.insert(key.to_string(), summary);
+        self.order.push_back(key.to_string());
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+struct ServiceInner {
+    queue: Mutex<QueueInner>,
+    /// Signalled on push and on shutdown; workers wait here.
+    available: Condvar,
+    /// Signalled when a worker finishes a job; drain waiters wait here.
+    drained: Condvar,
+    cache: Mutex<ResultCache>,
+    stats: Mutex<StatsInner>,
+    next_id: AtomicU64,
+    exec_seq: AtomicU64,
+    started: Instant,
+    workers: usize,
+}
+
+/// Configuration of a [`SolverService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker pool size.
+    pub workers: usize,
+    /// Whether worker threads start immediately
+    /// ([`SolverService::start`] launches them otherwise).
+    pub start_workers: bool,
+    /// Maximum entries in the result cache; the oldest entry is evicted
+    /// at capacity. `0` disables caching entirely.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(2, 16),
+            start_workers: true,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// A multi-tenant solver service: persistent worker threads pull typed
+/// jobs off a shared priority queue, assemble the requested five-layer
+/// stack, and solve under the job's deadline; identical submissions are
+/// served from a keyed result cache.
+///
+/// Workers outlive jobs (the pool is the long-lived "machine" of §VII's
+/// repertoire vision); per-job machine configuration — topology, mapper,
+/// layer-4 cancellation — travels with each [`JobRequest`], so tenants
+/// with different workloads share the same pool.
+///
+/// ```
+/// use hyperspace_service::{JobKind, SolverService};
+///
+/// let service = SolverService::with_workers(2);
+/// let job = service.submit(JobKind::sum(100));
+/// let result = job.wait();
+/// let summary = result.outcome.summary().expect("completed");
+/// assert_eq!(summary.result.as_deref(), Some("5050"));
+/// ```
+pub struct SolverService {
+    inner: Arc<ServiceInner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SolverService {
+    /// A service with the given configuration.
+    pub fn new(cfg: ServiceConfig) -> SolverService {
+        assert!(cfg.workers >= 1, "a service needs at least one worker");
+        let inner = Arc::new(ServiceInner {
+            queue: Mutex::new(QueueInner {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                running: 0,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            drained: Condvar::new(),
+            cache: Mutex::new(ResultCache::new(cfg.cache_capacity)),
+            stats: Mutex::new(StatsInner::new(cfg.workers)),
+            next_id: AtomicU64::new(0),
+            exec_seq: AtomicU64::new(0),
+            started: Instant::now(),
+            workers: cfg.workers,
+        });
+        let mut service = SolverService {
+            inner,
+            threads: Vec::new(),
+        };
+        if cfg.start_workers {
+            service.start();
+        }
+        service
+    }
+
+    /// A running service with `workers` worker threads.
+    pub fn with_workers(workers: usize) -> SolverService {
+        SolverService::new(ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        })
+    }
+
+    /// A service whose workers have not started yet: submissions queue
+    /// up but nothing executes until [`SolverService::start`]. Used by
+    /// tests needing deterministic queue ordering, and by embedders that
+    /// want to pre-fill the queue.
+    pub fn paused(workers: usize) -> SolverService {
+        SolverService::new(ServiceConfig {
+            workers,
+            start_workers: false,
+            ..ServiceConfig::default()
+        })
+    }
+
+    /// Launches the worker threads (idempotent).
+    pub fn start(&mut self) {
+        if !self.threads.is_empty() {
+            return;
+        }
+        for wid in 0..self.inner.workers {
+            let inner = Arc::clone(&self.inner);
+            self.threads.push(
+                std::thread::Builder::new()
+                    .name(format!("hyperspace-worker-{wid}"))
+                    .spawn(move || worker_loop(inner, wid))
+                    .expect("spawn worker thread"),
+            );
+        }
+    }
+
+    /// Submits a job; returns immediately with a handle.
+    pub fn submit(&self, request: impl Into<JobRequest>) -> JobHandle {
+        let request = request.into();
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        // Count the submission before the job becomes poppable so no
+        // stats snapshot can observe completed > submitted.
+        self.inner.stats.lock().expect("stats poisoned").submitted += 1;
+        let shared = JobShared::new(id);
+        let handle = JobHandle {
+            shared: Arc::clone(&shared),
+        };
+        let now = Instant::now();
+        let cache_key = request.spec.cache_key();
+        let label = request.spec.kind.label();
+        let queued = QueuedJob {
+            priority: request.priority,
+            seq: 0, // assigned under the queue lock below
+            submitted_at: now,
+            deadline_at: request.deadline.map(|d| now + d),
+            params: JobParams {
+                // Any caller-provided stop handle is replaced by the
+                // job's own (installed at execution time).
+                stop: None,
+                ..request.spec.params
+            },
+            cache_key,
+            label,
+            job: request.spec.kind.into_erased(),
+            shared,
+        };
+        {
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            if q.shutdown {
+                drop(q);
+                queued.shared.finish(JobResult {
+                    id,
+                    outcome: JobOutcome::Failed("service is shut down".into()),
+                    from_cache: false,
+                    queue_wait: Duration::ZERO,
+                    solve_time: Duration::ZERO,
+                    worker: None,
+                    exec_seq: None,
+                });
+                self.inner.stats.lock().expect("stats poisoned").failed += 1;
+                return handle;
+            }
+            let mut queued = queued;
+            queued.seq = q.next_seq;
+            q.next_seq += 1;
+            q.heap.push(queued);
+        }
+        self.inner.available.notify_one();
+        handle
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().expect("queue poisoned").heap.len()
+    }
+
+    /// A snapshot of the service's operational metrics.
+    pub fn stats(&self) -> ServiceStats {
+        let queue_depth = self.queue_depth();
+        let cache_entries = self.inner.cache.lock().expect("cache poisoned").len();
+        let stats = self.inner.stats.lock().expect("stats poisoned");
+        let mut jobs_by_kind: Vec<(String, u64)> = stats
+            .jobs_by_kind
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        jobs_by_kind.sort();
+        ServiceStats {
+            workers: self.inner.workers,
+            uptime: self.inner.started.elapsed(),
+            submitted: stats.submitted,
+            completed: stats.completed,
+            timed_out: stats.timed_out,
+            cancelled: stats.cancelled,
+            failed: stats.failed,
+            cache_hits: stats.cache_hits,
+            cache_entries,
+            queue_depth,
+            queue_wait_us: stats.queue_wait_us.clone(),
+            solve_time_us: stats.solve_time_us.clone(),
+            per_worker_jobs: stats.per_worker_jobs.clone(),
+            per_worker_busy: stats
+                .per_worker_busy_us
+                .iter()
+                .map(|&us| Duration::from_micros(us))
+                .collect(),
+            jobs_by_kind,
+        }
+    }
+
+    /// Blocks until every queued and running job has finished.
+    ///
+    /// # Panics
+    ///
+    /// On a [`paused`](SolverService::paused) service with jobs queued:
+    /// no worker exists to drain them, so the wait could never end.
+    pub fn drain(&self) {
+        let mut q = self.inner.queue.lock().expect("queue poisoned");
+        if self.threads.is_empty() && !(q.heap.is_empty() && q.running == 0) {
+            // Release the lock before panicking so the Drop path can
+            // still abort the queued jobs.
+            drop(q);
+            panic!(
+                "drain() on a paused service with queued jobs would block forever; \
+                 call start() first"
+            );
+        }
+        while !(q.heap.is_empty() && q.running == 0) {
+            q = self.inner.drained.wait(q).expect("queue poisoned");
+        }
+    }
+
+    /// Graceful shutdown: waits for all accepted jobs to finish, stops
+    /// the workers, and returns the final stats. On a paused service the
+    /// workers are started first so queued jobs still complete.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.start();
+        self.drain();
+        let stats = self.stats();
+        self.halt_workers();
+        stats
+    }
+
+    /// Stops workers and joins them; queued jobs are *not* drained —
+    /// the caller has already drained or aborted them.
+    fn halt_workers(&mut self) {
+        {
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            q.shutdown = true;
+        }
+        self.inner.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Marks every still-queued job cancelled (used on drop so no
+    /// handle waits forever).
+    fn abort_queued(&self) {
+        let jobs: Vec<QueuedJob> = {
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            q.shutdown = true;
+            std::mem::take(&mut q.heap).into_vec()
+        };
+        if jobs.is_empty() {
+            return;
+        }
+        let mut stats = self.inner.stats.lock().expect("stats poisoned");
+        for job in jobs {
+            stats.cancelled += 1;
+            job.shared.finish(JobResult {
+                id: job.shared.id,
+                outcome: JobOutcome::Cancelled,
+                from_cache: false,
+                queue_wait: job.submitted_at.elapsed(),
+                solve_time: Duration::ZERO,
+                worker: None,
+                exec_seq: None,
+            });
+        }
+    }
+}
+
+impl Drop for SolverService {
+    fn drop(&mut self) {
+        self.abort_queued();
+        self.halt_workers();
+    }
+}
+
+fn worker_loop(inner: Arc<ServiceInner>, wid: usize) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = q.heap.pop() {
+                    q.running += 1;
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = inner.available.wait(q).expect("queue poisoned");
+            }
+        };
+        process_job(&inner, wid, job);
+        {
+            let mut q = inner.queue.lock().expect("queue poisoned");
+            q.running -= 1;
+        }
+        inner.drained.notify_all();
+    }
+}
+
+fn process_job(inner: &ServiceInner, wid: usize, job: QueuedJob) {
+    let queue_wait = job.submitted_at.elapsed();
+    let exec_seq = inner.exec_seq.fetch_add(1, Ordering::SeqCst);
+    let picked_up = Instant::now();
+
+    let mut from_cache = false;
+    let mut solve_time = Duration::ZERO;
+    let outcome = if job.shared.cancelled.load(Ordering::SeqCst) {
+        JobOutcome::Cancelled
+    } else if job.deadline_at.is_some_and(|d| picked_up >= d) {
+        // Expired while queued: reject without occupying the worker.
+        JobOutcome::TimedOut
+    } else if let Some(hit) = job
+        .cache_key
+        .as_ref()
+        .and_then(|key| inner.cache.lock().expect("cache poisoned").get(key))
+    {
+        from_cache = true;
+        JobOutcome::Completed(hit)
+    } else {
+        job.shared.set_running();
+        let mut params = job.params.clone();
+        let mut stop = job.shared.stop.clone();
+        if let Some(deadline) = job.deadline_at {
+            stop = stop.until(deadline);
+        }
+        params.stop = Some(stop);
+        let erased = job.job;
+        let ran =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || erased.run(&params)));
+        solve_time = picked_up.elapsed();
+        match ran {
+            Ok(summary) => match summary.outcome {
+                RunOutcome::Stopped => {
+                    if job.shared.cancelled.load(Ordering::SeqCst) {
+                        JobOutcome::Cancelled
+                    } else {
+                        JobOutcome::TimedOut
+                    }
+                }
+                _ => {
+                    if let Some(key) = &job.cache_key {
+                        inner
+                            .cache
+                            .lock()
+                            .expect("cache poisoned")
+                            .insert(key, summary.clone());
+                    }
+                    JobOutcome::Completed(summary)
+                }
+            },
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "job panicked".into());
+                JobOutcome::Failed(msg)
+            }
+        }
+    };
+
+    {
+        let mut stats = inner.stats.lock().expect("stats poisoned");
+        match &outcome {
+            JobOutcome::Completed(_) => {
+                stats.completed += 1;
+                if from_cache {
+                    stats.cache_hits += 1;
+                }
+            }
+            JobOutcome::TimedOut => stats.timed_out += 1,
+            JobOutcome::Cancelled => stats.cancelled += 1,
+            JobOutcome::Failed(_) => stats.failed += 1,
+        }
+        stats.queue_wait_us.record(queue_wait.as_micros() as u64);
+        if !from_cache && solve_time > Duration::ZERO {
+            stats.solve_time_us.record(solve_time.as_micros() as u64);
+        }
+        stats.per_worker_jobs[wid] += 1;
+        stats.per_worker_busy_us[wid] += solve_time.as_micros() as u64;
+        *stats.jobs_by_kind.entry(job.label.clone()).or_insert(0) += 1;
+    }
+
+    job.shared.finish(JobResult {
+        id: job.shared.id,
+        outcome,
+        from_cache,
+        queue_wait,
+        solve_time,
+        worker: Some(wid),
+        exec_seq: Some(exec_seq),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobKind, JobSpec};
+    use hyperspace_core::TopologySpec;
+
+    fn small(kind: JobKind) -> JobRequest {
+        JobRequest::new(JobSpec::new(kind).topology(TopologySpec::Torus2D { w: 4, h: 4 }))
+    }
+
+    #[test]
+    fn sum_job_completes() {
+        let service = SolverService::with_workers(2);
+        let result = service.submit(small(JobKind::sum(10))).wait();
+        let summary = result.outcome.summary().expect("completed");
+        assert_eq!(summary.result.as_deref(), Some("55"));
+        assert!(!result.from_cache);
+        assert_eq!(service.stats().completed, 1);
+    }
+
+    #[test]
+    fn identical_jobs_hit_the_cache() {
+        let service = SolverService::with_workers(1);
+        let first = service.submit(small(JobKind::fib(10))).wait();
+        let second = service.submit(small(JobKind::fib(10))).wait();
+        assert!(!first.from_cache);
+        assert!(second.from_cache);
+        assert_eq!(
+            first.outcome.summary().unwrap(),
+            second.outcome.summary().unwrap()
+        );
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn paused_service_executes_by_priority() {
+        let mut service = SolverService::paused(1);
+        let low = service.submit(small(JobKind::sum(5)).priority(-1));
+        let high = service.submit(small(JobKind::sum(6)).priority(10));
+        let mid = service.submit(small(JobKind::sum(7)).priority(3));
+        service.start();
+        let (low, high, mid) = (low.wait(), high.wait(), mid.wait());
+        assert!(high.exec_seq < mid.exec_seq, "high before mid");
+        assert!(mid.exec_seq < low.exec_seq, "mid before low");
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs() {
+        let service = SolverService::with_workers(3);
+        let handles: Vec<_> = (1..=12)
+            .map(|n| service.submit(small(JobKind::sum(n))))
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 12);
+        for h in handles {
+            assert!(h.try_result().expect("finished").outcome.is_completed());
+        }
+    }
+
+    #[test]
+    fn result_cache_is_bounded_and_evicts_fifo() {
+        let mut cache = ResultCache::new(2);
+        let summary = |n: u64| RunSummary {
+            result: Some(n.to_string()),
+            outcome: RunOutcome::Halted,
+            steps: n,
+            computation_time: n,
+            total_sent: 0,
+            total_delivered: 0,
+            activations_started: 0,
+            activations_completed: 0,
+        };
+        cache.insert("a", summary(1));
+        cache.insert("b", summary(2));
+        assert_eq!(cache.len(), 2);
+        cache.insert("c", summary(3)); // evicts "a"
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_none());
+        assert!(cache.get("b").is_some() && cache.get("c").is_some());
+        // Re-inserting an existing key neither grows nor reorders.
+        cache.insert("b", summary(9));
+        assert_eq!(cache.get("b").unwrap().steps, 2);
+        // Capacity 0 disables caching.
+        let mut off = ResultCache::new(0);
+        off.insert("x", summary(1));
+        assert_eq!(off.len(), 0);
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables_hits_end_to_end() {
+        let service = SolverService::new(ServiceConfig {
+            workers: 1,
+            start_workers: true,
+            cache_capacity: 0,
+        });
+        let first = service.submit(small(JobKind::fib(9))).wait();
+        let second = service.submit(small(JobKind::fib(9))).wait();
+        assert!(!first.from_cache && !second.from_cache);
+        assert_eq!(service.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn shutdown_on_a_paused_service_starts_workers_and_drains() {
+        let service = SolverService::paused(2);
+        let handle = service.submit(small(JobKind::sum(8)));
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert!(handle.try_result().expect("drained").outcome.is_completed());
+    }
+
+    #[test]
+    #[should_panic(expected = "would block forever")]
+    fn drain_on_a_paused_service_with_queued_jobs_panics() {
+        let service = SolverService::paused(1);
+        let _handle = service.submit(small(JobKind::sum(8)));
+        service.drain();
+    }
+
+    #[test]
+    fn stats_never_show_more_finished_than_submitted() {
+        let service = SolverService::with_workers(4);
+        let handles: Vec<_> = (0..40u64)
+            .map(|n| service.submit(small(JobKind::sum(n % 7))))
+            .collect();
+        // Sample snapshots while jobs are in flight.
+        for _ in 0..200 {
+            let s = service.stats();
+            assert!(
+                s.finished() <= s.submitted,
+                "finished {} > submitted {}",
+                s.finished(),
+                s.submitted
+            );
+        }
+        for h in handles {
+            h.wait();
+        }
+    }
+
+    #[test]
+    fn dropping_the_service_cancels_queued_jobs() {
+        let service = SolverService::paused(1);
+        let handle = service.submit(small(JobKind::sum(5)));
+        drop(service);
+        assert_eq!(handle.wait().outcome, JobOutcome::Cancelled);
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_cleanly() {
+        let mut service = SolverService::paused(1);
+        service.start();
+        let inner = Arc::clone(&service.inner);
+        drop(service);
+        let q = inner.queue.lock().unwrap();
+        assert!(q.shutdown);
+    }
+}

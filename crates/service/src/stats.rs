@@ -1,0 +1,175 @@
+//! [`ServiceStats`]: the service's aggregate operational report.
+
+use std::time::Duration;
+
+use hyperspace_metrics::Histogram;
+
+/// Mutable counters behind the service's stats mutex.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub submitted: u64,
+    pub completed: u64,
+    pub timed_out: u64,
+    pub cancelled: u64,
+    pub failed: u64,
+    pub cache_hits: u64,
+    pub queue_wait_us: Histogram,
+    pub solve_time_us: Histogram,
+    pub per_worker_jobs: Vec<u64>,
+    pub per_worker_busy_us: Vec<u64>,
+    pub jobs_by_kind: std::collections::HashMap<String, u64>,
+}
+
+impl StatsInner {
+    pub(crate) fn new(workers: usize) -> StatsInner {
+        StatsInner {
+            per_worker_jobs: vec![0; workers],
+            per_worker_busy_us: vec![0; workers],
+            ..StatsInner::default()
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service's operational metrics.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Worker pool size.
+    pub workers: usize,
+    /// Time since the service started.
+    pub uptime: Duration,
+    /// Jobs accepted.
+    pub submitted: u64,
+    /// Jobs that ran to completion (including step-cap endings).
+    pub completed: u64,
+    /// Jobs that hit their deadline (queued or mid-solve).
+    pub timed_out: u64,
+    /// Jobs cancelled by their submitters (or dropped at shutdown).
+    pub cancelled: u64,
+    /// Jobs that panicked or were refused.
+    pub failed: u64,
+    /// Results served straight from the cache.
+    pub cache_hits: u64,
+    /// Entries currently held by the result cache.
+    pub cache_entries: usize,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Distribution of queue-wait times (microseconds).
+    pub queue_wait_us: Histogram,
+    /// Distribution of solve times (microseconds; cache hits excluded).
+    pub solve_time_us: Histogram,
+    /// Jobs serviced per worker.
+    pub per_worker_jobs: Vec<u64>,
+    /// Cumulative busy time per worker.
+    pub per_worker_busy: Vec<Duration>,
+    /// Finished-job counts by workload label, sorted by label.
+    pub jobs_by_kind: Vec<(String, u64)>,
+}
+
+impl ServiceStats {
+    /// Jobs that reached a terminal state.
+    pub fn finished(&self) -> u64 {
+        self.completed + self.timed_out + self.cancelled + self.failed
+    }
+
+    /// Finished jobs per second of uptime.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.finished() as f64 / secs
+        }
+    }
+
+    /// Fraction of completed jobs served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.completed as f64
+        }
+    }
+
+    /// Fraction of a worker's wall-clock spent solving.
+    pub fn worker_utilization(&self, worker: usize) -> f64 {
+        let up = self.uptime.as_secs_f64();
+        if up == 0.0 {
+            0.0
+        } else {
+            self.per_worker_busy[worker].as_secs_f64() / up
+        }
+    }
+}
+
+fn render_histogram(
+    f: &mut std::fmt::Formatter<'_>,
+    name: &str,
+    h: &Histogram,
+) -> std::fmt::Result {
+    if h.count() == 0 {
+        return writeln!(f, "  {name}: (no samples)");
+    }
+    writeln!(
+        f,
+        "  {name}: n={} mean={:.0}us min={}us max={}us",
+        h.count(),
+        h.mean(),
+        h.min().unwrap_or(0),
+        h.max().unwrap_or(0)
+    )?;
+    for (i, &count) in h.buckets().iter().enumerate() {
+        if count > 0 {
+            let (lo, hi) = Histogram::bucket_range(i);
+            writeln!(f, "    [{lo:>8}us .. {hi:>10}us] {count}")?;
+        }
+    }
+    Ok(())
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "service: {} workers, up {:.2?}, {:.1} jobs/s",
+            self.workers,
+            self.uptime,
+            self.throughput()
+        )?;
+        writeln!(
+            f,
+            "  jobs: {} submitted | {} completed | {} timed-out | {} cancelled | {} failed | {} queued",
+            self.submitted,
+            self.completed,
+            self.timed_out,
+            self.cancelled,
+            self.failed,
+            self.queue_depth
+        )?;
+        writeln!(
+            f,
+            "  cache: {} hits ({:.0}% of completions), {} entries held",
+            self.cache_hits,
+            self.cache_hit_rate() * 100.0,
+            self.cache_entries
+        )?;
+        render_histogram(f, "queue wait", &self.queue_wait_us)?;
+        render_histogram(f, "solve time", &self.solve_time_us)?;
+        for (w, jobs) in self.per_worker_jobs.iter().enumerate() {
+            writeln!(
+                f,
+                "  worker {w}: {jobs} jobs, busy {:.2?} ({:.0}% utilised)",
+                self.per_worker_busy[w],
+                self.worker_utilization(w) * 100.0
+            )?;
+        }
+        if !self.jobs_by_kind.is_empty() {
+            let kinds: Vec<String> = self
+                .jobs_by_kind
+                .iter()
+                .map(|(k, n)| format!("{k}={n}"))
+                .collect();
+            writeln!(f, "  by kind: {}", kinds.join(" "))?;
+        }
+        Ok(())
+    }
+}

@@ -14,12 +14,12 @@
 //!
 //! Because handlers only touch their own node's state and sends are staged,
 //! the handler phase parallelises embarrassingly; `SimConfig::parallel`
-//! runs it under rayon with results bit-identical to sequential stepping.
+//! runs it on scoped threads with results bit-identical to sequential
+//! stepping.
 
 use std::collections::VecDeque;
 
-use rayon::prelude::*;
-
+use crate::control::StopHandle;
 use crate::envelope::Envelope;
 use crate::program::{InitCtx, NodeCtx, NodeProgram, Outbox};
 use crate::record::{SimMetrics, TraceEvent, TraceKind};
@@ -55,7 +55,7 @@ pub struct SimConfig {
     pub record_node_activity: bool,
     /// Record a full send/deliver event trace (testing; costly).
     pub record_trace: bool,
-    /// Execute the handler phase on a rayon thread pool.
+    /// Execute the handler phase on a scoped thread pool.
     pub parallel: bool,
     /// Invoke `NodeProgram::on_tick` for every node each `k` steps.
     pub tick_every: Option<u64>,
@@ -63,6 +63,11 @@ pub struct SimConfig {
     /// run with [`SimError::QueueOverflow`]. `None` models the paper's
     /// unbounded queues.
     pub queue_capacity: Option<usize>,
+    /// Cooperative run control: when the handle trips (explicit stop or
+    /// wall-clock deadline), [`Simulation::run_to_quiescence`] ends the
+    /// run with [`RunOutcome::Stopped`]. Checked between steps, so all
+    /// per-step invariants hold at the point of interruption.
+    pub stop: Option<StopHandle>,
 }
 
 impl Default for SimConfig {
@@ -77,6 +82,7 @@ impl Default for SimConfig {
             parallel: false,
             tick_every: None,
             queue_capacity: None,
+            stop: None,
         }
     }
 }
@@ -90,6 +96,8 @@ pub enum RunOutcome {
     Halted,
     /// The `max_steps` safety cap was reached.
     MaxSteps,
+    /// The run's [`StopHandle`] tripped (cancellation or deadline).
+    Stopped,
 }
 
 /// Summary of a completed run.
@@ -144,6 +152,11 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Below this mesh size the per-step cost of spawning scoped handler
+/// threads exceeds what parallelism recovers; `parallel` runs fall back
+/// to sequential stepping (results are bit-identical either way).
+const PARALLEL_MIN_NODES: usize = 128;
+
 /// A deterministic time-stepped simulation of a hyperspace machine running
 /// one [`NodeProgram`] on every node.
 pub struct Simulation<T: Topology, P: NodeProgram> {
@@ -162,6 +175,11 @@ pub struct Simulation<T: Topology, P: NodeProgram> {
     step: u64,
     queued: u64,
     halted: bool,
+    /// Worker count for the parallel handler phase, resolved once at
+    /// construction. The fork-join spawns scoped threads *per step*
+    /// (~tens of µs of overhead), so small meshes are clamped to 1 —
+    /// they finish faster sequentially.
+    handler_threads: usize,
     metrics: SimMetrics,
     trace: Vec<TraceEvent>,
 }
@@ -195,6 +213,14 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
             step: 0,
             queued: 0,
             halted: false,
+            handler_threads: if n >= PARALLEL_MIN_NODES {
+                std::thread::available_parallelism()
+                    .map(|t| t.get())
+                    .unwrap_or(1)
+                    .min(n)
+            } else {
+                1
+            },
             metrics,
             trace: Vec::new(),
         }
@@ -380,7 +406,7 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
     }
 
     /// Runs the handler phase over the drained batches; returns the halt
-    /// flag. Sequential or rayon-parallel per config — identical results.
+    /// flag. Sequential or thread-parallel per config — identical results.
     fn run_handlers(&mut self, step: u64, tick: bool) -> bool {
         let program = &self.program;
         let topo = &self.topo;
@@ -428,14 +454,47 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
             halt
         };
 
-        if self.cfg.parallel {
-            self.states
-                .par_iter_mut()
-                .zip(self.batches.par_iter_mut())
-                .zip(self.staged.par_iter_mut())
-                .enumerate()
-                .map(|(node, ((state, batch), staged))| body(node, state, batch, staged))
-                .reduce(|| false, |a, b| a || b)
+        let threads = if self.cfg.parallel {
+            self.handler_threads
+        } else {
+            1
+        };
+        if threads > 1 {
+            // Fork-join over contiguous node chunks; staged sends stay
+            // per-node, so results are bit-identical to sequential
+            // stepping regardless of the chunking.
+            let chunk = num_nodes.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for (ci, ((states, batches), staged)) in self
+                    .states
+                    .chunks_mut(chunk)
+                    .zip(self.batches.chunks_mut(chunk))
+                    .zip(self.staged.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    let base = ci * chunk;
+                    handles.push(scope.spawn(move || {
+                        let mut halt = false;
+                        for (off, ((state, batch), staged)) in states
+                            .iter_mut()
+                            .zip(batches.iter_mut())
+                            .zip(staged.iter_mut())
+                            .enumerate()
+                        {
+                            halt |= body(base + off, state, batch, staged);
+                        }
+                        halt
+                    }));
+                }
+                // Join every thread before folding — `any` would
+                // short-circuit and leak running workers.
+                let halts: Vec<bool> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("handler thread panicked"))
+                    .collect();
+                halts.into_iter().any(|h| h)
+            })
         } else {
             let mut halt = false;
             for (node, ((state, batch), staged)) in self
@@ -455,17 +514,23 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
     /// cap is reached.
     pub fn run_to_quiescence(&mut self) -> Result<RunReport, SimError> {
         loop {
+            // Completion checks come before the stop check: a run that
+            // halted or drained during its final step has a finished
+            // result, and a deadline tripping in that same instant must
+            // not discard it.
             if self.halted {
                 return Ok(self.report(RunOutcome::Halted));
             }
             if self.queued == 0 {
                 let idle = self.cfg.tick_every.is_none()
-                    || self
-                        .states
-                        .iter()
-                        .all(|state| self.program.is_idle(state));
+                    || self.states.iter().all(|state| self.program.is_idle(state));
                 if idle {
                     return Ok(self.report(RunOutcome::Quiescent));
+                }
+            }
+            if let Some(stop) = &self.cfg.stop {
+                if stop.should_stop() {
+                    return Ok(self.report(RunOutcome::Stopped));
                 }
             }
             if self.step >= self.cfg.max_steps {
@@ -750,17 +815,37 @@ mod tests {
         assert_eq!(*series.last().unwrap(), 0);
         assert!(sim.metrics().peak_queued() >= 4);
         // Conservation: sent + injected == delivered at quiescence.
-        assert_eq!(
-            sim.metrics().total_sent + 1,
-            sim.metrics().total_delivered
+        assert_eq!(sim.metrics().total_sent + 1, sim.metrics().total_delivered);
+    }
+
+    #[test]
+    fn completed_run_beats_a_tripped_stop_handle() {
+        // Drain a flood-fill to quiescence, then re-enter the loop with
+        // the stop handle tripped: the finished run must still report
+        // Quiescent, not Stopped — completion has precedence.
+        let stop = crate::StopHandle::new();
+        let mut sim = Simulation::new(
+            Torus::new_2d(4, 4),
+            Traverse,
+            SimConfig {
+                stop: Some(stop.clone()),
+                ..SimConfig::default()
+            },
         );
+        sim.inject(0, ());
+        sim.run_to_quiescence().unwrap();
+        stop.stop();
+        let report = sim.run_to_quiescence().unwrap();
+        assert_eq!(report.outcome, RunOutcome::Quiescent);
     }
 
     #[test]
     fn parallel_matches_sequential() {
+        // 128 nodes: at PARALLEL_MIN_NODES, so the parallel branch
+        // genuinely forks threads rather than falling back.
         let run = |parallel: bool| {
             let mut sim = Simulation::new(
-                Torus::new_3d(4, 4, 4),
+                Torus::new_3d(8, 4, 4),
                 Traverse,
                 SimConfig {
                     parallel,

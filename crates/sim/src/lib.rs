@@ -8,10 +8,11 @@
 //!   deterministic *time-stepped* simulator. On each step, every node with a
 //!   non-empty inbox pops one message and runs its `receive` handler; sends
 //!   are enqueued for the following step; queues are unbounded (§V-A).
-//! * parallel stepping — the same semantics executed with a rayon fork-join
-//!   over nodes; bit-identical traces (tested), near-linear speed-up for
-//!   large meshes (enable with [`SimConfig::parallel`]).
-//! * [`threaded`] — a real multi-threaded backend built on crossbeam
+//! * parallel stepping — the same semantics executed with a scoped
+//!   thread fork-join over nodes; bit-identical traces (tested),
+//!   near-linear speed-up for large meshes (enable with
+//!   [`SimConfig::parallel`]).
+//! * [`threaded`] — a real multi-threaded backend built on mpsc
 //!   channels, demonstrating that programs written against layer 1 run
 //!   unchanged on a genuinely concurrent substrate.
 //!
@@ -51,13 +52,17 @@
 
 #![warn(missing_docs)]
 
+mod control;
 mod engine;
 mod envelope;
 mod program;
 pub mod record;
 pub mod threaded;
 
-pub use engine::{DeliveryModel, RunOutcome, RunReport, SimConfig, SimError, Simulation, StepReport};
+pub use control::StopHandle;
+pub use engine::{
+    DeliveryModel, RunOutcome, RunReport, SimConfig, SimError, Simulation, StepReport,
+};
 pub use envelope::Envelope;
 pub use program::{InitCtx, NodeProgram, Outbox};
 

@@ -4,9 +4,9 @@
 //! layer: bare-metal meshes, MPI clusters, or "a software event loop running
 //! on a single processor" (the [`crate::Simulation`] engine). This module is
 //! the *multi-threaded* point in that design space: nodes are sharded over
-//! OS threads and exchange messages through crossbeam channels, proving
-//! that programs written against [`NodeProgram`] run unchanged on a real
-//! concurrent substrate.
+//! OS threads and exchange messages through `std::sync::mpsc` channels,
+//! proving that programs written against [`NodeProgram`] run unchanged on a
+//! real concurrent substrate.
 //!
 //! Timing semantics necessarily differ from the time-stepped simulator
 //! (there is no global step counter), so this backend reports wall-clock
@@ -14,14 +14,16 @@
 //! global in-flight message counter: it is incremented *before* each send
 //! and decremented only *after* the receiving handler (including all of its
 //! own sends) completes, so the counter reads zero only when the machine is
-//! truly quiescent.
+//! truly quiescent. Runs can also be interrupted cooperatively through a
+//! [`StopHandle`] (deadline or cancellation), in which case the report's
+//! `stopped` flag is set and per-node states reflect the partial run.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-
+use crate::control::StopHandle;
 use crate::program::{InitCtx, NodeProgram};
 use hyperspace_topology::{Csr, NodeId, Topology};
 
@@ -43,6 +45,9 @@ pub struct ThreadedReport {
     pub delivered_per_node: Vec<u64>,
     /// Number of worker threads used.
     pub workers: usize,
+    /// Whether the run was interrupted by its [`StopHandle`] rather than
+    /// reaching quiescence or an application halt.
+    pub stopped: bool,
 }
 
 /// Context handed to handlers running on the threaded backend.
@@ -210,6 +215,19 @@ pub fn run_threaded<P: ThreadedProgram>(
     injections: Vec<(NodeId, P::Msg)>,
     workers: usize,
 ) -> (Vec<P::State>, ThreadedReport) {
+    run_threaded_ctl(topo, program, injections, workers, None)
+}
+
+/// [`run_threaded`] with cooperative run control: the run additionally
+/// ends (with `report.stopped == true`) as soon as `stop` trips — the
+/// hook a deadline-bounded solver service needs.
+pub fn run_threaded_ctl<P: ThreadedProgram>(
+    topo: &dyn Topology,
+    program: &P,
+    injections: Vec<(NodeId, P::Msg)>,
+    workers: usize,
+    stop: Option<StopHandle>,
+) -> (Vec<P::State>, ThreadedReport) {
     assert!(workers >= 1);
     let n = topo.num_nodes();
     let workers = workers.min(n);
@@ -219,10 +237,14 @@ pub fn run_threaded<P: ThreadedProgram>(
     let shard_of = move |node: NodeId| (node as usize) % workers;
 
     type Fabric<M> = (Vec<Sender<Packet<M>>>, Vec<Receiver<Packet<M>>>);
-    let (senders, receivers): Fabric<P::Msg> = (0..workers).map(|_| unbounded()).unzip();
+    let (senders, receivers): Fabric<P::Msg> = (0..workers).map(|_| channel()).unzip();
+    // std receivers are single-consumer: each is moved into its worker.
+    let mut receivers: Vec<Option<Receiver<Packet<P::Msg>>>> =
+        receivers.into_iter().map(Some).collect();
 
     let in_flight = AtomicU64::new(0);
     let halt = AtomicBool::new(false);
+    let was_stopped = AtomicBool::new(false);
     let delivered = (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
 
     // Per-shard states, initialised up front.
@@ -249,20 +271,24 @@ pub fn run_threaded<P: ThreadedProgram>(
     }
 
     let start = Instant::now();
-    type ShardStates<S> = Arc<parking_lot::Mutex<Vec<Option<Vec<(NodeId, S)>>>>>;
+    type ShardStates<S> = Arc<Mutex<Vec<Option<Vec<(NodeId, S)>>>>>;
     let states_arc: ShardStates<P::State> =
-        Arc::new(parking_lot::Mutex::new((0..workers).map(|_| None).collect()));
+        Arc::new(Mutex::new((0..workers).map(|_| None).collect()));
 
     std::thread::scope(|scope| {
         for (wid, mut local) in shard_states.drain(..).enumerate() {
-            let rx = receivers[wid].clone();
-            let senders = &senders;
+            let rx = receivers[wid].take().expect("receiver unclaimed");
+            // std senders are not Sync: every worker owns its own clone of
+            // the full fabric.
+            let my_senders: Vec<Sender<Packet<P::Msg>>> = senders.to_vec();
             let in_flight = &in_flight;
             let halt = &halt;
+            let was_stopped = &was_stopped;
             let delivered = &delivered;
             let csr = &csr;
+            let stop = stop.clone();
             let states_arc = Arc::clone(&states_arc);
-            let shard_of_ref: Box<dyn Fn(NodeId) -> usize + Send + Sync> = Box::new(shard_of);
+            let shard_of_ref: Box<dyn Fn(NodeId) -> usize + Send> = Box::new(shard_of);
             scope.spawn(move || {
                 // Index into `local` by node id for O(1) dispatch.
                 let mut index = std::collections::HashMap::with_capacity(local.len());
@@ -270,6 +296,13 @@ pub fn run_threaded<P: ThreadedProgram>(
                     index.insert(*node, i);
                 }
                 loop {
+                    if let Some(stop) = &stop {
+                        if stop.should_stop() {
+                            was_stopped.store(true, Ordering::SeqCst);
+                            halt.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
                     match rx.recv_timeout(Duration::from_micros(200)) {
                         Ok(pkt) => {
                             let slot = index[&pkt.dst];
@@ -281,7 +314,7 @@ pub fn run_threaded<P: ThreadedProgram>(
                                 neighbours: csr.neighbours(*node),
                                 topo,
                                 in_flight,
-                                senders,
+                                senders: &my_senders,
                                 shard_of: &*shard_of_ref,
                                 halt,
                             };
@@ -290,23 +323,22 @@ pub fn run_threaded<P: ThreadedProgram>(
                             // sends) completed.
                             in_flight.fetch_sub(1, Ordering::SeqCst);
                         }
-                        Err(_) => {
-                            if halt.load(Ordering::SeqCst)
-                                || in_flight.load(Ordering::SeqCst) == 0
+                        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                            if halt.load(Ordering::SeqCst) || in_flight.load(Ordering::SeqCst) == 0
                             {
                                 break;
                             }
                         }
                     }
                 }
-                states_arc.lock()[wid] = Some(local);
+                states_arc.lock().expect("no poisoned workers")[wid] = Some(local);
             });
         }
     });
 
     let elapsed = start.elapsed();
     let mut flat: Vec<Option<P::State>> = (0..n).map(|_| None).collect();
-    let mut guard = states_arc.lock();
+    let mut guard = states_arc.lock().expect("no poisoned workers");
     for shard in guard.iter_mut() {
         for (node, state) in shard.take().expect("worker finished") {
             flat[node as usize] = Some(state);
@@ -328,6 +360,7 @@ pub fn run_threaded<P: ThreadedProgram>(
             total_delivered,
             delivered_per_node,
             workers,
+            stopped: was_stopped.load(Ordering::SeqCst),
         },
     )
 }
@@ -356,10 +389,10 @@ mod tests {
     #[test]
     fn threaded_flood_fill_visits_all() {
         let topo = Torus::new_2d(8, 8);
-        let (states, report) =
-            run_threaded(&topo, &SimAdapter(Traverse), vec![(0, ())], 4);
+        let (states, report) = run_threaded(&topo, &SimAdapter(Traverse), vec![(0, ())], 4);
         assert!(states.iter().all(|&v| v));
         assert_eq!(report.delivered_per_node.len(), 64);
+        assert!(!report.stopped);
         // Trigger + 4 messages per visited node were all delivered.
         assert_eq!(report.total_delivered, 1 + 64 * 4);
     }
@@ -367,14 +400,10 @@ mod tests {
     #[test]
     fn threaded_matches_simulated_delivery_totals() {
         let topo = Hypercube::new(5);
-        let (states_t, report_t) =
-            run_threaded(&topo, &SimAdapter(Traverse), vec![(7, ())], 3);
+        let (states_t, report_t) = run_threaded(&topo, &SimAdapter(Traverse), vec![(7, ())], 3);
 
-        let mut sim = crate::Simulation::new(
-            Hypercube::new(5),
-            Traverse,
-            crate::SimConfig::default(),
-        );
+        let mut sim =
+            crate::Simulation::new(Hypercube::new(5), Traverse, crate::SimConfig::default());
         sim.inject(7, ());
         sim.run_to_quiescence().unwrap();
         assert_eq!(states_t, sim.states());
@@ -386,5 +415,20 @@ mod tests {
         let topo = Torus::new_2d(4, 4);
         let (states, _) = run_threaded(&topo, &SimAdapter(Traverse), vec![(3, ())], 1);
         assert!(states.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn pre_tripped_stop_interrupts_the_run() {
+        // An already-expired deadline: workers observe the trip before
+        // processing and the run reports `stopped` without hanging.
+        let stop = StopHandle::new();
+        stop.stop();
+        let topo = Torus::new_2d(8, 8);
+        let (states, report) =
+            run_threaded_ctl(&topo, &SimAdapter(Traverse), vec![(0, ())], 4, Some(stop));
+        assert!(report.stopped);
+        // The flood cannot have completed: node states exist but the
+        // visited count is below the full mesh.
+        assert!(states.iter().filter(|&&v| v).count() < 64);
     }
 }

@@ -81,7 +81,11 @@ pub fn embed_grid_in_hypercube(sides: &[u32]) -> (Vec<NodeId>, Hypercube) {
 pub fn binomial_tree_children(node: NodeId, dim: u32) -> Vec<NodeId> {
     // Children flip the zero bits below the node's lowest set bit; the root
     // (node 0) flips every bit.
-    let limit = if node == 0 { dim } else { node.trailing_zeros() };
+    let limit = if node == 0 {
+        dim
+    } else {
+        node.trailing_zeros()
+    };
     (0..limit).map(|b| node | (1 << b)).collect()
 }
 

@@ -84,9 +84,7 @@ impl Topology for Grid {
     fn distance(&self, a: NodeId, b: NodeId) -> u32 {
         let ca = self.node_coords(a);
         let cb = self.node_coords(b);
-        (0..self.dims.len())
-            .map(|d| ca[d].abs_diff(cb[d]))
-            .sum()
+        (0..self.dims.len()).map(|d| ca[d].abs_diff(cb[d])).sum()
     }
 
     fn next_hop(&self, from: NodeId, to: NodeId) -> NodeId {

@@ -15,7 +15,10 @@ pub struct Hypercube {
 impl Hypercube {
     /// Creates a hypercube with `2^dim` nodes. `dim` must be in `1..=31`.
     pub fn new(dim: u32) -> Self {
-        assert!((1..=31).contains(&dim), "hypercube dimension must be 1..=31");
+        assert!(
+            (1..=31).contains(&dim),
+            "hypercube dimension must be 1..=31"
+        );
         Hypercube { dim }
     }
 

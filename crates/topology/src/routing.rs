@@ -34,9 +34,7 @@ pub fn route_len(topo: &dyn Topology, from: NodeId, to: NodeId) -> u32 {
 /// Returns a map from directed link `(u, v)` to the number of routes
 /// traversing it. Useful for comparing how evenly different topologies
 /// spread uniform traffic.
-pub fn uniform_link_loads(
-    topo: &dyn Topology,
-) -> std::collections::HashMap<(NodeId, NodeId), u32> {
+pub fn uniform_link_loads(topo: &dyn Topology) -> std::collections::HashMap<(NodeId, NodeId), u32> {
     let n = topo.num_nodes() as NodeId;
     let mut loads = std::collections::HashMap::new();
     for a in 0..n {

@@ -38,8 +38,8 @@ impl Torus {
         let mut ports = Vec::with_capacity(dims.len() * 2);
         for (d, &size) in dims.iter().enumerate() {
             match size {
-                1 => {}                        // self-loop: no link
-                2 => ports.push((d, 1)),       // +1 and -1 coincide
+                1 => {}                  // self-loop: no link
+                2 => ports.push((d, 1)), // +1 and -1 coincide
                 _ => {
                     ports.push((d, 1));
                     ports.push((d, -1));

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example nqueens [n]`
 
-use hyperspace::apps::{NQueensProgram, QueensTask};
 use hyperspace::apps::nqueens::QUEENS_COUNTS;
+use hyperspace::apps::{NQueensProgram, QueensTask};
 use hyperspace::core::{MapperSpec, StackBuilder, TopologySpec};
 
 fn main() {
@@ -26,7 +26,10 @@ fn main() {
     let count = report.result.expect("count");
     println!("{n}-queens solutions  = {count}");
     println!("computation time    = {} steps", report.computation_time);
-    println!("board placements    = {} activations", report.rec_totals.started);
+    println!(
+        "board placements    = {} activations",
+        report.rec_totals.started
+    );
     println!("messages sent       = {}", report.metrics.total_sent);
     if (n as usize) < QUEENS_COUNTS.len() {
         assert_eq!(count, QUEENS_COUNTS[n as usize]);

@@ -25,8 +25,14 @@ enum Msg {
 }
 
 enum Role {
-    Coordinator { replies: Vec<(&'static str, u64)>, expected: usize },
-    Worker { heuristic: Heuristic, name: &'static str },
+    Coordinator {
+        replies: Vec<(&'static str, u64)>,
+        expected: usize,
+    },
+    Worker {
+        heuristic: Heuristic,
+        name: &'static str,
+    },
 }
 
 struct Solver {
@@ -70,9 +76,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2017u64);
     let cnf = gen::uf20_91(seed);
-    println!(
-        "portfolio over uf20-91 seed {seed}: 4 workers x heuristics on 2 nodes"
-    );
+    println!("portfolio over uf20-91 seed {seed}: 4 workers x heuristics on 2 nodes");
 
     let host = SchedulerHost::new(
         |node, _ctx| {

@@ -35,8 +35,14 @@ fn main() {
         })
         .run(n, 0);
 
-    println!("sum(1..={n})        = {:?}", report.result.expect("root result"));
-    println!("computation time  = {} simulated steps", report.computation_time);
+    println!(
+        "sum(1..={n})        = {:?}",
+        report.result.expect("root result")
+    );
+    println!(
+        "computation time  = {} simulated steps",
+        report.computation_time
+    );
     println!("messages sent     = {}", report.metrics.total_sent);
     println!("activations       = {}", report.rec_totals.started);
     println!(

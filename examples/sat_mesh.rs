@@ -9,7 +9,9 @@
 
 use hyperspace::core::{MapperSpec, StackBuilder, TopologySpec};
 use hyperspace::metrics::ascii;
-use hyperspace::sat::{check_model, gen, DpllProgram, Heuristic, SimplifyMode, SubProblem, Verdict};
+use hyperspace::sat::{
+    check_model, gen, DpllProgram, Heuristic, SimplifyMode, SubProblem, Verdict,
+};
 
 fn main() {
     let seed = std::env::args()
@@ -44,7 +46,7 @@ fn main() {
                 assert!(check_model(&cnf, model), "solver returned an invalid model");
                 println!("\n== {name}: SAT (model verified) ==");
             }
-            Verdict::Unsat => println!("\n== {name}: UNSAT ==")
+            Verdict::Unsat => println!("\n== {name}: UNSAT =="),
         }
         println!(
             "computation time {} steps | {} messages | {} activations | speculative wins {}",

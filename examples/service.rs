@@ -1,0 +1,86 @@
+//! The solver service in action: mixed tenants, priorities, deadlines,
+//! cancellation, and the result cache.
+//!
+//! Run with: `cargo run --release --example service`
+
+use std::time::Duration;
+
+use hyperspace::core::{MapperSpec, TopologySpec};
+use hyperspace::recursion::{FnProgram, Rec};
+use hyperspace::sat::gen;
+use hyperspace::service::{JobKind, JobOutcome, JobRequest, JobSpec, SolverService};
+
+fn main() {
+    let service = SolverService::with_workers(4);
+
+    // Tenant 1: a batch of SAT instances at high priority, on the
+    // paper's 14x14 torus. Specs parse from strings, so this could all
+    // come from a CLI or config file.
+    let topology: TopologySpec = "torus2d:14x14".parse().unwrap();
+    let mapper: MapperSpec = "least-busy".parse().unwrap();
+    let sat_jobs: Vec<_> = (0..4u64)
+        .map(|seed| {
+            service.submit(
+                JobRequest::new(
+                    JobSpec::new(JobKind::sat(gen::uf20_91(seed)))
+                        .topology(topology.clone())
+                        .mapper(mapper.clone()),
+                )
+                .priority(10)
+                .deadline(Duration::from_secs(30)),
+            )
+        })
+        .collect();
+
+    // Tenant 2: a custom recursive program, type-erased into the same
+    // pool (counts leaves of a lopsided tree).
+    let custom = FnProgram::new(|depth: u64| -> Rec<u64, u64> {
+        if depth == 0 {
+            Rec::done(1)
+        } else {
+            Rec::call_all(vec![depth - 1, depth.saturating_sub(2)])
+                .then_all(|leaves| Rec::done(leaves.iter().sum()))
+        }
+    });
+    let custom_job = service.submit(JobSpec::new(JobKind::erased("tree-count", custom, 12)));
+
+    // Tenant 3: an over-ambitious job with a tight budget — the
+    // deadline stops it without disturbing anyone else.
+    let doomed = service.submit(
+        JobRequest::new(JobSpec::new(JobKind::fib(40))).deadline(Duration::from_millis(100)),
+    );
+
+    // The same SAT instance again: served from the cache, no re-solve.
+    let repeat = service.submit(
+        JobSpec::new(JobKind::sat(gen::uf20_91(0)))
+            .topology(topology.clone())
+            .mapper(mapper.clone()),
+    );
+
+    for (i, job) in sat_jobs.iter().enumerate() {
+        let result = job.wait();
+        let summary = result.outcome.summary().expect("satisfiable suite");
+        println!(
+            "sat[{i}]: {} in {} steps ({:?} solve)",
+            summary.result.as_deref().map(|r| &r[..12]).unwrap_or("?"),
+            summary.steps,
+            result.solve_time,
+        );
+    }
+    println!(
+        "custom: {} leaves",
+        custom_job
+            .wait()
+            .outcome
+            .summary()
+            .and_then(|s| s.result.clone())
+            .unwrap_or_default()
+    );
+    let doomed_result = doomed.wait();
+    assert_eq!(doomed_result.outcome, JobOutcome::TimedOut);
+    println!("doomed fib(40): {:?} (as intended)", doomed_result.outcome);
+    let repeat_result = repeat.wait();
+    println!("repeat sat[0]: from_cache = {}", repeat_result.from_cache);
+
+    println!("\n{}", service.shutdown());
+}

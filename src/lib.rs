@@ -16,7 +16,9 @@
 //! | 4 | [`recursion`] | continuation-based fork/join over messages |
 //! | 5 | [`apps`], [`sat`] | plain recursive problem logic |
 //!
-//! [`core`] assembles the layers; `hyperspace-bench` regenerates every
+//! [`core`] assembles the layers; [`service`] turns assembled stacks
+//! into a multi-tenant solver service (worker pool, priority queue,
+//! deadlines, result cache); `hyperspace-bench` regenerates every
 //! figure of the paper (see EXPERIMENTS.md).
 //!
 //! ## Quickstart
@@ -47,5 +49,6 @@ pub use hyperspace_metrics as metrics;
 pub use hyperspace_recursion as recursion;
 pub use hyperspace_sat as sat;
 pub use hyperspace_sched as sched;
+pub use hyperspace_service as service;
 pub use hyperspace_sim as sim;
 pub use hyperspace_topology as topology;

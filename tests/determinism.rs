@@ -1,5 +1,5 @@
 //! Determinism and parallel-equivalence guarantees: identical
-//! configurations produce bit-identical runs, and the rayon-parallel
+//! configurations produce bit-identical runs, and the thread-parallel
 //! stepper is indistinguishable from the sequential one.
 
 use hyperspace::core::{MapperSpec, RecRunReport, StackBuilder, TopologySpec};

@@ -66,7 +66,10 @@ fn generous_capacity_is_equivalent_to_unbounded() {
                 ..SimConfig::default()
             })
             .build();
-        sim.inject(0, hyperspace::mapping::trigger(SubProblem::root(cnf.clone())));
+        sim.inject(
+            0,
+            hyperspace::mapping::trigger(SubProblem::root(cnf.clone())),
+        );
         let report = sim.run_to_quiescence().unwrap();
         (report.steps, sim.metrics().total_delivered)
     };

@@ -2,8 +2,8 @@
 //! answer whether evaluated locally, over any topology, or under any
 //! mapping policy — the separation-of-concerns guarantee of §III-B1.
 
-use hyperspace::apps::{FibProgram, NQueensProgram, QueensTask, SumProgram};
 use hyperspace::apps::fib::fib_reference;
+use hyperspace::apps::{FibProgram, NQueensProgram, QueensTask, SumProgram};
 use hyperspace::core::{MapperSpec, StackBuilder, TopologySpec};
 use hyperspace::recursion::eval_local;
 

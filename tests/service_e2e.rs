@@ -1,0 +1,192 @@
+//! End-to-end tests of the solver-service semantics: priority ordering,
+//! deadline expiry, mid-flight cancellation, and result caching.
+//!
+//! All workloads are seeded and deterministic; timing-sensitive steps
+//! (waiting for a job to start) poll observable state rather than
+//! sleeping fixed amounts, so the tests are robust on slow machines.
+
+use std::time::{Duration, Instant};
+
+use hyperspace::core::{MapperSpec, TopologySpec};
+use hyperspace::sat::gen;
+use hyperspace::service::{JobKind, JobOutcome, JobRequest, JobSpec, JobStatus, SolverService};
+
+fn on_small_torus(kind: JobKind) -> JobSpec {
+    JobSpec::new(kind).topology(TopologySpec::Torus2D { w: 4, h: 4 })
+}
+
+/// A job that cannot finish within any test budget: naive fib(40) needs
+/// ~10^8 activations.
+fn endless() -> JobSpec {
+    JobSpec::new(JobKind::fib(40)).topology(TopologySpec::Torus2D { w: 14, h: 14 })
+}
+
+#[test]
+fn priorities_order_execution_with_fifo_ties() {
+    // A paused single-worker service makes queue order fully
+    // deterministic: everything is queued before the worker starts.
+    let mut service = SolverService::paused(1);
+    let urgent_a = service.submit(JobRequest::new(on_small_torus(JobKind::sum(10))).priority(5));
+    let background = service.submit(JobRequest::new(on_small_torus(JobKind::sum(11))).priority(-3));
+    let normal = service.submit(JobRequest::new(on_small_torus(JobKind::sum(12))));
+    let urgent_b = service.submit(JobRequest::new(on_small_torus(JobKind::sum(13))).priority(5));
+    service.start();
+
+    let order = [
+        urgent_a.wait().exec_seq.unwrap(),
+        background.wait().exec_seq.unwrap(),
+        normal.wait().exec_seq.unwrap(),
+        urgent_b.wait().exec_seq.unwrap(),
+    ];
+    // urgent_a before urgent_b (FIFO within priority 5), both before
+    // normal (0), background (-3) last.
+    assert!(order[0] < order[3], "FIFO violated within priority class");
+    assert!(order[3] < order[2], "urgent ran after normal");
+    assert!(order[2] < order[1], "normal ran after background");
+}
+
+#[test]
+fn deadline_expiry_times_out_without_stalling_the_pool() {
+    let service = SolverService::with_workers(2);
+    let doomed = service.submit(JobRequest::new(endless()).deadline(Duration::from_millis(50)));
+    let result = doomed
+        .wait_timeout(Duration::from_secs(60))
+        .expect("deadline must interrupt the solve well within a minute");
+    assert_eq!(result.outcome, JobOutcome::TimedOut);
+    assert!(!result.from_cache);
+
+    // The pool is healthy afterwards: a normal job completes.
+    let after = service.submit(on_small_torus(JobKind::sum(20))).wait();
+    let summary = after.outcome.summary().expect("pool must keep serving");
+    assert_eq!(summary.result.as_deref(), Some("210"));
+    assert_eq!(service.stats().timed_out, 1);
+}
+
+#[test]
+fn deadline_expiring_in_queue_rejects_without_solving() {
+    // Single worker busy with an endless job; the queued job's 1ms
+    // budget expires long before a worker reaches it.
+    let service = SolverService::with_workers(1);
+    let blocker = service.submit(JobRequest::new(endless()).priority(10));
+    let starved = service.submit(
+        JobRequest::new(on_small_torus(JobKind::sum(5))).deadline(Duration::from_millis(1)),
+    );
+    // Give the blocker time to be picked up, then release the worker.
+    while blocker.status() == JobStatus::Queued {
+        std::thread::yield_now();
+    }
+    std::thread::sleep(Duration::from_millis(5));
+    blocker.cancel();
+
+    let result = starved
+        .wait_timeout(Duration::from_secs(60))
+        .expect("starved job must resolve");
+    assert_eq!(result.outcome, JobOutcome::TimedOut);
+    assert_eq!(result.solve_time, Duration::ZERO, "must not have run");
+}
+
+#[test]
+fn mid_flight_cancellation_stops_a_running_job() {
+    let service = SolverService::with_workers(1);
+    let victim = service.submit(JobRequest::new(endless()));
+
+    // Wait until the worker has genuinely started solving.
+    let patience = Instant::now();
+    while victim.status() != JobStatus::Running {
+        assert!(
+            patience.elapsed() < Duration::from_secs(30),
+            "job never started"
+        );
+        std::thread::yield_now();
+    }
+    victim.cancel();
+    let result = victim
+        .wait_timeout(Duration::from_secs(60))
+        .expect("cancel must interrupt the solve");
+    assert_eq!(result.outcome, JobOutcome::Cancelled);
+
+    // The worker survives and serves the next job.
+    let next = service.submit(on_small_torus(JobKind::sum(4))).wait();
+    assert_eq!(
+        next.outcome.summary().expect("completed").result.as_deref(),
+        Some("10")
+    );
+}
+
+#[test]
+fn cancelling_a_queued_job_never_runs_it() {
+    let mut service = SolverService::paused(1);
+    let cancelled = service.submit(on_small_torus(JobKind::sum(9)));
+    let kept = service.submit(on_small_torus(JobKind::sum(3)));
+    cancelled.cancel();
+    service.start();
+    assert_eq!(cancelled.wait().outcome, JobOutcome::Cancelled);
+    assert_eq!(cancelled.wait().solve_time, Duration::ZERO);
+    assert!(kept.wait().outcome.is_completed());
+}
+
+#[test]
+fn repeated_sat_submissions_hit_the_cache_with_identical_reports() {
+    let service = SolverService::with_workers(2);
+    let spec = || {
+        JobSpec::new(JobKind::sat(gen::uf20_91(7)))
+            .topology(TopologySpec::Torus2D { w: 6, h: 6 })
+            .mapper(MapperSpec::LeastBusy {
+                status_period: None,
+            })
+    };
+    let first = service.submit(spec()).wait();
+    let second = service.submit(spec()).wait();
+    let third = service.submit(spec()).wait();
+
+    assert!(!first.from_cache);
+    assert!(second.from_cache && third.from_cache);
+    let original = first.outcome.summary().expect("sat job completes");
+    assert!(original.result.as_deref().unwrap().starts_with("Sat("));
+    assert_eq!(original, second.outcome.summary().unwrap());
+    assert_eq!(original, third.outcome.summary().unwrap());
+
+    // A different seed is a different computation: cache miss.
+    let other = service
+        .submit(
+            JobSpec::new(JobKind::sat(gen::uf20_91(8)))
+                .topology(TopologySpec::Torus2D { w: 6, h: 6 }),
+        )
+        .wait();
+    assert!(!other.from_cache);
+
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(stats.completed, 4);
+    assert!(stats.cache_hit_rate() > 0.0);
+}
+
+#[test]
+fn mixed_seeded_workload_loses_nothing() {
+    // A deterministic mixed batch: every handle resolves exactly once
+    // with the right answer.
+    let service = SolverService::with_workers(4);
+    let mut handles = Vec::new();
+    for n in 1..=20u64 {
+        handles.push((
+            service.submit(JobRequest::new(on_small_torus(JobKind::sum(n))).priority(n as i32 % 4)),
+            (n * (n + 1) / 2).to_string(),
+        ));
+    }
+    for n in 1..=10u64 {
+        handles.push((
+            service.submit(on_small_torus(JobKind::fib(n))),
+            hyperspace::apps::fib::fib_reference(n).to_string(),
+        ));
+    }
+    let mut ids = std::collections::HashSet::new();
+    for (handle, expected) in handles {
+        let result = handle.wait();
+        assert!(ids.insert(result.id), "duplicate id");
+        let summary = result.outcome.summary().expect("job completed");
+        assert_eq!(summary.result.as_deref(), Some(expected.as_str()));
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 30);
+    assert_eq!(stats.finished(), 30);
+}

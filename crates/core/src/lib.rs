@@ -34,7 +34,10 @@ mod spec;
 mod stack;
 
 pub use report::{RecRunReport, RunSummary};
-pub use spec::{MapperSpec, SpecParseError, TopologySpec};
-pub use stack::{summarise, ErasedStackJob, JobParams, StackBuilder, StackProgram, StackSim};
+pub use spec::{BackendSpec, MapperSpec, PartitionSpec, SpecParseError, TopologySpec};
+pub use stack::{
+    summarise, summarise_sharded, ErasedStackJob, JobParams, StackBuilder, StackProgram,
+    StackShardedSim, StackSim,
+};
 
 pub use hyperspace_sim::StopHandle;

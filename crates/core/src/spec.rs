@@ -1,9 +1,10 @@
-//! Runtime-selectable topology and mapper configurations.
+//! Runtime-selectable topology, mapper and backend configurations.
 
 use hyperspace_mapping::{
     GlobalRandomMapper, LeastBusyMapper, Mapper, MapperFactory, RandomMapper, RoundRobinMapper,
     WeightAwareMapper,
 };
+use hyperspace_sim::{Partition, ShardedConfig};
 use hyperspace_topology::{FullyConnected, Grid, Hypercube, NodeId, Ring, Topology, Torus};
 
 /// Machine topologies, as evaluated in §V-A (plus extras).
@@ -326,6 +327,164 @@ impl std::str::FromStr for MapperSpec {
     }
 }
 
+/// Node-to-shard assignment policies of the sharded backend
+/// (string forms: `block`, `rr`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PartitionSpec {
+    /// Contiguous node-id blocks (locality-preserving).
+    #[default]
+    Block,
+    /// Striped `node % shards` assignment (load-spreading).
+    RoundRobin,
+}
+
+impl PartitionSpec {
+    /// The layer-1 partitioner this spec selects.
+    pub fn to_partition(self) -> Partition {
+        match self {
+            PartitionSpec::Block => Partition::Block,
+            PartitionSpec::RoundRobin => Partition::RoundRobin,
+        }
+    }
+}
+
+/// Which layer-1 execution backend runs the assembled stack.
+///
+/// All three produce **bit-identical** runs (states, metrics, trace) —
+/// enforced by the cross-backend equivalence suite — so the choice only
+/// trades wall-clock time for cores.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum BackendSpec {
+    /// The single-threaded time-stepped engine (the paper's §IV-A
+    /// evaluation backend).
+    #[default]
+    Sequential,
+    /// The same engine with its handler phase forked over scoped
+    /// threads; state remains global.
+    Parallel,
+    /// State partitioned into shards with their own queues and step
+    /// loops, exchanging cross-shard envelopes at step barriers.
+    Sharded {
+        /// Number of shards.
+        shards: u32,
+        /// Node-to-shard assignment.
+        partition: PartitionSpec,
+        /// Worker threads (`None` = one per shard, capped by the
+        /// machine).
+        threads: Option<u32>,
+    },
+}
+
+impl BackendSpec {
+    /// A block-partitioned sharded backend with `shards` shards.
+    pub fn sharded(shards: u32) -> BackendSpec {
+        BackendSpec::Sharded {
+            shards,
+            partition: PartitionSpec::Block,
+            threads: None,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendSpec::Sequential => "seq",
+            BackendSpec::Parallel => "parallel",
+            BackendSpec::Sharded { .. } => "sharded",
+        }
+    }
+
+    /// The sharded-backend configuration, when this spec selects it.
+    pub fn sharded_config(&self) -> Option<ShardedConfig> {
+        match self {
+            BackendSpec::Sharded {
+                shards,
+                partition,
+                threads,
+            } => Some(ShardedConfig {
+                shards: *shards as usize,
+                partition: partition.to_partition(),
+                threads: threads.map(|t| t as usize),
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendSpec::Sequential => f.write_str("seq"),
+            BackendSpec::Parallel => f.write_str("parallel"),
+            BackendSpec::Sharded {
+                shards,
+                partition,
+                threads,
+            } => {
+                write!(f, "sharded:{shards}")?;
+                if *partition != PartitionSpec::Block {
+                    f.write_str(":rr")?;
+                }
+                if let Some(t) = threads {
+                    write!(f, ":{t}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for BackendSpec {
+    type Err = SpecParseError;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax: `seq`,
+    /// `parallel`, `sharded:K`, `sharded:K:block`, `sharded:K:rr`,
+    /// `sharded:K[:PARTITION]:THREADS` (e.g. `sharded:8:rr:4`).
+    fn from_str(s: &str) -> Result<Self, SpecParseError> {
+        let mut parts = s.split(':');
+        let name = parts.next().unwrap_or_default();
+        let args: Vec<&str> = parts.collect();
+        match (name, args.as_slice()) {
+            ("seq", []) => Ok(BackendSpec::Sequential),
+            ("parallel", []) => Ok(BackendSpec::Parallel),
+            ("sharded", [shards, rest @ ..]) if rest.len() <= 2 => {
+                let shards = parse_scalar(shards, s)?;
+                if shards == 0 {
+                    return Err(SpecParseError(format!("{s:?}: shard count must be > 0")));
+                }
+                let mut partition = None;
+                let mut threads = None;
+                for tok in rest {
+                    match *tok {
+                        "block" if partition.is_none() => partition = Some(PartitionSpec::Block),
+                        "rr" if partition.is_none() => partition = Some(PartitionSpec::RoundRobin),
+                        other if threads.is_none() && other.parse::<u32>().is_ok() => {
+                            let t = parse_scalar(other, s)?;
+                            if t == 0 {
+                                return Err(SpecParseError(format!(
+                                    "{s:?}: thread count must be > 0"
+                                )));
+                            }
+                            threads = Some(t);
+                        }
+                        _ => {
+                            return Err(SpecParseError(format!(
+                                "{s:?}: expected partition (block/rr) or thread count, got {tok:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(BackendSpec::Sharded {
+                    shards,
+                    partition: partition.unwrap_or_default(),
+                    threads,
+                })
+            }
+            _ => Err(SpecParseError(format!("unknown backend {s:?}"))),
+        }
+    }
+}
+
 /// A [`MapperFactory`] whose product type is erased, letting one stack
 /// type serve every policy.
 pub struct BoxedMapperFactory {
@@ -478,6 +637,82 @@ mod tests {
         ] {
             assert!(bad.parse::<MapperSpec>().is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn backend_spec_display_round_trips() {
+        let specs = [
+            BackendSpec::Sequential,
+            BackendSpec::Parallel,
+            BackendSpec::sharded(4),
+            BackendSpec::Sharded {
+                shards: 8,
+                partition: PartitionSpec::RoundRobin,
+                threads: None,
+            },
+            BackendSpec::Sharded {
+                shards: 8,
+                partition: PartitionSpec::Block,
+                threads: Some(2),
+            },
+            BackendSpec::Sharded {
+                shards: 16,
+                partition: PartitionSpec::RoundRobin,
+                threads: Some(3),
+            },
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            let parsed: BackendSpec = text.parse().unwrap_or_else(|e| {
+                panic!("{text:?} failed to parse: {e}");
+            });
+            assert_eq!(parsed, spec, "round-trip through {text:?}");
+        }
+        // Explicit `block` parses to the same spec the default renders.
+        assert_eq!(
+            "sharded:4:block".parse::<BackendSpec>().unwrap(),
+            BackendSpec::sharded(4)
+        );
+        assert_eq!(
+            "sharded:4:2:rr".parse::<BackendSpec>().unwrap(),
+            "sharded:4:rr:2".parse::<BackendSpec>().unwrap()
+        );
+    }
+
+    #[test]
+    fn malformed_backend_specs_are_rejected() {
+        for bad in [
+            "",
+            "seq:1",
+            "parallel:4",
+            "sharded",
+            "sharded:",
+            "sharded:0",
+            "sharded:x",
+            "sharded:4:diag",
+            "sharded:4:rr:0",
+            "sharded:4:rr:2:9",
+            "sharded:4:rr:block",
+            "threaded:4",
+        ] {
+            assert!(bad.parse::<BackendSpec>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn backend_spec_resolves_sharded_config() {
+        let cfg = BackendSpec::Sharded {
+            shards: 6,
+            partition: PartitionSpec::RoundRobin,
+            threads: Some(2),
+        }
+        .sharded_config()
+        .expect("sharded");
+        assert_eq!(cfg.shards, 6);
+        assert_eq!(cfg.partition, Partition::RoundRobin);
+        assert_eq!(cfg.threads, Some(2));
+        assert!(BackendSpec::Sequential.sharded_config().is_none());
+        assert!(BackendSpec::Parallel.sharded_config().is_none());
     }
 
     #[test]

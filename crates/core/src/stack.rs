@@ -2,16 +2,22 @@
 
 use hyperspace_mapping::{MapConfig, MapState, MappingHost};
 use hyperspace_recursion::{RecProgram, RecState, RecursionHost};
-use hyperspace_sim::{NodeId, RunOutcome, SimConfig, Simulation, StopHandle, Topology};
+use hyperspace_sim::record::SimMetrics;
+use hyperspace_sim::{
+    NodeId, RunOutcome, ShardedSimulation, SimConfig, Simulation, StopHandle, Topology,
+};
 
 use crate::report::{RecRunReport, RunSummary};
-use crate::spec::{BoxedMapperFactory, MapperSpec, TopologySpec};
+use crate::spec::{BackendSpec, BoxedMapperFactory, MapperSpec, TopologySpec};
 
 /// The concrete layer-1 program type of an assembled stack.
 pub type StackProgram<P> = MappingHost<RecursionHost<P>, BoxedMapperFactory>;
 
 /// The concrete simulation type of an assembled stack.
 pub type StackSim<P> = Simulation<Box<dyn Topology>, StackProgram<P>>;
+
+/// The concrete sharded-simulation type of an assembled stack.
+pub type StackShardedSim<P> = ShardedSimulation<Box<dyn Topology>, StackProgram<P>>;
 
 /// Assembles the five-layer solver stack:
 ///
@@ -26,6 +32,7 @@ pub struct StackBuilder<P: RecProgram> {
     program: P,
     topology: TopologySpec,
     mapper: MapperSpec,
+    backend: BackendSpec,
     cancellation: bool,
     halt_on_root_reply: bool,
     sim: SimConfig,
@@ -33,13 +40,14 @@ pub struct StackBuilder<P: RecProgram> {
 
 impl<P: RecProgram> StackBuilder<P> {
     /// Starts a builder with the paper's defaults: a 14x14 torus (the
-    /// Figure 5 machine), round-robin mapping, no cancellation, halt on
-    /// root reply.
+    /// Figure 5 machine), round-robin mapping, the sequential backend,
+    /// no cancellation, halt on root reply.
     pub fn new(program: P) -> Self {
         StackBuilder {
             program,
             topology: TopologySpec::Torus2D { w: 14, h: 14 },
             mapper: MapperSpec::RoundRobin,
+            backend: BackendSpec::Sequential,
             cancellation: false,
             halt_on_root_reply: true,
             sim: SimConfig::default(),
@@ -80,10 +88,26 @@ impl<P: RecProgram> StackBuilder<P> {
         self
     }
 
+    /// Selects the execution backend. All backends produce bit-identical
+    /// results (enforced by the cross-backend equivalence suite); the
+    /// choice trades wall-clock time for cores.
+    pub fn backend(mut self, spec: BackendSpec) -> Self {
+        self.backend = spec;
+        self
+    }
+
     /// Runs the handler phase on a thread pool (bit-identical
-    /// results, faster for large meshes).
+    /// results, faster for large meshes). Shorthand for
+    /// [`StackBuilder::backend`] toggling between [`BackendSpec::Parallel`]
+    /// and [`BackendSpec::Sequential`]; an explicitly selected sharded
+    /// backend is left untouched (use [`StackBuilder::backend`] to
+    /// change it).
     pub fn parallel(mut self, on: bool) -> Self {
-        self.sim.parallel = on;
+        self.backend = match (on, self.backend) {
+            (true, BackendSpec::Sequential | BackendSpec::Parallel) => BackendSpec::Parallel,
+            (false, BackendSpec::Parallel) => BackendSpec::Sequential,
+            (_, other) => other,
+        };
         self
     }
 
@@ -113,13 +137,15 @@ impl<P: RecProgram> StackBuilder<P> {
         self
     }
 
-    /// Builds the simulation without running it (for step-by-step
-    /// inspection); inject root problems with
-    /// [`hyperspace_mapping::trigger`].
-    pub fn build(self) -> StackSim<P> {
+    /// Resolves the builder into its layer-1 ingredients: topology, host
+    /// program, engine config and backend choice.
+    fn assemble(self) -> (Box<dyn Topology>, StackProgram<P>, SimConfig, BackendSpec) {
         let topo = self.topology.build();
         let mut sim_cfg = self.sim.clone();
         sim_cfg.tick_every = self.mapper.status_period();
+        // A `parallel: true` set directly through sim_config() keeps
+        // working; the Parallel backend also turns the flag on.
+        sim_cfg.parallel |= matches!(self.backend, BackendSpec::Parallel);
         // Global mappers address arbitrary nodes: switch the engine to the
         // hop-by-hop NoC model unless the user already chose one.
         if self.mapper.needs_global_delivery()
@@ -136,18 +162,128 @@ impl<P: RecProgram> StackBuilder<P> {
             rec = rec.with_cancellation();
         }
         let host = MappingHost::new(rec, self.mapper.factory(), host_cfg);
+        (topo, host, sim_cfg, self.backend)
+    }
+
+    /// Builds the simulation without running it (for step-by-step
+    /// inspection); inject root problems with
+    /// [`hyperspace_mapping::trigger`]. A sharded backend choice is
+    /// ignored here — use [`StackBuilder::build_sharded`] for that.
+    pub fn build(self) -> StackSim<P> {
+        let (topo, host, sim_cfg, _) = self.assemble();
         Simulation::new(topo, host, sim_cfg)
     }
 
-    /// Runs `program(root_arg)` rooted at `root_node` and collects the
-    /// full report.
+    /// Builds the sharded simulation without running it, using the
+    /// builder's backend spec when it is sharded (or the default
+    /// [`ShardedConfig`] otherwise).
+    pub fn build_sharded(self) -> StackShardedSim<P> {
+        let (topo, host, sim_cfg, backend) = self.assemble();
+        let scfg = backend.sharded_config().unwrap_or_default();
+        ShardedSimulation::new(topo, host, sim_cfg, scfg)
+    }
+
+    /// Runs `program(root_arg)` rooted at `root_node` on the selected
+    /// backend and collects the full report.
     pub fn run(self, root_arg: P::Arg, root_node: NodeId) -> RecRunReport<P::Out> {
-        let mut sim = self.build();
-        sim.inject(root_node, hyperspace_mapping::trigger(root_arg));
-        let report = sim
-            .run_to_quiescence()
-            .expect("stack runs use unbounded queues");
-        summarise(sim, report.outcome, root_node)
+        match self.backend {
+            BackendSpec::Sharded { .. } => {
+                let mut sim = self.build_sharded();
+                sim.inject(root_node, hyperspace_mapping::trigger(root_arg));
+                let report = match sim.run_to_quiescence() {
+                    Ok(report) => report,
+                    // The sequential engine lets handler panics
+                    // propagate; re-raise the contained one so the
+                    // failure mode (and its message) matches across
+                    // backends.
+                    Err(hyperspace_sim::SimError::HandlerPanic {
+                        node,
+                        step,
+                        message,
+                    }) => panic!("handler of node {node} panicked at step {step}: {message}"),
+                    Err(err) => panic!("stack runs use unbounded queues: {err}"),
+                };
+                summarise_sharded(sim, report.outcome, root_node)
+            }
+            _ => {
+                let mut sim = self.build();
+                sim.inject(root_node, hyperspace_mapping::trigger(root_arg));
+                let report = sim
+                    .run_to_quiescence()
+                    .expect("stack runs use unbounded queues");
+                summarise(sim, report.outcome, root_node)
+            }
+        }
+    }
+}
+
+/// Per-node layer counters folded over all nodes, plus the root result.
+struct FoldedStack<Out> {
+    result: Option<Out>,
+    rec_totals: hyperspace_recursion::RecStats,
+    requests_total: u64,
+    replies_total: u64,
+    status_total: u64,
+    cancels_total: u64,
+}
+
+/// Folds the per-node layer-3/4 counters of a finished stack, whatever
+/// backend produced the states.
+fn fold_stack<'a, P, I>(states: I, root_node: NodeId) -> FoldedStack<P::Out>
+where
+    P: RecProgram,
+    I: Iterator<
+        Item = (
+            NodeId,
+            &'a MapState<RecursionHost<P>, Box<dyn hyperspace_mapping::Mapper>>,
+        ),
+    >,
+{
+    let mut folded = FoldedStack {
+        result: None,
+        rec_totals: hyperspace_recursion::RecStats::default(),
+        requests_total: 0,
+        replies_total: 0,
+        status_total: 0,
+        cancels_total: 0,
+    };
+    for (node, st) in states {
+        let rs: &RecState<P> = &st.app;
+        let s = rs.stats;
+        folded.rec_totals.started += s.started;
+        folded.rec_totals.completed += s.completed;
+        folded.rec_totals.stale_replies += s.stale_replies;
+        folded.rec_totals.speculative_wins += s.speculative_wins;
+        folded.rec_totals.cancels_sent += s.cancels_sent;
+        folded.rec_totals.cancelled += s.cancelled;
+        folded.requests_total += st.requests_in;
+        folded.replies_total += st.replies_in;
+        folded.status_total += st.status_in;
+        folded.cancels_total += st.cancels_in;
+        if node == root_node {
+            folded.result = st.root_result().cloned();
+        }
+    }
+    folded
+}
+
+fn assemble_report<Out>(
+    folded: FoldedStack<Out>,
+    outcome: RunOutcome,
+    steps: u64,
+    metrics: SimMetrics,
+) -> RecRunReport<Out> {
+    RecRunReport {
+        result: folded.result,
+        outcome,
+        steps,
+        computation_time: metrics.computation_time(),
+        metrics,
+        rec_totals: folded.rec_totals,
+        requests_total: folded.requests_total,
+        replies_total: folded.replies_total,
+        status_total: folded.status_total,
+        cancels_total: folded.cancels_total,
     }
 }
 
@@ -158,40 +294,32 @@ pub fn summarise<P: RecProgram>(
     root_node: NodeId,
 ) -> RecRunReport<P::Out> {
     let steps = sim.current_step();
-    let n = sim.states().len();
-    let mut rec_totals = hyperspace_recursion::RecStats::default();
-    let (mut requests_total, mut replies_total, mut status_total, mut cancels_total) =
-        (0u64, 0u64, 0u64, 0u64);
-    for node in 0..n {
-        let st: &MapState<RecursionHost<P>, _> = &sim.states()[node];
-        let rs: &RecState<P> = &st.app;
-        let s = rs.stats;
-        rec_totals.started += s.started;
-        rec_totals.completed += s.completed;
-        rec_totals.stale_replies += s.stale_replies;
-        rec_totals.speculative_wins += s.speculative_wins;
-        rec_totals.cancels_sent += s.cancels_sent;
-        rec_totals.cancelled += s.cancelled;
-        requests_total += st.requests_in;
-        replies_total += st.replies_in;
-        status_total += st.status_in;
-        cancels_total += st.cancels_in;
-    }
-    let result = sim.states()[root_node as usize].root_result().cloned();
-    let computation_time = sim.metrics().computation_time();
+    let folded = fold_stack::<P, _>(
+        sim.states()
+            .iter()
+            .enumerate()
+            .map(|(node, st)| (node as NodeId, st)),
+        root_node,
+    );
     let (_states, metrics) = sim.into_parts();
-    RecRunReport {
-        result,
-        outcome,
-        steps,
-        computation_time,
-        metrics,
-        rec_totals,
-        requests_total,
-        replies_total,
-        status_total,
-        cancels_total,
-    }
+    assemble_report(folded, outcome, steps, metrics)
+}
+
+/// Extracts the aggregate report from a finished sharded stack
+/// simulation — the same fold as [`summarise`], over shard-owned states.
+pub fn summarise_sharded<P: RecProgram>(
+    sim: StackShardedSim<P>,
+    outcome: RunOutcome,
+    root_node: NodeId,
+) -> RecRunReport<P::Out> {
+    let steps = sim.current_step();
+    let n = sim.topology().num_nodes();
+    let folded = fold_stack::<P, _>(
+        (0..n as NodeId).map(|node| (node, sim.state(node))),
+        root_node,
+    );
+    let (_states, metrics) = sim.into_parts();
+    assemble_report(folded, outcome, steps, metrics)
 }
 
 /// Machine/run parameters applied to an [`ErasedStackJob`] at execution
@@ -203,6 +331,9 @@ pub struct JobParams {
     pub topology: TopologySpec,
     /// Mapping policy.
     pub mapper: MapperSpec,
+    /// Execution backend. Backends are bit-identical (enforced by the
+    /// equivalence suite), so this only affects wall-clock time.
+    pub backend: BackendSpec,
     /// Withdraw losing speculative branches (layer-4 cancellation).
     pub cancellation: bool,
     /// Safety cap on simulated steps.
@@ -220,6 +351,7 @@ impl Default for JobParams {
             mapper: MapperSpec::LeastBusy {
                 status_period: None,
             },
+            backend: BackendSpec::Sequential,
             cancellation: false,
             max_steps: 1_000_000,
             root_node: 0,
@@ -250,6 +382,7 @@ impl ErasedStackJob {
                 let mut builder = StackBuilder::new(program)
                     .topology(params.topology.clone())
                     .mapper(params.mapper.clone())
+                    .backend(params.backend.clone())
                     .cancellation(params.cancellation)
                     .max_steps(params.max_steps);
                 if let Some(stop) = params.stop.clone() {
@@ -413,6 +546,114 @@ mod tests {
             .mapper(MapperSpec::RoundRobin)
             .run(10, 0);
         assert_eq!(typed.summary(), summary);
+    }
+
+    #[test]
+    fn sharded_backend_matches_sequential() {
+        use crate::spec::{BackendSpec, PartitionSpec};
+        let run = |backend: BackendSpec| {
+            StackBuilder::new(sum_program())
+                .topology(TopologySpec::Torus2D { w: 6, h: 6 })
+                .mapper(MapperSpec::LeastBusy {
+                    status_period: None,
+                })
+                .backend(backend)
+                .run(25, 7)
+        };
+        let seq = run(BackendSpec::Sequential);
+        assert_eq!(seq.result, Some(325));
+        for backend in [
+            BackendSpec::sharded(1),
+            BackendSpec::sharded(4),
+            BackendSpec::Sharded {
+                shards: 7,
+                partition: PartitionSpec::RoundRobin,
+                threads: Some(2),
+            },
+        ] {
+            let sharded = run(backend.clone());
+            assert_eq!(sharded.result, seq.result, "{backend}");
+            assert_eq!(sharded.steps, seq.steps, "{backend}");
+            assert_eq!(sharded.computation_time, seq.computation_time, "{backend}");
+            assert_eq!(sharded.rec_totals, seq.rec_totals, "{backend}");
+            assert_eq!(
+                sharded.metrics.delivered_per_node, seq.metrics.delivered_per_node,
+                "{backend}"
+            );
+            assert_eq!(
+                sharded.metrics.queued_series.as_slice(),
+                seq.metrics.queued_series.as_slice(),
+                "{backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_toggle_preserves_an_explicit_sharded_backend() {
+        // Code that applies a boolean parallel flag after backend
+        // selection must not silently discard the sharded choice.
+        let builder = StackBuilder::new(sum_program())
+            .backend(BackendSpec::sharded(8))
+            .parallel(false);
+        assert_eq!(builder.backend, BackendSpec::sharded(8));
+        let builder = StackBuilder::new(sum_program())
+            .parallel(true)
+            .parallel(false);
+        assert_eq!(builder.backend, BackendSpec::Sequential);
+        let builder = StackBuilder::new(sum_program()).parallel(true);
+        assert_eq!(builder.backend, BackendSpec::Parallel);
+    }
+
+    #[test]
+    fn sharded_stack_reraises_handler_panics_with_the_original_message() {
+        // A panicking program must fail the same way on the sharded
+        // backend as on the sequential one: a panic whose message names
+        // the faulting node, not a queue-capacity expect.
+        let bomb = FnProgram::new(|n: u64| -> Rec<u64, u64> {
+            if n == 0 {
+                panic!("injected stack fault");
+            }
+            Rec::call(n - 1).then(move |total| Rec::done(total + n))
+        });
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            StackBuilder::new(bomb)
+                .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+                .backend(BackendSpec::sharded(4))
+                .run(3, 0)
+        }));
+        let payload = result.expect_err("the fault must propagate as a panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("injected stack fault"), "{message}");
+        assert!(message.contains("panicked at step"), "{message}");
+    }
+
+    #[test]
+    fn sharded_backend_honours_global_random_mapper() {
+        // GlobalRandom forces routed delivery: cross-shard transit paths.
+        use crate::spec::BackendSpec;
+        let run = |backend: BackendSpec| {
+            StackBuilder::new(sum_program())
+                .topology(TopologySpec::Torus2D { w: 6, h: 6 })
+                .mapper(MapperSpec::GlobalRandom { seed: 3 })
+                .backend(backend)
+                .run(15, 0)
+        };
+        let seq = run(BackendSpec::Sequential);
+        let sharded = run(BackendSpec::sharded(5));
+        assert_eq!(seq.result, Some(120));
+        assert_eq!(sharded.result, seq.result);
+        assert_eq!(sharded.steps, seq.steps);
+        assert_eq!(
+            sharded.metrics.hop_histogram.max(),
+            seq.metrics.hop_histogram.max()
+        );
+        assert_eq!(
+            sharded.metrics.delivered_per_node,
+            seq.metrics.delivered_per_node
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@ use std::time::Duration;
 use hyperspace_apps::{
     FibProgram, Item, KnapsackProgram, KnapsackTask, NQueensProgram, QueensTask, SumProgram,
 };
-use hyperspace_core::{ErasedStackJob, JobParams, MapperSpec, RunSummary, TopologySpec};
+use hyperspace_core::{
+    BackendSpec, ErasedStackJob, JobParams, MapperSpec, RunSummary, TopologySpec,
+};
 use hyperspace_recursion::RecProgram;
 use hyperspace_sat::{dimacs, Cnf, DpllProgram, Heuristic, SimplifyMode, SubProblem};
 
@@ -215,6 +217,15 @@ impl JobSpec {
         self
     }
 
+    /// Selects the execution backend. Backends are bit-identical (the
+    /// cross-backend equivalence suite enforces it), so this changes how
+    /// fast the job runs, never what it computes — which is why it is
+    /// *not* part of [`JobSpec::cache_key`].
+    pub fn backend(mut self, spec: BackendSpec) -> Self {
+        self.params.backend = spec;
+        self
+    }
+
     /// Enables withdrawal of losing speculative branches.
     pub fn cancellation(mut self, on: bool) -> Self {
         self.params.cancellation = on;
@@ -234,7 +245,10 @@ impl JobSpec {
     }
 
     /// The normalised cache key of this spec, or `None` if the workload
-    /// is uncacheable. Equal keys denote identical computations.
+    /// is uncacheable. Equal keys denote identical computations. The
+    /// execution backend is deliberately excluded: backends are
+    /// bit-identical, so a summary computed sequentially may be served
+    /// to a sharded resubmission and vice versa.
     pub fn cache_key(&self) -> Option<String> {
         self.kind.cache_token().map(|token| {
             format!(
@@ -361,6 +375,16 @@ mod tests {
         // Machine configuration is part of the computation.
         let d = JobSpec::new(JobKind::sat(gen::uf20_91(1))).topology(TopologySpec::Ring { n: 8 });
         assert_ne!(a.cache_key(), d.cache_key());
+    }
+
+    #[test]
+    fn backend_choice_does_not_split_the_cache() {
+        // Same computation on different backends must share one cache
+        // entry — backends are bit-identical, so the cached summary is
+        // valid for all of them.
+        let seq = JobSpec::new(JobKind::sat(gen::uf20_91(1)));
+        let sharded = JobSpec::new(JobKind::sat(gen::uf20_91(1))).backend(BackendSpec::sharded(8));
+        assert_eq!(seq.cache_key(), sharded.cache_key());
     }
 
     #[test]

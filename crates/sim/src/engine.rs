@@ -137,6 +137,18 @@ pub enum SimError {
         /// Queue length that violated the bound.
         len: usize,
     },
+    /// A node's handler panicked. The sequential engine propagates the
+    /// panic; the sharded backend catches it and surfaces this error so
+    /// sibling shards shut down cleanly instead of deadlocking at a step
+    /// barrier.
+    HandlerPanic {
+        /// Node whose handler panicked (lowest id if several did).
+        node: NodeId,
+        /// Step at which the panic occurred.
+        step: u64,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -145,6 +157,14 @@ impl std::fmt::Display for SimError {
             SimError::QueueOverflow { node, step, len } => write!(
                 f,
                 "inbox of node {node} overflowed at step {step} (len {len})"
+            ),
+            SimError::HandlerPanic {
+                node,
+                step,
+                message,
+            } => write!(
+                f,
+                "handler of node {node} panicked at step {step}: {message}"
             ),
         }
     }
@@ -286,7 +306,7 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
                 let (at, mut env) = self.transit.pop_front().expect("len checked");
                 let next = self.topo.next_hop(at, env.dst);
                 if next != at {
-                    env.hops += 1;
+                    env.advance_hop();
                 }
                 if next == env.dst {
                     self.inboxes[env.dst as usize].push_back(env);
@@ -373,7 +393,7 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
                     _ => {
                         let dst = env.dst as usize;
                         let mut env = env;
-                        env.hops = 1;
+                        env.complete_direct();
                         self.inboxes[dst].push_back(env);
                         if let Some(cap) = self.cfg.queue_capacity {
                             if self.inboxes[dst].len() > cap && overflow.is_none() {
@@ -774,6 +794,7 @@ mod tests {
         let err = sim.run_to_quiescence().unwrap_err();
         match err {
             SimError::QueueOverflow { len, .. } => assert!(len > 4),
+            other => panic!("expected QueueOverflow, got {other:?}"),
         }
     }
 

@@ -24,6 +24,25 @@ impl<M> Envelope<M> {
     pub fn age(&self, now: u64) -> u64 {
         now.saturating_sub(self.sent_step)
     }
+
+    /// Records one *topology link* traversal (a routed hop-by-hop
+    /// advance). This is the only operation that may grow `hops`: being
+    /// handed between backend shards or worker threads is not a link
+    /// traversal and must leave the envelope untouched, otherwise
+    /// per-hop latency metrics diverge between backends.
+    #[inline]
+    pub fn advance_hop(&mut self) {
+        self.hops += 1;
+    }
+
+    /// Marks a direct single-link delivery (adjacent-only or
+    /// fully-connected semantics): exactly one hop, regardless of how
+    /// many shard boundaries the envelope crossed on the way to its
+    /// destination inbox.
+    #[inline]
+    pub fn complete_direct(&mut self) {
+        self.hops = 1;
+    }
 }
 
 #[cfg(test)]
@@ -41,5 +60,46 @@ mod tests {
         };
         assert_eq!(e.age(15), 5);
         assert_eq!(e.age(5), 0);
+    }
+
+    #[test]
+    fn hop_accounting_counts_links_not_shard_handoffs() {
+        let mut e = Envelope {
+            src: 3,
+            dst: 9,
+            sent_step: 4,
+            hops: 0,
+            payload: 7u32,
+        };
+        // Three routed link traversals.
+        e.advance_hop();
+        e.advance_hop();
+        e.advance_hop();
+        assert_eq!(e.hops, 3);
+        // A shard handoff is a plain move/clone of the envelope: both hop
+        // count and the enqueue step (hence `age`) must be preserved so a
+        // sharded backend reports the same latency as the sequential one.
+        let handed_off = e.clone();
+        assert_eq!(handed_off, e);
+        assert_eq!(handed_off.hops, 3);
+        assert_eq!(handed_off.age(10), e.age(10));
+    }
+
+    #[test]
+    fn direct_delivery_is_exactly_one_hop() {
+        let mut e = Envelope {
+            src: 0,
+            dst: 1,
+            sent_step: 2,
+            hops: 0,
+            payload: (),
+        };
+        e.complete_direct();
+        assert_eq!(e.hops, 1);
+        // Idempotent: re-marking on a second handoff cannot inflate it.
+        e.complete_direct();
+        assert_eq!(e.hops, 1);
+        // Age is a function of the enqueue step alone, never of hops.
+        assert_eq!(e.age(3), 1);
     }
 }

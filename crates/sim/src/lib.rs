@@ -12,6 +12,11 @@
 //!   thread fork-join over nodes; bit-identical traces (tested),
 //!   near-linear speed-up for large meshes (enable with
 //!   [`SimConfig::parallel`]).
+//! * [`ShardedSimulation`] — the machine's *state* partitioned into K
+//!   shards with their own queues and step loops; cross-shard envelopes
+//!   exchange at step barriers in deterministic key order, so traces are
+//!   bit-identical to the sequential engine for every shard count,
+//!   partitioner and worker-thread count (see [`sharded`]).
 //! * [`threaded`] — a real multi-threaded backend built on mpsc
 //!   channels, demonstrating that programs written against layer 1 run
 //!   unchanged on a genuinely concurrent substrate.
@@ -57,6 +62,7 @@ mod engine;
 mod envelope;
 mod program;
 pub mod record;
+pub mod sharded;
 pub mod threaded;
 
 pub use control::StopHandle;
@@ -65,5 +71,6 @@ pub use engine::{
 };
 pub use envelope::Envelope;
 pub use program::{InitCtx, NodeProgram, Outbox};
+pub use sharded::{Partition, ShardedConfig, ShardedSimulation};
 
 pub use hyperspace_topology::{NodeId, Topology};

@@ -66,6 +66,47 @@ impl SimMetrics {
     pub fn peak_queued(&self) -> u64 {
         self.queued_series.max().unwrap_or(0)
     }
+
+    /// Merges one shard's measurements into this aggregate: per-node
+    /// vectors add elementwise (shards own disjoint nodes, so this is a
+    /// scatter), histograms and totals combine, and the first/last
+    /// delivery steps take the min/max over shards. The per-step series
+    /// are *not* merged here — they are global quantities a sharded
+    /// backend's coordinator records at each step barrier.
+    pub fn merge_shard(&mut self, shard: &SimMetrics) {
+        if self.delivered_per_node.len() < shard.delivered_per_node.len() {
+            self.delivered_per_node
+                .resize(shard.delivered_per_node.len(), 0);
+        }
+        for (total, &part) in self
+            .delivered_per_node
+            .iter_mut()
+            .zip(shard.delivered_per_node.iter())
+        {
+            *total += part;
+        }
+        if self.sent_per_node.len() < shard.sent_per_node.len() {
+            self.sent_per_node.resize(shard.sent_per_node.len(), 0);
+        }
+        for (total, &part) in self
+            .sent_per_node
+            .iter_mut()
+            .zip(shard.sent_per_node.iter())
+        {
+            *total += part;
+        }
+        self.hop_histogram.merge(&shard.hop_histogram);
+        self.total_sent += shard.total_sent;
+        self.total_delivered += shard.total_delivered;
+        self.first_delivery_step = match (self.first_delivery_step, shard.first_delivery_step) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_delivery_step = match (self.last_delivery_step, shard.last_delivery_step) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
 }
 
 /// One entry of the optional full event trace (determinism testing).
@@ -103,6 +144,40 @@ mod tests {
         m.first_delivery_step = Some(3);
         m.last_delivery_step = Some(10);
         assert_eq!(m.computation_time(), 8);
+    }
+
+    #[test]
+    fn merge_shard_combines_disjoint_node_slices() {
+        let mut a = SimMetrics::new(4, true);
+        a.delivered_per_node = vec![1, 2, 0, 0];
+        a.sent_per_node = vec![3, 0, 0, 0];
+        a.total_delivered = 3;
+        a.total_sent = 3;
+        a.first_delivery_step = Some(2);
+        a.last_delivery_step = Some(5);
+        a.hop_histogram.record(1);
+        let mut b = SimMetrics::new(4, true);
+        b.delivered_per_node = vec![0, 0, 4, 5];
+        b.sent_per_node = vec![0, 0, 0, 6];
+        b.total_delivered = 9;
+        b.total_sent = 6;
+        b.first_delivery_step = Some(1);
+        b.last_delivery_step = Some(4);
+        b.hop_histogram.record(1);
+        a.merge_shard(&b);
+        assert_eq!(a.delivered_per_node, vec![1, 2, 4, 5]);
+        assert_eq!(a.sent_per_node, vec![3, 0, 0, 6]);
+        assert_eq!(a.total_delivered, 12);
+        assert_eq!(a.total_sent, 9);
+        assert_eq!(a.first_delivery_step, Some(1));
+        assert_eq!(a.last_delivery_step, Some(5));
+        assert_eq!(a.computation_time(), 5);
+        assert_eq!(a.hop_histogram.count(), 2);
+        // Merging into a fresh aggregate adopts the shard's values.
+        let mut fresh = SimMetrics::default();
+        fresh.merge_shard(&b);
+        assert_eq!(fresh.first_delivery_step, Some(1));
+        assert_eq!(fresh.delivered_per_node, vec![0, 0, 4, 5]);
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! Determinism and parallel-equivalence guarantees: identical
-//! configurations produce bit-identical runs, and the thread-parallel
-//! stepper is indistinguishable from the sequential one.
+//! configurations produce bit-identical runs, the thread-parallel
+//! stepper is indistinguishable from the sequential one, and the
+//! sharded backend's trace is invariant under its worker-thread count.
 
-use hyperspace::core::{MapperSpec, RecRunReport, StackBuilder, TopologySpec};
+use hyperspace::core::{
+    BackendSpec, MapperSpec, PartitionSpec, RecRunReport, StackBuilder, TopologySpec,
+};
 use hyperspace::sat::{gen, DpllProgram, Heuristic, SimplifyMode, SubProblem, Verdict};
+use hyperspace::sim::record::TraceEvent;
+use hyperspace::sim::SimConfig;
 
 fn run(parallel: bool, seed: u64) -> RecRunReport<Verdict> {
     let cnf = gen::uf20_91(seed);
@@ -51,6 +56,79 @@ fn parallel_stepper_matches_sequential_exactly() {
         );
         assert_eq!(seq.result, par.result);
         assert_eq!(seq.rec_totals, par.rec_totals);
+    }
+}
+
+/// One sharded SAT run with an explicit worker-thread count, returning
+/// everything observable: the full event trace, metrics and summary
+/// numbers.
+fn sharded_run(
+    seed: u64,
+    shards: u32,
+    partition: PartitionSpec,
+    threads: u32,
+) -> (Vec<TraceEvent>, Vec<u64>, Vec<u64>, u64, u64) {
+    let cnf = gen::uf20_91(seed);
+    let program = DpllProgram::new(Heuristic::FirstUnassigned).with_mode(SimplifyMode::SplitOnly);
+    let mut sim = StackBuilder::new(program)
+        .topology(TopologySpec::Torus2D { w: 8, h: 8 })
+        .mapper(MapperSpec::LeastBusy {
+            status_period: None,
+        })
+        .backend(BackendSpec::Sharded {
+            shards,
+            partition,
+            threads: Some(threads),
+        })
+        .halt_on_root_reply(false)
+        .sim_config(SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        })
+        .build_sharded();
+    sim.inject(0, hyperspace::mapping::trigger(SubProblem::root(cnf)));
+    let report = sim.run_to_quiescence().expect("sharded SAT run");
+    let trace = sim.trace().to_vec();
+    let metrics = sim.metrics();
+    (
+        trace,
+        metrics.delivered_per_node.clone(),
+        metrics.queued_series.as_slice().to_vec(),
+        metrics.total_sent,
+        report.steps,
+    )
+}
+
+#[test]
+fn sharded_runs_are_identical_across_thread_counts() {
+    // Same seed, same shard layout, different worker-thread counts: the
+    // trace (and everything derived from it) must be bit-identical.
+    // Repeat each configuration to also catch run-to-run nondeterminism.
+    let baseline = sharded_run(2017, 7, PartitionSpec::RoundRobin, 1);
+    assert!(!baseline.0.is_empty(), "trace recorded");
+    for threads in [1u32, 2, 5, 7] {
+        for repeat in 0..2 {
+            let run = sharded_run(2017, 7, PartitionSpec::RoundRobin, threads);
+            assert_eq!(
+                run, baseline,
+                "threads={threads} repeat={repeat} diverged from single-threaded baseline"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_trace_is_partition_and_shard_count_invariant() {
+    // The trace must not depend on how the state was sharded at all.
+    let baseline = sharded_run(42, 1, PartitionSpec::Block, 1);
+    for (shards, partition) in [
+        (2, PartitionSpec::Block),
+        (7, PartitionSpec::Block),
+        (7, PartitionSpec::RoundRobin),
+        (64, PartitionSpec::RoundRobin),
+    ] {
+        let run = sharded_run(42, shards, partition, 3);
+        assert_eq!(run, baseline, "K={shards} {partition:?} diverged");
     }
 }
 

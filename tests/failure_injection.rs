@@ -1,9 +1,13 @@
-//! Failure-injection paths: bounded queues and step caps surface as
-//! structured errors/outcomes rather than silent corruption.
+//! Failure-injection paths: bounded queues, step caps and panicking
+//! handlers surface as structured errors/outcomes rather than silent
+//! corruption or deadlocks.
 
 use hyperspace::core::{MapperSpec, StackBuilder, TopologySpec};
 use hyperspace::sat::{gen, DpllProgram, Heuristic, SimplifyMode, SubProblem};
-use hyperspace::sim::{RunOutcome, SimConfig, SimError};
+use hyperspace::sim::{
+    InitCtx, NodeId, NodeProgram, Outbox, Partition, RunOutcome, ShardedConfig, ShardedSimulation,
+    SimConfig, SimError,
+};
 
 #[test]
 fn bounded_queues_overflow_with_diagnostics() {
@@ -23,10 +27,14 @@ fn bounded_queues_overflow_with_diagnostics() {
     let err = sim
         .run_to_quiescence()
         .expect_err("3-entry queues cannot hold a split-only search");
-    let SimError::QueueOverflow { node, step, len } = err;
-    assert!((node as usize) < 16);
-    assert!(step > 0);
-    assert!(len > 3);
+    match &err {
+        SimError::QueueOverflow { node, step, len } => {
+            assert!((*node as usize) < 16);
+            assert!(*step > 0);
+            assert!(*len > 3);
+        }
+        other => panic!("expected QueueOverflow, got {other:?}"),
+    }
     // The error formats usefully.
     let msg = format!("{err}");
     assert!(msg.contains("overflowed"), "{msg}");
@@ -48,6 +56,93 @@ fn step_cap_reports_max_steps_outcome() {
     assert_eq!(report.steps, 10);
     // Messages remain queued: the run was genuinely truncated.
     assert!(sim.queued() > 0);
+}
+
+/// Flood-fill that detonates at one chosen node.
+#[derive(Clone)]
+struct PanicAt(NodeId);
+
+impl NodeProgram for PanicAt {
+    type Msg = ();
+    type State = bool;
+    fn init(&self, _node: NodeId, _ctx: &InitCtx) -> bool {
+        false
+    }
+    fn on_message(&self, visited: &mut bool, _msg: (), ctx: &mut Outbox<'_, ()>) {
+        if ctx.node() == self.0 {
+            panic!("injected fault at node {}", self.0);
+        }
+        if !*visited {
+            *visited = true;
+            ctx.broadcast(());
+        }
+    }
+}
+
+#[test]
+fn panicking_node_in_one_shard_surfaces_sim_error_without_deadlock() {
+    // Node 27 sits in the middle of one of four shards; its panic must
+    // come back as a structured SimError while the three sibling shards
+    // finish their barrier protocol and exit (a deadlock would hang this
+    // test forever — finishing *is* the assertion).
+    for partition in [Partition::Block, Partition::RoundRobin] {
+        for threads in [1usize, 4] {
+            let mut sim = ShardedSimulation::new(
+                hyperspace::topology::Torus::new_2d(6, 6),
+                PanicAt(27),
+                SimConfig::default(),
+                ShardedConfig {
+                    shards: 4,
+                    partition,
+                    threads: Some(threads),
+                },
+            );
+            sim.inject(0, ());
+            let err = sim
+                .run_to_quiescence()
+                .expect_err("the fault must surface as an error");
+            match &err {
+                SimError::HandlerPanic {
+                    node,
+                    step,
+                    message,
+                } => {
+                    assert_eq!(*node, 27, "{partition:?} T={threads}");
+                    assert!(*step > 0);
+                    assert!(message.contains("injected fault"), "{message}");
+                }
+                other => panic!("expected HandlerPanic, got {other:?}"),
+            }
+            let msg = format!("{err}");
+            assert!(msg.contains("panicked"), "{msg}");
+            // Nodes the flood reached before the fault keep their state.
+            assert!(*sim.state(0), "root was visited before the fault");
+        }
+    }
+}
+
+#[test]
+fn panic_error_is_deterministic_across_shard_layouts() {
+    // The surfaced error must not depend on sharding: same node, same
+    // step, same message for every layout (and for repeated runs).
+    let run = |shards: usize, threads: usize| {
+        let mut sim = ShardedSimulation::new(
+            hyperspace::topology::Torus::new_2d(6, 6),
+            PanicAt(20),
+            SimConfig::default(),
+            ShardedConfig {
+                shards,
+                partition: Partition::Block,
+                threads: Some(threads),
+            },
+        );
+        sim.inject(0, ());
+        sim.run_to_quiescence().expect_err("fault")
+    };
+    let baseline = run(1, 1);
+    for (shards, threads) in [(2, 2), (4, 4), (9, 3), (36, 2)] {
+        assert_eq!(run(shards, threads), baseline, "K={shards} T={threads}");
+    }
 }
 
 #[test]

@@ -1,11 +1,22 @@
 //! Cross-layer equivalence: the same recursive computation yields the same
 //! answer whether evaluated locally, over any topology, or under any
 //! mapping policy — the separation-of-concerns guarantee of §III-B1.
+//!
+//! The second half of this suite is the cross-*backend* trace-equivalence
+//! property: for random topology × program × seed, the sequential engine,
+//! the scoped-thread parallel stepper and the sharded backend (K ∈
+//! {1, 2, 7}, both partitioners) must produce bit-identical final states,
+//! [`hyperspace::sim::record::SimMetrics`] and event traces.
 
 use hyperspace::apps::fib::fib_reference;
 use hyperspace::apps::{FibProgram, NQueensProgram, QueensTask, SumProgram};
-use hyperspace::core::{MapperSpec, StackBuilder, TopologySpec};
+use hyperspace::core::{BackendSpec, MapperSpec, PartitionSpec, StackBuilder, TopologySpec};
 use hyperspace::recursion::eval_local;
+use hyperspace::sim::threaded::{run_threaded, SimAdapter};
+use hyperspace::sim::{
+    InitCtx, NodeId, NodeProgram, Outbox, ShardedConfig, ShardedSimulation, SimConfig, Simulation,
+};
+use proptest::prelude::*;
 
 fn all_mappers() -> Vec<MapperSpec> {
     vec![
@@ -94,6 +105,234 @@ fn status_broadcasts_do_not_change_results() {
             })
             .run(30, 0);
         assert_eq!(report.result, Some(465), "period {period:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-backend trace equivalence
+// ---------------------------------------------------------------------
+
+/// A deterministic layer-1 program driven purely by its message payload:
+/// every delivery folds a commutative hash into the node state (so even
+/// the clockless mpsc backend converges to the same states) and forwards
+/// a decremented TTL along payload-derived ports.
+#[derive(Clone)]
+struct SeededScatter;
+
+fn mix(v: u64) -> u64 {
+    v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31) ^ v
+}
+
+impl NodeProgram for SeededScatter {
+    type Msg = u64;
+    type State = u64;
+
+    fn init(&self, node: NodeId, _ctx: &InitCtx) -> u64 {
+        mix(node as u64)
+    }
+
+    fn on_message(&self, state: &mut u64, msg: u64, ctx: &mut Outbox<'_, u64>) {
+        // Commutative fold: independent of delivery order within a batch.
+        *state = state.wrapping_add(mix(msg));
+        let ttl = msg & 0xFF;
+        if ttl > 0 {
+            let degree = ctx.degree();
+            ctx.send_port((msg >> 8) as usize % degree, msg - 1);
+            if ttl.is_multiple_of(3) {
+                ctx.send_port((msg >> 16) as usize % degree, msg - 1);
+            }
+        }
+    }
+}
+
+fn arb_topology() -> impl Strategy<Value = TopologySpec> {
+    prop_oneof![
+        (2u32..6, 2u32..6).prop_map(|(w, h)| TopologySpec::Torus2D { w, h }),
+        (2u32..4, 2u32..4, 2u32..4).prop_map(|(x, y, z)| TopologySpec::Torus3D { x, y, z }),
+        (2u32..6).prop_map(|dim| TopologySpec::Hypercube { dim }),
+        (3u32..20).prop_map(|n| TopologySpec::Ring { n }),
+        (2u32..5, 2u32..5).prop_map(|(a, b)| TopologySpec::Grid(vec![a, b])),
+    ]
+}
+
+fn arb_mapper() -> impl Strategy<Value = MapperSpec> {
+    prop_oneof![
+        Just(MapperSpec::RoundRobin),
+        Just(MapperSpec::LeastBusy {
+            status_period: None
+        }),
+        any::<u64>().prop_map(|seed| MapperSpec::Random { seed }),
+        any::<u64>().prop_map(|seed| MapperSpec::GlobalRandom { seed }),
+    ]
+}
+
+/// The sharded configurations every equivalence case must survive:
+/// K ∈ {1, 2, 7} with both partitioners and varying thread counts.
+fn sharded_matrix() -> Vec<ShardedConfig> {
+    use hyperspace::sim::Partition;
+    vec![
+        ShardedConfig {
+            shards: 1,
+            partition: Partition::Block,
+            threads: Some(1),
+        },
+        ShardedConfig {
+            shards: 2,
+            partition: Partition::RoundRobin,
+            threads: Some(2),
+        },
+        ShardedConfig {
+            shards: 7,
+            partition: Partition::Block,
+            threads: Some(3),
+        },
+        ShardedConfig {
+            shards: 7,
+            partition: Partition::RoundRobin,
+            threads: Some(7),
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Layer-1 equivalence on random machines and payloads: sequential,
+    /// parallel-stepping and sharded (K ∈ {1,2,7}) runs are bit-identical
+    /// — states, metrics *and* the full event trace; the clockless mpsc
+    /// threaded backend converges to the same states and message totals.
+    #[test]
+    fn backends_are_trace_equivalent(
+        topo_spec in arb_topology(),
+        seed in any::<u64>(),
+        root_seed in any::<u32>(),
+        budget in 1u32..3,
+    ) {
+        let nodes = topo_spec.num_nodes();
+        let root = (root_seed as usize % nodes) as NodeId;
+        // Bounded TTL keeps the flood finite; upper bits steer the ports.
+        let payload = (seed & !0xFF) | 14;
+        let cfg = SimConfig {
+            msgs_per_step: budget,
+            record_trace: true,
+            ..SimConfig::default()
+        };
+
+        // Sequential baseline.
+        let mut seq = Simulation::new(topo_spec.build(), SeededScatter, cfg.clone());
+        seq.inject(root, payload);
+        let report_seq = seq.run_to_quiescence().expect("sequential run");
+        let trace_seq = seq.trace().to_vec();
+        let (states_seq, metrics_seq) = seq.into_parts();
+
+        // Scoped-thread parallel stepper.
+        let mut par = Simulation::new(
+            topo_spec.build(),
+            SeededScatter,
+            SimConfig { parallel: true, ..cfg.clone() },
+        );
+        par.inject(root, payload);
+        let report_par = par.run_to_quiescence().expect("parallel run");
+        prop_assert_eq!(report_par.steps, report_seq.steps);
+        prop_assert_eq!(par.trace(), trace_seq.as_slice());
+        let (states_par, metrics_par) = par.into_parts();
+        prop_assert_eq!(&states_par, &states_seq);
+        prop_assert_eq!(&metrics_par.delivered_per_node, &metrics_seq.delivered_per_node);
+
+        // Sharded backend, K ∈ {1, 2, 7}, both partitioners.
+        for scfg in sharded_matrix() {
+            let tag = format!("K={} {:?} T={:?}", scfg.shards, scfg.partition, scfg.threads);
+            let mut sharded = ShardedSimulation::new(
+                topo_spec.build(), SeededScatter, cfg.clone(), scfg,
+            );
+            sharded.inject(root, payload);
+            let report = sharded.run_to_quiescence().expect("sharded run");
+            prop_assert_eq!(report.outcome, report_seq.outcome, "{}", tag);
+            prop_assert_eq!(report.steps, report_seq.steps, "{}", tag);
+            prop_assert_eq!(
+                report.computation_time, report_seq.computation_time, "{}", tag
+            );
+            prop_assert_eq!(sharded.trace(), trace_seq.as_slice(), "{}", tag);
+            let (states, metrics) = sharded.into_parts();
+            prop_assert_eq!(&states, &states_seq, "{}", tag);
+            prop_assert_eq!(
+                &metrics.delivered_per_node, &metrics_seq.delivered_per_node, "{}", tag
+            );
+            prop_assert_eq!(&metrics.sent_per_node, &metrics_seq.sent_per_node, "{}", tag);
+            prop_assert_eq!(
+                metrics.queued_series.as_slice(), metrics_seq.queued_series.as_slice(),
+                "{}", tag
+            );
+            prop_assert_eq!(
+                metrics.delivered_series.as_slice(),
+                metrics_seq.delivered_series.as_slice(),
+                "{}", tag
+            );
+            prop_assert_eq!(&metrics.hop_histogram, &metrics_seq.hop_histogram, "{}", tag);
+            prop_assert_eq!(metrics.total_sent, metrics_seq.total_sent, "{}", tag);
+            prop_assert_eq!(metrics.total_delivered, metrics_seq.total_delivered, "{}", tag);
+        }
+
+        // The mpsc channel backend has no step clock, so only the
+        // converged states and conserved message totals can match.
+        let topo = topo_spec.build();
+        let (states_thr, report_thr) =
+            run_threaded(&topo, &SimAdapter(SeededScatter), vec![(root, payload)], 3);
+        prop_assert_eq!(&states_thr, &states_seq);
+        prop_assert_eq!(report_thr.total_delivered, metrics_seq.total_delivered);
+    }
+
+    /// Full-stack equivalence on random machines, mappers and inputs:
+    /// the recursive sum must produce identical reports — result, step
+    /// count, metrics — on every backend, K ∈ {1, 2, 7}.
+    #[test]
+    fn stack_backends_are_equivalent(
+        topo in arb_topology(),
+        mapper in arb_mapper(),
+        n in 0u64..30,
+        root_seed in any::<u32>(),
+    ) {
+        let nodes = topo.num_nodes() as u32;
+        let root = root_seed % nodes;
+        let run = |backend: BackendSpec| {
+            StackBuilder::new(SumProgram)
+                .topology(topo.clone())
+                .mapper(mapper.clone())
+                .backend(backend)
+                .run(n, root)
+        };
+        let seq = run(BackendSpec::Sequential);
+        prop_assert_eq!(seq.result, Some(n * (n + 1) / 2));
+        for backend in [
+            BackendSpec::Parallel,
+            BackendSpec::sharded(1),
+            BackendSpec::Sharded {
+                shards: 2,
+                partition: PartitionSpec::RoundRobin,
+                threads: Some(2),
+            },
+            BackendSpec::Sharded {
+                shards: 7,
+                partition: PartitionSpec::Block,
+                threads: Some(3),
+            },
+        ] {
+            let other = run(backend.clone());
+            prop_assert_eq!(other.result, seq.result, "{}", backend);
+            prop_assert_eq!(other.steps, seq.steps, "{}", backend);
+            prop_assert_eq!(other.computation_time, seq.computation_time, "{}", backend);
+            prop_assert_eq!(&other.rec_totals, &seq.rec_totals, "{}", backend);
+            prop_assert_eq!(
+                &other.metrics.delivered_per_node, &seq.metrics.delivered_per_node,
+                "{}", backend
+            );
+            prop_assert_eq!(
+                other.metrics.queued_series.as_slice(),
+                seq.metrics.queued_series.as_slice(),
+                "{}", backend
+            );
+            prop_assert_eq!(other.metrics.total_sent, seq.metrics.total_sent, "{}", backend);
+        }
     }
 }
 

@@ -162,6 +162,45 @@ fn repeated_sat_submissions_hit_the_cache_with_identical_reports() {
 }
 
 #[test]
+fn sharded_jobs_run_and_share_the_cache_with_sequential_ones() {
+    // Backends are bit-identical, so the cache key ignores the backend:
+    // a job solved sequentially serves a sharded resubmission from the
+    // cache (and vice versa), with an identical summary either way.
+    use hyperspace::core::BackendSpec;
+    let service = SolverService::with_workers(2);
+    let spec = |backend: BackendSpec| {
+        JobSpec::new(JobKind::sat(gen::uf20_91(9)))
+            .topology(TopologySpec::Torus2D { w: 6, h: 6 })
+            .backend(backend)
+    };
+    let sequential = service.submit(spec(BackendSpec::Sequential)).wait();
+    let sharded = service.submit(spec(BackendSpec::sharded(4))).wait();
+    assert!(!sequential.from_cache);
+    assert!(sharded.from_cache, "backends must share one cache entry");
+    assert_eq!(
+        sequential.outcome.summary().unwrap(),
+        sharded.outcome.summary().unwrap()
+    );
+
+    // A fresh sharded computation (new seed) actually runs sharded and
+    // produces the same summary a sequential solve of it would.
+    let sharded_first = service.submit(spec2(10, BackendSpec::sharded(3))).wait();
+    let sequential_second = service.submit(spec2(10, BackendSpec::Sequential)).wait();
+    assert!(!sharded_first.from_cache);
+    assert!(sequential_second.from_cache);
+    assert_eq!(
+        sharded_first.outcome.summary().unwrap(),
+        sequential_second.outcome.summary().unwrap()
+    );
+
+    fn spec2(seed: u64, backend: hyperspace::core::BackendSpec) -> JobSpec {
+        JobSpec::new(JobKind::sat(gen::uf20_91(seed)))
+            .topology(TopologySpec::Torus2D { w: 6, h: 6 })
+            .backend(backend)
+    }
+}
+
+#[test]
 fn mixed_seeded_workload_loses_nothing() {
     // A deterministic mixed batch: every handle resolves exactly once
     // with the right answer.

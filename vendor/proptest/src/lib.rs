@@ -40,6 +40,16 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count actually run, honouring the `PROPTEST_CASES`
+    /// environment override (parity with real proptest's env handling;
+    /// CI uses it to deepen the equivalence suites without code edits).
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(self.cases)
+    }
 }
 
 impl Default for ProptestConfig {
@@ -282,7 +292,7 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            for case in 0..config.cases as u64 {
+            for case in 0..config.effective_cases() as u64 {
                 let mut rng = $crate::rng_for(case, stringify!($name));
                 $(
                     let $arg = $crate::Strategy::sample(&($strat), &mut rng);
@@ -292,4 +302,22 @@ macro_rules! __proptest_impl {
         }
         $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_cases_defaults_to_configured_count() {
+        // Serialise env mutation within this test binary.
+        let cfg = ProptestConfig::with_cases(12);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(cfg.effective_cases(), 12);
+        std::env::set_var("PROPTEST_CASES", "64");
+        assert_eq!(cfg.effective_cases(), 64);
+        std::env::set_var("PROPTEST_CASES", "not a number");
+        assert_eq!(cfg.effective_cases(), 12);
+        std::env::remove_var("PROPTEST_CASES");
+    }
 }

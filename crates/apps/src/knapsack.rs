@@ -50,20 +50,56 @@ impl KnapsackTask {
 
     /// Fractional (LP-relaxation) upper bound on the achievable value.
     pub fn upper_bound(&self) -> u32 {
-        let mut cap = self.capacity;
-        let mut bound = self.value;
-        for item in &self.items[self.next..] {
-            if item.weight <= cap {
-                cap -= item.weight;
-                bound += item.value;
-            } else {
-                // Fractional part of the first item that does not fit.
-                bound += item.value * cap / item.weight.max(1);
-                break;
-            }
-        }
-        bound
+        fractional_bound(&self.items, self.next, self.capacity, self.value)
     }
+}
+
+/// Fractional (LP-relaxation) upper bound on the value achievable with
+/// `capacity` left and items `next..` undecided, on top of `value`
+/// already accumulated. Tightest when items are density-sorted
+/// ([`sort_by_density`]). Shared by the path-local [`KnapsackTask`]
+/// bound and the incumbent-pruned [`crate::BnbKnapsackProgram`].
+pub fn fractional_bound(items: &[Item], next: usize, capacity: u32, value: u32) -> u32 {
+    // Widen to u64: `value * cap` overflows u32 for large capacities,
+    // and a wrapped-small "upper bound" would unsoundly prune the
+    // optimal subtree. Saturating on the way back keeps the result an
+    // upper bound (too large is safe, too small is not).
+    let mut cap = capacity as u64;
+    let mut bound = value as u64;
+    for item in &items[next..] {
+        if item.weight as u64 <= cap {
+            cap -= item.weight as u64;
+            bound += item.value as u64;
+        } else {
+            // Fractional part of the first item that does not fit.
+            bound += item.value as u64 * cap / item.weight.max(1) as u64;
+            break;
+        }
+    }
+    bound.min(u32::MAX as u64) as u32
+}
+
+/// A deterministic pseudo-random item list with weights in
+/// `1..=max_weight` and values in `1..=max_value`, density-sorted
+/// ([`sort_by_density`]) so relaxation bounds are tight. The single
+/// instance generator shared by the conformance suites, the anytime
+/// tests and the `prune_scaling` sweep.
+pub fn seeded_items(seed: u64, n: usize, max_weight: u32, max_value: u32) -> Vec<Item> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut draw = |modulus: u32| {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        1 + ((s >> 33) % modulus.max(1) as u64) as u32
+    };
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        let weight = draw(max_weight);
+        let value = draw(max_value);
+        items.push(Item { weight, value });
+    }
+    sort_by_density(&mut items);
+    items
 }
 
 /// Sorts items by non-increasing value density (value/weight).
@@ -193,6 +229,28 @@ mod tests {
             })
             .run(KnapsackTask::root(items, 10), 0);
         assert_eq!(report.result, Some(expect));
+    }
+
+    #[test]
+    fn fractional_bound_survives_u32_overflow() {
+        // value * cap used to wrap in u32, yielding an unsoundly small
+        // "upper bound". 100 * 2^30 / (2^32 - 1) = 25 in exact
+        // arithmetic — the wrapped computation returned 0.
+        let items = [Item {
+            weight: u32::MAX,
+            value: 100,
+        }];
+        let cap = 1u32 << 30;
+        assert_eq!(fractional_bound(&items, 0, cap, 0), 25);
+        // Sums beyond u32 saturate instead of wrapping: still an upper
+        // bound.
+        let rich: Vec<Item> = (0..3)
+            .map(|_| Item {
+                weight: 1,
+                value: u32::MAX / 2,
+            })
+            .collect();
+        assert_eq!(fractional_bound(&rich, 0, 10, u32::MAX / 2), u32::MAX);
     }
 
     #[test]

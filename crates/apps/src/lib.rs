@@ -11,20 +11,32 @@
 //!   joined with `All` (a throughput/mapping stress test).
 //! * [`NQueensProgram`] — counts N-Queens placements; irregular fan-out
 //!   with `All` joins summing counts.
-//! * [`KnapsackProgram`] — 0/1 knapsack by branch and bound; demonstrates
-//!   cross-layer weight hints (§III-B3).
+//! * [`KnapsackProgram`] — 0/1 knapsack by branch and bound with a
+//!   path-local bound; demonstrates cross-layer weight hints (§III-B3).
+//! * [`BnbKnapsackProgram`] — exact 0/1 knapsack driven by the stack's
+//!   optimisation mode: a *shared* incumbent gossips through the mesh
+//!   and prunes via the fractional-relaxation upper bound.
+//! * [`TspProgram`] — small-instance TSP by branch and bound with a
+//!   reduced-cost lower bound (the minimisation complement).
 //! * [`traversal`] — Listing 1's flood-fill, written directly against
 //!   layer 1.
 
 #![warn(missing_docs)]
 
+pub mod bnb_knapsack;
 pub mod fib;
 pub mod knapsack;
 pub mod nqueens;
 pub mod sum;
 pub mod traversal;
+pub mod tsp;
 
+pub use bnb_knapsack::{BnbKnapsackProgram, BnbKnapsackTask};
 pub use fib::FibProgram;
-pub use knapsack::{knapsack_reference, sort_by_density, Item, KnapsackProgram, KnapsackTask};
+pub use knapsack::{
+    fractional_bound, knapsack_reference, seeded_items, sort_by_density, Item, KnapsackProgram,
+    KnapsackTask,
+};
 pub use nqueens::{NQueensProgram, QueensTask};
 pub use sum::SumProgram;
+pub use tsp::{tsp_reference, TspInstance, TspProgram, TspTask, TSP_INFEASIBLE};

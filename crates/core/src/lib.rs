@@ -33,8 +33,10 @@ mod report;
 mod spec;
 mod stack;
 
-pub use report::{RecRunReport, RunSummary};
-pub use spec::{BackendSpec, MapperSpec, PartitionSpec, SpecParseError, TopologySpec};
+pub use report::{IncumbentEvent, RecRunReport, RunSummary};
+pub use spec::{
+    BackendSpec, MapperSpec, ObjectiveSpec, PartitionSpec, PruneSpec, SpecParseError, TopologySpec,
+};
 pub use stack::{
     summarise, summarise_sharded, ErasedStackJob, JobParams, StackBuilder, StackProgram,
     StackShardedSim, StackSim,

@@ -2,7 +2,20 @@
 
 use hyperspace_recursion::RecStats;
 use hyperspace_sim::record::SimMetrics;
-use hyperspace_sim::RunOutcome;
+use hyperspace_sim::{NodeId, RunOutcome};
+
+/// One improvement of some node's incumbent during a branch-and-bound
+/// run, in the report's merged (step, value, node) order. The merged
+/// trace is deterministic and bit-identical across execution backends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IncumbentEvent {
+    /// Simulation step at which the node observed the improvement.
+    pub step: u64,
+    /// The node's incumbent value after the update.
+    pub value: i64,
+    /// The node that improved.
+    pub node: NodeId,
+}
 
 /// Everything measured in one stack run (§V-C's three quantities plus
 /// layer-level counters).
@@ -29,6 +42,19 @@ pub struct RecRunReport<Out> {
     pub status_total: u64,
     /// Cancels received, summed over all nodes.
     pub cancels_total: u64,
+    /// Incumbent-bound messages received, summed over all nodes
+    /// (branch-and-bound mode; 0 otherwise).
+    pub bounds_total: u64,
+    /// The best incumbent held by any node when the run ended — the
+    /// authoritative answer of a B&B run. For a completed run this
+    /// equals the optimum (including a warm start, which `result`
+    /// deliberately excludes: subtrees that merely *tie* the warm
+    /// start are pruned); for a stopped or step-capped run it is the
+    /// best feasible solution found so far.
+    pub best_incumbent: Option<i64>,
+    /// Every incumbent improvement observed by any node, merged in
+    /// (step, value, node) order (empty outside B&B mode).
+    pub incumbent_trace: Vec<IncumbentEvent>,
 }
 
 impl<Out> RecRunReport<Out> {
@@ -38,6 +64,23 @@ impl<Out> RecRunReport<Out> {
             0.0
         } else {
             1.0 / self.computation_time as f64
+        }
+    }
+
+    /// Requests answered by the prune predicate without expansion.
+    pub fn nodes_pruned(&self) -> u64 {
+        self.rec_totals.pruned
+    }
+
+    /// Fraction of considered subtrees cut before expansion:
+    /// `pruned / (pruned + expanded)`. Zero outside B&B mode (nothing
+    /// is ever cut).
+    pub fn pruning_efficiency(&self) -> f64 {
+        let considered = self.rec_totals.pruned + self.rec_totals.started;
+        if considered == 0 {
+            0.0
+        } else {
+            self.rec_totals.pruned as f64 / considered as f64
         }
     }
 }
@@ -54,6 +97,8 @@ impl<Out: std::fmt::Debug> RecRunReport<Out> {
             total_delivered: self.metrics.total_delivered,
             activations_started: self.rec_totals.started,
             activations_completed: self.rec_totals.completed,
+            nodes_pruned: self.rec_totals.pruned,
+            best_incumbent: self.best_incumbent,
         }
     }
 }
@@ -83,6 +128,11 @@ pub struct RunSummary {
     pub activations_started: u64,
     /// Layer-4 activations completed.
     pub activations_completed: u64,
+    /// Subtrees answered by the prune predicate without expansion
+    /// (branch-and-bound mode; 0 otherwise).
+    pub nodes_pruned: u64,
+    /// Best incumbent held anywhere when the run ended (B&B mode).
+    pub best_incumbent: Option<i64>,
 }
 
 impl RunSummary {
@@ -109,6 +159,9 @@ mod tests {
             replies_total: 0,
             status_total: 0,
             cancels_total: 0,
+            bounds_total: 0,
+            best_incumbent: None,
+            incumbent_trace: Vec::new(),
         };
         assert!((report.performance() - 0.005).abs() < 1e-12);
         let zero = RecRunReport::<u32> {
@@ -116,5 +169,40 @@ mod tests {
             ..report
         };
         assert_eq!(zero.performance(), 0.0);
+    }
+
+    #[test]
+    fn pruning_efficiency_is_cut_fraction() {
+        let mut report = RecRunReport::<u32> {
+            result: Some(1),
+            outcome: RunOutcome::Halted,
+            steps: 10,
+            computation_time: 10,
+            metrics: SimMetrics::default(),
+            rec_totals: RecStats {
+                started: 30,
+                pruned: 10,
+                ..RecStats::default()
+            },
+            requests_total: 40,
+            replies_total: 40,
+            status_total: 0,
+            cancels_total: 0,
+            bounds_total: 12,
+            best_incumbent: Some(99),
+            incumbent_trace: vec![IncumbentEvent {
+                step: 3,
+                value: 99,
+                node: 0,
+            }],
+        };
+        assert_eq!(report.nodes_pruned(), 10);
+        assert!((report.pruning_efficiency() - 0.25).abs() < 1e-12);
+        report.rec_totals.pruned = 0;
+        report.rec_totals.started = 0;
+        assert_eq!(report.pruning_efficiency(), 0.0);
+        let summary = report.summary();
+        assert_eq!(summary.nodes_pruned, 0);
+        assert_eq!(summary.best_incumbent, Some(99));
     }
 }

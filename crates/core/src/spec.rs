@@ -4,6 +4,7 @@ use hyperspace_mapping::{
     GlobalRandomMapper, LeastBusyMapper, Mapper, MapperFactory, RandomMapper, RoundRobinMapper,
     WeightAwareMapper,
 };
+use hyperspace_recursion::Objective;
 use hyperspace_sim::{Partition, ShardedConfig};
 use hyperspace_topology::{FullyConnected, Grid, Hypercube, NodeId, Ring, Topology, Torus};
 
@@ -323,6 +324,152 @@ impl std::str::FromStr for MapperSpec {
                 status_period: Some(scalar(p)?),
             }),
             _ => Err(SpecParseError(format!("unknown mapper {s:?}"))),
+        }
+    }
+}
+
+/// Optimisation objective of a run (string forms: `enumerate`, `max`,
+/// `min`).
+///
+/// [`ObjectiveSpec::Enumerate`] is the classic behaviour: the program
+/// explores its whole search space and the host never tracks incumbents.
+/// The other two switch layer 4 into branch-and-bound mode: completed
+/// feasible solutions become *incumbents* that gossip through the mesh
+/// as ordinary `Bound` envelopes (bit-identical across backends), and —
+/// if a [`PruneSpec`] enables it — subtrees that cannot beat the
+/// incumbent are answered without expansion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ObjectiveSpec {
+    /// Plain enumeration/decision search (no incumbent machinery).
+    #[default]
+    Enumerate,
+    /// Maximise the program's solution value.
+    Maximise,
+    /// Minimise the program's solution value.
+    Minimise,
+}
+
+impl ObjectiveSpec {
+    /// The layer-4 objective direction, if this spec is an optimisation.
+    pub fn objective(&self) -> Option<Objective> {
+        match self {
+            ObjectiveSpec::Enumerate => None,
+            ObjectiveSpec::Maximise => Some(Objective::Maximise),
+            ObjectiveSpec::Minimise => Some(Objective::Minimise),
+        }
+    }
+
+    /// Short name for reports (matches the `Display`/`FromStr` syntax).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObjectiveSpec::Enumerate => "enumerate",
+            ObjectiveSpec::Maximise => "max",
+            ObjectiveSpec::Minimise => "min",
+        }
+    }
+}
+
+impl std::fmt::Display for ObjectiveSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ObjectiveSpec {
+    type Err = SpecParseError;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax: `enumerate`,
+    /// `max`, `min`.
+    fn from_str(s: &str) -> Result<Self, SpecParseError> {
+        match s {
+            "enumerate" => Ok(ObjectiveSpec::Enumerate),
+            "max" => Ok(ObjectiveSpec::Maximise),
+            "min" => Ok(ObjectiveSpec::Minimise),
+            other => Err(SpecParseError(format!("unknown objective {other:?}"))),
+        }
+    }
+}
+
+/// Pruning policy of a branch-and-bound run (string forms: `off`,
+/// `incumbent`, `incumbent:N`).
+///
+/// Only meaningful together with an optimisation [`ObjectiveSpec`];
+/// under `Enumerate` it is ignored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PruneSpec {
+    /// Exhaustive search: incumbents are still tracked and shared (the
+    /// run reports `best_incumbent`), but nothing is cut.
+    #[default]
+    Off,
+    /// Cut subtrees whose [`hyperspace_recursion::RecProgram::bound`]
+    /// cannot *strictly* beat the incumbent, optionally warm-started
+    /// with an externally known feasible value.
+    ///
+    /// Under a warm start the authoritative optimum of a completed run
+    /// is the report's `best_incumbent` (which includes the warm
+    /// start), **not** `result`: solutions merely *tying* the warm
+    /// start are pruned — correctly, they cannot improve on it — so
+    /// the search fold may come back dominated (e.g. a warm start
+    /// equal to the optimum proves optimality while `result` reports
+    /// only pruned sentinels).
+    Incumbent {
+        /// Starting incumbent (e.g. from a greedy heuristic); must be
+        /// a *feasible* value or the optimum may be pruned away.
+        /// `None` starts cold.
+        initial: Option<i64>,
+    },
+}
+
+impl PruneSpec {
+    /// Incumbent pruning with a cold start.
+    pub fn incumbent() -> PruneSpec {
+        PruneSpec::Incumbent { initial: None }
+    }
+
+    /// Whether pruning is enabled.
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, PruneSpec::Incumbent { .. })
+    }
+
+    /// The warm-start incumbent, if any.
+    pub fn initial_incumbent(&self) -> Option<i64> {
+        match self {
+            PruneSpec::Off => None,
+            PruneSpec::Incumbent { initial } => *initial,
+        }
+    }
+}
+
+impl std::fmt::Display for PruneSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PruneSpec::Off => f.write_str("off"),
+            PruneSpec::Incumbent { initial: None } => f.write_str("incumbent"),
+            PruneSpec::Incumbent { initial: Some(v) } => write!(f, "incumbent:{v}"),
+        }
+    }
+}
+
+impl std::str::FromStr for PruneSpec {
+    type Err = SpecParseError;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax: `off`,
+    /// `incumbent`, `incumbent:N` (N may be negative).
+    fn from_str(s: &str) -> Result<Self, SpecParseError> {
+        match s {
+            "off" => Ok(PruneSpec::Off),
+            "incumbent" => Ok(PruneSpec::Incumbent { initial: None }),
+            other => match other.strip_prefix("incumbent:") {
+                Some(v) => v
+                    .parse::<i64>()
+                    .map(|initial| PruneSpec::Incumbent {
+                        initial: Some(initial),
+                    })
+                    .map_err(|_| {
+                        SpecParseError(format!("{s:?}: expected an integer incumbent, got {v:?}"))
+                    }),
+                None => Err(SpecParseError(format!("unknown prune policy {other:?}"))),
+            },
         }
     }
 }
@@ -696,6 +843,54 @@ mod tests {
             "threaded:4",
         ] {
             assert!(bad.parse::<BackendSpec>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn objective_and_prune_specs_display_round_trip() {
+        for spec in [
+            ObjectiveSpec::Enumerate,
+            ObjectiveSpec::Maximise,
+            ObjectiveSpec::Minimise,
+        ] {
+            let text = spec.to_string();
+            assert_eq!(text.parse::<ObjectiveSpec>().unwrap(), spec, "{text:?}");
+        }
+        for spec in [
+            PruneSpec::Off,
+            PruneSpec::incumbent(),
+            PruneSpec::Incumbent { initial: Some(42) },
+            PruneSpec::Incumbent {
+                initial: Some(-1000),
+            },
+        ] {
+            let text = spec.to_string();
+            assert_eq!(text.parse::<PruneSpec>().unwrap(), spec, "{text:?}");
+        }
+        assert_eq!(
+            ObjectiveSpec::Maximise.objective(),
+            Some(Objective::Maximise)
+        );
+        assert_eq!(
+            ObjectiveSpec::Minimise.objective(),
+            Some(Objective::Minimise)
+        );
+        assert_eq!(ObjectiveSpec::Enumerate.objective(), None);
+        assert!(PruneSpec::incumbent().is_enabled());
+        assert!(!PruneSpec::Off.is_enabled());
+        assert_eq!(
+            PruneSpec::Incumbent { initial: Some(7) }.initial_incumbent(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn malformed_objective_and_prune_specs_are_rejected() {
+        for bad in ["", "maximize", "max:1", "enumerate:2", "best"] {
+            assert!(bad.parse::<ObjectiveSpec>().is_err(), "{bad:?} should fail");
+        }
+        for bad in ["", "on", "incumbent:", "incumbent:x", "incumbent:1:2"] {
+            assert!(bad.parse::<PruneSpec>().is_err(), "{bad:?} should fail");
         }
     }
 

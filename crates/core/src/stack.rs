@@ -1,14 +1,16 @@
 //! [`StackBuilder`]: wire layers 1–4 around a recursive program and run it.
 
 use hyperspace_mapping::{MapConfig, MapState, MappingHost};
-use hyperspace_recursion::{RecProgram, RecState, RecursionHost};
+use hyperspace_recursion::{BnbMode, RecProgram, RecState, RecursionHost};
 use hyperspace_sim::record::SimMetrics;
 use hyperspace_sim::{
     NodeId, RunOutcome, ShardedSimulation, SimConfig, Simulation, StopHandle, Topology,
 };
 
-use crate::report::{RecRunReport, RunSummary};
-use crate::spec::{BackendSpec, BoxedMapperFactory, MapperSpec, TopologySpec};
+use crate::report::{IncumbentEvent, RecRunReport, RunSummary};
+use crate::spec::{
+    BackendSpec, BoxedMapperFactory, MapperSpec, ObjectiveSpec, PruneSpec, TopologySpec,
+};
 
 /// The concrete layer-1 program type of an assembled stack.
 pub type StackProgram<P> = MappingHost<RecursionHost<P>, BoxedMapperFactory>;
@@ -35,6 +37,8 @@ pub struct StackBuilder<P: RecProgram> {
     backend: BackendSpec,
     cancellation: bool,
     halt_on_root_reply: bool,
+    objective: ObjectiveSpec,
+    prune: PruneSpec,
     sim: SimConfig,
 }
 
@@ -50,6 +54,8 @@ impl<P: RecProgram> StackBuilder<P> {
             backend: BackendSpec::Sequential,
             cancellation: false,
             halt_on_root_reply: true,
+            objective: ObjectiveSpec::Enumerate,
+            prune: PruneSpec::Off,
             sim: SimConfig::default(),
         }
     }
@@ -70,6 +76,22 @@ impl<P: RecProgram> StackBuilder<P> {
     /// ablation ABL-C).
     pub fn cancellation(mut self, on: bool) -> Self {
         self.cancellation = on;
+        self
+    }
+
+    /// Selects the optimisation objective. [`ObjectiveSpec::Maximise`] /
+    /// [`ObjectiveSpec::Minimise`] switch layer 4 into branch-and-bound
+    /// mode: feasible solution values become shared incumbents that
+    /// gossip through the mesh as ordinary envelopes.
+    pub fn objective(mut self, spec: ObjectiveSpec) -> Self {
+        self.objective = spec;
+        self
+    }
+
+    /// Selects the pruning policy of a branch-and-bound run (ignored
+    /// under [`ObjectiveSpec::Enumerate`]).
+    pub fn prune(mut self, spec: PruneSpec) -> Self {
+        self.prune = spec;
         self
     }
 
@@ -161,6 +183,13 @@ impl<P: RecProgram> StackBuilder<P> {
         if self.cancellation {
             rec = rec.with_cancellation();
         }
+        if let Some(objective) = self.objective.objective() {
+            rec = rec.with_bnb(BnbMode {
+                objective,
+                prune: self.prune.is_enabled(),
+                initial_incumbent: self.prune.initial_incumbent(),
+            });
+        }
         let host = MappingHost::new(rec, self.mapper.factory(), host_cfg);
         (topo, host, sim_cfg, self.backend)
     }
@@ -225,6 +254,9 @@ struct FoldedStack<Out> {
     replies_total: u64,
     status_total: u64,
     cancels_total: u64,
+    bounds_total: u64,
+    best_incumbent: Option<i64>,
+    incumbent_trace: Vec<IncumbentEvent>,
 }
 
 /// Folds the per-node layer-3/4 counters of a finished stack, whatever
@@ -246,6 +278,9 @@ where
         replies_total: 0,
         status_total: 0,
         cancels_total: 0,
+        bounds_total: 0,
+        best_incumbent: None,
+        incumbent_trace: Vec::new(),
     };
     for (node, st) in states {
         let rs: &RecState<P> = &st.app;
@@ -256,14 +291,36 @@ where
         folded.rec_totals.speculative_wins += s.speculative_wins;
         folded.rec_totals.cancels_sent += s.cancels_sent;
         folded.rec_totals.cancelled += s.cancelled;
+        folded.rec_totals.pruned += s.pruned;
+        folded.rec_totals.incumbent_updates += s.incumbent_updates;
         folded.requests_total += st.requests_in;
         folded.replies_total += st.replies_in;
         folded.status_total += st.status_in;
         folded.cancels_total += st.cancels_in;
+        folded.bounds_total += st.bounds_in;
+        if let (Some(objective), Some(inc)) = (rs.objective(), rs.incumbent()) {
+            folded.best_incumbent = Some(match folded.best_incumbent {
+                Some(best) => objective.better(best, inc),
+                None => inc,
+            });
+        }
+        folded
+            .incumbent_trace
+            .extend(rs.incumbent_trace().iter().map(|e| IncumbentEvent {
+                step: e.step,
+                value: e.value,
+                node,
+            }));
         if node == root_node {
             folded.result = st.root_result().cloned();
         }
     }
+    // Canonical merged order: by observation step, then value, then
+    // node — a pure function of the deterministic delivery order, so the
+    // merged trace is bit-identical across backends.
+    folded
+        .incumbent_trace
+        .sort_by_key(|e| (e.step, e.value, e.node));
     folded
 }
 
@@ -284,6 +341,9 @@ fn assemble_report<Out>(
         replies_total: folded.replies_total,
         status_total: folded.status_total,
         cancels_total: folded.cancels_total,
+        bounds_total: folded.bounds_total,
+        best_incumbent: folded.best_incumbent,
+        incumbent_trace: folded.incumbent_trace,
     }
 }
 
@@ -336,6 +396,14 @@ pub struct JobParams {
     pub backend: BackendSpec,
     /// Withdraw losing speculative branches (layer-4 cancellation).
     pub cancellation: bool,
+    /// Optimisation objective (branch-and-bound mode when not
+    /// [`ObjectiveSpec::Enumerate`]). Part of the computation: it
+    /// changes search behaviour and reports, so services must key
+    /// caches on it.
+    pub objective: ObjectiveSpec,
+    /// Pruning policy of a branch-and-bound run. Also part of the
+    /// computation (it changes node counts, traces and metrics).
+    pub prune: PruneSpec,
     /// Safety cap on simulated steps.
     pub max_steps: u64,
     /// Node receiving the trigger.
@@ -353,6 +421,8 @@ impl Default for JobParams {
             },
             backend: BackendSpec::Sequential,
             cancellation: false,
+            objective: ObjectiveSpec::Enumerate,
+            prune: PruneSpec::Off,
             max_steps: 1_000_000,
             root_node: 0,
             stop: None,
@@ -384,6 +454,8 @@ impl ErasedStackJob {
                     .mapper(params.mapper.clone())
                     .backend(params.backend.clone())
                     .cancellation(params.cancellation)
+                    .objective(params.objective)
+                    .prune(params.prune)
                     .max_steps(params.max_steps);
                 if let Some(stop) = params.stop.clone() {
                     builder = builder.stop(stop);

@@ -57,6 +57,17 @@ pub trait TicketHandler: Sync {
         _ctx: &mut dyn CallCtx<Self::Req, Self::Resp>,
     ) {
     }
+
+    /// An incumbent-bound update arrived from a neighbour (branch-and-
+    /// bound optimisation mode). Default: ignore — only optimisation
+    /// hosts react.
+    fn on_bound(
+        &self,
+        _state: &mut Self::State,
+        _value: i64,
+        _ctx: &mut dyn CallCtx<Self::Req, Self::Resp>,
+    ) {
+    }
 }
 
 /// The call/reply interface layer 3 exposes upwards.
@@ -77,6 +88,13 @@ pub trait CallCtx<Q, R> {
     /// the node the request was mapped to; a straggling reply that crosses
     /// the cancel in flight is delivered anyway and must be tolerated.
     fn cancel(&mut self, ticket: Ticket);
+
+    /// Broadcasts an incumbent-bound update to every neighbour. The
+    /// bounds ride the ordinary envelope machinery (port sends staged
+    /// this step, delivered next step), so their arrival order — and
+    /// therefore every pruning decision keyed on it — is deterministic
+    /// and backend-independent.
+    fn share_bound(&mut self, value: i64);
 
     /// Current simulation step (diagnostics).
     fn step(&self) -> u64;
@@ -129,6 +147,8 @@ pub struct MapState<H: TicketHandler, M> {
     pub status_in: u64,
     /// Cancels received by this node.
     pub cancels_in: u64,
+    /// Incumbent-bound updates received by this node.
+    pub bounds_in: u64,
     /// Calls issued by this node.
     pub calls_out: u64,
 }
@@ -197,6 +217,18 @@ impl<'a, 'b, Q: Clone + Send, R: Clone + Send, M: Mapper> CallCtx<Q, R>
                 MapMsg {
                     load: self.received,
                     payload: MapPayload::Cancel { ticket },
+                },
+            );
+        }
+    }
+
+    fn share_bound(&mut self, value: i64) {
+        for port in 0..self.outbox.degree() {
+            self.outbox.send_port(
+                port,
+                MapMsg {
+                    load: self.received,
+                    payload: MapPayload::Bound { value },
                 },
             );
         }
@@ -288,6 +320,7 @@ where
             replies_in: 0,
             status_in: 0,
             cancels_in: 0,
+            bounds_in: 0,
             calls_out: 0,
         }
     }
@@ -356,6 +389,11 @@ where
                 state.cancels_in += 1;
                 let mut ctx = ctx!();
                 self.handler.on_cancel(&mut state.app, ticket, &mut ctx);
+            }
+            MapPayload::Bound { value } => {
+                state.bounds_in += 1;
+                let mut ctx = ctx!();
+                self.handler.on_bound(&mut state.app, value, &mut ctx);
             }
         }
     }

@@ -45,6 +45,17 @@ pub enum MapPayload<Q, R> {
         /// The ticket of the request being withdrawn.
         ticket: Ticket,
     },
+    /// An incumbent-bound update (branch-and-bound optimisation mode):
+    /// the sender found a feasible solution of this objective value.
+    /// Bounds travel as ordinary envelopes — staged, merged and
+    /// delivered inside the same deterministic machinery as every other
+    /// message — so the incumbent a node holds at any step is identical
+    /// across execution backends. Receivers that improve on the value
+    /// re-broadcast it, flooding the mesh in O(diameter) steps.
+    Bound {
+        /// The feasible solution value being shared.
+        value: i64,
+    },
 }
 
 /// A layer-3 message: payload plus the piggy-backed load estimate.

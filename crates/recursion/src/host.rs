@@ -13,7 +13,65 @@ use std::collections::HashMap;
 use hyperspace_mapping::{CallCtx, Ticket, TicketHandler};
 use hyperspace_sim::NodeId;
 
-use crate::program::{Join, RecProgram, Resumed, Spawn, Step};
+use crate::program::{Join, Objective, RecProgram, Resumed, Spawn, Step};
+
+/// Branch-and-bound configuration of a [`RecursionHost`].
+///
+/// When attached, every completed activation whose result is a feasible
+/// solution ([`RecProgram::solution_value`]) may improve the node's
+/// *incumbent*; improvements are broadcast to the neighbours as layer-3
+/// `Bound` messages and gossip through the mesh (receivers that improve
+/// re-broadcast). With `prune` enabled, each incoming request is tested
+/// against the local incumbent *before* expansion: a subtree whose
+/// [`RecProgram::bound`] cannot beat the incumbent is answered with
+/// [`RecProgram::pruned`] instead of being searched.
+///
+/// Because bounds are ordinary envelopes, the incumbent a node holds at
+/// any simulated step — and therefore every pruning decision — is a pure
+/// function of the deterministic delivery order, making B&B runs
+/// bit-identical across execution backends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BnbMode {
+    /// Direction of the objective.
+    pub objective: Objective,
+    /// Whether to evaluate the prune predicate before expanding.
+    pub prune: bool,
+    /// Optional externally supplied starting incumbent (e.g. a greedy
+    /// warm start).
+    pub initial_incumbent: Option<i64>,
+}
+
+impl BnbMode {
+    /// Maximisation with pruning and no warm start.
+    pub fn maximise() -> BnbMode {
+        BnbMode {
+            objective: Objective::Maximise,
+            prune: true,
+            initial_incumbent: None,
+        }
+    }
+
+    /// Minimisation with pruning and no warm start.
+    pub fn minimise() -> BnbMode {
+        BnbMode {
+            objective: Objective::Minimise,
+            prune: true,
+            initial_incumbent: None,
+        }
+    }
+}
+
+/// One improvement of a node's incumbent: the simulated step at which
+/// the improving value was *observed* (solution completed locally, or
+/// bound message delivered) and the value itself. Traces are
+/// deterministic and bit-identical across backends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IncumbentEvent {
+    /// Simulation step of the observation.
+    pub step: u64,
+    /// The incumbent value after the update.
+    pub value: i64,
+}
 
 /// One suspended activation (a row of Figure 3's call-record table).
 struct CallRecord<P: RecProgram> {
@@ -48,6 +106,12 @@ pub struct RecStats {
     pub cancels_sent: u64,
     /// Activations abandoned because a parent cancelled them.
     pub cancelled: u64,
+    /// Requests answered by the prune predicate without expansion
+    /// (branch-and-bound mode).
+    pub pruned: u64,
+    /// Times this node's incumbent improved (locally or via a bound
+    /// message).
+    pub incumbent_updates: u64,
 }
 
 /// Per-node layer-4 state.
@@ -58,17 +122,27 @@ pub struct RecState<P: RecProgram> {
     /// parent ticket -> record id (for cancellation lookups).
     parent_index: HashMap<u64, u64>,
     next_record: u64,
+    /// Objective direction, when the host runs in B&B mode (used by
+    /// report folding to pick the best incumbent across nodes).
+    objective: Option<Objective>,
+    /// Best feasible solution value this node knows of.
+    incumbent: Option<i64>,
+    /// Every improvement of `incumbent`, in observation order.
+    incumbent_trace: Vec<IncumbentEvent>,
     /// Observable counters.
     pub stats: RecStats,
 }
 
 impl<P: RecProgram> RecState<P> {
-    fn new() -> Self {
+    fn new(bnb: Option<&BnbMode>) -> Self {
         RecState {
             records: HashMap::new(),
             ticket_index: HashMap::new(),
             parent_index: HashMap::new(),
             next_record: 0,
+            objective: bnb.map(|m| m.objective),
+            incumbent: bnb.and_then(|m| m.initial_incumbent),
+            incumbent_trace: Vec::new(),
             stats: RecStats::default(),
         }
     }
@@ -77,12 +151,29 @@ impl<P: RecProgram> RecState<P> {
     pub fn live_records(&self) -> usize {
         self.records.len()
     }
+
+    /// Objective direction when the host runs in B&B mode.
+    pub fn objective(&self) -> Option<Objective> {
+        self.objective
+    }
+
+    /// This node's current incumbent (best feasible solution value it
+    /// knows of), if any.
+    pub fn incumbent(&self) -> Option<i64> {
+        self.incumbent
+    }
+
+    /// Every improvement of this node's incumbent, in observation order.
+    pub fn incumbent_trace(&self) -> &[IncumbentEvent] {
+        &self.incumbent_trace
+    }
 }
 
 /// Layer-4 host: adapts a [`RecProgram`] to layer 3's [`TicketHandler`].
 pub struct RecursionHost<P> {
     program: P,
     cancel_losers: bool,
+    bnb: Option<BnbMode>,
 }
 
 impl<P: RecProgram> RecursionHost<P> {
@@ -93,6 +184,7 @@ impl<P: RecProgram> RecursionHost<P> {
         RecursionHost {
             program,
             cancel_losers: false,
+            bnb: None,
         }
     }
 
@@ -103,9 +195,61 @@ impl<P: RecProgram> RecursionHost<P> {
         self
     }
 
+    /// Enables branch-and-bound optimisation mode: incumbent sharing
+    /// and (per `mode.prune`) pre-expansion pruning.
+    pub fn with_bnb(mut self, mode: BnbMode) -> Self {
+        self.bnb = Some(mode);
+        self
+    }
+
     /// The wrapped program.
     pub fn program(&self) -> &P {
         &self.program
+    }
+
+    /// Merges `value` into the node's incumbent. On strict improvement
+    /// the update is recorded in the trace (keyed by the step at which
+    /// it was observed) and, when `broadcast`, gossiped to the
+    /// neighbours.
+    fn note_incumbent(
+        &self,
+        state: &mut RecState<P>,
+        value: i64,
+        broadcast: bool,
+        ctx: &mut dyn CallCtx<P::Arg, P::Out>,
+    ) {
+        let Some(mode) = &self.bnb else { return };
+        let improved = match state.incumbent {
+            Some(inc) => mode.objective.improves(value, inc),
+            None => true,
+        };
+        if !improved {
+            return;
+        }
+        state.incumbent = Some(value);
+        state.incumbent_trace.push(IncumbentEvent {
+            step: ctx.step(),
+            value,
+        });
+        state.stats.incumbent_updates += 1;
+        if broadcast {
+            ctx.share_bound(value);
+        }
+    }
+
+    /// The prune predicate, evaluated before an activation is expanded:
+    /// `Some(result)` answers the request without searching the subtree.
+    fn try_prune(&self, state: &RecState<P>, arg: &P::Arg) -> Option<P::Out> {
+        let mode = self.bnb.as_ref()?;
+        if !mode.prune {
+            return None;
+        }
+        let incumbent = state.incumbent?;
+        let bound = self.program.bound(arg)?;
+        if mode.objective.bound_beats(bound, incumbent) {
+            return None; // the subtree can still improve — expand it
+        }
+        self.program.pruned(arg)
     }
 
     /// Runs an activation until it either completes (reply sent) or
@@ -120,6 +264,11 @@ impl<P: RecProgram> RecursionHost<P> {
         loop {
             match step {
                 Step::Done(out) => {
+                    if self.bnb.is_some() {
+                        if let Some(value) = self.program.solution_value(&out) {
+                            self.note_incumbent(state, value, true, ctx);
+                        }
+                    }
                     ctx.reply(parent, out);
                     state.stats.completed += 1;
                     return;
@@ -179,7 +328,7 @@ impl<P: RecProgram> TicketHandler for RecursionHost<P> {
     type State = RecState<P>;
 
     fn init(&self, _node: NodeId) -> RecState<P> {
-        RecState::new()
+        RecState::new(self.bnb.as_ref())
     }
 
     fn on_request(
@@ -189,6 +338,14 @@ impl<P: RecProgram> TicketHandler for RecursionHost<P> {
         reply_to: Ticket,
         ctx: &mut dyn CallCtx<P::Arg, P::Out>,
     ) {
+        // Prune predicate first: a subtree that cannot beat the
+        // incumbent this node holds *right now* (every bound delivered
+        // before this request included) is answered without expansion.
+        if let Some(out) = self.try_prune(state, &arg) {
+            state.stats.pruned += 1;
+            ctx.reply(reply_to, out);
+            return;
+        }
         state.stats.started += 1;
         let step = self.program.start(arg);
         self.drive(state, step, reply_to, ctx);
@@ -296,6 +453,12 @@ impl<P: RecProgram> TicketHandler for RecursionHost<P> {
             state.stats.cancels_sent += 1;
         }
         state.records.remove(&id);
+    }
+
+    fn on_bound(&self, state: &mut RecState<P>, value: i64, ctx: &mut dyn CallCtx<P::Arg, P::Out>) {
+        // Gossip flood: re-broadcast only on strict improvement, so the
+        // wave dies out once every node holds the best value.
+        self.note_incumbent(state, value, true, ctx);
     }
 }
 

@@ -2,6 +2,44 @@
 
 use hyperspace_mapping::Weight;
 
+/// Direction of an optimisation objective (branch-and-bound mode).
+///
+/// An *incumbent* is the best complete solution value found anywhere in
+/// the mesh so far. Under `Maximise` a candidate improves the incumbent
+/// when it is strictly larger; under `Minimise` when strictly smaller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// Larger solution values are better (e.g. knapsack value).
+    Maximise,
+    /// Smaller solution values are better (e.g. tour cost).
+    Minimise,
+}
+
+impl Objective {
+    /// Whether `candidate` strictly improves on `incumbent`.
+    pub fn improves(self, candidate: i64, incumbent: i64) -> bool {
+        match self {
+            Objective::Maximise => candidate > incumbent,
+            Objective::Minimise => candidate < incumbent,
+        }
+    }
+
+    /// Whether a subtree whose best-case `bound` can still beat
+    /// `incumbent` — the complement is the prune condition.
+    pub fn bound_beats(self, bound: i64, incumbent: i64) -> bool {
+        self.improves(bound, incumbent)
+    }
+
+    /// The better of two values under this objective.
+    pub fn better(self, a: i64, b: i64) -> i64 {
+        if self.improves(b, a) {
+            b
+        } else {
+            a
+        }
+    }
+}
+
 /// A recursive program in suspended-activation form.
 ///
 /// A conventional recursive function
@@ -36,6 +74,44 @@ pub trait RecProgram: Send + Sync + 'static {
     /// delegate big work to idle regions.
     fn weight(&self, _arg: &Self::Arg) -> Weight {
         0
+    }
+
+    // --- Optimisation-mode hooks (branch and bound) -------------------
+    //
+    // Enumeration programs ignore all three defaults. An optimisation
+    // program additionally tells the host (a) which completed results
+    // are feasible solutions whose value may become the shared
+    // incumbent, (b) the best value still achievable below an
+    // unexpanded argument, and (c) what to answer for a pruned subtree.
+    // The host (layer 4) does the rest: incumbents gossip through the
+    // mesh as ordinary layer-3 messages and the prune predicate runs
+    // before each activation is expanded.
+
+    /// The objective value of a completed result, if it represents a
+    /// feasible solution (`None` for enumeration programs and for
+    /// infeasible sentinels). Must be *achievable*: only values that a
+    /// genuine solution attains may ever become the incumbent,
+    /// otherwise pruning loses the optimum.
+    fn solution_value(&self, _out: &Self::Out) -> Option<i64> {
+        None
+    }
+
+    /// The best objective value still achievable in the subtree rooted
+    /// at `arg` — an upper bound under [`Objective::Maximise`], a lower
+    /// bound under [`Objective::Minimise`]. `None` disables pruning for
+    /// this argument.
+    fn bound(&self, _arg: &Self::Arg) -> Option<i64> {
+        None
+    }
+
+    /// The result to reply for a subtree pruned before expansion. It
+    /// must be *dominated*: no better than any solution the subtree
+    /// could have produced is required, only that it never beats the
+    /// true optimum (e.g. the value accumulated so far for a maximiser,
+    /// an infeasible sentinel for a minimiser). `None` disables pruning
+    /// for this argument.
+    fn pruned(&self, _arg: &Self::Arg) -> Option<Self::Out> {
+        None
     }
 }
 

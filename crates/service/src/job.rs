@@ -11,10 +11,12 @@
 use std::time::Duration;
 
 use hyperspace_apps::{
-    FibProgram, Item, KnapsackProgram, KnapsackTask, NQueensProgram, QueensTask, SumProgram,
+    BnbKnapsackProgram, BnbKnapsackTask, FibProgram, Item, KnapsackProgram, KnapsackTask,
+    NQueensProgram, QueensTask, SumProgram, TspInstance, TspProgram, TspTask,
 };
 use hyperspace_core::{
-    BackendSpec, ErasedStackJob, JobParams, MapperSpec, RunSummary, TopologySpec,
+    BackendSpec, ErasedStackJob, JobParams, MapperSpec, ObjectiveSpec, PruneSpec, RunSummary,
+    TopologySpec,
 };
 use hyperspace_recursion::RecProgram;
 use hyperspace_sat::{dimacs, Cnf, DpllProgram, Heuristic, SimplifyMode, SubProblem};
@@ -30,12 +32,27 @@ pub enum JobKind {
         /// Per-activation simplification strength.
         mode: SimplifyMode,
     },
-    /// 0/1 knapsack by distributed branch and bound.
+    /// 0/1 knapsack by distributed branch and bound (path-local bound).
     Knapsack {
         /// Item list (pre-sort by density for tighter bounds).
         items: Vec<Item>,
         /// Knapsack capacity.
         capacity: u32,
+    },
+    /// Exact 0/1 knapsack via the stack's optimisation mode: shared
+    /// incumbent + fractional-relaxation pruning. Submit with
+    /// `objective(Maximise)` and a prune policy.
+    BnbKnapsack {
+        /// Item list (pre-sort by density for tighter bounds).
+        items: Vec<Item>,
+        /// Knapsack capacity.
+        capacity: u32,
+    },
+    /// Small-instance TSP by branch and bound with a reduced-cost lower
+    /// bound. Submit with `objective(Minimise)` and a prune policy.
+    Tsp {
+        /// The distance matrix.
+        inst: TspInstance,
     },
     /// Count of N-queens placements.
     NQueens {
@@ -92,6 +109,16 @@ impl JobKind {
         JobKind::Knapsack { items, capacity }
     }
 
+    /// Exact 0/1 knapsack with shared-incumbent branch and bound.
+    pub fn bnb_knapsack(items: Vec<Item>, capacity: u32) -> JobKind {
+        JobKind::BnbKnapsack { items, capacity }
+    }
+
+    /// Small-instance TSP with shared-incumbent branch and bound.
+    pub fn tsp(inst: TspInstance) -> JobKind {
+        JobKind::Tsp { inst }
+    }
+
     /// N-queens placement count.
     pub fn nqueens(n: u8) -> JobKind {
         JobKind::NQueens { n }
@@ -125,6 +152,8 @@ impl JobKind {
         match self {
             JobKind::Sat { .. } => "sat".into(),
             JobKind::Knapsack { .. } => "knapsack".into(),
+            JobKind::BnbKnapsack { .. } => "bnb-knapsack".into(),
+            JobKind::Tsp { .. } => "tsp".into(),
             JobKind::NQueens { .. } => "nqueens".into(),
             JobKind::Fib { .. } => "fib".into(),
             JobKind::Sum { .. } => "sum".into(),
@@ -148,6 +177,17 @@ impl JobKind {
                     .collect();
                 Some(format!("knapsack/{capacity}/{}", items.join(",")))
             }
+            JobKind::BnbKnapsack { items, capacity } => {
+                let items: Vec<String> = items
+                    .iter()
+                    .map(|i| format!("{}w{}v", i.weight, i.value))
+                    .collect();
+                Some(format!("bnb-knapsack/{capacity}/{}", items.join(",")))
+            }
+            JobKind::Tsp { inst } => {
+                let cells: Vec<String> = inst.dist.iter().map(|d| d.to_string()).collect();
+                Some(format!("tsp/{}/{}", inst.n, cells.join(",")))
+            }
             JobKind::NQueens { n } => Some(format!("nqueens/{n}")),
             JobKind::Fib { n } => Some(format!("fib/{n}")),
             JobKind::Sum { n } => Some(format!("sum/{n}")),
@@ -169,6 +209,10 @@ impl JobKind {
             JobKind::Knapsack { items, capacity } => {
                 ErasedStackJob::new(KnapsackProgram, KnapsackTask::root(items, capacity))
             }
+            JobKind::BnbKnapsack { items, capacity } => {
+                ErasedStackJob::new(BnbKnapsackProgram, BnbKnapsackTask::root(items, capacity))
+            }
+            JobKind::Tsp { inst } => ErasedStackJob::new(TspProgram, TspTask::root(inst)),
             JobKind::NQueens { n } => ErasedStackJob::new(NQueensProgram, QueensTask::root(n)),
             JobKind::Fib { n } => ErasedStackJob::new(FibProgram, n),
             JobKind::Sum { n } => ErasedStackJob::new(SumProgram, n),
@@ -232,6 +276,20 @@ impl JobSpec {
         self
     }
 
+    /// Selects the optimisation objective (branch-and-bound mode when
+    /// not `Enumerate`). Part of the computation — and of the cache key.
+    pub fn objective(mut self, spec: ObjectiveSpec) -> Self {
+        self.params.objective = spec;
+        self
+    }
+
+    /// Selects the pruning policy of a branch-and-bound run. Part of
+    /// the computation — and of the cache key.
+    pub fn prune(mut self, spec: PruneSpec) -> Self {
+        self.params.prune = spec;
+        self
+    }
+
     /// Overrides the step cap.
     pub fn max_steps(mut self, steps: u64) -> Self {
         self.params.max_steps = steps;
@@ -252,10 +310,12 @@ impl JobSpec {
     pub fn cache_key(&self) -> Option<String> {
         self.kind.cache_token().map(|token| {
             format!(
-                "{token}|{}|{}|cancel={}|steps={}|root={}",
+                "{token}|{}|{}|cancel={}|obj={}|prune={}|steps={}|root={}",
                 self.params.topology,
                 self.params.mapper,
                 self.params.cancellation,
+                self.params.objective,
+                self.params.prune,
                 self.params.max_steps,
                 self.params.root_node
             )
@@ -406,6 +466,53 @@ mod tests {
             JobSpec::new(kind).cache_key(),
             JobSpec::new(direct).cache_key()
         );
+    }
+
+    #[test]
+    fn objective_and_prune_are_part_of_the_cache_key() {
+        let spec = |objective: ObjectiveSpec, prune: PruneSpec| {
+            JobSpec::new(JobKind::bnb_knapsack(
+                vec![Item {
+                    weight: 2,
+                    value: 3,
+                }],
+                5,
+            ))
+            .objective(objective)
+            .prune(prune)
+        };
+        let a = spec(ObjectiveSpec::Maximise, PruneSpec::incumbent());
+        let b = spec(ObjectiveSpec::Maximise, PruneSpec::incumbent());
+        assert_eq!(a.cache_key(), b.cache_key());
+        // Different objective, different prune policy, different warm
+        // start: all distinct computations.
+        let c = spec(ObjectiveSpec::Enumerate, PruneSpec::incumbent());
+        let d = spec(ObjectiveSpec::Maximise, PruneSpec::Off);
+        let e = spec(
+            ObjectiveSpec::Maximise,
+            PruneSpec::Incumbent { initial: Some(9) },
+        );
+        assert_ne!(a.cache_key(), c.cache_key());
+        assert_ne!(a.cache_key(), d.cache_key());
+        assert_ne!(a.cache_key(), e.cache_key());
+        // The backend still does not split the cache.
+        let f =
+            spec(ObjectiveSpec::Maximise, PruneSpec::incumbent()).backend(BackendSpec::sharded(4));
+        assert_eq!(a.cache_key(), f.cache_key());
+    }
+
+    #[test]
+    fn bnb_kinds_have_distinct_tokens_from_plain_knapsack() {
+        let items = vec![Item {
+            weight: 1,
+            value: 2,
+        }];
+        let plain = JobSpec::new(JobKind::knapsack(items.clone(), 5));
+        let bnb = JobSpec::new(JobKind::bnb_knapsack(items, 5));
+        assert_ne!(plain.cache_key(), bnb.cache_key());
+        let tsp = JobSpec::new(JobKind::tsp(TspInstance::random(1, 4, 10)));
+        assert!(tsp.cache_key().is_some());
+        assert_eq!(tsp.kind.label(), "tsp");
     }
 
     #[test]

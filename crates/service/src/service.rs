@@ -598,6 +598,8 @@ mod tests {
             total_delivered: 0,
             activations_started: 0,
             activations_completed: 0,
+            nodes_pruned: 0,
+            best_incumbent: None,
         };
         cache.insert("a", summary(1));
         cache.insert("b", summary(2));

@@ -35,13 +35,17 @@ impl<M> Envelope<M> {
         self.hops += 1;
     }
 
-    /// Marks a direct single-link delivery (adjacent-only or
-    /// fully-connected semantics): exactly one hop, regardless of how
-    /// many shard boundaries the envelope crossed on the way to its
-    /// destination inbox.
+    /// Marks a direct delivery (adjacent-only or fully-connected
+    /// semantics): exactly one link traversal — regardless of how many
+    /// shard boundaries the envelope crossed on the way to its
+    /// destination inbox — **except** for self-loopback sends
+    /// (`src == dst`), which traverse zero links and must not inflate
+    /// the hop histogram. Fan-out (broadcast) deliveries are `n`
+    /// independent envelopes, each completing its own single link; the
+    /// fan-out itself never multiplies any envelope's hop count.
     #[inline]
     pub fn complete_direct(&mut self) {
-        self.hops = 1;
+        self.hops = if self.src == self.dst { 0 } else { 1 };
     }
 }
 
@@ -83,6 +87,48 @@ mod tests {
         assert_eq!(handed_off, e);
         assert_eq!(handed_off.hops, 3);
         assert_eq!(handed_off.age(10), e.age(10));
+    }
+
+    #[test]
+    fn self_loopback_delivery_is_zero_hops() {
+        // A node sending to itself moves a message through its local
+        // queue without touching any mesh link; marking the delivery
+        // complete must record zero hops, not one.
+        let mut e = Envelope {
+            src: 4,
+            dst: 4,
+            sent_step: 7,
+            hops: 0,
+            payload: (),
+        };
+        e.complete_direct();
+        assert_eq!(e.hops, 0);
+        // Still idempotent across repeated handoffs.
+        e.complete_direct();
+        assert_eq!(e.hops, 0);
+    }
+
+    #[test]
+    fn fan_out_envelopes_account_hops_independently() {
+        // A broadcast is n independent envelopes; completing each one
+        // charges exactly its own link, so a degree-4 fan-out costs 4
+        // single-hop deliveries — never one envelope with 4 hops.
+        let fan_out: Vec<Envelope<u8>> = (1..=4)
+            .map(|dst| Envelope {
+                src: 0,
+                dst,
+                sent_step: 3,
+                hops: 0,
+                payload: 9,
+            })
+            .collect();
+        let mut total_hops = 0u32;
+        for mut env in fan_out {
+            env.complete_direct();
+            assert_eq!(env.hops, 1, "dst {}", env.dst);
+            total_hops += env.hops;
+        }
+        assert_eq!(total_hops, 4);
     }
 
     #[test]

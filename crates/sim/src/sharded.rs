@@ -981,7 +981,10 @@ fn phase_handlers<T: Topology, P: NodeProgram>(
             }
             shard.metrics.total_sent += 1;
             let key: Key = (step, src, emission as u32);
-            if cfg.delivery == DeliveryModel::Routed && !env.topo.are_adjacent(msg.src, msg.dst) {
+            if cfg.delivery == DeliveryModel::Routed
+                && msg.src != msg.dst
+                && !env.topo.are_adjacent(msg.src, msg.dst)
+            {
                 // Enters the NoC at the sender's position — owned by this
                 // shard, and keyed above everything already in transit.
                 shard.transit.push(Keyed {

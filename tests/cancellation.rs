@@ -1,11 +1,16 @@
 //! Speculative-branch cancellation: soundness under the beyond-paper
 //! pruning extension, and the (measured) reason it cannot outrun the
-//! expansion frontier.
+//! expansion frontier — plus anytime behaviour of branch-and-bound
+//! searches interrupted by a deadline or stop handle.
 
-use hyperspace::core::{MapperSpec, StackBuilder, TopologySpec};
+use hyperspace::apps::{knapsack_reference, seeded_items, BnbKnapsackProgram, BnbKnapsackTask};
+use hyperspace::core::{
+    MapperSpec, ObjectiveSpec, PruneSpec, StackBuilder, StopHandle, TopologySpec,
+};
 use hyperspace::sat::{
     brute, check_model, gen, DpllProgram, Heuristic, SimplifyMode, SubProblem, Verdict,
 };
+use hyperspace::sim::RunOutcome;
 
 fn solve(cnf: &hyperspace::sat::Cnf, cancel: bool) -> (Verdict, u64, u64) {
     let program = DpllProgram::new(Heuristic::FirstUnassigned).with_mode(SimplifyMode::SplitOnly);
@@ -59,6 +64,111 @@ fn no_cancels_without_the_extension() {
     let cnf = gen::uf20_91(7);
     let (_, cancelled, _) = solve(&cnf, false);
     assert_eq!(cancelled, 0);
+}
+
+/// A knapsack instance big enough that its search cannot finish within
+/// any test budget: the fork-join wave expands ~2^27 subtrees.
+fn endless_bnb(n: usize) -> (Vec<hyperspace::apps::Item>, u32) {
+    let items = seeded_items(0x5EED, n, 12, 20);
+    let capacity = items.iter().map(|i| i.weight).sum::<u32>() / 2;
+    (items, capacity)
+}
+
+/// A feasible greedy solution value (density-first fill) — a legitimate
+/// warm-start incumbent.
+fn greedy_value(items: &[hyperspace::apps::Item], capacity: u32) -> i64 {
+    let mut cap = capacity;
+    let mut value = 0i64;
+    for item in items {
+        if item.weight <= cap {
+            cap -= item.weight;
+            value += item.value as i64;
+        }
+    }
+    value
+}
+
+#[test]
+fn stop_mid_search_returns_best_incumbent_via_stopped() {
+    // An interrupted B&B run is an *anytime* solver: the report carries
+    // the best feasible solution found so far even though the root
+    // reply never arrived. Driven deterministically: step the machine
+    // until some node provably holds an incumbent, then trip the stop
+    // handle — no wall-clock dependence.
+    let (items, capacity) = endless_bnb(26);
+    let optimum = knapsack_reference(&items, capacity) as i64;
+    let stop = StopHandle::new();
+    let mut sim = StackBuilder::new(BnbKnapsackProgram)
+        .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+        .mapper(MapperSpec::LeastBusy {
+            status_period: None,
+        })
+        .objective(ObjectiveSpec::Maximise)
+        .prune(PruneSpec::incumbent())
+        .max_steps(u64::MAX / 2)
+        .stop(stop.clone())
+        .build();
+    sim.inject(
+        0,
+        hyperspace::mapping::trigger(BnbKnapsackTask::root(items, capacity)),
+    );
+    let mut found = false;
+    for _ in 0..500_000u64 {
+        sim.step().expect("unbounded queues");
+        if (0..16u32).any(|node| sim.state(node).app.incumbent().is_some()) {
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "the search must produce an incumbent eventually");
+    stop.stop();
+    let outcome = sim.run_to_quiescence().expect("stop, not error").outcome;
+    assert_eq!(outcome, RunOutcome::Stopped);
+    let report = hyperspace::core::summarise::<BnbKnapsackProgram>(sim, outcome, 0);
+    assert_eq!(report.outcome, RunOutcome::Stopped);
+    assert_eq!(report.result, None, "the root reply cannot have arrived");
+    let best = report.best_incumbent.expect("an incumbent was observed");
+    assert!(
+        best > 0 && best <= optimum,
+        "incumbent {best} vs optimum {optimum}"
+    );
+    assert!(!report.incumbent_trace.is_empty());
+    assert_eq!(
+        report.incumbent_trace.iter().map(|e| e.value).max(),
+        Some(best),
+        "best_incumbent must be the maximum of the trace"
+    );
+}
+
+#[test]
+fn deadline_mid_search_returns_warm_start_incumbent() {
+    // Service-style anytime run: a deadline interrupts a search that
+    // was warm-started with a *weak* feasible value (half the greedy
+    // fill — a tight warm start would let pruning collapse the tree
+    // and finish instantly). The report ends Stopped and still carries
+    // the best incumbent: at least the warm start, which is always
+    // there to return even though the wave cannot have reached the
+    // first leaves of a 26-item tree.
+    let (items, capacity) = endless_bnb(26);
+    let warm = greedy_value(&items, capacity) / 2;
+    let optimum = knapsack_reference(&items, capacity) as i64;
+    let report = StackBuilder::new(BnbKnapsackProgram)
+        .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+        .mapper(MapperSpec::RoundRobin)
+        .objective(ObjectiveSpec::Maximise)
+        .prune(PruneSpec::Incumbent {
+            initial: Some(warm),
+        })
+        .max_steps(u64::MAX / 2)
+        .deadline(std::time::Duration::from_millis(250))
+        .run(BnbKnapsackTask::root(items, capacity), 0);
+    assert_eq!(report.outcome, RunOutcome::Stopped);
+    assert_eq!(report.result, None);
+    let best = report.best_incumbent.expect("warm start is an incumbent");
+    assert!(
+        best >= warm && best <= optimum,
+        "incumbent {best} outside [{warm}, {optimum}]"
+    );
 }
 
 #[test]

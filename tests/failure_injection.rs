@@ -2,7 +2,11 @@
 //! handlers surface as structured errors/outcomes rather than silent
 //! corruption or deadlocks.
 
-use hyperspace::core::{MapperSpec, StackBuilder, TopologySpec};
+use hyperspace::apps::{knapsack_reference, seeded_items, BnbKnapsackProgram, BnbKnapsackTask};
+use hyperspace::core::{
+    BackendSpec, MapperSpec, ObjectiveSpec, PruneSpec, StackBuilder, TopologySpec,
+};
+use hyperspace::recursion::{RecProgram, Resumed, Step};
 use hyperspace::sat::{gen, DpllProgram, Heuristic, SimplifyMode, SubProblem};
 use hyperspace::sim::{
     InitCtx, NodeId, NodeProgram, Outbox, Partition, RunOutcome, ShardedConfig, ShardedSimulation,
@@ -142,6 +146,110 @@ fn panic_error_is_deterministic_across_shard_layouts() {
     let baseline = run(1, 1);
     for (shards, threads) in [(2, 2), (4, 4), (9, 3), (36, 2)] {
         assert_eq!(run(shards, threads), baseline, "K={shards} T={threads}");
+    }
+}
+
+/// [`BnbKnapsackProgram`] with a booby trap: expanding the specific
+/// take-take prefix task detonates. The trap sits two levels deep, so
+/// the panic fires from inside a pruning-enabled search.
+struct BoobyTrappedKnapsack {
+    inner: BnbKnapsackProgram,
+    trap_value: u32,
+}
+
+impl RecProgram for BoobyTrappedKnapsack {
+    type Arg = BnbKnapsackTask;
+    type Out = u64;
+    type Frame = ();
+
+    fn start(&self, task: BnbKnapsackTask) -> Step<Self> {
+        if task.next == 2 && task.value == self.trap_value {
+            panic!("injected fault in B&B subtree");
+        }
+        match self.inner.start(task) {
+            Step::Done(v) => Step::Done(v),
+            Step::Spawn(s) => Step::Spawn(hyperspace::recursion::Spawn {
+                calls: s.calls,
+                join: s.join,
+                frame: (),
+            }),
+        }
+    }
+
+    fn resume(&self, _frame: (), results: Resumed<u64>) -> Step<Self> {
+        match self.inner.resume((), results) {
+            Step::Done(v) => Step::Done(v),
+            Step::Spawn(_) => unreachable!("knapsack resumes are terminal"),
+        }
+    }
+
+    fn solution_value(&self, out: &u64) -> Option<i64> {
+        self.inner.solution_value(out)
+    }
+
+    fn bound(&self, arg: &BnbKnapsackTask) -> Option<i64> {
+        self.inner.bound(arg)
+    }
+
+    fn pruned(&self, arg: &BnbKnapsackTask) -> Option<u64> {
+        self.inner.pruned(arg)
+    }
+}
+
+#[test]
+fn handler_panic_inside_bnb_search_surfaces_without_corrupting_incumbents() {
+    // A panic mid-search on the sharded backend must come back as a
+    // structured HandlerPanic (sibling shards exit their barriers), and
+    // the incumbent state every node holds at the point of failure must
+    // still satisfy its invariants: traces strictly improving, nothing
+    // above the true optimum, node incumbent == last trace entry.
+    let items = seeded_items(97, 14, 9, 15);
+    let capacity = items.iter().map(|i| i.weight).sum::<u32>() / 2;
+    let optimum = knapsack_reference(&items, capacity) as i64;
+    // The take-take prefix (first two densest items) is expanded before
+    // any incumbent can dominate it, so the trap always fires.
+    let trap_value = items[0].value + items[1].value;
+    let program = BoobyTrappedKnapsack {
+        inner: BnbKnapsackProgram,
+        trap_value,
+    };
+    let mut sim = StackBuilder::new(program)
+        .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+        .mapper(MapperSpec::RoundRobin)
+        .backend(BackendSpec::sharded(4))
+        .objective(ObjectiveSpec::Maximise)
+        .prune(PruneSpec::incumbent())
+        .build_sharded();
+    sim.inject(
+        0,
+        hyperspace::mapping::trigger(BnbKnapsackTask::root(items, capacity)),
+    );
+    let err = sim
+        .run_to_quiescence()
+        .expect_err("the booby trap must detonate");
+    match &err {
+        SimError::HandlerPanic { message, .. } => {
+            assert!(message.contains("injected fault"), "{message}");
+        }
+        other => panic!("expected HandlerPanic, got {other:?}"),
+    }
+    for node in 0..16u32 {
+        let rec = &sim.state(node).app;
+        let trace = rec.incumbent_trace();
+        for pair in trace.windows(2) {
+            assert!(
+                pair[1].value > pair[0].value,
+                "node {node}: trace not strictly improving"
+            );
+        }
+        for e in trace {
+            assert!(e.value <= optimum, "node {node}: incumbent above optimum");
+        }
+        assert_eq!(
+            rec.incumbent(),
+            trace.last().map(|e| e.value),
+            "node {node}: incumbent diverged from its trace"
+        );
     }
 }
 

@@ -201,6 +201,96 @@ fn sharded_jobs_run_and_share_the_cache_with_sequential_ones() {
 }
 
 #[test]
+fn objective_and_prune_specs_split_the_cache_but_backends_share_it() {
+    // Extends the backend-agnostic-cache test: the objective/prune
+    // configuration *is* part of the computation (it changes search
+    // behaviour, node counts and reports), so jobs differing only there
+    // must not share a cache entry — while identical specs on different
+    // backends still must.
+    use hyperspace::apps::{sort_by_density, Item};
+    use hyperspace::core::{BackendSpec, ObjectiveSpec, PruneSpec};
+    let mut items = vec![
+        Item {
+            weight: 3,
+            value: 9,
+        },
+        Item {
+            weight: 5,
+            value: 10,
+        },
+        Item {
+            weight: 2,
+            value: 7,
+        },
+        Item {
+            weight: 4,
+            value: 3,
+        },
+        Item {
+            weight: 6,
+            value: 14,
+        },
+        Item {
+            weight: 1,
+            value: 2,
+        },
+    ];
+    sort_by_density(&mut items);
+    let service = SolverService::with_workers(2);
+    let spec = |objective: ObjectiveSpec, prune: PruneSpec| {
+        JobSpec::new(JobKind::bnb_knapsack(items.clone(), 10))
+            .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+            .objective(objective)
+            .prune(prune)
+    };
+
+    let pruned = service
+        .submit(spec(ObjectiveSpec::Maximise, PruneSpec::incumbent()))
+        .wait();
+    let exhaustive = service
+        .submit(spec(ObjectiveSpec::Maximise, PruneSpec::Off))
+        .wait();
+    let enumerate = service
+        .submit(spec(ObjectiveSpec::Enumerate, PruneSpec::Off))
+        .wait();
+    assert!(!pruned.from_cache);
+    assert!(
+        !exhaustive.from_cache,
+        "prune policy must be part of the cache key"
+    );
+    assert!(
+        !enumerate.from_cache,
+        "objective must be part of the cache key"
+    );
+    // All three agree on the optimum, but the B&B runs report what the
+    // enumeration run cannot: incumbents and prune counts.
+    let s_pruned = pruned.outcome.summary().expect("completed").clone();
+    let s_exhaustive = exhaustive.outcome.summary().expect("completed");
+    let s_enumerate = enumerate.outcome.summary().expect("completed");
+    assert_eq!(s_pruned.result, s_exhaustive.result);
+    assert_eq!(s_pruned.result, s_enumerate.result);
+    assert!(s_pruned.nodes_pruned > 0);
+    assert_eq!(s_exhaustive.nodes_pruned, 0);
+    assert!(s_pruned.best_incumbent.is_some());
+    assert_eq!(s_enumerate.best_incumbent, None);
+    assert!(
+        s_pruned.activations_started < s_exhaustive.activations_started,
+        "pruning must shrink the search"
+    );
+
+    // Identical spec on a different backend: cache hit with the exact
+    // same summary (backends are bit-identical, enforced by the B&B
+    // equivalence suite).
+    let sharded = service
+        .submit(
+            spec(ObjectiveSpec::Maximise, PruneSpec::incumbent()).backend(BackendSpec::sharded(4)),
+        )
+        .wait();
+    assert!(sharded.from_cache, "backends must share one cache entry");
+    assert_eq!(&s_pruned, sharded.outcome.summary().unwrap());
+}
+
+#[test]
 fn mixed_seeded_workload_loses_nothing() {
     // A deterministic mixed batch: every handle resolves exactly once
     // with the right answer.

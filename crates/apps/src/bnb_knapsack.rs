@@ -50,6 +50,7 @@ impl BnbKnapsackTask {
 
 /// Max-value 0/1 knapsack by distributed branch and bound with
 /// incumbent propagation (run with `ObjectiveSpec::Maximise`).
+#[derive(Clone, Copy)]
 pub struct BnbKnapsackProgram;
 
 impl RecProgram for BnbKnapsackProgram {

@@ -7,6 +7,7 @@
 use hyperspace_recursion::{Join, RecProgram, Resumed, Spawn, Step};
 
 /// `fib(n) = fib(n-1) + fib(n-2)`, branching on every `n >= 2`.
+#[derive(Clone, Copy)]
 pub struct FibProgram;
 
 impl RecProgram for FibProgram {

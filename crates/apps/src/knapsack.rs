@@ -112,6 +112,7 @@ pub fn sort_by_density(items: &mut [Item]) {
 }
 
 /// Max-value 0/1 knapsack by distributed branch and bound.
+#[derive(Clone, Copy)]
 pub struct KnapsackProgram;
 
 impl RecProgram for KnapsackProgram {

@@ -35,6 +35,7 @@ impl QueensTask {
 }
 
 /// Counts complete placements reachable from a partial placement.
+#[derive(Clone, Copy)]
 pub struct NQueensProgram;
 
 impl RecProgram for NQueensProgram {

@@ -7,6 +7,7 @@
 use hyperspace_recursion::{Join, RecProgram, Resumed, Spawn, Step};
 
 /// The paper's running example: sum of `1..=n` by linear recursion.
+#[derive(Clone, Copy)]
 pub struct SumProgram;
 
 /// Saved activation: the `n` to add when the sub-call returns (the

@@ -123,6 +123,7 @@ impl TspTask {
 
 /// Min-cost tour by distributed branch and bound with incumbent
 /// propagation (run with `ObjectiveSpec::Minimise`).
+#[derive(Clone, Copy)]
 pub struct TspProgram;
 
 impl RecProgram for TspProgram {

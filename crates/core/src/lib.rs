@@ -35,7 +35,8 @@ mod stack;
 
 pub use report::{IncumbentEvent, RecRunReport, RunSummary};
 pub use spec::{
-    BackendSpec, MapperSpec, ObjectiveSpec, PartitionSpec, PruneSpec, SpecParseError, TopologySpec,
+    BackendSpec, EngineSpec, MapperSpec, ObjectiveSpec, PartitionSpec, PortfolioSpec, PruneSpec,
+    SpecParseError, StrategySpec, TopologySpec,
 };
 pub use stack::{
     summarise, summarise_sharded, ErasedStackJob, JobParams, StackBuilder, StackProgram,

@@ -5,6 +5,7 @@ use hyperspace_mapping::{
     WeightAwareMapper,
 };
 use hyperspace_recursion::Objective;
+use hyperspace_sat::{Heuristic, Polarity, RestartPolicy, SimplifyMode};
 use hyperspace_sim::{Partition, ShardedConfig};
 use hyperspace_topology::{FullyConnected, Grid, Hypercube, NodeId, Ring, Topology, Torus};
 
@@ -632,6 +633,411 @@ impl std::str::FromStr for BackendSpec {
     }
 }
 
+/// Which search engine drives one portfolio member.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EngineSpec {
+    /// A full five-layer mesh stack (any workload).
+    #[default]
+    Mesh,
+    /// The sequential clause-learning solver (SAT only); learned clauses
+    /// are exported to — and imported from — sibling CDCL members at
+    /// every sync epoch.
+    Cdcl {
+        /// Restart schedule (the classic CDCL diversifier).
+        restart: RestartPolicy,
+    },
+}
+
+/// One diversified member of a solver portfolio: which engine runs and
+/// every strategy knob that engine honours. Knobs irrelevant to the
+/// selected engine/workload (e.g. [`StrategySpec::heuristic`] on a
+/// knapsack job) are simply ignored.
+///
+/// The string form starts with the engine name followed by
+/// `key=value` pairs for non-default knobs:
+/// `mesh,h=dlis,s=split-only,pol=neg,seed=7,prune=incumbent:40,map=random:3,backend=sharded:2`
+/// or `cdcl,restart=luby:64,pol=neg,seed=3`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StrategySpec {
+    /// The engine.
+    pub engine: EngineSpec,
+    /// Branching heuristic (mesh SAT members).
+    pub heuristic: Heuristic,
+    /// Per-activation simplification strength (mesh SAT members).
+    pub simplify: SimplifyMode,
+    /// First-branch polarity (SAT members, both engines).
+    pub polarity: Polarity,
+    /// Diversification seed: reseeds `random` heuristics/mappers and
+    /// rotates the CDCL branching scan.
+    pub seed: u64,
+    /// Pruning policy override, including warm starts (mesh B&B
+    /// members). [`PruneSpec::Off`] — the default — means "no opinion":
+    /// portfolio runners substitute their job-level policy for it.
+    pub prune: PruneSpec,
+    /// Mapping-policy override; `None` inherits the portfolio's mapper.
+    /// Different placements discover incumbents at different
+    /// (deterministic) steps — the main B&B diversifier.
+    pub mapper: Option<MapperSpec>,
+    /// Execution backend of a mesh member. Backends are bit-identical,
+    /// so this knob never changes what the member computes — it is
+    /// excluded from [`StrategySpec::describe`].
+    pub backend: BackendSpec,
+}
+
+impl Default for StrategySpec {
+    fn default() -> Self {
+        StrategySpec {
+            engine: EngineSpec::Mesh,
+            heuristic: Heuristic::JeroslowWang,
+            simplify: SimplifyMode::Fixpoint,
+            polarity: Polarity::Positive,
+            seed: 0,
+            prune: PruneSpec::Off,
+            mapper: None,
+            backend: BackendSpec::Sequential,
+        }
+    }
+}
+
+impl StrategySpec {
+    /// A default mesh member.
+    pub fn mesh() -> StrategySpec {
+        StrategySpec::default()
+    }
+
+    /// A CDCL member with the given restart schedule.
+    pub fn cdcl(restart: RestartPolicy) -> StrategySpec {
+        StrategySpec {
+            engine: EngineSpec::Cdcl { restart },
+            ..StrategySpec::default()
+        }
+    }
+
+    /// Sets the branching heuristic.
+    pub fn with_heuristic(mut self, heuristic: Heuristic) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Sets the simplification strength.
+    pub fn with_simplify(mut self, simplify: SimplifyMode) -> Self {
+        self.simplify = simplify;
+        self
+    }
+
+    /// Sets the first-branch polarity.
+    pub fn with_polarity(mut self, polarity: Polarity) -> Self {
+        self.polarity = polarity;
+        self
+    }
+
+    /// Sets the diversification seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the pruning policy (warm starts included).
+    pub fn with_prune(mut self, prune: PruneSpec) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Overrides the mapping policy for this member.
+    pub fn with_mapper(mut self, mapper: MapperSpec) -> Self {
+        self.mapper = Some(mapper);
+        self
+    }
+
+    /// Sets the execution backend (mesh members).
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The branching heuristic with the member seed folded in (seeded
+    /// heuristics only; deterministic ones are returned unchanged).
+    pub fn seeded_heuristic(&self) -> Heuristic {
+        match self.heuristic {
+            Heuristic::Random(s) => Heuristic::Random(s ^ self.seed),
+            h => h,
+        }
+    }
+
+    /// The mapping policy this member actually runs under: its own
+    /// override, or `base` otherwise, with the member seed folded into
+    /// seeded policies so same-policy members still explore different
+    /// placements. Deterministic policies pass through unchanged.
+    pub fn seeded_mapper(&self, base: &MapperSpec) -> MapperSpec {
+        let mapper = self.mapper.clone().unwrap_or_else(|| base.clone());
+        match mapper {
+            MapperSpec::Random { seed } => MapperSpec::Random {
+                seed: seed ^ self.seed,
+            },
+            MapperSpec::GlobalRandom { seed } => MapperSpec::GlobalRandom {
+                seed: seed ^ self.seed,
+            },
+            other => other,
+        }
+    }
+
+    /// Renders every non-default knob whatever the engine (knobs the
+    /// engine ignores stay inert but must round-trip — a spec written
+    /// out and re-parsed compares equal).
+    fn render(&self, f: &mut std::fmt::Formatter<'_>, with_backend: bool) -> std::fmt::Result {
+        let defaults = StrategySpec::default();
+        match self.engine {
+            EngineSpec::Mesh => f.write_str("mesh")?,
+            EngineSpec::Cdcl { restart } => {
+                f.write_str("cdcl")?;
+                if restart != RestartPolicy::Off {
+                    write!(f, ",restart={restart}")?;
+                }
+            }
+        }
+        if self.heuristic != defaults.heuristic {
+            write!(f, ",h={}", self.heuristic)?;
+        }
+        if self.simplify != defaults.simplify {
+            write!(f, ",s={}", self.simplify)?;
+        }
+        if self.polarity != defaults.polarity {
+            write!(f, ",pol={}", self.polarity)?;
+        }
+        if self.seed != defaults.seed {
+            write!(f, ",seed={}", self.seed)?;
+        }
+        if self.prune != defaults.prune {
+            write!(f, ",prune={}", self.prune)?;
+        }
+        if let Some(mapper) = &self.mapper {
+            write!(f, ",map={mapper}")?;
+        }
+        if with_backend && self.backend != defaults.backend {
+            write!(f, ",backend={}", self.backend)?;
+        }
+        Ok(())
+    }
+
+    /// Canonical *computation-identifying* rendering: the full strategy
+    /// minus the execution backend (backends are bit-identical, so two
+    /// members differing only there are the same computation). This is
+    /// what report labels and service cache keys use.
+    pub fn describe(&self) -> String {
+        struct NoBackend<'a>(&'a StrategySpec);
+        impl std::fmt::Display for NoBackend<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.0.render(f, false)
+            }
+        }
+        NoBackend(self).to_string()
+    }
+}
+
+impl std::fmt::Display for StrategySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.render(f, true)
+    }
+}
+
+impl std::str::FromStr for StrategySpec {
+    type Err = SpecParseError;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax (see the type
+    /// docs). Every knob key is accepted for every engine (mirroring
+    /// the renderer — knobs irrelevant to the engine are simply inert);
+    /// only `restart` is engine-bound, since it lives inside the CDCL
+    /// engine itself.
+    fn from_str(s: &str) -> Result<Self, SpecParseError> {
+        let mut parts = s.split(',');
+        let engine = parts.next().unwrap_or_default();
+        let mut spec = match engine {
+            "mesh" => StrategySpec::mesh(),
+            "cdcl" => StrategySpec::cdcl(RestartPolicy::Off),
+            other => return Err(SpecParseError(format!("unknown member engine {other:?}"))),
+        };
+        for pair in parts {
+            let (key, value) = pair.split_once('=').ok_or_else(|| {
+                SpecParseError(format!("{s:?}: expected key=value, got {pair:?}"))
+            })?;
+            let bad = |what: &str| SpecParseError(format!("{s:?}: bad {what} {value:?}"));
+            match key {
+                "h" => spec.heuristic = value.parse().map_err(|_| bad("heuristic"))?,
+                "s" => spec.simplify = value.parse().map_err(|_| bad("simplify mode"))?,
+                "pol" => spec.polarity = value.parse().map_err(|_| bad("polarity"))?,
+                "seed" => spec.seed = value.parse().map_err(|_| bad("seed"))?,
+                "prune" => spec.prune = value.parse().map_err(|_| bad("prune policy"))?,
+                "map" => spec.mapper = Some(value.parse().map_err(|_| bad("mapper"))?),
+                "backend" => spec.backend = value.parse().map_err(|_| bad("backend"))?,
+                "restart" if engine == "cdcl" => {
+                    spec.engine = EngineSpec::Cdcl {
+                        restart: value.parse().map_err(|_| bad("restart policy"))?,
+                    };
+                }
+                other => {
+                    return Err(SpecParseError(format!(
+                        "{s:?}: unknown {engine} member key {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// A portfolio of diversified members racing the same job, synchronised
+/// at deterministic epochs where they exchange learned clauses (CDCL
+/// members) and incumbents (B&B members).
+///
+/// String form: `epoch=E;len=L;lbd=B;member|member|...` (members use the
+/// [`StrategySpec`] syntax).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortfolioSpec {
+    /// Sync-epoch length, in simulated steps (mesh members) or search
+    /// operations (CDCL members). Knowledge is exchanged — and winners
+    /// decided — only at epoch barriers, which is what makes the race
+    /// deterministic.
+    pub epoch_steps: u64,
+    /// Longest learned clause the knowledge bus accepts.
+    pub max_clause_len: u32,
+    /// Highest learned-clause LBD the bus accepts (equals length for the
+    /// decision-negation clauses CDCL-lite learns).
+    pub max_clause_lbd: u32,
+    /// The members, raced in index order.
+    pub members: Vec<StrategySpec>,
+}
+
+impl PortfolioSpec {
+    /// A portfolio over the given members with the default exchange
+    /// budgets (epoch 32, clause length/LBD ≤ 8).
+    pub fn new(members: Vec<StrategySpec>) -> PortfolioSpec {
+        PortfolioSpec {
+            epoch_steps: 32,
+            max_clause_len: 8,
+            max_clause_lbd: 8,
+            members,
+        }
+    }
+
+    /// Sets the sync-epoch length.
+    pub fn epoch(mut self, steps: u64) -> Self {
+        self.epoch_steps = steps.max(1);
+        self
+    }
+
+    /// A `k`-member diversified SAT portfolio: mesh members rotating
+    /// through the branching heuristics and polarities, plus CDCL
+    /// members on Luby restarts once `k > 4`.
+    pub fn diversified_sat(k: usize) -> PortfolioSpec {
+        let heuristics = [
+            Heuristic::JeroslowWang,
+            Heuristic::Dlis,
+            Heuristic::MostFrequent,
+            Heuristic::FirstUnassigned,
+        ];
+        let members = (0..k.max(1))
+            .map(|i| {
+                if i >= 4 {
+                    // Cap the shift so arbitrarily large member counts
+                    // degrade gracefully instead of overflowing.
+                    StrategySpec::cdcl(RestartPolicy::Luby(8u64 << (i - 4).min(56)))
+                        .with_seed(i as u64)
+                        .with_polarity(if i % 2 == 0 {
+                            Polarity::Positive
+                        } else {
+                            Polarity::Negative
+                        })
+                } else {
+                    StrategySpec::mesh()
+                        .with_heuristic(heuristics[i % heuristics.len()])
+                        .with_polarity(if i % 2 == 0 {
+                            Polarity::Positive
+                        } else {
+                            Polarity::Negative
+                        })
+                        .with_seed(i as u64)
+                }
+            })
+            .collect();
+        PortfolioSpec::new(members)
+    }
+
+    /// Canonical *computation-identifying* rendering (members via
+    /// [`StrategySpec::describe`], so member backends do not split
+    /// service caches).
+    pub fn describe(&self) -> String {
+        let members: Vec<String> = self.members.iter().map(|m| m.describe()).collect();
+        format!(
+            "epoch={};len={};lbd={};{}",
+            self.epoch_steps,
+            self.max_clause_len,
+            self.max_clause_lbd,
+            members.join("|")
+        )
+    }
+}
+
+impl std::fmt::Display for PortfolioSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let members: Vec<String> = self.members.iter().map(|m| m.to_string()).collect();
+        write!(
+            f,
+            "epoch={};len={};lbd={};{}",
+            self.epoch_steps,
+            self.max_clause_len,
+            self.max_clause_lbd,
+            members.join("|")
+        )
+    }
+}
+
+impl std::str::FromStr for PortfolioSpec {
+    type Err = SpecParseError;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax:
+    /// `epoch=E;len=L;lbd=B;member|member|...`.
+    fn from_str(s: &str) -> Result<Self, SpecParseError> {
+        let parts: Vec<&str> = s.splitn(4, ';').collect();
+        let [epoch, len, lbd, members] = parts.as_slice() else {
+            return Err(SpecParseError(format!(
+                "{s:?}: expected epoch=E;len=L;lbd=B;members"
+            )));
+        };
+        let field = |text: &str, key: &str| -> Result<u64, SpecParseError> {
+            text.strip_prefix(key)
+                .and_then(|v| v.strip_prefix('='))
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| SpecParseError(format!("{s:?}: expected {key}=N, got {text:?}")))
+        };
+        let epoch_steps = field(epoch, "epoch")?;
+        if epoch_steps == 0 {
+            return Err(SpecParseError(format!("{s:?}: epoch must be > 0")));
+        }
+        let narrow = |value: u64, key: &str| -> Result<u32, SpecParseError> {
+            u32::try_from(value)
+                .map_err(|_| SpecParseError(format!("{s:?}: {key} must fit in 32 bits")))
+        };
+        let max_clause_len = narrow(field(len, "len")?, "len")?;
+        let max_clause_lbd = narrow(field(lbd, "lbd")?, "lbd")?;
+        let members: Vec<StrategySpec> = members
+            .split('|')
+            .filter(|m| !m.is_empty())
+            .map(str::parse)
+            .collect::<Result<_, _>>()?;
+        if members.is_empty() {
+            return Err(SpecParseError(format!(
+                "{s:?}: a portfolio needs at least one member"
+            )));
+        }
+        Ok(PortfolioSpec {
+            epoch_steps,
+            max_clause_len,
+            max_clause_lbd,
+            members,
+        })
+    }
+}
+
 /// A [`MapperFactory`] whose product type is erased, letting one stack
 /// type serve every policy.
 pub struct BoxedMapperFactory {
@@ -908,6 +1314,162 @@ mod tests {
         assert_eq!(cfg.threads, Some(2));
         assert!(BackendSpec::Sequential.sharded_config().is_none());
         assert!(BackendSpec::Parallel.sharded_config().is_none());
+    }
+
+    #[test]
+    fn strategy_spec_display_round_trips() {
+        let specs = [
+            StrategySpec::mesh(),
+            StrategySpec::mesh()
+                .with_heuristic(Heuristic::Dlis)
+                .with_simplify(SimplifyMode::SplitOnly)
+                .with_polarity(Polarity::Negative)
+                .with_seed(7)
+                .with_prune(PruneSpec::Incumbent { initial: Some(40) })
+                .with_mapper(MapperSpec::Random { seed: 3 })
+                .with_backend(BackendSpec::sharded(2)),
+            StrategySpec::mesh().with_heuristic(Heuristic::Random(99)),
+            StrategySpec::cdcl(RestartPolicy::Off),
+            StrategySpec::cdcl(RestartPolicy::Luby(64))
+                .with_polarity(Polarity::Negative)
+                .with_seed(3),
+            // Knobs the engine ignores still round-trip (a spec written
+            // out and re-parsed must compare equal).
+            StrategySpec::cdcl(RestartPolicy::Luby(4))
+                .with_heuristic(Heuristic::Dlis)
+                .with_backend(BackendSpec::Parallel)
+                .with_prune(PruneSpec::incumbent()),
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            let parsed: StrategySpec = text.parse().unwrap_or_else(|e| {
+                panic!("{text:?} failed to parse: {e}");
+            });
+            assert_eq!(parsed, spec, "round-trip through {text:?}");
+        }
+    }
+
+    #[test]
+    fn strategy_describe_strips_only_the_backend() {
+        let a = StrategySpec::mesh()
+            .with_heuristic(Heuristic::Dlis)
+            .with_backend(BackendSpec::sharded(4));
+        let b = a.clone().with_backend(BackendSpec::Parallel);
+        assert_eq!(a.describe(), b.describe());
+        assert_ne!(a.to_string(), b.to_string());
+        let c = a.clone().with_seed(5);
+        assert_ne!(a.describe(), c.describe());
+        assert_eq!(
+            StrategySpec::mesh()
+                .with_heuristic(Heuristic::Random(1))
+                .describe(),
+            "mesh,h=random:1"
+        );
+    }
+
+    #[test]
+    fn malformed_strategy_specs_are_rejected() {
+        for bad in [
+            "",
+            "mesh,h=jw",
+            "mesh,restart=luby:4", // restart lives inside the cdcl engine
+            "cdcl,restart=luby:0",
+            "mesh,seed=x",
+            "mesh,pol",
+            "turbo",
+        ] {
+            assert!(bad.parse::<StrategySpec>().is_err(), "{bad:?} should fail");
+        }
+        // Inert-but-valid knobs parse on any engine.
+        assert!("cdcl,h=dlis,backend=parallel"
+            .parse::<StrategySpec>()
+            .is_ok());
+    }
+
+    #[test]
+    fn portfolio_spec_display_round_trips() {
+        let specs = [
+            PortfolioSpec::new(vec![StrategySpec::mesh()]),
+            PortfolioSpec::new(vec![
+                StrategySpec::mesh().with_heuristic(Heuristic::Dlis),
+                StrategySpec::cdcl(RestartPolicy::Luby(16)).with_seed(2),
+            ])
+            .epoch(128),
+            PortfolioSpec::diversified_sat(6),
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            let parsed: PortfolioSpec = text.parse().unwrap_or_else(|e| {
+                panic!("{text:?} failed to parse: {e}");
+            });
+            assert_eq!(parsed, spec, "round-trip through {text:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_portfolio_specs_are_rejected() {
+        for bad in [
+            "",
+            "epoch=0;len=8;lbd=8;mesh",
+            "epoch=32;len=8;lbd=8;",
+            "epoch=32;len=8;mesh",
+            "epoch=32;len=8;lbd=8;warp",
+            // 2^32: must be rejected, not truncated to a zero budget.
+            "epoch=32;len=4294967296;lbd=8;mesh",
+            "epoch=32;len=8;lbd=4294967297;mesh",
+        ] {
+            assert!(bad.parse::<PortfolioSpec>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn diversified_sat_members_are_distinct_computations() {
+        let spec = PortfolioSpec::diversified_sat(6);
+        assert_eq!(spec.members.len(), 6);
+        // Large member counts saturate the Luby base instead of
+        // overflowing the shift.
+        assert_eq!(PortfolioSpec::diversified_sat(80).members.len(), 80);
+        let mut tokens: Vec<String> = spec.members.iter().map(|m| m.describe()).collect();
+        tokens.sort();
+        tokens.dedup();
+        assert_eq!(tokens.len(), 6, "members must differ: {tokens:?}");
+        assert!(spec
+            .members
+            .iter()
+            .any(|m| matches!(m.engine, EngineSpec::Cdcl { .. })));
+    }
+
+    #[test]
+    fn seeded_heuristic_folds_the_member_seed() {
+        let m = StrategySpec::mesh()
+            .with_heuristic(Heuristic::Random(4))
+            .with_seed(1);
+        assert_eq!(m.seeded_heuristic(), Heuristic::Random(5));
+        let fixed = StrategySpec::mesh()
+            .with_heuristic(Heuristic::Dlis)
+            .with_seed(9);
+        assert_eq!(fixed.seeded_heuristic(), Heuristic::Dlis);
+    }
+
+    #[test]
+    fn seeded_mapper_folds_the_member_seed() {
+        let base = MapperSpec::Random { seed: 4 };
+        // Inherited seeded mappers are reseeded per member...
+        let m = StrategySpec::mesh().with_seed(1);
+        assert_eq!(m.seeded_mapper(&base), MapperSpec::Random { seed: 5 });
+        // ...as are explicit overrides...
+        let m = StrategySpec::mesh()
+            .with_mapper(MapperSpec::GlobalRandom { seed: 8 })
+            .with_seed(2);
+        assert_eq!(
+            m.seeded_mapper(&base),
+            MapperSpec::GlobalRandom { seed: 10 }
+        );
+        // ...while deterministic policies pass through unchanged.
+        let m = StrategySpec::mesh()
+            .with_mapper(MapperSpec::RoundRobin)
+            .with_seed(7);
+        assert_eq!(m.seeded_mapper(&base), MapperSpec::RoundRobin);
     }
 
     #[test]

@@ -118,6 +118,26 @@ impl<P: RecProgram> StackBuilder<P> {
         self
     }
 
+    /// Applies a portfolio member's *machine-level* knobs — backend,
+    /// prune policy (warm starts included) and mapper override — to this
+    /// builder. A member prune of [`PruneSpec::Off`] is the strategy
+    /// default ("no opinion") and leaves any policy already set on the
+    /// builder in place. Program-level knobs (heuristic, simplify mode,
+    /// polarity) are the member program's concern: apply them when
+    /// constructing the program handed to [`StackBuilder::new`]. This is
+    /// the hook the portfolio subsystem assembles each member stack
+    /// through.
+    pub fn strategy(mut self, member: &crate::spec::StrategySpec) -> Self {
+        self.backend = member.backend.clone();
+        if member.prune != PruneSpec::Off {
+            self.prune = member.prune;
+        }
+        if let Some(mapper) = &member.mapper {
+            self.mapper = mapper.clone();
+        }
+        self
+    }
+
     /// Runs the handler phase on a thread pool (bit-identical
     /// results, faster for large meshes). Shorthand for
     /// [`StackBuilder::backend`] toggling between [`BackendSpec::Parallel`]
@@ -410,6 +430,13 @@ pub struct JobParams {
     pub root_node: NodeId,
     /// Cooperative stop/deadline control.
     pub stop: Option<StopHandle>,
+    /// Race a portfolio of diversified members instead of one stack.
+    /// Honoured by portfolio-aware runners (the solver service and
+    /// `hyperspace-portfolio`'s `PortfolioRunner`); a plain
+    /// [`ErasedStackJob::new`] job ignores it. Part of the computation —
+    /// the member set changes the search — so services must key caches
+    /// on it.
+    pub portfolio: Option<crate::spec::PortfolioSpec>,
 }
 
 impl Default for JobParams {
@@ -426,6 +453,7 @@ impl Default for JobParams {
             max_steps: 1_000_000,
             root_node: 0,
             stop: None,
+            portfolio: None,
         }
     }
 }
@@ -463,6 +491,13 @@ impl ErasedStackJob {
                 builder.run(root_arg, params.root_node).summary()
             }),
         }
+    }
+
+    /// Erases an arbitrary runner closure into a uniform job — the
+    /// escape hatch portfolio-aware services use to put multi-member
+    /// races on the same worker pools as single-stack solves.
+    pub fn from_fn(run: impl FnOnce(&JobParams) -> RunSummary + Send + 'static) -> Self {
+        ErasedStackJob { run: Box::new(run) }
     }
 
     /// Assembles the stack and runs the job.
@@ -658,6 +693,22 @@ mod tests {
                 "{backend}"
             );
         }
+    }
+
+    #[test]
+    fn strategy_with_default_prune_keeps_the_builder_policy() {
+        // `Off` is the strategy default ("no opinion"): applying such a
+        // member must not discard a job-level prune policy already set.
+        use crate::spec::StrategySpec;
+        let builder = StackBuilder::new(sum_program())
+            .prune(PruneSpec::incumbent())
+            .strategy(&StrategySpec::mesh());
+        assert_eq!(builder.prune, PruneSpec::incumbent());
+        // An explicit member policy (warm starts included) wins.
+        let builder = StackBuilder::new(sum_program())
+            .prune(PruneSpec::incumbent())
+            .strategy(&StrategySpec::mesh().with_prune(PruneSpec::Incumbent { initial: Some(7) }));
+        assert_eq!(builder.prune, PruneSpec::Incumbent { initial: Some(7) });
     }
 
     #[test]

@@ -262,6 +262,19 @@ pub fn trigger<Q, R>(req: Q) -> MapMsg<Q, R> {
     }
 }
 
+/// Builds an externally sourced incumbent-bound message, injectable into
+/// any node the way [`trigger`] messages are. The receiving node treats
+/// it exactly like a gossiped [`MapPayload::Bound`]: it merges the value
+/// into its incumbent and re-broadcasts on strict improvement, flooding
+/// the mesh. This is how a portfolio coordinator feeds one member's
+/// incumbent to another at a sync epoch.
+pub fn bound<Q, R>(value: i64) -> MapMsg<Q, R> {
+    MapMsg {
+        load: 0,
+        payload: MapPayload::Bound { value },
+    }
+}
+
 /// The layer-3 host: owns the per-node mapper and ticket bookkeeping and
 /// drives a [`TicketHandler`].
 pub struct MappingHost<H, F> {

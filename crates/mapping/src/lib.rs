@@ -30,7 +30,7 @@ mod mapper;
 mod msg;
 mod ticket;
 
-pub use host::{trigger, CallCtx, MapConfig, MapState, MappingHost, TicketHandler};
+pub use host::{bound, trigger, CallCtx, MapConfig, MapState, MappingHost, TicketHandler};
 pub use mapper::{
     GlobalRandomMapper, LeastBusyMapper, MapView, Mapper, MapperFactory, RandomMapper,
     RoundRobinMapper, Target, WeightAwareMapper,

@@ -1,0 +1,334 @@
+//! The erased member abstraction: anything that can race in epochs.
+
+use hyperspace_core::{
+    summarise, summarise_sharded, MapperSpec, ObjectiveSpec, RunSummary, StackBuilder,
+    StackShardedSim, StackSim, StrategySpec, TopologySpec,
+};
+use hyperspace_recursion::{Objective, RecProgram};
+use hyperspace_sat::{cdcl, CdclConfig, CdclSolver, CdclStatus, Clause, Cnf, SatResult, Verdict};
+use hyperspace_sim::{NodeId, RunOutcome, SimError, StopHandle};
+
+/// What one epoch of driving did to a member.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum EpochStatus {
+    /// Epoch budget exhausted, search still open.
+    Running,
+    /// Produced its answer during this epoch.
+    Finished,
+    /// Hit the global step cap without an answer.
+    Exhausted,
+    /// Its stop handle tripped.
+    Stopped,
+}
+
+/// One racing member, type-erased. All methods are called between
+/// epochs only, in member-id order (or concurrently for `run_epoch`,
+/// which touches only the member's own state).
+pub(crate) trait MemberDrive: Send {
+    /// Advances the member to the absolute unit cap (simulated steps /
+    /// search operations). Terminal members return their terminal status
+    /// without doing work.
+    fn run_epoch(&mut self, cap: u64) -> EpochStatus;
+
+    /// Logical units consumed so far.
+    fn units(&self) -> u64;
+
+    /// Best incumbent this member holds (optimisation members).
+    fn best_incumbent(&self) -> Option<i64>;
+
+    /// Injects a bus incumbent; it floods the member's mesh through the
+    /// ordinary bound-gossip channel.
+    fn inject_bound(&mut self, value: i64);
+
+    /// Drains the clauses this member learned since the last export,
+    /// within the bus budgets (CDCL members; empty otherwise).
+    fn export_clauses(&mut self, max_len: usize, max_lbd: usize) -> Vec<Clause>;
+
+    /// Absorbs sibling lemmas; returns how many were taken (CDCL
+    /// members; 0 otherwise).
+    fn import_clauses(&mut self, clauses: &[&Clause]) -> u64;
+
+    /// Cancels a losing member through its stop handle.
+    fn cancel(&mut self);
+
+    /// Finalises the member into its erased run summary.
+    fn finish(self: Box<Self>) -> RunSummary;
+}
+
+/// The two stack shapes a mesh member can run on.
+enum MeshSim<P: RecProgram> {
+    Seq(StackSim<P>),
+    Sharded(StackShardedSim<P>),
+}
+
+/// A full five-layer stack racing as one member.
+pub(crate) struct MeshMember<P: RecProgram> {
+    sim: MeshSim<P>,
+    root: NodeId,
+    handle: StopHandle,
+    objective: Option<Objective>,
+    max_steps: u64,
+    outcome: RunOutcome,
+    terminal: Option<EpochStatus>,
+}
+
+impl<P: RecProgram> MeshMember<P>
+where
+    P::Out: std::fmt::Debug,
+{
+    /// Assembles the member's stack (the member's strategy overrides the
+    /// portfolio-level mapper where it says so) and injects the root
+    /// problem.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        program: P,
+        root_arg: P::Arg,
+        member: &StrategySpec,
+        topology: &TopologySpec,
+        mapper: &MapperSpec,
+        objective: ObjectiveSpec,
+        cancellation: bool,
+        max_steps: u64,
+        root: NodeId,
+    ) -> Self {
+        let handle = StopHandle::new();
+        let builder = StackBuilder::new(program)
+            .topology(topology.clone())
+            .mapper(mapper.clone())
+            .objective(objective)
+            .cancellation(cancellation)
+            .strategy(member)
+            .max_steps(max_steps)
+            .stop(handle.clone());
+        let sharded = member.backend.sharded_config().is_some();
+        let mut sim = if sharded {
+            MeshSim::Sharded(builder.build_sharded())
+        } else {
+            MeshSim::Seq(builder.build())
+        };
+        match &mut sim {
+            MeshSim::Seq(sim) => sim.inject(root, hyperspace_mapping::trigger(root_arg)),
+            MeshSim::Sharded(sim) => sim.inject(root, hyperspace_mapping::trigger(root_arg)),
+        }
+        MeshMember {
+            sim,
+            root,
+            handle,
+            objective: objective.objective(),
+            max_steps,
+            outcome: RunOutcome::MaxSteps,
+            terminal: None,
+        }
+    }
+
+    /// Runs to the given absolute step cap, normalising sharded-backend
+    /// errors to the sequential engine's failure modes (like
+    /// `StackBuilder::run`).
+    fn drive(&mut self, cap: u64) -> RunOutcome {
+        match &mut self.sim {
+            MeshSim::Seq(sim) => {
+                sim.set_max_steps(cap);
+                sim.run_to_quiescence()
+                    .expect("stack runs use unbounded queues")
+                    .outcome
+            }
+            MeshSim::Sharded(sim) => {
+                sim.set_max_steps(cap);
+                match sim.run_to_quiescence() {
+                    Ok(report) => report.outcome,
+                    Err(SimError::HandlerPanic {
+                        node,
+                        step,
+                        message,
+                    }) => panic!("handler of node {node} panicked at step {step}: {message}"),
+                    Err(err) => panic!("stack runs use unbounded queues: {err}"),
+                }
+            }
+        }
+    }
+}
+
+impl<P: RecProgram> MemberDrive for MeshMember<P>
+where
+    P::Out: std::fmt::Debug,
+{
+    fn run_epoch(&mut self, cap: u64) -> EpochStatus {
+        if let Some(terminal) = self.terminal {
+            return terminal;
+        }
+        let cap = cap.min(self.max_steps);
+        self.outcome = self.drive(cap);
+        let status = match self.outcome {
+            RunOutcome::Halted | RunOutcome::Quiescent => EpochStatus::Finished,
+            RunOutcome::Stopped => EpochStatus::Stopped,
+            RunOutcome::MaxSteps if self.units() >= self.max_steps => EpochStatus::Exhausted,
+            RunOutcome::MaxSteps => return EpochStatus::Running,
+        };
+        self.terminal = Some(status);
+        status
+    }
+
+    fn units(&self) -> u64 {
+        match &self.sim {
+            MeshSim::Seq(sim) => sim.current_step(),
+            MeshSim::Sharded(sim) => sim.current_step(),
+        }
+    }
+
+    fn best_incumbent(&self) -> Option<i64> {
+        let objective = self.objective?;
+        let mut best: Option<i64> = None;
+        let mut fold = |inc: Option<i64>| {
+            if let Some(inc) = inc {
+                best = Some(match best {
+                    Some(b) => objective.better(b, inc),
+                    None => inc,
+                });
+            }
+        };
+        match &self.sim {
+            MeshSim::Seq(sim) => {
+                for st in sim.states() {
+                    fold(st.app.incumbent());
+                }
+            }
+            MeshSim::Sharded(sim) => {
+                let n = sim.topology().num_nodes();
+                for node in 0..n as NodeId {
+                    fold(sim.state(node).app.incumbent());
+                }
+            }
+        }
+        best
+    }
+
+    fn inject_bound(&mut self, value: i64) {
+        match &mut self.sim {
+            MeshSim::Seq(sim) => sim.inject(self.root, hyperspace_mapping::bound(value)),
+            MeshSim::Sharded(sim) => sim.inject(self.root, hyperspace_mapping::bound(value)),
+        }
+    }
+
+    fn export_clauses(&mut self, _max_len: usize, _max_lbd: usize) -> Vec<Clause> {
+        Vec::new() // mesh sub-problems carry no learned clauses
+    }
+
+    fn import_clauses(&mut self, _clauses: &[&Clause]) -> u64 {
+        0
+    }
+
+    fn cancel(&mut self) {
+        if self.terminal.is_some() {
+            return;
+        }
+        // The loser observes the trip through the ordinary stop path:
+        // the run ends with `Stopped` before executing another step.
+        self.handle.stop();
+        self.outcome = self.drive(self.max_steps);
+        debug_assert_eq!(self.outcome, RunOutcome::Stopped);
+        self.terminal = Some(EpochStatus::Stopped);
+    }
+
+    fn finish(self: Box<Self>) -> RunSummary {
+        let outcome = self.outcome;
+        let root = self.root;
+        match self.sim {
+            MeshSim::Seq(sim) => summarise(sim, outcome, root).summary(),
+            MeshSim::Sharded(sim) => summarise_sharded(sim, outcome, root).summary(),
+        }
+    }
+}
+
+/// A sequential clause-learning solver racing as one member (SAT only).
+pub(crate) struct CdclMember {
+    solver: CdclSolver,
+    max_ops: u64,
+    terminal: Option<EpochStatus>,
+}
+
+impl CdclMember {
+    pub(crate) fn new(cnf: &Cnf, cfg: CdclConfig, max_ops: u64) -> Self {
+        CdclMember {
+            solver: CdclSolver::new(cnf, cfg),
+            max_ops,
+            terminal: None,
+        }
+    }
+}
+
+impl MemberDrive for CdclMember {
+    fn run_epoch(&mut self, cap: u64) -> EpochStatus {
+        if let Some(terminal) = self.terminal {
+            return terminal;
+        }
+        let cap = cap.min(self.max_ops);
+        let budget = cap.saturating_sub(self.solver.ops());
+        let status = match self.solver.run(budget) {
+            CdclStatus::Done(_) => EpochStatus::Finished,
+            CdclStatus::Budget if self.solver.ops() >= self.max_ops => EpochStatus::Exhausted,
+            CdclStatus::Budget => return EpochStatus::Running,
+        };
+        self.terminal = Some(status);
+        status
+    }
+
+    fn units(&self) -> u64 {
+        self.solver.ops()
+    }
+
+    fn best_incumbent(&self) -> Option<i64> {
+        None // decision procedure: no objective value
+    }
+
+    fn inject_bound(&mut self, _value: i64) {}
+
+    fn export_clauses(&mut self, max_len: usize, max_lbd: usize) -> Vec<Clause> {
+        self.solver.export_learned(max_len, max_lbd)
+    }
+
+    fn import_clauses(&mut self, clauses: &[&Clause]) -> u64 {
+        self.solver.import_clauses(clauses.iter().copied())
+    }
+
+    fn cancel(&mut self) {
+        if self.terminal.is_none() {
+            self.terminal = Some(EpochStatus::Stopped);
+        }
+    }
+
+    fn finish(self: Box<Self>) -> RunSummary {
+        let stats = self.solver.stats();
+        // Render the verdict in the mesh solver's vocabulary so winner
+        // summaries read the same whichever engine produced them.
+        let result = self.solver.result().map(|r| match r {
+            SatResult::Sat(model) => format!("{:?}", Verdict::Sat(model.clone())),
+            SatResult::Unsat => format!("{:?}", Verdict::Unsat),
+        });
+        let outcome = match self.terminal {
+            Some(EpochStatus::Finished) => RunOutcome::Halted,
+            Some(EpochStatus::Stopped) => RunOutcome::Stopped,
+            _ => RunOutcome::MaxSteps,
+        };
+        RunSummary {
+            result,
+            outcome,
+            steps: self.solver.ops(),
+            computation_time: self.solver.ops(),
+            total_sent: 0,
+            total_delivered: 0,
+            activations_started: stats.decisions,
+            activations_completed: stats.decisions,
+            nodes_pruned: 0,
+            best_incumbent: None,
+        }
+    }
+}
+
+/// Builds the CDCL configuration a strategy describes.
+pub(crate) fn cdcl_config(member: &StrategySpec, restart: cdcl::RestartPolicy) -> CdclConfig {
+    CdclConfig {
+        restart,
+        polarity: member.polarity,
+        seed: member.seed,
+    }
+}

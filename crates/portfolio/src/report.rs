@@ -1,0 +1,109 @@
+//! The bit-identical outcome of one portfolio race.
+
+use hyperspace_core::RunSummary;
+use hyperspace_sim::RunOutcome;
+
+/// Everything one member contributed to — and took from — the race.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemberReport {
+    /// Member index (position in the spec's member list).
+    pub id: usize,
+    /// Canonical strategy description
+    /// ([`StrategySpec::describe`](hyperspace_core::StrategySpec::describe):
+    /// execution backend excluded, so reports stay identical across
+    /// backend choices).
+    pub strategy: String,
+    /// The member's own run, erased. For CDCL members `steps` counts
+    /// search operations and `activations_started`/`activations_completed`
+    /// report branching decisions.
+    pub summary: RunSummary,
+    /// Logical units (simulated steps / search operations) consumed when
+    /// the member produced its answer, if it did.
+    pub finish_units: Option<u64>,
+    /// Epoch in which the member finished, if it did.
+    pub finished_epoch: Option<u64>,
+    /// Learned clauses this member put on the bus (post-dedup).
+    pub clauses_exported: u64,
+    /// Learned clauses this member absorbed from the bus.
+    pub clauses_imported: u64,
+    /// Incumbent improvements this member contributed to the bus.
+    pub bounds_exported: u64,
+    /// Bus incumbents injected into this member.
+    pub bounds_imported: u64,
+}
+
+/// The folded result of a portfolio race. Bit-identical across runner
+/// thread counts and member backend choices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortfolioReport {
+    /// The winning member (first to answer; ties break to the lower
+    /// id), if any member answered.
+    pub winner: Option<usize>,
+    /// How the race ended: the winner's outcome, [`RunOutcome::Stopped`]
+    /// on external cancellation, or [`RunOutcome::MaxSteps`] when every
+    /// member exhausted the step cap.
+    pub outcome: RunOutcome,
+    /// Sync epochs executed.
+    pub epochs: u64,
+    /// Best incumbent any member held when the race ended (optimisation
+    /// jobs).
+    pub best_incumbent: Option<i64>,
+    /// Distinct learned clauses accepted onto the knowledge bus.
+    pub clauses_shared: u64,
+    /// Clause deliveries into members (each shared clause fans out to
+    /// every other CDCL member).
+    pub clauses_imported: u64,
+    /// Incumbent improvements published on the bus.
+    pub bounds_shared: u64,
+    /// Bound injections into trailing members.
+    pub bounds_imported: u64,
+    /// Per-member reports, in member-id order.
+    pub members: Vec<MemberReport>,
+}
+
+impl PortfolioReport {
+    /// The winner's run summary, if any member answered.
+    pub fn winner_summary(&self) -> Option<&RunSummary> {
+        self.winner.map(|id| &self.members[id].summary)
+    }
+
+    /// Collapses the race into one [`RunSummary`] — the winner's (this
+    /// is what a service caches: winner-only), or a result-less summary
+    /// carrying the race outcome when nobody answered.
+    pub fn into_summary(self) -> RunSummary {
+        let outcome = self.outcome;
+        let best_incumbent = self.best_incumbent;
+        match self.winner {
+            Some(id) => {
+                self.members
+                    .into_iter()
+                    .nth(id)
+                    .expect("winner exists")
+                    .summary
+            }
+            None => RunSummary {
+                result: None,
+                outcome,
+                steps: 0,
+                computation_time: 0,
+                total_sent: 0,
+                total_delivered: 0,
+                activations_started: 0,
+                activations_completed: 0,
+                nodes_pruned: 0,
+                best_incumbent,
+            },
+        }
+    }
+
+    /// Total search nodes expanded across all members (layer-4
+    /// activations for mesh members, branching decisions for CDCL
+    /// members) — the "work the portfolio paid" metric the `ABL-F`
+    /// experiment compares against single-strategy runs.
+    pub fn total_expanded(&self) -> u64 {
+        self.members
+            .iter()
+            .map(|m| m.summary.activations_started)
+            .sum()
+    }
+}

@@ -1,0 +1,626 @@
+//! The epoch-synchronised race loop and knowledge bus.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use hyperspace_core::{
+    EngineSpec, JobParams, MapperSpec, ObjectiveSpec, PortfolioSpec, PruneSpec, StrategySpec,
+    TopologySpec,
+};
+use hyperspace_recursion::RecProgram;
+use hyperspace_sat::{Cnf, DpllProgram, Lit, SubProblem};
+use hyperspace_sim::{NodeId, RunOutcome, StopHandle};
+
+use crate::member::{cdcl_config, CdclMember, EpochStatus, MemberDrive, MeshMember};
+use crate::report::{MemberReport, PortfolioReport};
+
+/// Races a [`PortfolioSpec`]'s members over one job.
+///
+/// Machine-level settings (topology, base mapper, root placement, step
+/// cap) are shared by every member; each member's [`StrategySpec`] then
+/// diversifies on top. The race advances in sync epochs and its full
+/// [`PortfolioReport`] is bit-identical across
+/// [`PortfolioRunner::threads`] values and member backend choices.
+pub struct PortfolioRunner {
+    spec: PortfolioSpec,
+    topology: TopologySpec,
+    mapper: MapperSpec,
+    objective: ObjectiveSpec,
+    prune: PruneSpec,
+    cancellation: bool,
+    max_steps: u64,
+    root_node: NodeId,
+    threads: usize,
+    stop: Option<StopHandle>,
+}
+
+impl PortfolioRunner {
+    /// A runner with the stack defaults: the paper's 14x14 torus,
+    /// adaptive least-busy mapping, a one-million step cap, root at
+    /// node 0, one driver thread per member (capped by the machine).
+    pub fn new(spec: PortfolioSpec) -> PortfolioRunner {
+        let members = spec.members.len().max(1);
+        PortfolioRunner {
+            spec,
+            topology: TopologySpec::Torus2D { w: 14, h: 14 },
+            mapper: MapperSpec::LeastBusy {
+                status_period: None,
+            },
+            objective: ObjectiveSpec::Enumerate,
+            prune: PruneSpec::Off,
+            cancellation: false,
+            max_steps: 1_000_000,
+            root_node: 0,
+            threads: std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
+                .min(members),
+            stop: None,
+        }
+    }
+
+    /// A runner configured from a job's machine parameters (the service
+    /// path). Returns `None` when the params request no portfolio.
+    pub fn from_params(params: &JobParams) -> Option<PortfolioRunner> {
+        let spec = params.portfolio.clone()?;
+        let mut runner = PortfolioRunner::new(spec)
+            .topology(params.topology.clone())
+            .mapper(params.mapper.clone())
+            .objective(params.objective)
+            .prune(params.prune)
+            .cancellation(params.cancellation)
+            .max_steps(params.max_steps)
+            .root_node(params.root_node);
+        if let Some(stop) = params.stop.clone() {
+            runner = runner.stop(stop);
+        }
+        Some(runner)
+    }
+
+    /// The portfolio being raced.
+    pub fn spec(&self) -> &PortfolioSpec {
+        &self.spec
+    }
+
+    /// Selects the machine topology shared by all members.
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        self.topology = spec;
+        self
+    }
+
+    /// Selects the base mapping policy (members may override).
+    pub fn mapper(mut self, spec: MapperSpec) -> Self {
+        self.mapper = spec;
+        self
+    }
+
+    /// Selects the optimisation objective (enables the incumbent bus).
+    pub fn objective(mut self, spec: ObjectiveSpec) -> Self {
+        self.objective = spec;
+        self
+    }
+
+    /// The base pruning policy. Members whose own
+    /// [`StrategySpec::prune`] is [`PruneSpec::Off`] (the strategy
+    /// default, meaning "no opinion") inherit it; members with an
+    /// explicit policy — warm starts in particular — keep theirs.
+    pub fn prune(mut self, spec: PruneSpec) -> Self {
+        self.prune = spec;
+        self
+    }
+
+    /// Enables layer-4 cancellation of losing speculative branches
+    /// inside every member stack.
+    pub fn cancellation(mut self, on: bool) -> Self {
+        self.cancellation = on;
+        self
+    }
+
+    /// Caps every member's logical progress (simulated steps / search
+    /// operations).
+    pub fn max_steps(mut self, cap: u64) -> Self {
+        self.max_steps = cap;
+        self
+    }
+
+    /// Places every member's root trigger.
+    pub fn root_node(mut self, node: NodeId) -> Self {
+        self.root_node = node;
+        self
+    }
+
+    /// Driver threads stepping members within an epoch. Any value
+    /// produces the same report; this only trades wall-clock for cores.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches an external stop handle, polled at epoch barriers: when
+    /// it trips, the race ends with [`RunOutcome::Stopped`] and every
+    /// open member is cancelled.
+    pub fn stop(mut self, handle: StopHandle) -> Self {
+        self.stop = Some(handle);
+        self
+    }
+
+    /// Races the portfolio over a SAT instance. Mesh members run the
+    /// distributed DPLL program under their strategy knobs; CDCL members
+    /// run the resumable clause-learning solver and exchange learned
+    /// clauses at every epoch barrier.
+    pub fn run_sat(&self, cnf: &Cnf) -> PortfolioReport {
+        let members: Vec<Box<dyn MemberDrive>> = self
+            .spec
+            .members
+            .iter()
+            .map(|member| match member.engine {
+                EngineSpec::Mesh => {
+                    let program = DpllProgram::new(member.seeded_heuristic())
+                        .with_mode(member.simplify)
+                        .with_polarity(member.polarity);
+                    Box::new(self.mesh_member(
+                        program,
+                        SubProblem::root(cnf.clone()),
+                        member,
+                        ObjectiveSpec::Enumerate,
+                    )) as Box<dyn MemberDrive>
+                }
+                EngineSpec::Cdcl { restart } => Box::new(CdclMember::new(
+                    cnf,
+                    cdcl_config(member, restart),
+                    self.max_steps,
+                )),
+            })
+            .collect();
+        self.race(members)
+    }
+
+    /// Races the portfolio over an arbitrary recursive program; `make`
+    /// builds each member's program from its index and strategy (unit
+    /// programs just ignore both). Only mesh members are meaningful
+    /// here.
+    ///
+    /// # Panics
+    ///
+    /// If the spec contains a CDCL member — clause exchange needs a SAT
+    /// workload ([`PortfolioRunner::run_sat`]).
+    pub fn run_mesh<P, F>(&self, make: F, root_arg: P::Arg) -> PortfolioReport
+    where
+        P: RecProgram,
+        P::Arg: Clone,
+        P::Out: std::fmt::Debug,
+        F: Fn(usize, &StrategySpec) -> P,
+    {
+        let members: Vec<Box<dyn MemberDrive>> = self
+            .spec
+            .members
+            .iter()
+            .enumerate()
+            .map(|(id, member)| match member.engine {
+                EngineSpec::Mesh => Box::new(self.mesh_member(
+                    make(id, member),
+                    root_arg.clone(),
+                    member,
+                    self.objective,
+                )) as Box<dyn MemberDrive>,
+                EngineSpec::Cdcl { .. } => {
+                    panic!("member {id} is a CDCL strategy; only SAT portfolios race CDCL members")
+                }
+            })
+            .collect();
+        self.race(members)
+    }
+
+    fn mesh_member<P>(
+        &self,
+        program: P,
+        root_arg: P::Arg,
+        member: &StrategySpec,
+        objective: ObjectiveSpec,
+    ) -> MeshMember<P>
+    where
+        P: RecProgram,
+        P::Out: std::fmt::Debug,
+    {
+        // `Off` is the strategy default ("no opinion"): such members
+        // inherit the job-level policy; explicit member policies — warm
+        // starts in particular — win. The member seed is folded into
+        // seeded mappers here so same-policy members explore different
+        // placements.
+        let mut member = member.clone();
+        if member.prune == PruneSpec::Off {
+            member.prune = self.prune;
+        }
+        member.mapper = Some(member.seeded_mapper(&self.mapper));
+        MeshMember::new(
+            program,
+            root_arg,
+            &member,
+            &self.topology,
+            &self.mapper,
+            objective,
+            self.cancellation,
+            self.max_steps,
+            self.root_node,
+        )
+    }
+
+    /// The race loop: epochs of concurrent member stepping separated by
+    /// barriers where completion is checked and knowledge exchanged, in
+    /// member-id order. Driver threads are spawned **once per race** and
+    /// park at a barrier between epochs (mirroring the sharded backend's
+    /// long-lived workers — no per-epoch spawn/join cost); `threads == 1`
+    /// degenerates to a spawn-free inline loop through the same code.
+    fn race(&self, members: Vec<Box<dyn MemberDrive>>) -> PortfolioReport {
+        let n = members.len();
+        assert!(n > 0, "a portfolio needs at least one member");
+        let threads = self.threads.clamp(1, n);
+        let chunk = n.div_ceil(threads);
+        // Recompute the driver count from the chunking (`n = 5,
+        // threads = 4` yields only 3 non-empty chunks; the barrier must
+        // match exactly).
+        let drivers = n.div_ceil(chunk);
+        let members: Vec<Mutex<Box<dyn MemberDrive>>> =
+            members.into_iter().map(Mutex::new).collect();
+        let shared = DriverShared {
+            barrier: Barrier::new(drivers),
+            cap: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            statuses: (0..n)
+                .map(|_| AtomicU8::new(status_code(EpochStatus::Running)))
+                .collect(),
+            panic: Mutex::new(None),
+        };
+        let mut book = None;
+        std::thread::scope(|scope| {
+            for d in 1..drivers {
+                let members = &members;
+                let shared = &shared;
+                let range = d * chunk..((d + 1) * chunk).min(n);
+                scope.spawn(move || drive_members(members, shared, range));
+            }
+            let outcome = self.coordinate(&members, &shared, 0..chunk.min(n));
+            // Release the parked drivers whatever happened, then
+            // re-raise any contained member panic exactly like a direct
+            // single-stack run would.
+            shared.done.store(true, Ordering::SeqCst);
+            shared.barrier.wait();
+            if let Some(payload) = shared.panic.lock().expect("panic slot").take() {
+                std::panic::resume_unwind(payload);
+            }
+            book = outcome;
+        });
+        let book = book.expect("coordinator books the race unless a member panicked");
+
+        // The scope has ended, so the members are exclusively ours
+        // again: fold them into per-member reports in id order.
+        let winner = book.finished.first().map(|&(_, id)| id);
+        let objective = self.objective.objective();
+        let spec_members = &self.spec.members;
+        let mut reports: Vec<MemberReport> = Vec::with_capacity(n);
+        for (id, member) in members.into_iter().enumerate() {
+            let member = member.into_inner().expect("member lock poisoned");
+            let units = member.units();
+            let summary = member.finish();
+            let finish_units = book.finished_epoch[id].map(|_| units);
+            reports.push(MemberReport {
+                id,
+                strategy: spec_members[id].describe(),
+                summary,
+                finish_units,
+                finished_epoch: book.finished_epoch[id],
+                clauses_exported: book.clauses_exported[id],
+                clauses_imported: book.clauses_imported[id],
+                bounds_exported: book.bounds_exported[id],
+                bounds_imported: book.bounds_imported[id],
+            });
+        }
+
+        let outcome = match winner {
+            Some(id) => reports[id].summary.outcome,
+            None => book.race_outcome,
+        };
+        // The authoritative incumbent folds every member's final view
+        // (winners may have improved past the last bus exchange).
+        let best_incumbent = objective.and_then(|obj| {
+            reports
+                .iter()
+                .filter_map(|m| m.summary.best_incumbent)
+                .reduce(|a, b| obj.better(a, b))
+        });
+
+        PortfolioReport {
+            winner,
+            outcome,
+            epochs: book.epochs,
+            best_incumbent,
+            clauses_shared: book.bus_clauses,
+            clauses_imported: book.bus_clause_deliveries,
+            bounds_shared: book.bus_bounds,
+            bounds_imported: book.bus_bound_deliveries,
+            members: reports,
+        }
+    }
+
+    /// The coordinator's half of the race: decides epoch caps, steps its
+    /// own member chunk, and runs every barrier's bookkeeping (winner
+    /// detection, knowledge bus, loser cancellation) in member-id order.
+    /// Returns `None` when a member panicked (the caller re-raises).
+    fn coordinate(
+        &self,
+        members: &[Mutex<Box<dyn MemberDrive>>],
+        shared: &DriverShared,
+        own: std::ops::Range<usize>,
+    ) -> Option<RaceBook> {
+        let n = members.len();
+        let lock = |id: usize| members[id].lock().expect("member lock poisoned");
+        let epoch_len = self.spec.epoch_steps.max(1);
+        let max_len = self.spec.max_clause_len as usize;
+        let max_lbd = self.spec.max_clause_lbd as usize;
+        let objective = self.objective.objective();
+
+        let mut open = vec![true; n];
+        let mut finished: Vec<(u64, usize)> = Vec::new();
+        let mut finished_epoch = vec![None::<u64>; n];
+        let mut clauses_exported = vec![0u64; n];
+        let mut clauses_imported = vec![0u64; n];
+        let mut bounds_exported = vec![0u64; n];
+        let mut bounds_imported = vec![0u64; n];
+        let mut seen_clauses: HashSet<Vec<Lit>> = HashSet::new();
+        let mut bus_best: Option<i64> = None;
+        let mut bus_clauses = 0u64;
+        let mut bus_clause_deliveries = 0u64;
+        let mut bus_bounds = 0u64;
+        let mut bus_bound_deliveries = 0u64;
+        let mut epochs = 0u64;
+        let mut race_outcome = RunOutcome::MaxSteps;
+
+        loop {
+            if self.stop.as_ref().is_some_and(|s| s.should_stop()) {
+                race_outcome = RunOutcome::Stopped;
+                break;
+            }
+            let cap = epochs
+                .saturating_add(1)
+                .saturating_mul(epoch_len)
+                .min(self.max_steps);
+            shared.cap.store(cap, Ordering::SeqCst);
+            shared.barrier.wait(); // start of epoch: cap visible everywhere
+            drive_range(members, shared, own.clone());
+            shared.barrier.wait(); // end of epoch: statuses published
+            if shared.panic.lock().expect("panic slot").is_some() {
+                return None;
+            }
+            epochs += 1;
+            for (id, slot) in shared.statuses.iter().enumerate() {
+                if !open[id] {
+                    continue;
+                }
+                match status_from(slot.load(Ordering::SeqCst)) {
+                    EpochStatus::Running => {}
+                    EpochStatus::Finished => {
+                        open[id] = false;
+                        finished_epoch[id] = Some(epochs - 1);
+                        finished.push((lock(id).units(), id));
+                    }
+                    EpochStatus::Exhausted | EpochStatus::Stopped => open[id] = false,
+                }
+            }
+            if !finished.is_empty() {
+                break;
+            }
+            if open.iter().all(|o| !o) {
+                break;
+            }
+
+            // Knowledge bus, in member-id order (drivers are parked at
+            // the epoch barrier, so the locks are uncontended). Learned
+            // clauses first: collect fresh (bus-unseen) lemmas from
+            // every open member...
+            let mut fresh: Vec<(usize, hyperspace_sat::Clause)> = Vec::new();
+            for id in 0..n {
+                if !open[id] {
+                    continue;
+                }
+                for clause in lock(id).export_clauses(max_len, max_lbd) {
+                    let mut key: Vec<Lit> = clause.lits().to_vec();
+                    key.sort_unstable();
+                    key.dedup();
+                    if seen_clauses.insert(key) {
+                        clauses_exported[id] += 1;
+                        bus_clauses += 1;
+                        fresh.push((id, clause));
+                    }
+                }
+            }
+            // ...then fan each lemma out to every *other* open member.
+            if !fresh.is_empty() {
+                for id in 0..n {
+                    if !open[id] {
+                        continue;
+                    }
+                    let batch: Vec<&hyperspace_sat::Clause> = fresh
+                        .iter()
+                        .filter(|(src, _)| *src != id)
+                        .map(|(_, c)| c)
+                        .collect();
+                    let absorbed = lock(id).import_clauses(&batch);
+                    clauses_imported[id] += absorbed;
+                    bus_clause_deliveries += absorbed;
+                }
+            }
+
+            // Incumbent bus (optimisation jobs): publish the best value
+            // any member holds, then re-inject it into trailing members.
+            if let Some(obj) = objective {
+                let mut best: Option<(i64, usize)> = None;
+                for (id, _) in open.iter().enumerate().filter(|(_, o)| **o) {
+                    if let Some(v) = lock(id).best_incumbent() {
+                        best = Some(match best {
+                            None => (v, id),
+                            Some((b, _)) if obj.improves(v, b) => (v, id),
+                            Some(keep) => keep,
+                        });
+                    }
+                }
+                if let Some((value, contributor)) = best {
+                    let improved = match bus_best {
+                        None => true,
+                        Some(b) => obj.improves(value, b),
+                    };
+                    if improved {
+                        bus_best = Some(value);
+                        bus_bounds += 1;
+                        bounds_exported[contributor] += 1;
+                    }
+                    for id in 0..n {
+                        if !open[id] {
+                            continue;
+                        }
+                        let mut member = lock(id);
+                        let trailing = match member.best_incumbent() {
+                            None => true,
+                            Some(mine) => obj.improves(value, mine),
+                        };
+                        if trailing {
+                            member.inject_bound(value);
+                            bounds_imported[id] += 1;
+                            bus_bound_deliveries += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // The race is decided: the earliest answer wins (lowest id on
+        // ties), and every still-open member is cancelled through its
+        // stop handle.
+        finished.sort_unstable();
+        for (id, still_open) in open.iter_mut().enumerate() {
+            if *still_open {
+                lock(id).cancel();
+                *still_open = false;
+            }
+        }
+
+        Some(RaceBook {
+            finished,
+            finished_epoch,
+            clauses_exported,
+            clauses_imported,
+            bounds_exported,
+            bounds_imported,
+            bus_clauses,
+            bus_clause_deliveries,
+            bus_bounds,
+            bus_bound_deliveries,
+            epochs,
+            race_outcome,
+        })
+    }
+}
+
+/// Everything the coordinator decided, handed back to the owning thread
+/// once the driver scope has ended.
+struct RaceBook {
+    /// `(finish units, member id)` pairs, sorted ascending — the head is
+    /// the winner.
+    finished: Vec<(u64, usize)>,
+    finished_epoch: Vec<Option<u64>>,
+    clauses_exported: Vec<u64>,
+    clauses_imported: Vec<u64>,
+    bounds_exported: Vec<u64>,
+    bounds_imported: Vec<u64>,
+    bus_clauses: u64,
+    bus_clause_deliveries: u64,
+    bus_bounds: u64,
+    bus_bound_deliveries: u64,
+    epochs: u64,
+    race_outcome: RunOutcome,
+}
+
+/// Epoch-synchronised state shared by the coordinator and its driver
+/// threads.
+struct DriverShared {
+    /// Two waits per epoch: start (cap published) and end (statuses
+    /// published).
+    barrier: Barrier,
+    /// Absolute unit cap of the current epoch.
+    cap: AtomicU64,
+    /// Raised once the race is over; drivers parked at the start
+    /// barrier exit.
+    done: AtomicBool,
+    /// Per-member epoch statuses (encoded [`EpochStatus`]).
+    statuses: Vec<AtomicU8>,
+    /// First member panic, re-raised by the owning thread after the
+    /// drivers shut down (a member panicking must fail the race the way
+    /// it would fail a direct run — not deadlock a barrier).
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+fn status_code(status: EpochStatus) -> u8 {
+    match status {
+        EpochStatus::Running => 0,
+        EpochStatus::Finished => 1,
+        EpochStatus::Exhausted => 2,
+        EpochStatus::Stopped => 3,
+    }
+}
+
+fn status_from(code: u8) -> EpochStatus {
+    match code {
+        0 => EpochStatus::Running,
+        1 => EpochStatus::Finished,
+        2 => EpochStatus::Exhausted,
+        _ => EpochStatus::Stopped,
+    }
+}
+
+/// One long-lived driver thread: parked at the epoch barrier, steps its
+/// member chunk when the coordinator opens an epoch, exits when the
+/// race ends.
+fn drive_members(
+    members: &[Mutex<Box<dyn MemberDrive>>],
+    shared: &DriverShared,
+    range: std::ops::Range<usize>,
+) {
+    loop {
+        shared.barrier.wait(); // start of epoch (or shutdown)
+        if shared.done.load(Ordering::SeqCst) {
+            return;
+        }
+        drive_range(members, shared, range.clone());
+        shared.barrier.wait(); // end of epoch
+    }
+}
+
+/// Steps one chunk of members to the current epoch cap, containing
+/// member panics so sibling drivers never deadlock at the barrier.
+fn drive_range(
+    members: &[Mutex<Box<dyn MemberDrive>>],
+    shared: &DriverShared,
+    range: std::ops::Range<usize>,
+) {
+    let cap = shared.cap.load(Ordering::SeqCst);
+    for id in range {
+        if shared.panic.lock().expect("panic slot").is_some() {
+            return; // a sibling faulted: the race is aborting
+        }
+        let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            members[id]
+                .lock()
+                .expect("member lock poisoned")
+                .run_epoch(cap)
+        }));
+        match stepped {
+            Ok(status) => shared.statuses[id].store(status_code(status), Ordering::SeqCst),
+            Err(payload) => {
+                let mut slot = shared.panic.lock().expect("panic slot");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+    }
+}

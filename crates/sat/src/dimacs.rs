@@ -57,19 +57,32 @@ pub fn parse(text: &str) -> Result<Cnf, DimacsError> {
             break; // SATLIB trailer
         }
         if let Some(rest) = line.strip_prefix('p') {
+            // A second header would silently reset the variable bound and
+            // re-validate already-parsed literals against it; reject the
+            // document instead.
+            if num_vars.is_some() {
+                return Err(DimacsError::BadHeader(line.to_string()));
+            }
             let parts: Vec<&str> = rest.split_whitespace().collect();
             if parts.len() != 3 || parts[0] != "cnf" {
                 return Err(DimacsError::BadHeader(line.to_string()));
             }
-            num_vars = Some(
-                parts[1]
-                    .parse()
-                    .map_err(|_| DimacsError::BadHeader(line.to_string()))?,
-            );
+            let declared_vars: u32 = parts[1]
+                .parse()
+                .map_err(|_| DimacsError::BadHeader(line.to_string()))?;
+            // Literals pack `var * 2 + sign` into a u32 (and render as
+            // i32), so universes beyond i32::MAX variables would alias
+            // silently; no real instance comes near this.
+            if declared_vars > i32::MAX as u32 {
+                return Err(DimacsError::BadHeader(line.to_string()));
+            }
+            num_vars = Some(declared_vars);
             declared_clauses = parts[2]
                 .parse()
                 .map_err(|_| DimacsError::BadHeader(line.to_string()))?;
-            clauses.reserve(declared_clauses);
+            // An adversarial header ("p cnf 1 99999999999") must not
+            // pre-allocate unbounded memory.
+            clauses.reserve(declared_clauses.min(1 << 20));
             continue;
         }
         let vars = num_vars.ok_or(DimacsError::MissingHeader)?;
@@ -165,5 +178,37 @@ p cnf 3 2
             parse("p cnf 2 5\n1 0\n"),
             Err(DimacsError::TruncatedFormula { .. })
         ));
+    }
+
+    #[test]
+    fn duplicate_headers_are_rejected() {
+        // Regression: a second `p cnf` line used to silently reset the
+        // variable bound mid-document, accepting inconsistent files.
+        let text = "p cnf 2 1\n1 0\np cnf 9 1\n9 0\n";
+        assert!(matches!(parse(text), Err(DimacsError::BadHeader(_))));
+    }
+
+    #[test]
+    fn absurd_variable_counts_are_rejected() {
+        // Universes beyond i32::MAX variables would overflow the packed
+        // literal representation; the header must be refused up front.
+        let text = format!("p cnf {} 0\n", u32::MAX);
+        assert!(matches!(parse(&text), Err(DimacsError::BadHeader(_))));
+        // The largest representable universe still parses.
+        let ok = format!("p cnf {} 0\n", i32::MAX);
+        assert_eq!(parse(&ok).unwrap().num_vars(), i32::MAX as u32);
+    }
+
+    #[test]
+    fn comments_and_crlf_anywhere_between_tokens() {
+        // Comment lines may interrupt a clause split across lines, and
+        // CRLF endings must not leak '\r' into literal tokens.
+        let text = "c head\r\np cnf 3 2\r\n1\r\nc mid-clause comment\r\n-2 0\r\n2 3 0\r\n";
+        let cnf = parse(text).unwrap();
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(
+            cnf.clauses()[0].lits(),
+            &[Lit::pos(Var(0)), Lit::neg(Var(1))]
+        );
     }
 }

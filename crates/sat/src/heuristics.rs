@@ -31,15 +31,54 @@ pub enum Heuristic {
 }
 
 impl std::fmt::Display for Heuristic {
+    /// Canonical spec syntax: `first`, `most-frequent`, `dlis`,
+    /// `jeroslow-wang`, `random:SEED`. The seed is part of the rendering —
+    /// two differently seeded `Random` heuristics are different
+    /// computations, and anything keying on this string (service result
+    /// caches in particular) must see them as such.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let name = match self {
-            Heuristic::FirstUnassigned => "first",
-            Heuristic::MostFrequent => "most-frequent",
-            Heuristic::Dlis => "dlis",
-            Heuristic::JeroslowWang => "jeroslow-wang",
-            Heuristic::Random(_) => "random",
-        };
-        f.write_str(name)
+        match self {
+            Heuristic::FirstUnassigned => f.write_str("first"),
+            Heuristic::MostFrequent => f.write_str("most-frequent"),
+            Heuristic::Dlis => f.write_str("dlis"),
+            Heuristic::JeroslowWang => f.write_str("jeroslow-wang"),
+            Heuristic::Random(seed) => write!(f, "random:{seed}"),
+        }
+    }
+}
+
+/// Error parsing a [`Heuristic`] or
+/// [`SimplifyMode`](crate::simplify::SimplifyMode) from its spec string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SatSpecParseError(pub(crate) String);
+
+impl std::fmt::Display for SatSpecParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid solver spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SatSpecParseError {}
+
+impl std::str::FromStr for Heuristic {
+    type Err = SatSpecParseError;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax: `first`,
+    /// `most-frequent`, `dlis`, `jeroslow-wang`, `random:SEED`.
+    fn from_str(s: &str) -> Result<Self, SatSpecParseError> {
+        match s {
+            "first" => Ok(Heuristic::FirstUnassigned),
+            "most-frequent" => Ok(Heuristic::MostFrequent),
+            "dlis" => Ok(Heuristic::Dlis),
+            "jeroslow-wang" => Ok(Heuristic::JeroslowWang),
+            other => match other.strip_prefix("random:") {
+                Some(seed) => seed
+                    .parse::<u64>()
+                    .map(Heuristic::Random)
+                    .map_err(|_| SatSpecParseError(format!("{s:?}: bad random seed {seed:?}"))),
+                None => Err(SatSpecParseError(format!("unknown heuristic {other:?}"))),
+            },
+        }
     }
 }
 
@@ -212,6 +251,39 @@ mod tests {
         let f = cnf(&[], 3);
         for h in ALL_HEURISTICS {
             assert_eq!(h.select(&f), None, "{h}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for h in [
+            Heuristic::FirstUnassigned,
+            Heuristic::MostFrequent,
+            Heuristic::Dlis,
+            Heuristic::JeroslowWang,
+            Heuristic::Random(0),
+            Heuristic::Random(u64::MAX),
+        ] {
+            let text = h.to_string();
+            assert_eq!(text.parse::<Heuristic>().unwrap(), h, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn random_display_includes_the_seed() {
+        // Regression: the seed-blind rendering ("random") made two
+        // differently seeded solvers look like the same computation to
+        // the service cache.
+        assert_ne!(
+            Heuristic::Random(1).to_string(),
+            Heuristic::Random(2).to_string()
+        );
+    }
+
+    #[test]
+    fn malformed_heuristics_are_rejected() {
+        for bad in ["", "jw", "random", "random:", "random:x", "first:1"] {
+            assert!(bad.parse::<Heuristic>().is_err(), "{bad:?} should fail");
         }
     }
 }

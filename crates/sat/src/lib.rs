@@ -34,8 +34,9 @@ pub mod heuristics;
 mod program;
 pub mod simplify;
 
+pub use cdcl::{CdclConfig, CdclSolver, CdclStatus, RestartPolicy};
 pub use cnf::{check_model, Assignment, Clause, Cnf, Lit, Model, Var};
 pub use dpll::{SatResult, SolveStats};
-pub use heuristics::Heuristic;
-pub use program::{DpllProgram, SubProblem, Verdict};
+pub use heuristics::{Heuristic, SatSpecParseError};
+pub use program::{DpllProgram, Polarity, SubProblem, Verdict};
 pub use simplify::{Simplified, SimplifyMode};

@@ -61,10 +61,49 @@ impl Verdict {
     }
 }
 
+/// Which polarity of the selected branching literal is tried first — a
+/// portfolio-diversification knob: both branches are eventually explored
+/// (they race speculatively), but the order decides which half of the
+/// search space the mesh floods into first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Polarity {
+    /// Try the literal in the polarity the heuristic demanded (the
+    /// classic behaviour).
+    #[default]
+    Positive,
+    /// Try the negated polarity first.
+    Negative,
+}
+
+impl std::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Polarity::Positive => "pos",
+            Polarity::Negative => "neg",
+        })
+    }
+}
+
+impl std::str::FromStr for Polarity {
+    type Err = crate::heuristics::SatSpecParseError;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax: `pos`, `neg`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pos" => Ok(Polarity::Positive),
+            "neg" => Ok(Polarity::Negative),
+            other => Err(crate::heuristics::SatSpecParseError(format!(
+                "unknown polarity {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Listing 4's `solve_sat` as a [`RecProgram`].
 pub struct DpllProgram {
     heuristic: Heuristic,
     mode: SimplifyMode,
+    polarity: Polarity,
 }
 
 impl DpllProgram {
@@ -74,6 +113,7 @@ impl DpllProgram {
         DpllProgram {
             heuristic,
             mode: SimplifyMode::Fixpoint,
+            polarity: Polarity::Positive,
         }
     }
 
@@ -81,6 +121,13 @@ impl DpllProgram {
     /// for the scaling experiments; see [`SimplifyMode`]).
     pub fn with_mode(mut self, mode: SimplifyMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Selects which branch polarity is tried first (portfolio
+    /// diversification; see [`Polarity`]).
+    pub fn with_polarity(mut self, polarity: Polarity) -> Self {
+        self.polarity = polarity;
         self
     }
 
@@ -92,6 +139,11 @@ impl DpllProgram {
     /// The simplification mode in use.
     pub fn mode(&self) -> SimplifyMode {
         self.mode
+    }
+
+    /// The first-branch polarity in use.
+    pub fn polarity(&self) -> Polarity {
+        self.polarity
     }
 }
 
@@ -109,10 +161,13 @@ impl RecProgram for DpllProgram {
             Simplified::Unsat => return Step::Done(Verdict::Unsat),
             Simplified::Undecided => {}
         }
-        let lit = self
+        let mut lit = self
             .heuristic
             .select(&sub.cnf)
             .expect("undecided formula has literals");
+        if self.polarity == Polarity::Negative {
+            lit = lit.negated();
+        }
 
         let mut assign_true = sub.assign.clone();
         assign_true.assign(lit.var(), lit.demanded_value());
@@ -181,6 +236,33 @@ mod tests {
         let cnf = gen::random_ksat(3, 10, 40, 3);
         let program = DpllProgram::new(Heuristic::FirstUnassigned);
         assert_eq!(program.weight(&SubProblem::root(cnf)), 40);
+    }
+
+    #[test]
+    fn negative_polarity_still_matches_oracle() {
+        for seed in 0..12 {
+            let cnf = gen::random_ksat(seed, 8, 34, 3);
+            let program =
+                DpllProgram::new(Heuristic::JeroslowWang).with_polarity(Polarity::Negative);
+            let verdict = eval_local(&program, SubProblem::root(cnf.clone()));
+            let oracle = brute::solve(&cnf);
+            assert_eq!(verdict.is_sat(), oracle.is_sat(), "seed {seed}");
+            if let Verdict::Sat(model) = verdict {
+                assert!(check_model(&cnf, &model), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn polarity_round_trips_and_defaults_positive() {
+        assert_eq!(
+            DpllProgram::new(Heuristic::Dlis).polarity(),
+            Polarity::Positive
+        );
+        for p in [Polarity::Positive, Polarity::Negative] {
+            assert_eq!(p.to_string().parse::<Polarity>().unwrap(), p);
+        }
+        assert!("positive".parse::<Polarity>().is_err());
     }
 
     #[test]

@@ -58,6 +58,23 @@ impl std::fmt::Display for SimplifyMode {
     }
 }
 
+impl std::str::FromStr for SimplifyMode {
+    type Err = crate::heuristics::SatSpecParseError;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax: `fixpoint`,
+    /// `single-pass`, `split-only`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fixpoint" => Ok(SimplifyMode::Fixpoint),
+            "single-pass" => Ok(SimplifyMode::SinglePass),
+            "split-only" => Ok(SimplifyMode::SplitOnly),
+            other => Err(crate::heuristics::SatSpecParseError(format!(
+                "unknown simplify mode {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Runs unit propagation and pure-literal assignment to fixpoint, mutating
 /// the formula and recording forced values in `assignment`.
 pub fn simplify(cnf: &mut Cnf, assignment: &mut Assignment) -> (Simplified, SimplifyStats) {

@@ -1,0 +1,109 @@
+//! DIMACS round-trip fuzzing: `parse(serialise(cnf)) == cnf` for
+//! arbitrary formulas (empty clauses, duplicate literals, unused
+//! variables included), and parsing must survive arbitrary comment /
+//! whitespace / line-ending decoration of a serialised document.
+//!
+//! These properties drove the parser hardening in `dimacs.rs`: duplicate
+//! `p cnf` headers used to silently reset the variable bound, and
+//! headers declaring more than `i32::MAX` variables would have
+//! overflowed the packed literal representation downstream.
+
+use hyperspace_sat::{dimacs, Clause, Cnf, Lit, Var};
+use proptest::prelude::*;
+
+/// An arbitrary formula: up to 20 vars, clauses of length 0..=6 with
+/// repetition and both polarities (not necessarily well-formed 3-SAT —
+/// the format must carry anything).
+fn arb_cnf() -> impl Strategy<Value = Cnf> {
+    (
+        1u32..21,
+        proptest::collection::vec(
+            proptest::collection::vec((0u32..1024, any::<bool>()), 0..6),
+            0..12,
+        ),
+    )
+        .prop_map(|(num_vars, raw)| {
+            let clauses = raw
+                .into_iter()
+                .map(|lits| {
+                    lits.into_iter()
+                        .map(|(v, pos)| Lit::with_polarity(Var(v % num_vars), pos))
+                        .collect::<Clause>()
+                })
+                .collect();
+            Cnf::new(num_vars, clauses)
+        })
+}
+
+/// Decorates a DIMACS document without changing its meaning: injects
+/// comment lines (including nasty ones resembling headers and trailers),
+/// blank lines, CRLF endings, and splits clause lines between tokens.
+fn decorate(text: &str, knobs: (u64, bool)) -> String {
+    let (seed, crlf) = knobs;
+    let eol = if crlf { "\r\n" } else { "\n" };
+    let comments = [
+        "c plain comment",
+        "c p cnf 9999 9999",
+        "c % not a trailer",
+        "c 1 2 3 0",
+        "c",
+        "   ",
+    ];
+    let mut out = String::new();
+    let mut mix = seed;
+    let mut next = move || {
+        mix = mix
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        mix >> 33
+    };
+    for line in text.lines() {
+        if next() % 3 == 0 {
+            out.push_str(comments[(next() % comments.len() as u64) as usize]);
+            out.push_str(eol);
+        }
+        if line.starts_with('p') || line.starts_with('c') {
+            out.push_str(line);
+            out.push_str(eol);
+            continue;
+        }
+        // Split the clause line between tokens, comment lines in between.
+        for tok in line.split_whitespace() {
+            out.push_str(tok);
+            if next() % 4 == 0 {
+                out.push_str(eol);
+                if next() % 3 == 0 {
+                    out.push_str(comments[(next() % comments.len() as u64) as usize]);
+                    out.push_str(eol);
+                }
+            } else {
+                out.push(' ');
+            }
+        }
+        out.push_str(eol);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialise_then_parse_is_identity(cnf in arb_cnf()) {
+        let text = dimacs::to_string(&cnf);
+        let parsed = dimacs::parse(&text).expect("serialised formula parses");
+        prop_assert_eq!(parsed, cnf);
+    }
+
+    #[test]
+    fn decoration_does_not_change_the_parse(
+        cnf in arb_cnf(),
+        seed in any::<u64>(),
+        crlf in any::<bool>(),
+    ) {
+        let text = dimacs::to_string(&cnf);
+        let decorated = decorate(&text, (seed, crlf));
+        let parsed = dimacs::parse(&decorated).expect("decorated formula parses");
+        prop_assert_eq!(parsed, cnf);
+    }
+}

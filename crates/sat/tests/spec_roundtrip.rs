@@ -1,0 +1,76 @@
+//! Round-trip proptests for the solver-strategy spec strings: every
+//! `Heuristic`, `SimplifyMode`, `Polarity` and `RestartPolicy` value
+//! must survive `parse(to_string(x)) == x` — the property portfolio
+//! members being "fully describable from CLI/spec strings" rests on.
+
+use hyperspace_sat::{Heuristic, Polarity, RestartPolicy, SimplifyMode};
+use proptest::prelude::*;
+
+fn arb_heuristic() -> impl Strategy<Value = Heuristic> {
+    prop_oneof![
+        Just(Heuristic::FirstUnassigned),
+        Just(Heuristic::MostFrequent),
+        Just(Heuristic::Dlis),
+        Just(Heuristic::JeroslowWang),
+        any::<u64>().prop_map(Heuristic::Random),
+    ]
+}
+
+fn arb_simplify() -> impl Strategy<Value = SimplifyMode> {
+    prop_oneof![
+        Just(SimplifyMode::Fixpoint),
+        Just(SimplifyMode::SinglePass),
+        Just(SimplifyMode::SplitOnly),
+    ]
+}
+
+fn arb_polarity() -> impl Strategy<Value = Polarity> {
+    prop_oneof![Just(Polarity::Positive), Just(Polarity::Negative)]
+}
+
+fn arb_restart() -> impl Strategy<Value = RestartPolicy> {
+    prop_oneof![
+        Just(RestartPolicy::Off),
+        (1u64..1 << 40).prop_map(RestartPolicy::Fixed),
+        (1u64..1 << 40).prop_map(RestartPolicy::Luby),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heuristic_display_round_trips(h in arb_heuristic()) {
+        let text = h.to_string();
+        prop_assert_eq!(text.parse::<Heuristic>().expect("parses"), h, "{}", text);
+    }
+
+    #[test]
+    fn simplify_mode_display_round_trips(m in arb_simplify()) {
+        let text = m.to_string();
+        prop_assert_eq!(text.parse::<SimplifyMode>().expect("parses"), m, "{}", text);
+    }
+
+    #[test]
+    fn polarity_display_round_trips(p in arb_polarity()) {
+        let text = p.to_string();
+        prop_assert_eq!(text.parse::<Polarity>().expect("parses"), p, "{}", text);
+    }
+
+    #[test]
+    fn restart_policy_display_round_trips(r in arb_restart()) {
+        let text = r.to_string();
+        prop_assert_eq!(text.parse::<RestartPolicy>().expect("parses"), r, "{}", text);
+    }
+
+    #[test]
+    fn distinct_random_seeds_render_distinct(a in any::<u64>(), b in any::<u64>()) {
+        // The cache-collision regression, as a property.
+        if a != b {
+            prop_assert_ne!(
+                Heuristic::Random(a).to_string(),
+                Heuristic::Random(b).to_string()
+            );
+        }
+    }
+}

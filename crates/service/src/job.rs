@@ -15,9 +15,10 @@ use hyperspace_apps::{
     NQueensProgram, QueensTask, SumProgram, TspInstance, TspProgram, TspTask,
 };
 use hyperspace_core::{
-    BackendSpec, ErasedStackJob, JobParams, MapperSpec, ObjectiveSpec, PruneSpec, RunSummary,
-    TopologySpec,
+    BackendSpec, ErasedStackJob, JobParams, MapperSpec, ObjectiveSpec, PortfolioSpec, PruneSpec,
+    RunSummary, TopologySpec,
 };
+use hyperspace_portfolio::PortfolioRunner;
 use hyperspace_recursion::RecProgram;
 use hyperspace_sat::{dimacs, Cnf, DpllProgram, Heuristic, SimplifyMode, SubProblem};
 
@@ -162,14 +163,22 @@ impl JobKind {
     }
 
     /// Canonical rendering of the workload for cache keying; `None` for
-    /// uncacheable (erased) workloads.
-    fn cache_token(&self) -> Option<String> {
+    /// uncacheable (erased) workloads. A portfolio SAT job takes its
+    /// solver knobs from the member strategies, so the superseded
+    /// kind-level heuristic/mode are excluded from its token — two
+    /// submissions racing the same members over the same formula are
+    /// the same computation.
+    fn cache_token(&self, portfolio: bool) -> Option<String> {
         match self {
             JobKind::Sat {
                 cnf,
                 heuristic,
                 mode,
-            } => Some(format!("sat/{heuristic}/{mode}/{}", dimacs::to_string(cnf))),
+            } => Some(if portfolio {
+                format!("sat/-/-/{}", dimacs::to_string(cnf))
+            } else {
+                format!("sat/{heuristic}/{mode}/{}", dimacs::to_string(cnf))
+            }),
             JobKind::Knapsack { items, capacity } => {
                 let items: Vec<String> = items
                     .iter()
@@ -196,7 +205,34 @@ impl JobKind {
     }
 
     /// Converts the workload into the uniform boxed job the pool runs.
-    pub(crate) fn into_erased(self) -> ErasedStackJob {
+    /// With `portfolio` set, the job races the member set through a
+    /// [`PortfolioRunner`] (configured from the job's own params at
+    /// execution time) instead of assembling one stack; SAT portfolios
+    /// take their solver knobs from the member strategies, superseding
+    /// the kind-level heuristic/mode. Erased workloads are opaque and
+    /// always run single-stack.
+    pub(crate) fn into_erased(self, portfolio: bool) -> ErasedStackJob {
+        if portfolio {
+            return match self {
+                JobKind::Sat { cnf, .. } => ErasedStackJob::from_fn(move |params| {
+                    PortfolioRunner::from_params(params)
+                        .expect("portfolio jobs carry a portfolio spec")
+                        .run_sat(&cnf)
+                        .into_summary()
+                }),
+                JobKind::Knapsack { items, capacity } => {
+                    portfolio_mesh(KnapsackProgram, KnapsackTask::root(items, capacity))
+                }
+                JobKind::BnbKnapsack { items, capacity } => {
+                    portfolio_mesh(BnbKnapsackProgram, BnbKnapsackTask::root(items, capacity))
+                }
+                JobKind::Tsp { inst } => portfolio_mesh(TspProgram, TspTask::root(inst)),
+                JobKind::NQueens { n } => portfolio_mesh(NQueensProgram, QueensTask::root(n)),
+                JobKind::Fib { n } => portfolio_mesh(FibProgram, n),
+                JobKind::Sum { n } => portfolio_mesh(SumProgram, n),
+                JobKind::Erased { job, .. } => job,
+            };
+        }
         match self {
             JobKind::Sat {
                 cnf,
@@ -219,6 +255,41 @@ impl JobKind {
             JobKind::Erased { job, .. } => job,
         }
     }
+}
+
+/// Checks a spec's portfolio request against its workload; returns the
+/// rejection reason for invalid combinations. CDCL members race learned
+/// clauses over a formula, so they are only meaningful on SAT jobs
+/// (erased workloads ignore the portfolio entirely and stay valid).
+pub(crate) fn validate_portfolio(spec: &JobSpec) -> Option<String> {
+    let folio = spec.params.portfolio.as_ref()?;
+    if matches!(spec.kind, JobKind::Sat { .. } | JobKind::Erased { .. }) {
+        return None;
+    }
+    let cdcl = folio
+        .members
+        .iter()
+        .position(|m| matches!(m.engine, hyperspace_core::EngineSpec::Cdcl { .. }))?;
+    Some(format!(
+        "portfolio member {cdcl} is a CDCL strategy, but workload {:?} is not SAT; \
+         only SAT portfolios race CDCL members",
+        spec.kind.label()
+    ))
+}
+
+/// Boxes a mesh-program portfolio race as a uniform pool job.
+fn portfolio_mesh<P>(program: P, root_arg: P::Arg) -> ErasedStackJob
+where
+    P: RecProgram + Clone,
+    P::Arg: Clone,
+    P::Out: std::fmt::Debug,
+{
+    ErasedStackJob::from_fn(move |params| {
+        PortfolioRunner::from_params(params)
+            .expect("portfolio jobs carry a portfolio spec")
+            .run_mesh(|_, _| program.clone(), root_arg.clone())
+            .into_summary()
+    })
 }
 
 impl std::fmt::Debug for JobKind {
@@ -290,6 +361,17 @@ impl JobSpec {
         self
     }
 
+    /// Races a portfolio of diversified members instead of one stack:
+    /// the first member to answer wins, losers are cancelled, and
+    /// members exchange learned clauses / incumbents at deterministic
+    /// sync epochs. The full member set is part of the computation — and
+    /// of the cache key — though member *backends* are not (they are
+    /// bit-identical). Only the winner's summary is cached.
+    pub fn portfolio(mut self, spec: PortfolioSpec) -> Self {
+        self.params.portfolio = Some(spec);
+        self
+    }
+
     /// Overrides the step cap.
     pub fn max_steps(mut self, steps: u64) -> Self {
         self.params.max_steps = steps;
@@ -308,16 +390,25 @@ impl JobSpec {
     /// bit-identical, so a summary computed sequentially may be served
     /// to a sharded resubmission and vice versa.
     pub fn cache_key(&self) -> Option<String> {
-        self.kind.cache_token().map(|token| {
+        let portfolio = self.params.portfolio.is_some();
+        self.kind.cache_token(portfolio).map(|token| {
             format!(
-                "{token}|{}|{}|cancel={}|obj={}|prune={}|steps={}|root={}",
+                "{token}|{}|{}|cancel={}|obj={}|prune={}|steps={}|root={}|portfolio={}",
                 self.params.topology,
                 self.params.mapper,
                 self.params.cancellation,
                 self.params.objective,
                 self.params.prune,
                 self.params.max_steps,
-                self.params.root_node
+                self.params.root_node,
+                // The member set changes the computation; member
+                // *backends* do not (describe() strips them), keeping the
+                // backend-never-splits-the-cache invariant.
+                self.params
+                    .portfolio
+                    .as_ref()
+                    .map(|p| p.describe())
+                    .unwrap_or_else(|| "none".into())
             )
         })
     }
@@ -513,6 +604,106 @@ mod tests {
         let tsp = JobSpec::new(JobKind::tsp(TspInstance::random(1, 4, 10)));
         assert!(tsp.cache_key().is_some());
         assert_eq!(tsp.kind.label(), "tsp");
+    }
+
+    #[test]
+    fn random_heuristic_seed_splits_the_cache() {
+        // Regression: `Heuristic::Random` used to render as "random"
+        // with the seed dropped, so two genuinely different solver
+        // configurations shared one cache entry.
+        let spec = |seed: u64| {
+            JobSpec::new(JobKind::sat_with(
+                gen::uf20_91(1),
+                Heuristic::Random(seed),
+                SimplifyMode::Fixpoint,
+            ))
+        };
+        assert_ne!(spec(1).cache_key(), spec(2).cache_key());
+        assert_eq!(spec(1).cache_key(), spec(1).cache_key());
+    }
+
+    #[test]
+    fn jobs_differing_only_in_heuristic_or_mode_never_share_a_cache_entry() {
+        // Satellite audit: every solver-relevant JobSpec field must
+        // split the key.
+        let base = || gen::uf20_91(1);
+        let mut keys = vec![
+            JobSpec::new(JobKind::sat_with(
+                base(),
+                Heuristic::JeroslowWang,
+                SimplifyMode::Fixpoint,
+            ))
+            .cache_key(),
+            JobSpec::new(JobKind::sat_with(
+                base(),
+                Heuristic::Dlis,
+                SimplifyMode::Fixpoint,
+            ))
+            .cache_key(),
+            JobSpec::new(JobKind::sat_with(
+                base(),
+                Heuristic::JeroslowWang,
+                SimplifyMode::SplitOnly,
+            ))
+            .cache_key(),
+        ];
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 3, "heuristic/mode must each split the key");
+    }
+
+    #[test]
+    fn portfolio_member_set_is_part_of_the_cache_key() {
+        use hyperspace_core::{PortfolioSpec, StrategySpec};
+        let single = JobSpec::new(JobKind::sat(gen::uf20_91(1)));
+        let folio =
+            |spec: PortfolioSpec| JobSpec::new(JobKind::sat(gen::uf20_91(1))).portfolio(spec);
+        let two = folio(PortfolioSpec::diversified_sat(2));
+        let three = folio(PortfolioSpec::diversified_sat(3));
+        assert_ne!(single.cache_key(), two.cache_key());
+        assert_ne!(two.cache_key(), three.cache_key());
+        assert_eq!(
+            two.cache_key(),
+            folio(PortfolioSpec::diversified_sat(2)).cache_key()
+        );
+        // Member backends are bit-identical and must not split the
+        // cache; any other member knob must.
+        let seq_members = folio(PortfolioSpec::new(vec![StrategySpec::mesh()]));
+        let sharded_members = folio(PortfolioSpec::new(vec![
+            StrategySpec::mesh().with_backend(BackendSpec::sharded(4))
+        ]));
+        assert_eq!(seq_members.cache_key(), sharded_members.cache_key());
+        let reseeded = folio(PortfolioSpec::new(vec![StrategySpec::mesh().with_seed(9)]));
+        assert_ne!(seq_members.cache_key(), reseeded.cache_key());
+    }
+
+    #[test]
+    fn superseded_kind_level_sat_knobs_do_not_split_portfolio_caches() {
+        use hyperspace_core::PortfolioSpec;
+        // A SAT portfolio takes its solver knobs from the member
+        // strategies; two submissions differing only in the ignored
+        // kind-level heuristic/mode are the same computation.
+        let folio = |heuristic: Heuristic, mode: SimplifyMode| {
+            JobSpec::new(JobKind::sat_with(gen::uf20_91(1), heuristic, mode))
+                .portfolio(PortfolioSpec::diversified_sat(3))
+        };
+        let a = folio(Heuristic::JeroslowWang, SimplifyMode::Fixpoint);
+        let b = folio(Heuristic::Dlis, SimplifyMode::SplitOnly);
+        assert_eq!(a.cache_key(), b.cache_key());
+        // Without a portfolio the kind-level knobs matter as before.
+        let c = JobSpec::new(JobKind::sat_with(
+            gen::uf20_91(1),
+            Heuristic::JeroslowWang,
+            SimplifyMode::Fixpoint,
+        ));
+        let d = JobSpec::new(JobKind::sat_with(
+            gen::uf20_91(1),
+            Heuristic::Dlis,
+            SimplifyMode::Fixpoint,
+        ));
+        assert_ne!(c.cache_key(), d.cache_key());
+        // And the portfolio key never collides with a single-stack key.
+        assert_ne!(a.cache_key(), c.cache_key());
     }
 
     #[test]

@@ -232,7 +232,10 @@ impl SolverService {
         }
     }
 
-    /// Submits a job; returns immediately with a handle.
+    /// Submits a job; returns immediately with a handle. Invalid
+    /// portfolio requests (CDCL members on a non-SAT workload — clause
+    /// exchange needs a formula) are rejected here with
+    /// [`JobOutcome::Failed`] rather than panicking a worker later.
     pub fn submit(&self, request: impl Into<JobRequest>) -> JobHandle {
         let request = request.into();
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
@@ -243,9 +246,23 @@ impl SolverService {
         let handle = JobHandle {
             shared: Arc::clone(&shared),
         };
+        if let Some(reason) = crate::job::validate_portfolio(&request.spec) {
+            shared.finish(JobResult {
+                id,
+                outcome: JobOutcome::Failed(reason),
+                from_cache: false,
+                queue_wait: Duration::ZERO,
+                solve_time: Duration::ZERO,
+                worker: None,
+                exec_seq: None,
+            });
+            self.inner.stats.lock().expect("stats poisoned").failed += 1;
+            return handle;
+        }
         let now = Instant::now();
         let cache_key = request.spec.cache_key();
         let label = request.spec.kind.label();
+        let portfolio = request.spec.params.portfolio.is_some();
         let queued = QueuedJob {
             priority: request.priority,
             seq: 0, // assigned under the queue lock below
@@ -259,7 +276,7 @@ impl SolverService {
             },
             cache_key,
             label,
-            job: request.spec.kind.into_erased(),
+            job: request.spec.kind.into_erased(portfolio),
             shared,
         };
         {
@@ -666,6 +683,34 @@ mod tests {
         for h in handles {
             h.wait();
         }
+    }
+
+    #[test]
+    fn cdcl_members_on_non_sat_jobs_are_rejected_at_submit() {
+        use hyperspace_core::PortfolioSpec;
+        let service = SolverService::with_workers(1);
+        let spec = JobSpec::new(JobKind::fib(10))
+            .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+            .portfolio(PortfolioSpec::diversified_sat(6)); // members 4+ are CDCL
+        let result = service.submit(spec).wait();
+        match result.outcome {
+            JobOutcome::Failed(reason) => {
+                assert!(reason.contains("CDCL"), "{reason}");
+                assert!(reason.contains("fib"), "{reason}");
+            }
+            other => panic!("expected a submit-time rejection, got {other:?}"),
+        }
+        assert!(result.worker.is_none(), "never reached a worker");
+        assert_eq!(service.stats().failed, 1);
+        // A SAT job with the same members is accepted and completes.
+        let ok = service
+            .submit(
+                JobSpec::new(JobKind::sat(hyperspace_sat::gen::uf20_91(2)))
+                    .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+                    .portfolio(PortfolioSpec::diversified_sat(6)),
+            )
+            .wait();
+        assert!(ok.outcome.is_completed());
     }
 
     #[test]

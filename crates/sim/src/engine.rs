@@ -265,6 +265,14 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
         self.step
     }
 
+    /// Replaces the `max_steps` cap. Combined with the re-entrant
+    /// [`Simulation::run_to_quiescence`] this yields bounded *epochs*: run
+    /// to a cap ([`RunOutcome::MaxSteps`]), inspect or inject, raise the
+    /// cap, resume — the portfolio subsystem's synchronisation mechanism.
+    pub fn set_max_steps(&mut self, cap: u64) {
+        self.cfg.max_steps = cap;
+    }
+
     /// Total messages currently queued (inboxes plus transit).
     pub fn queued(&self) -> u64 {
         self.queued

@@ -554,6 +554,13 @@ impl<T: Topology, P: NodeProgram> ShardedSimulation<T, P> {
         self.step
     }
 
+    /// Replaces the `max_steps` cap (same epoch-stepping contract as
+    /// [`crate::Simulation::set_max_steps`]; the run remains bit-identical
+    /// to a sequential engine driven through the same cap sequence).
+    pub fn set_max_steps(&mut self, cap: u64) {
+        self.cfg.max_steps = cap;
+    }
+
     /// Total messages currently queued (all shards, inboxes + transit).
     pub fn queued(&self) -> u64 {
         self.queued

@@ -319,3 +319,88 @@ fn mixed_seeded_workload_loses_nothing() {
     assert_eq!(stats.completed, 30);
     assert_eq!(stats.finished(), 30);
 }
+
+#[test]
+fn portfolio_jobs_complete_and_cache_winner_only() {
+    use hyperspace::core::{BackendSpec, PortfolioSpec};
+
+    let service = SolverService::with_workers(2);
+    let cnf = gen::uf20_91(7);
+    let folio = |spec: PortfolioSpec| {
+        on_small_torus(JobKind::sat(cnf.clone()))
+            .mapper(MapperSpec::LeastBusy {
+                status_period: None,
+            })
+            .portfolio(spec)
+    };
+
+    let first = service
+        .submit(folio(PortfolioSpec::diversified_sat(4)))
+        .wait();
+    let summary = first.outcome.summary().expect("portfolio job completed");
+    assert!(
+        summary.result.as_deref().unwrap_or("").starts_with("Sat"),
+        "uf20-91 is satisfiable: {:?}",
+        summary.result
+    );
+    assert!(!first.from_cache);
+
+    // Same member set: served from the cache (winner-only summary).
+    let second = service
+        .submit(folio(PortfolioSpec::diversified_sat(4)))
+        .wait();
+    assert!(second.from_cache);
+    assert_eq!(
+        first.outcome.summary().unwrap(),
+        second.outcome.summary().unwrap()
+    );
+
+    // A different member set is a different computation.
+    let third = service
+        .submit(folio(PortfolioSpec::diversified_sat(2)))
+        .wait();
+    assert!(!third.from_cache);
+
+    // Member backends never split the cache: rewrite every mesh member
+    // onto the sharded backend and hit the original entry.
+    let mut sharded = PortfolioSpec::diversified_sat(4);
+    for member in &mut sharded.members {
+        member.backend = BackendSpec::sharded(2);
+    }
+    let fourth = service.submit(folio(sharded)).wait();
+    assert!(
+        fourth.from_cache,
+        "member backends must not split the cache"
+    );
+
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.cache_hits, 2);
+}
+
+#[test]
+fn portfolio_bnb_job_reports_the_oracle_optimum() {
+    use hyperspace::apps::{knapsack_reference, seeded_items};
+    use hyperspace::core::{ObjectiveSpec, PortfolioSpec, PruneSpec, StrategySpec};
+
+    let items = seeded_items(11, 9, 14, 22);
+    let capacity = items.iter().map(|i| i.weight).sum::<u32>() / 2;
+    let oracle = knapsack_reference(&items, capacity);
+    let spec = PortfolioSpec::new(vec![
+        StrategySpec::mesh().with_prune(PruneSpec::incumbent()),
+        StrategySpec::mesh()
+            .with_prune(PruneSpec::incumbent())
+            .with_mapper(MapperSpec::Random { seed: 3 }),
+    ]);
+
+    let service = SolverService::with_workers(1);
+    let result = service
+        .submit(
+            on_small_torus(JobKind::bnb_knapsack(items, capacity))
+                .objective(ObjectiveSpec::Maximise)
+                .portfolio(spec),
+        )
+        .wait();
+    let summary = result.outcome.summary().expect("completed");
+    assert_eq!(summary.best_incumbent, Some(oracle as i64));
+}

@@ -30,17 +30,19 @@
 #![warn(missing_docs)]
 
 mod report;
+mod slice;
 mod spec;
 mod stack;
 
 pub use report::{IncumbentEvent, RecRunReport, RunSummary};
+pub use slice::{CheckpointMeta, RunSlice, SliceOutcome};
 pub use spec::{
-    BackendSpec, EngineSpec, MapperSpec, ObjectiveSpec, PartitionSpec, PortfolioSpec, PruneSpec,
-    SpecParseError, StrategySpec, TopologySpec,
+    BackendSpec, CheckpointSpec, EngineSpec, MapperSpec, ObjectiveSpec, PartitionSpec,
+    PortfolioSpec, PruneSpec, SpecParseError, StrategySpec, TopologySpec,
 };
 pub use stack::{
     summarise, summarise_sharded, ErasedStackJob, JobParams, StackBuilder, StackProgram,
-    StackShardedSim, StackSim,
+    StackShardedSim, StackSim, StartedJob,
 };
 
 pub use hyperspace_sim::StopHandle;

@@ -1,0 +1,177 @@
+//! Suspendable stack execution: drive a solve in bounded step slices.
+//!
+//! Node states hold live continuations (boxed closures), so a running
+//! stack cannot be serialised the way a raw [`hyperspace_sim`] program
+//! can — instead it is *suspended in place*: the simulation object
+//! survives between slices, each slice advancing it by one checkpoint
+//! interval through the engine's epoch-stepping API (`set_max_steps` +
+//! re-entrant `run_to_quiescence`). Because the engine is bit-exact
+//! deterministic, a sliced run is indistinguishable from an
+//! uninterrupted one — same report, metrics and trace, whatever the cut
+//! points — which is the invariant the checkpoint equivalence suite
+//! enforces, and what lets a service suspend a job between slices and
+//! resume it arbitrarily later (or re-derive a lost job's state by
+//! deterministic replay after a worker crash).
+
+use hyperspace_recursion::{FrontierSnapshot, RecProgram};
+use hyperspace_sim::{NodeId, RunOutcome, SimError};
+
+use crate::report::RunSummary;
+use crate::stack::{summarise, summarise_sharded, StackShardedSim, StackSim};
+
+/// Observable checkpoint metadata of a suspended run: how far it got
+/// and what its layer-4 frontier looks like. This is what a scheduler
+/// logs or exposes — the full state stays in the suspended simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Simulated steps completed so far.
+    pub steps: u64,
+    /// The machine-wide recursion/B&B frontier, folded over all nodes.
+    pub frontier: FrontierSnapshot,
+}
+
+/// What one slice of driving did to a suspendable run.
+pub enum SliceOutcome {
+    /// The run reached a terminal outcome; here is its summary.
+    Finished(RunSummary),
+    /// The slice budget was exhausted with work remaining; the run is
+    /// handed back, suspended at a step barrier.
+    Yielded(Box<dyn RunSlice>),
+}
+
+/// A suspended solver run that advances one checkpoint interval at a
+/// time. Between calls the run is inert and owned by the caller: park
+/// it in a queue, hand it to another worker thread, resume it hours
+/// later — determinism guarantees the eventual result is bit-identical
+/// to an uninterrupted run.
+pub trait RunSlice: Send {
+    /// Advances by one checkpoint interval (or to termination).
+    fn run_slice(self: Box<Self>) -> SliceOutcome;
+
+    /// Simulated steps completed so far.
+    fn steps_done(&self) -> u64;
+
+    /// Checkpoint metadata at the current step barrier.
+    fn checkpoint(&self) -> CheckpointMeta;
+}
+
+/// The two stack shapes a suspendable run drives.
+pub(crate) enum SliceSim<P: RecProgram> {
+    Seq(StackSim<P>),
+    Sharded(StackShardedSim<P>),
+}
+
+/// A five-layer stack run sliced at checkpoint intervals.
+pub(crate) struct StackSlice<P: RecProgram> {
+    pub(crate) sim: SliceSim<P>,
+    pub(crate) root: NodeId,
+    /// Steps per slice (`u64::MAX` = run to termination in one slice).
+    pub(crate) interval: u64,
+    /// The run's hard step cap.
+    pub(crate) cap: u64,
+}
+
+impl<P: RecProgram> StackSlice<P> {
+    /// Steps the underlying engine has executed.
+    pub(crate) fn current_step(&self) -> u64 {
+        match &self.sim {
+            SliceSim::Seq(sim) => sim.current_step(),
+            SliceSim::Sharded(sim) => sim.current_step(),
+        }
+    }
+
+    /// Drives the underlying engine to `target`, normalising sharded
+    /// failure modes to the sequential engine's (panics re-raise with
+    /// the original message).
+    fn drive(&mut self, target: u64) -> RunOutcome {
+        match &mut self.sim {
+            SliceSim::Seq(sim) => {
+                sim.set_max_steps(target);
+                sim.run_to_quiescence()
+                    .expect("stack runs use unbounded queues")
+                    .outcome
+            }
+            SliceSim::Sharded(sim) => {
+                sim.set_max_steps(target);
+                match sim.run_to_quiescence() {
+                    Ok(report) => report.outcome,
+                    Err(SimError::HandlerPanic {
+                        node,
+                        step,
+                        message,
+                    }) => panic!("handler of node {node} panicked at step {step}: {message}"),
+                    Err(err) => panic!("stack runs use unbounded queues: {err}"),
+                }
+            }
+        }
+    }
+
+    /// Advances by one checkpoint interval; `None` means the slice
+    /// budget ran out with the run still open (suspended, resumable).
+    fn advance(&mut self) -> Option<RunOutcome> {
+        let target = self
+            .current_step()
+            .saturating_add(self.interval)
+            .min(self.cap);
+        let outcome = self.drive(target);
+        if outcome == RunOutcome::MaxSteps && self.current_step() < self.cap {
+            None
+        } else {
+            Some(outcome)
+        }
+    }
+
+    /// Drives slice after slice to a terminal outcome — the monolithic
+    /// execution path, crossing the same barriers a suspended run would.
+    pub(crate) fn run_to_terminal(&mut self) -> RunOutcome {
+        loop {
+            if let Some(outcome) = self.advance() {
+                return outcome;
+            }
+        }
+    }
+}
+
+impl<P: RecProgram> RunSlice for StackSlice<P>
+where
+    P::Out: std::fmt::Debug,
+{
+    fn run_slice(mut self: Box<Self>) -> SliceOutcome {
+        let outcome = match self.advance() {
+            None => return SliceOutcome::Yielded(self),
+            Some(outcome) => outcome,
+        };
+        let this = *self;
+        let root = this.root;
+        SliceOutcome::Finished(match this.sim {
+            SliceSim::Seq(sim) => summarise(sim, outcome, root).summary(),
+            SliceSim::Sharded(sim) => summarise_sharded(sim, outcome, root).summary(),
+        })
+    }
+
+    fn steps_done(&self) -> u64 {
+        self.current_step()
+    }
+
+    fn checkpoint(&self) -> CheckpointMeta {
+        let mut frontier = FrontierSnapshot::default();
+        match &self.sim {
+            SliceSim::Seq(sim) => {
+                for st in sim.states() {
+                    frontier.absorb(&st.app.frontier(), st.app.objective());
+                }
+            }
+            SliceSim::Sharded(sim) => {
+                let n = sim.topology().num_nodes();
+                for node in 0..n as NodeId {
+                    let st = sim.state(node);
+                    frontier.absorb(&st.app.frontier(), st.app.objective());
+                }
+            }
+        }
+        CheckpointMeta {
+            steps: self.steps_done(),
+            frontier,
+        }
+    }
+}

@@ -475,6 +475,85 @@ impl std::str::FromStr for PruneSpec {
     }
 }
 
+/// Checkpoint policy of a run (string forms: `off`, `interval:N`).
+///
+/// Under `interval:N` the run is driven in slices of `N` simulated
+/// steps, each ending at a step barrier where the engine's state is a
+/// well-defined checkpoint: a service can suspend the job there (the
+/// live machine parks in the queue), resume it later on any worker, or
+/// — after a crash — re-derive the checkpoint state by deterministic
+/// replay. Checkpointing **never changes what is computed**: a sliced
+/// run is bit-identical to an uninterrupted one (enforced by the
+/// checkpoint equivalence suite), which is also why this spec is *not*
+/// part of service cache keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CheckpointSpec {
+    /// No checkpoints: the run executes monolithically (not
+    /// suspendable, not preemptible).
+    #[default]
+    Off,
+    /// Checkpoint every `steps` simulated steps.
+    Interval {
+        /// Slice length in simulated steps (must be > 0).
+        steps: u64,
+    },
+}
+
+impl CheckpointSpec {
+    /// A checkpoint every `steps` simulated steps.
+    pub fn every(steps: u64) -> CheckpointSpec {
+        CheckpointSpec::Interval {
+            steps: steps.max(1),
+        }
+    }
+
+    /// The slice length, if checkpointing is enabled.
+    pub fn interval(&self) -> Option<u64> {
+        match self {
+            CheckpointSpec::Off => None,
+            CheckpointSpec::Interval { steps } => Some(*steps),
+        }
+    }
+
+    /// Whether runs under this spec are suspendable.
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, CheckpointSpec::Interval { .. })
+    }
+}
+
+impl std::fmt::Display for CheckpointSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointSpec::Off => f.write_str("off"),
+            CheckpointSpec::Interval { steps } => write!(f, "interval:{steps}"),
+        }
+    }
+}
+
+impl std::str::FromStr for CheckpointSpec {
+    type Err = SpecParseError;
+
+    /// Parses the [`Display`](std::fmt::Display) syntax: `off`,
+    /// `interval:N` (N > 0).
+    fn from_str(s: &str) -> Result<Self, SpecParseError> {
+        match s {
+            "off" => Ok(CheckpointSpec::Off),
+            other => match other.strip_prefix("interval:") {
+                Some(v) => match v.parse::<u64>() {
+                    Ok(steps) if steps > 0 => Ok(CheckpointSpec::Interval { steps }),
+                    Ok(_) => Err(SpecParseError(format!(
+                        "{s:?}: checkpoint interval must be > 0"
+                    ))),
+                    Err(_) => Err(SpecParseError(format!(
+                        "{s:?}: expected a step count, got {v:?}"
+                    ))),
+                },
+                None => Err(SpecParseError(format!("unknown checkpoint policy {s:?}"))),
+            },
+        }
+    }
+}
+
 /// Node-to-shard assignment policies of the sharded backend
 /// (string forms: `block`, `rr`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -1297,6 +1376,39 @@ mod tests {
         }
         for bad in ["", "on", "incumbent:", "incumbent:x", "incumbent:1:2"] {
             assert!(bad.parse::<PruneSpec>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn checkpoint_spec_display_round_trips_and_rejects_garbage() {
+        for spec in [
+            CheckpointSpec::Off,
+            CheckpointSpec::every(1),
+            CheckpointSpec::Interval { steps: 4096 },
+        ] {
+            let text = spec.to_string();
+            assert_eq!(text.parse::<CheckpointSpec>().unwrap(), spec, "{text:?}");
+        }
+        assert_eq!(
+            CheckpointSpec::every(0),
+            CheckpointSpec::Interval { steps: 1 }
+        );
+        assert_eq!(CheckpointSpec::Off.interval(), None);
+        assert_eq!(CheckpointSpec::every(64).interval(), Some(64));
+        assert!(CheckpointSpec::every(64).is_enabled());
+        assert!(!CheckpointSpec::Off.is_enabled());
+        for bad in [
+            "",
+            "on",
+            "interval",
+            "interval:",
+            "interval:0",
+            "interval:x",
+        ] {
+            assert!(
+                bad.parse::<CheckpointSpec>().is_err(),
+                "{bad:?} should fail"
+            );
         }
     }
 

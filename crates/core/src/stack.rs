@@ -8,8 +8,10 @@ use hyperspace_sim::{
 };
 
 use crate::report::{IncumbentEvent, RecRunReport, RunSummary};
+use crate::slice::{RunSlice, SliceOutcome, SliceSim, StackSlice};
 use crate::spec::{
-    BackendSpec, BoxedMapperFactory, MapperSpec, ObjectiveSpec, PruneSpec, TopologySpec,
+    BackendSpec, BoxedMapperFactory, CheckpointSpec, MapperSpec, ObjectiveSpec, PruneSpec,
+    TopologySpec,
 };
 
 /// The concrete layer-1 program type of an assembled stack.
@@ -39,6 +41,7 @@ pub struct StackBuilder<P: RecProgram> {
     halt_on_root_reply: bool,
     objective: ObjectiveSpec,
     prune: PruneSpec,
+    checkpoint: CheckpointSpec,
     sim: SimConfig,
 }
 
@@ -56,6 +59,7 @@ impl<P: RecProgram> StackBuilder<P> {
             halt_on_root_reply: true,
             objective: ObjectiveSpec::Enumerate,
             prune: PruneSpec::Off,
+            checkpoint: CheckpointSpec::Off,
             sim: SimConfig::default(),
         }
     }
@@ -92,6 +96,16 @@ impl<P: RecProgram> StackBuilder<P> {
     /// under [`ObjectiveSpec::Enumerate`]).
     pub fn prune(mut self, spec: PruneSpec) -> Self {
         self.prune = spec;
+        self
+    }
+
+    /// Selects the checkpoint policy. Under
+    /// [`CheckpointSpec::Interval`] the run is driven in slices of that
+    /// many steps — each ending at a step barrier where it can be
+    /// suspended ([`StackBuilder::start`]) — and is bit-identical to an
+    /// uninterrupted run (this never changes what is computed).
+    pub fn checkpoint(mut self, spec: CheckpointSpec) -> Self {
+        self.checkpoint = spec;
         self
     }
 
@@ -232,37 +246,62 @@ impl<P: RecProgram> StackBuilder<P> {
         ShardedSimulation::new(topo, host, sim_cfg, scfg)
     }
 
-    /// Runs `program(root_arg)` rooted at `root_node` on the selected
-    /// backend and collects the full report.
-    pub fn run(self, root_arg: P::Arg, root_node: NodeId) -> RecRunReport<P::Out> {
-        match self.backend {
+    /// Assembles the stack and injects the root problem as a suspended
+    /// slice (shared by [`StackBuilder::run`] and
+    /// [`StackBuilder::start`], so both cross identical step barriers).
+    fn into_slice(self, root_arg: P::Arg, root_node: NodeId) -> StackSlice<P> {
+        // `Off` degenerates to a single slice spanning the whole cap.
+        let interval = self.checkpoint.interval().unwrap_or(u64::MAX);
+        let cap = self.sim.max_steps;
+        let sim = match self.backend {
             BackendSpec::Sharded { .. } => {
                 let mut sim = self.build_sharded();
                 sim.inject(root_node, hyperspace_mapping::trigger(root_arg));
-                let report = match sim.run_to_quiescence() {
-                    Ok(report) => report,
-                    // The sequential engine lets handler panics
-                    // propagate; re-raise the contained one so the
-                    // failure mode (and its message) matches across
-                    // backends.
-                    Err(hyperspace_sim::SimError::HandlerPanic {
-                        node,
-                        step,
-                        message,
-                    }) => panic!("handler of node {node} panicked at step {step}: {message}"),
-                    Err(err) => panic!("stack runs use unbounded queues: {err}"),
-                };
-                summarise_sharded(sim, report.outcome, root_node)
+                SliceSim::Sharded(sim)
             }
             _ => {
                 let mut sim = self.build();
                 sim.inject(root_node, hyperspace_mapping::trigger(root_arg));
-                let report = sim
-                    .run_to_quiescence()
-                    .expect("stack runs use unbounded queues");
-                summarise(sim, report.outcome, root_node)
+                SliceSim::Seq(sim)
             }
+        };
+        StackSlice {
+            sim,
+            root: root_node,
+            interval,
+            cap,
         }
+    }
+
+    /// Runs `program(root_arg)` rooted at `root_node` on the selected
+    /// backend and collects the full report. Under a
+    /// [`CheckpointSpec::Interval`] the run is driven slice by slice
+    /// through the same step barriers a suspended run would cross —
+    /// with, by determinism, a bit-identical result.
+    pub fn run(self, root_arg: P::Arg, root_node: NodeId) -> RecRunReport<P::Out> {
+        let mut slice = self.into_slice(root_arg, root_node);
+        let outcome = slice.run_to_terminal();
+        let root = slice.root;
+        match slice.sim {
+            SliceSim::Seq(sim) => summarise(sim, outcome, root),
+            SliceSim::Sharded(sim) => summarise_sharded(sim, outcome, root),
+        }
+    }
+}
+
+impl<P: RecProgram> StackBuilder<P>
+where
+    P::Out: std::fmt::Debug,
+{
+    /// Assembles the stack, injects the root problem, and returns it as
+    /// a suspended [`RunSlice`] without executing anything. Each
+    /// [`RunSlice::run_slice`] call then advances one checkpoint
+    /// interval (the whole run, under [`CheckpointSpec::Off`]); between
+    /// calls the run is parked at a step barrier and can be queued,
+    /// migrated to another worker thread, or dropped. The preemptive
+    /// service scheduler is built on this.
+    pub fn start(self, root_arg: P::Arg, root_node: NodeId) -> Box<dyn RunSlice> {
+        Box::new(self.into_slice(root_arg, root_node))
     }
 }
 
@@ -424,6 +463,11 @@ pub struct JobParams {
     /// Pruning policy of a branch-and-bound run. Also part of the
     /// computation (it changes node counts, traces and metrics).
     pub prune: PruneSpec,
+    /// Checkpoint policy. Like the backend this never changes what is
+    /// computed (sliced runs are bit-identical to uninterrupted ones),
+    /// so it is *not* part of service cache keys; it only makes the job
+    /// suspendable/preemptible and crash-recoverable.
+    pub checkpoint: CheckpointSpec,
     /// Safety cap on simulated steps.
     pub max_steps: u64,
     /// Node receiving the trigger.
@@ -450,12 +494,24 @@ impl Default for JobParams {
             cancellation: false,
             objective: ObjectiveSpec::Enumerate,
             prune: PruneSpec::Off,
+            checkpoint: CheckpointSpec::Off,
             max_steps: 1_000_000,
             root_node: 0,
             stop: None,
             portfolio: None,
         }
     }
+}
+
+/// How a job began executing: either it ran to a terminal outcome in
+/// one piece, or — under an enabled [`CheckpointSpec`] — it is handed
+/// back as a suspendable [`RunSlice`] after assembly, before any step
+/// has run.
+pub enum StartedJob {
+    /// The job ran monolithically; here is its summary.
+    Finished(RunSummary),
+    /// The job is suspendable; drive it with [`RunSlice::run_slice`].
+    Sliced(Box<dyn RunSlice>),
 }
 
 /// A type-erased solver job: any [`RecProgram`] plus its root argument,
@@ -465,7 +521,7 @@ impl Default for JobParams {
 /// and arbitrary user programs side by side: the pool sees only
 /// `ErasedStackJob`s and [`RunSummary`]s.
 pub struct ErasedStackJob {
-    run: Box<dyn FnOnce(&JobParams) -> RunSummary + Send + 'static>,
+    start: Box<dyn FnOnce(&JobParams) -> StartedJob + Send + 'static>,
 }
 
 impl ErasedStackJob {
@@ -476,7 +532,7 @@ impl ErasedStackJob {
         P::Out: std::fmt::Debug,
     {
         ErasedStackJob {
-            run: Box::new(move |params: &JobParams| {
+            start: Box::new(move |params: &JobParams| {
                 let mut builder = StackBuilder::new(program)
                     .topology(params.topology.clone())
                     .mapper(params.mapper.clone())
@@ -484,25 +540,59 @@ impl ErasedStackJob {
                     .cancellation(params.cancellation)
                     .objective(params.objective)
                     .prune(params.prune)
+                    .checkpoint(params.checkpoint)
                     .max_steps(params.max_steps);
                 if let Some(stop) = params.stop.clone() {
                     builder = builder.stop(stop);
                 }
-                builder.run(root_arg, params.root_node).summary()
+                if params.checkpoint.is_enabled() {
+                    StartedJob::Sliced(builder.start(root_arg, params.root_node))
+                } else {
+                    StartedJob::Finished(builder.run(root_arg, params.root_node).summary())
+                }
             }),
         }
     }
 
     /// Erases an arbitrary runner closure into a uniform job — the
     /// escape hatch portfolio-aware services use to put multi-member
-    /// races on the same worker pools as single-stack solves.
+    /// races on the same worker pools as single-stack solves. Such jobs
+    /// run monolithically; use [`ErasedStackJob::from_start_fn`] for
+    /// suspendable ones.
     pub fn from_fn(run: impl FnOnce(&JobParams) -> RunSummary + Send + 'static) -> Self {
-        ErasedStackJob { run: Box::new(run) }
+        ErasedStackJob {
+            start: Box::new(move |params| StartedJob::Finished(run(params))),
+        }
     }
 
-    /// Assembles the stack and runs the job.
+    /// Erases a closure that decides for itself whether to run
+    /// monolithically or hand back a suspendable [`RunSlice`] (the
+    /// portfolio runner's epoch-sliced races take this path).
+    pub fn from_start_fn(start: impl FnOnce(&JobParams) -> StartedJob + Send + 'static) -> Self {
+        ErasedStackJob {
+            start: Box::new(start),
+        }
+    }
+
+    /// Begins executing the job: monolithic jobs run to completion
+    /// inside this call, suspendable ones come back as
+    /// [`StartedJob::Sliced`] without having stepped yet.
+    pub fn start(self, params: &JobParams) -> StartedJob {
+        (self.start)(params)
+    }
+
+    /// Assembles the stack and runs the job to completion (driving any
+    /// suspendable job slice by slice — bit-identical either way).
     pub fn run(self, params: &JobParams) -> RunSummary {
-        (self.run)(params)
+        match self.start(params) {
+            StartedJob::Finished(summary) => summary,
+            StartedJob::Sliced(mut slice) => loop {
+                match slice.run_slice() {
+                    SliceOutcome::Finished(summary) => break summary,
+                    SliceOutcome::Yielded(next) => slice = next,
+                }
+            },
+        }
     }
 }
 
@@ -653,6 +743,108 @@ mod tests {
             .mapper(MapperSpec::RoundRobin)
             .run(10, 0);
         assert_eq!(typed.summary(), summary);
+    }
+
+    #[test]
+    fn checkpointed_runs_are_bit_identical_to_monolithic_ones() {
+        use crate::spec::CheckpointSpec;
+        let run = |checkpoint: CheckpointSpec, backend: BackendSpec| {
+            StackBuilder::new(sum_program())
+                .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+                .backend(backend)
+                .checkpoint(checkpoint)
+                .run(12, 0)
+        };
+        let reference = run(CheckpointSpec::Off, BackendSpec::Sequential);
+        assert_eq!(reference.result, Some(78));
+        for backend in [
+            BackendSpec::Sequential,
+            BackendSpec::Parallel,
+            BackendSpec::sharded(3),
+        ] {
+            for interval in [1u64, 7, 1_000_000] {
+                let sliced = run(CheckpointSpec::every(interval), backend.clone());
+                let tag = format!("{backend} interval={interval}");
+                assert_eq!(sliced.result, reference.result, "{tag}");
+                assert_eq!(sliced.outcome, reference.outcome, "{tag}");
+                assert_eq!(sliced.steps, reference.steps, "{tag}");
+                assert_eq!(sliced.computation_time, reference.computation_time, "{tag}");
+                assert_eq!(sliced.rec_totals, reference.rec_totals, "{tag}");
+                assert_eq!(
+                    sliced.metrics.delivered_per_node, reference.metrics.delivered_per_node,
+                    "{tag}"
+                );
+                assert_eq!(
+                    sliced.metrics.queued_series.as_slice(),
+                    reference.metrics.queued_series.as_slice(),
+                    "{tag}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suspended_slices_expose_checkpoint_metadata_and_finish_identically() {
+        use crate::slice::SliceOutcome;
+        use crate::spec::CheckpointSpec;
+        let reference = StackBuilder::new(sum_program())
+            .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+            .run(12, 0)
+            .summary();
+        let mut slice = StackBuilder::new(sum_program())
+            .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+            .checkpoint(CheckpointSpec::every(5))
+            .start(12, 0);
+        assert_eq!(slice.steps_done(), 0, "start() must not execute steps");
+        let mut yields = 0u32;
+        let summary = loop {
+            match slice.run_slice() {
+                SliceOutcome::Finished(summary) => break summary,
+                SliceOutcome::Yielded(next) => {
+                    yields += 1;
+                    slice = next;
+                    let meta = slice.checkpoint();
+                    assert_eq!(meta.steps, slice.steps_done());
+                    assert!(meta.steps.is_multiple_of(5), "cuts land on barriers");
+                    assert!(
+                        meta.frontier.open_records > 0,
+                        "mid-run frontier must hold suspended activations"
+                    );
+                }
+            }
+        };
+        assert!(yields > 0, "a 5-step slice must yield at least once");
+        assert_eq!(summary, reference, "suspend/resume must not change the run");
+    }
+
+    #[test]
+    fn erased_checkpointed_job_matches_monolithic_summary() {
+        use crate::spec::CheckpointSpec;
+        let monolithic = ErasedStackJob::new(sum_program(), 10).run(&JobParams {
+            topology: TopologySpec::Torus2D { w: 4, h: 4 },
+            ..JobParams::default()
+        });
+        let params = JobParams {
+            topology: TopologySpec::Torus2D { w: 4, h: 4 },
+            checkpoint: CheckpointSpec::every(3),
+            ..JobParams::default()
+        };
+        // Driven whole.
+        let sliced = ErasedStackJob::new(sum_program(), 10).run(&params);
+        assert_eq!(sliced, monolithic);
+        // Driven manually through the started-job surface.
+        match ErasedStackJob::new(sum_program(), 10).start(&params) {
+            StartedJob::Finished(_) => panic!("checkpointed jobs must come back sliced"),
+            StartedJob::Sliced(mut slice) => {
+                let summary = loop {
+                    match slice.run_slice() {
+                        SliceOutcome::Finished(summary) => break summary,
+                        SliceOutcome::Yielded(next) => slice = next,
+                    }
+                };
+                assert_eq!(summary, monolithic);
+            }
+        }
     }
 
     #[test]

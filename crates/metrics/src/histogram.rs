@@ -6,13 +6,26 @@
 /// holds the value 0, bucket 1 holds {1, 2}, bucket 2 holds {3..6}, etc.
 /// Log-spaced buckets match the heavy-tailed distributions seen in queue
 /// lengths and sub-problem sizes.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
     sum: u64,
+    /// `u64::MAX` while empty — an *internal sentinel only*: the public
+    /// [`Histogram::min`] gates on `count` and reports `None` for empty
+    /// histograms, so the sentinel can never leak into readings.
     min: u64,
     max: u64,
+}
+
+/// `Default` must construct exactly what [`Histogram::new`] does. A
+/// derived impl would zero the `min` sentinel, silently pinning the
+/// reported minimum of every later sample to 0 — a real bug when the
+/// histogram is embedded in a `#[derive(Default)]` container.
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
 }
 
 impl Histogram {
@@ -27,9 +40,33 @@ impl Histogram {
         }
     }
 
+    /// Rebuilds a histogram from raw parts (the checkpoint-codec path).
+    /// `parts()` and `from_parts` round-trip exactly; feeding back
+    /// anything else is the caller's responsibility.
+    pub fn from_parts(buckets: Vec<u64>, count: u64, sum: u64, min: u64, max: u64) -> Self {
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    /// The raw fields `(buckets, count, sum, min, max)` for
+    /// serialisation. `min` is the internal sentinel (`u64::MAX` when
+    /// empty), not the gated [`Histogram::min`] reading.
+    pub fn parts(&self) -> (&[u64], u64, u64, u64, u64) {
+        (&self.buckets, self.count, self.sum, self.min, self.max)
+    }
+
     #[inline]
     fn bucket_of(value: u64) -> usize {
-        (64 - (value + 1).leading_zeros() - 1) as usize
+        // `value + 1` would wrap for u64::MAX, making `leading_zeros`
+        // return 64 and the subtraction underflow (debug panic / garbage
+        // bucket in release). Saturating pins the top value into the last
+        // bucket, which is where it belongs anyway.
+        (63 - value.saturating_add(1).leading_zeros()) as usize
     }
 
     /// Records one sample.
@@ -41,7 +78,7 @@ impl Histogram {
         }
         self.buckets[b] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -51,7 +88,7 @@ impl Histogram {
         self.count
     }
 
-    /// Sum of all samples.
+    /// Sum of all samples (saturating).
     pub fn sum(&self) -> u64 {
         self.sum
     }
@@ -80,13 +117,26 @@ impl Histogram {
         &self.buckets
     }
 
-    /// Inclusive value range `(lo, hi)` covered by bucket `i`.
+    /// Inclusive value range `(lo, hi)` covered by bucket `i`. The last
+    /// bucket (63) is clamped to `u64::MAX` instead of overflowing.
     pub fn bucket_range(i: usize) -> (u64, u64) {
-        ((1u64 << i) - 1, (1u64 << (i + 1)) - 2)
+        let lo = (1u64 << i.min(63)) - 1;
+        let hi = if i >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 2
+        };
+        (lo, hi)
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Merging an empty
+    /// histogram is the identity — in particular a merge of two empty
+    /// histograms stays empty (`count() == 0`, `min()`/`max()` both
+    /// `None`), rather than relying on sentinel values cancelling out.
     pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
         if other.buckets.len() > self.buckets.len() {
             self.buckets.resize(other.buckets.len(), 0);
         }
@@ -94,7 +144,7 @@ impl Histogram {
             self.buckets[b] += c;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -142,6 +192,67 @@ mod tests {
     }
 
     #[test]
+    fn extreme_values_do_not_underflow_the_bucket_index() {
+        // Regression: `(u64::MAX + 1)` wrapped to 0, `leading_zeros`
+        // returned 64, and `64 - 64 - 1` underflowed — a debug panic, or
+        // a garbage bucket index in release.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+        assert_eq!(Histogram::bucket_of(u64::MAX - 1), 63);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.min(), Some(u64::MAX - 1));
+        assert_eq!(h.buckets()[63], 2);
+        // The top bucket's range is clamped instead of overflowing.
+        let (lo, hi) = Histogram::bucket_range(63);
+        assert_eq!(lo, (1u64 << 63) - 1);
+        assert_eq!(hi, u64::MAX);
+        assert!(lo < u64::MAX - 1, "both recorded values sit in bucket 63");
+    }
+
+    #[test]
+    fn default_matches_new_and_tracks_min_correctly() {
+        // Regression: a derived Default zeroed the min sentinel, so a
+        // histogram obtained via Default (e.g. inside a
+        // `#[derive(Default)]` stats container) reported min = 0 for
+        // every sample stream.
+        let mut h = Histogram::default();
+        assert_eq!(h, Histogram::new());
+        h.record(5);
+        assert_eq!(h.min(), Some(5));
+    }
+
+    #[test]
+    fn merge_of_empties_stays_empty() {
+        let mut a = Histogram::new();
+        let b = Histogram::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.max(), None);
+        // A later record starts from a clean slate, not from sentinel
+        // residue.
+        a.record(9);
+        assert_eq!(a.min(), Some(9));
+        assert_eq!(a.max(), Some(9));
+    }
+
+    #[test]
+    fn merge_with_one_empty_side_is_identity() {
+        let mut recorded = Histogram::new();
+        recorded.record(3);
+        recorded.record(12);
+        let snapshot = recorded.clone();
+        recorded.merge(&Histogram::new());
+        assert_eq!(recorded, snapshot, "merging an empty rhs is a no-op");
+        let mut empty = Histogram::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot, "merging into an empty lhs adopts rhs");
+    }
+
+    #[test]
     fn merge_equals_combined_recording() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();
@@ -156,5 +267,23 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 7, 7, 900] {
+            h.record(v);
+        }
+        let (buckets, count, sum, min, max) = h.parts();
+        let rebuilt = Histogram::from_parts(buckets.to_vec(), count, sum, min, max);
+        assert_eq!(rebuilt, h);
+        // The empty histogram round-trips its sentinel untouched.
+        let empty = Histogram::new();
+        let (buckets, count, sum, min, max) = empty.parts();
+        assert_eq!(min, u64::MAX);
+        let rebuilt = Histogram::from_parts(buckets.to_vec(), count, sum, min, max);
+        assert_eq!(rebuilt.min(), None);
+        assert_eq!(rebuilt, empty);
     }
 }

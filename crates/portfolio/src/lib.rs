@@ -43,7 +43,7 @@ mod report;
 mod runner;
 
 pub use report::{MemberReport, PortfolioReport};
-pub use runner::PortfolioRunner;
+pub use runner::{PortfolioRace, PortfolioRunner};
 
 // The specs live in `hyperspace-core` (they are part of the job
 // description surface); re-export them for convenience.

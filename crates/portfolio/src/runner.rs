@@ -150,6 +150,15 @@ impl PortfolioRunner {
     /// run the resumable clause-learning solver and exchange learned
     /// clauses at every epoch barrier.
     pub fn run_sat(&self, cnf: &Cnf) -> PortfolioReport {
+        let mut race = self.start_sat(cnf);
+        race.run_epochs(u64::MAX);
+        race.finish()
+    }
+
+    /// Begins a SAT race without driving it: the returned
+    /// [`PortfolioRace`] advances epoch by epoch under the caller's
+    /// control and can be suspended between epochs indefinitely.
+    pub fn start_sat(&self, cnf: &Cnf) -> PortfolioRace {
         let members: Vec<Box<dyn MemberDrive>> = self
             .spec
             .members
@@ -173,7 +182,7 @@ impl PortfolioRunner {
                 )),
             })
             .collect();
-        self.race(members)
+        self.begin(members)
     }
 
     /// Races the portfolio over an arbitrary recursive program; `make`
@@ -186,6 +195,25 @@ impl PortfolioRunner {
     /// If the spec contains a CDCL member — clause exchange needs a SAT
     /// workload ([`PortfolioRunner::run_sat`]).
     pub fn run_mesh<P, F>(&self, make: F, root_arg: P::Arg) -> PortfolioReport
+    where
+        P: RecProgram,
+        P::Arg: Clone,
+        P::Out: std::fmt::Debug,
+        F: Fn(usize, &StrategySpec) -> P,
+    {
+        let mut race = self.start_mesh(make, root_arg);
+        race.run_epochs(u64::MAX);
+        race.finish()
+    }
+
+    /// Begins a mesh race without driving it (see
+    /// [`PortfolioRunner::start_sat`]).
+    ///
+    /// # Panics
+    ///
+    /// If the spec contains a CDCL member — clause exchange needs a SAT
+    /// workload.
+    pub fn start_mesh<P, F>(&self, make: F, root_arg: P::Arg) -> PortfolioRace
     where
         P: RecProgram,
         P::Arg: Clone,
@@ -209,7 +237,7 @@ impl PortfolioRunner {
                 }
             })
             .collect();
-        self.race(members)
+        self.begin(members)
     }
 
     fn mesh_member<P>(
@@ -246,23 +274,141 @@ impl PortfolioRunner {
         )
     }
 
-    /// The race loop: epochs of concurrent member stepping separated by
-    /// barriers where completion is checked and knowledge exchanged, in
-    /// member-id order. Driver threads are spawned **once per race** and
-    /// park at a barrier between epochs (mirroring the sharded backend's
-    /// long-lived workers — no per-epoch spawn/join cost); `threads == 1`
-    /// degenerates to a spawn-free inline loop through the same code.
-    fn race(&self, members: Vec<Box<dyn MemberDrive>>) -> PortfolioReport {
+    /// Wraps freshly assembled members into a suspended race.
+    fn begin(&self, members: Vec<Box<dyn MemberDrive>>) -> PortfolioRace {
         let n = members.len();
         assert!(n > 0, "a portfolio needs at least one member");
+        PortfolioRace {
+            epoch_len: self.spec.epoch_steps.max(1),
+            max_len: self.spec.max_clause_len as usize,
+            max_lbd: self.spec.max_clause_lbd as usize,
+            objective: self.objective,
+            max_steps: self.max_steps,
+            threads: self.threads,
+            stop: self.stop.clone(),
+            strategies: self.spec.members.iter().map(|m| m.describe()).collect(),
+            members: members.into_iter().map(Mutex::new).collect(),
+            st: RaceState::new(n),
+        }
+    }
+}
+
+/// The coordinator's persistent bookkeeping, carried across
+/// [`PortfolioRace::run_epochs`] calls so a race can be suspended at any
+/// epoch barrier and resumed later without losing bus state.
+struct RaceState {
+    open: Vec<bool>,
+    /// `(finish units, member id)` pairs; sorted ascending once the race
+    /// is decided — the head is the winner.
+    finished: Vec<(u64, usize)>,
+    finished_epoch: Vec<Option<u64>>,
+    clauses_exported: Vec<u64>,
+    clauses_imported: Vec<u64>,
+    bounds_exported: Vec<u64>,
+    bounds_imported: Vec<u64>,
+    seen_clauses: HashSet<Vec<Lit>>,
+    bus_best: Option<i64>,
+    bus_clauses: u64,
+    bus_clause_deliveries: u64,
+    bus_bounds: u64,
+    bus_bound_deliveries: u64,
+    epochs: u64,
+    race_outcome: RunOutcome,
+    decided: bool,
+}
+
+impl RaceState {
+    fn new(n: usize) -> RaceState {
+        RaceState {
+            open: vec![true; n],
+            finished: Vec::new(),
+            finished_epoch: vec![None; n],
+            clauses_exported: vec![0; n],
+            clauses_imported: vec![0; n],
+            bounds_exported: vec![0; n],
+            bounds_imported: vec![0; n],
+            seen_clauses: HashSet::new(),
+            bus_best: None,
+            bus_clauses: 0,
+            bus_clause_deliveries: 0,
+            bus_bounds: 0,
+            bus_bound_deliveries: 0,
+            epochs: 0,
+            race_outcome: RunOutcome::MaxSteps,
+            decided: false,
+        }
+    }
+}
+
+/// A portfolio race in flight, suspended between sync epochs.
+///
+/// The race's members checkpoint at their existing epoch barriers: every
+/// [`PortfolioRace::run_epochs`] call advances a bounded number of
+/// epochs and then parks the whole race — live member machines plus bus
+/// bookkeeping — inertly in this value. Driving a race in chunks of any
+/// size yields a [`PortfolioReport`] bit-identical to an uninterrupted
+/// [`PortfolioRunner::run_sat`]/[`PortfolioRunner::run_mesh`] call: the
+/// same winner, the same bus counters (enforced by the checkpoint
+/// equivalence suite). This is what makes whole portfolio races
+/// suspendable/preemptible service jobs.
+pub struct PortfolioRace {
+    epoch_len: u64,
+    max_len: usize,
+    max_lbd: usize,
+    objective: ObjectiveSpec,
+    max_steps: u64,
+    threads: usize,
+    stop: Option<StopHandle>,
+    strategies: Vec<String>,
+    members: Vec<Mutex<Box<dyn MemberDrive>>>,
+    st: RaceState,
+}
+
+impl PortfolioRace {
+    /// Sync epochs executed so far.
+    pub fn epochs(&self) -> u64 {
+        self.st.epochs
+    }
+
+    /// The configured sync-epoch length, in member units.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// Whether the race has been decided (winner found, every member
+    /// closed, or the stop handle tripped). A decided race does no
+    /// further work; [`PortfolioRace::finish`] folds the report.
+    pub fn decided(&self) -> bool {
+        self.st.decided
+    }
+
+    /// The best incumbent any member currently holds (optimisation
+    /// portfolios; `None` otherwise). Callable between epochs.
+    pub fn best_incumbent(&self) -> Option<i64> {
+        let obj = self.objective.objective()?;
+        self.members
+            .iter()
+            .filter_map(|m| m.lock().expect("member lock poisoned").best_incumbent())
+            .reduce(|a, b| obj.better(a, b))
+    }
+
+    /// Advances the race by up to `budget` sync epochs (or until it is
+    /// decided) and returns whether it is now decided. Epochs step
+    /// members concurrently on scoped driver threads and meet at
+    /// barriers where completion is checked and knowledge exchanged, in
+    /// member-id order; `threads == 1` degenerates to a spawn-free
+    /// inline loop through the same code.
+    pub fn run_epochs(&mut self, budget: u64) -> bool {
+        if self.st.decided || budget == 0 {
+            return self.st.decided;
+        }
+        let n = self.members.len();
         let threads = self.threads.clamp(1, n);
         let chunk = n.div_ceil(threads);
         // Recompute the driver count from the chunking (`n = 5,
         // threads = 4` yields only 3 non-empty chunks; the barrier must
         // match exactly).
         let drivers = n.div_ceil(chunk);
-        let members: Vec<Mutex<Box<dyn MemberDrive>>> =
-            members.into_iter().map(Mutex::new).collect();
         let shared = DriverShared {
             barrier: Barrier::new(drivers),
             cap: AtomicU64::new(0),
@@ -272,54 +418,217 @@ impl PortfolioRunner {
                 .collect(),
             panic: Mutex::new(None),
         };
-        let mut book = None;
+        let members = &self.members;
+        let st = &mut self.st;
+        let epoch_len = self.epoch_len;
+        let max_len = self.max_len;
+        let max_lbd = self.max_lbd;
+        let objective = self.objective.objective();
+        let max_steps = self.max_steps;
+        let stop = self.stop.as_ref();
         std::thread::scope(|scope| {
             for d in 1..drivers {
-                let members = &members;
                 let shared = &shared;
                 let range = d * chunk..((d + 1) * chunk).min(n);
                 scope.spawn(move || drive_members(members, shared, range));
             }
-            let outcome = self.coordinate(&members, &shared, 0..chunk.min(n));
-            // Release the parked drivers whatever happened, then
-            // re-raise any contained member panic exactly like a direct
-            // single-stack run would.
+            let own = 0..chunk.min(n);
+            let lock = |id: usize| members[id].lock().expect("member lock poisoned");
+            let mut ran = 0u64;
+            loop {
+                if ran >= budget {
+                    break; // suspended at an epoch barrier, resumable
+                }
+                if stop.is_some_and(|s| s.should_stop()) {
+                    st.race_outcome = RunOutcome::Stopped;
+                    st.decided = true;
+                    break;
+                }
+                let cap = st
+                    .epochs
+                    .saturating_add(1)
+                    .saturating_mul(epoch_len)
+                    .min(max_steps);
+                shared.cap.store(cap, Ordering::SeqCst);
+                shared.barrier.wait(); // start of epoch: cap visible everywhere
+                drive_range(members, &shared, own.clone());
+                shared.barrier.wait(); // end of epoch: statuses published
+                if shared.panic.lock().expect("panic slot").is_some() {
+                    break;
+                }
+                st.epochs += 1;
+                ran += 1;
+                for (id, slot) in shared.statuses.iter().enumerate() {
+                    if !st.open[id] {
+                        continue;
+                    }
+                    match status_from(slot.load(Ordering::SeqCst)) {
+                        EpochStatus::Running => {}
+                        EpochStatus::Finished => {
+                            st.open[id] = false;
+                            st.finished_epoch[id] = Some(st.epochs - 1);
+                            st.finished.push((lock(id).units(), id));
+                        }
+                        EpochStatus::Exhausted | EpochStatus::Stopped => st.open[id] = false,
+                    }
+                }
+                if !st.finished.is_empty() || st.open.iter().all(|o| !o) {
+                    st.decided = true;
+                    break;
+                }
+
+                // Knowledge bus, in member-id order (drivers are parked
+                // at the epoch barrier, so the locks are uncontended).
+                // Learned clauses first: collect fresh (bus-unseen)
+                // lemmas from every open member...
+                let mut fresh: Vec<(usize, hyperspace_sat::Clause)> = Vec::new();
+                for id in 0..n {
+                    if !st.open[id] {
+                        continue;
+                    }
+                    for clause in lock(id).export_clauses(max_len, max_lbd) {
+                        let mut key: Vec<Lit> = clause.lits().to_vec();
+                        key.sort_unstable();
+                        key.dedup();
+                        if st.seen_clauses.insert(key) {
+                            st.clauses_exported[id] += 1;
+                            st.bus_clauses += 1;
+                            fresh.push((id, clause));
+                        }
+                    }
+                }
+                // ...then fan each lemma out to every *other* open
+                // member.
+                if !fresh.is_empty() {
+                    for id in 0..n {
+                        if !st.open[id] {
+                            continue;
+                        }
+                        let batch: Vec<&hyperspace_sat::Clause> = fresh
+                            .iter()
+                            .filter(|(src, _)| *src != id)
+                            .map(|(_, c)| c)
+                            .collect();
+                        let absorbed = lock(id).import_clauses(&batch);
+                        st.clauses_imported[id] += absorbed;
+                        st.bus_clause_deliveries += absorbed;
+                    }
+                }
+
+                // Incumbent bus (optimisation jobs): publish the best
+                // value any member holds, then re-inject it into
+                // trailing members.
+                if let Some(obj) = objective {
+                    let mut best: Option<(i64, usize)> = None;
+                    for (id, _) in st.open.iter().enumerate().filter(|(_, o)| **o) {
+                        if let Some(v) = lock(id).best_incumbent() {
+                            best = Some(match best {
+                                None => (v, id),
+                                Some((b, _)) if obj.improves(v, b) => (v, id),
+                                Some(keep) => keep,
+                            });
+                        }
+                    }
+                    if let Some((value, contributor)) = best {
+                        let improved = match st.bus_best {
+                            None => true,
+                            Some(b) => obj.improves(value, b),
+                        };
+                        if improved {
+                            st.bus_best = Some(value);
+                            st.bus_bounds += 1;
+                            st.bounds_exported[contributor] += 1;
+                        }
+                        for id in 0..n {
+                            if !st.open[id] {
+                                continue;
+                            }
+                            let mut member = lock(id);
+                            let trailing = match member.best_incumbent() {
+                                None => true,
+                                Some(mine) => obj.improves(value, mine),
+                            };
+                            if trailing {
+                                member.inject_bound(value);
+                                st.bounds_imported[id] += 1;
+                                st.bus_bound_deliveries += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            // Release the parked drivers whatever happened.
             shared.done.store(true, Ordering::SeqCst);
             shared.barrier.wait();
-            if let Some(payload) = shared.panic.lock().expect("panic slot").take() {
-                std::panic::resume_unwind(payload);
-            }
-            book = outcome;
         });
-        let book = book.expect("coordinator books the race unless a member panicked");
+        // Re-raise any contained member panic exactly like a direct
+        // single-stack run would.
+        if let Some(payload) = shared.panic.lock().expect("panic slot").take() {
+            std::panic::resume_unwind(payload);
+        }
+        if self.st.decided {
+            self.settle();
+        }
+        self.st.decided
+    }
 
-        // The scope has ended, so the members are exclusively ours
-        // again: fold them into per-member reports in id order.
-        let winner = book.finished.first().map(|&(_, id)| id);
-        let objective = self.objective.objective();
-        let spec_members = &self.spec.members;
-        let mut reports: Vec<MemberReport> = Vec::with_capacity(n);
+    /// The race is decided: order the finishers (earliest answer wins,
+    /// lowest id on ties) and cancel every still-open member through its
+    /// stop handle.
+    fn settle(&mut self) {
+        self.st.finished.sort_unstable();
+        for (id, still_open) in self.st.open.iter_mut().enumerate() {
+            if *still_open {
+                self.members[id]
+                    .lock()
+                    .expect("member lock poisoned")
+                    .cancel();
+                *still_open = false;
+            }
+        }
+    }
+
+    /// Folds the race into its report. On a decided race this is the
+    /// exact report an uninterrupted run would have produced; on a race
+    /// abandoned mid-suspension every member is cancelled first and the
+    /// race books as [`RunOutcome::Stopped`].
+    pub fn finish(mut self) -> PortfolioReport {
+        if !self.st.decided {
+            self.st.race_outcome = RunOutcome::Stopped;
+            self.st.decided = true;
+            self.settle();
+        }
+        let PortfolioRace {
+            objective,
+            strategies,
+            members,
+            st,
+            ..
+        } = self;
+        let winner = st.finished.first().map(|&(_, id)| id);
+        let objective = objective.objective();
+        let mut reports: Vec<MemberReport> = Vec::with_capacity(members.len());
         for (id, member) in members.into_iter().enumerate() {
             let member = member.into_inner().expect("member lock poisoned");
             let units = member.units();
             let summary = member.finish();
-            let finish_units = book.finished_epoch[id].map(|_| units);
+            let finish_units = st.finished_epoch[id].map(|_| units);
             reports.push(MemberReport {
                 id,
-                strategy: spec_members[id].describe(),
+                strategy: strategies[id].clone(),
                 summary,
                 finish_units,
-                finished_epoch: book.finished_epoch[id],
-                clauses_exported: book.clauses_exported[id],
-                clauses_imported: book.clauses_imported[id],
-                bounds_exported: book.bounds_exported[id],
-                bounds_imported: book.bounds_imported[id],
+                finished_epoch: st.finished_epoch[id],
+                clauses_exported: st.clauses_exported[id],
+                clauses_imported: st.clauses_imported[id],
+                bounds_exported: st.bounds_exported[id],
+                bounds_imported: st.bounds_imported[id],
             });
         }
 
         let outcome = match winner {
             Some(id) => reports[id].summary.outcome,
-            None => book.race_outcome,
+            None => st.race_outcome,
         };
         // The authoritative incumbent folds every member's final view
         // (winners may have improved past the last bus exchange).
@@ -333,211 +642,15 @@ impl PortfolioRunner {
         PortfolioReport {
             winner,
             outcome,
-            epochs: book.epochs,
+            epochs: st.epochs,
             best_incumbent,
-            clauses_shared: book.bus_clauses,
-            clauses_imported: book.bus_clause_deliveries,
-            bounds_shared: book.bus_bounds,
-            bounds_imported: book.bus_bound_deliveries,
+            clauses_shared: st.bus_clauses,
+            clauses_imported: st.bus_clause_deliveries,
+            bounds_shared: st.bus_bounds,
+            bounds_imported: st.bus_bound_deliveries,
             members: reports,
         }
     }
-
-    /// The coordinator's half of the race: decides epoch caps, steps its
-    /// own member chunk, and runs every barrier's bookkeeping (winner
-    /// detection, knowledge bus, loser cancellation) in member-id order.
-    /// Returns `None` when a member panicked (the caller re-raises).
-    fn coordinate(
-        &self,
-        members: &[Mutex<Box<dyn MemberDrive>>],
-        shared: &DriverShared,
-        own: std::ops::Range<usize>,
-    ) -> Option<RaceBook> {
-        let n = members.len();
-        let lock = |id: usize| members[id].lock().expect("member lock poisoned");
-        let epoch_len = self.spec.epoch_steps.max(1);
-        let max_len = self.spec.max_clause_len as usize;
-        let max_lbd = self.spec.max_clause_lbd as usize;
-        let objective = self.objective.objective();
-
-        let mut open = vec![true; n];
-        let mut finished: Vec<(u64, usize)> = Vec::new();
-        let mut finished_epoch = vec![None::<u64>; n];
-        let mut clauses_exported = vec![0u64; n];
-        let mut clauses_imported = vec![0u64; n];
-        let mut bounds_exported = vec![0u64; n];
-        let mut bounds_imported = vec![0u64; n];
-        let mut seen_clauses: HashSet<Vec<Lit>> = HashSet::new();
-        let mut bus_best: Option<i64> = None;
-        let mut bus_clauses = 0u64;
-        let mut bus_clause_deliveries = 0u64;
-        let mut bus_bounds = 0u64;
-        let mut bus_bound_deliveries = 0u64;
-        let mut epochs = 0u64;
-        let mut race_outcome = RunOutcome::MaxSteps;
-
-        loop {
-            if self.stop.as_ref().is_some_and(|s| s.should_stop()) {
-                race_outcome = RunOutcome::Stopped;
-                break;
-            }
-            let cap = epochs
-                .saturating_add(1)
-                .saturating_mul(epoch_len)
-                .min(self.max_steps);
-            shared.cap.store(cap, Ordering::SeqCst);
-            shared.barrier.wait(); // start of epoch: cap visible everywhere
-            drive_range(members, shared, own.clone());
-            shared.barrier.wait(); // end of epoch: statuses published
-            if shared.panic.lock().expect("panic slot").is_some() {
-                return None;
-            }
-            epochs += 1;
-            for (id, slot) in shared.statuses.iter().enumerate() {
-                if !open[id] {
-                    continue;
-                }
-                match status_from(slot.load(Ordering::SeqCst)) {
-                    EpochStatus::Running => {}
-                    EpochStatus::Finished => {
-                        open[id] = false;
-                        finished_epoch[id] = Some(epochs - 1);
-                        finished.push((lock(id).units(), id));
-                    }
-                    EpochStatus::Exhausted | EpochStatus::Stopped => open[id] = false,
-                }
-            }
-            if !finished.is_empty() {
-                break;
-            }
-            if open.iter().all(|o| !o) {
-                break;
-            }
-
-            // Knowledge bus, in member-id order (drivers are parked at
-            // the epoch barrier, so the locks are uncontended). Learned
-            // clauses first: collect fresh (bus-unseen) lemmas from
-            // every open member...
-            let mut fresh: Vec<(usize, hyperspace_sat::Clause)> = Vec::new();
-            for id in 0..n {
-                if !open[id] {
-                    continue;
-                }
-                for clause in lock(id).export_clauses(max_len, max_lbd) {
-                    let mut key: Vec<Lit> = clause.lits().to_vec();
-                    key.sort_unstable();
-                    key.dedup();
-                    if seen_clauses.insert(key) {
-                        clauses_exported[id] += 1;
-                        bus_clauses += 1;
-                        fresh.push((id, clause));
-                    }
-                }
-            }
-            // ...then fan each lemma out to every *other* open member.
-            if !fresh.is_empty() {
-                for id in 0..n {
-                    if !open[id] {
-                        continue;
-                    }
-                    let batch: Vec<&hyperspace_sat::Clause> = fresh
-                        .iter()
-                        .filter(|(src, _)| *src != id)
-                        .map(|(_, c)| c)
-                        .collect();
-                    let absorbed = lock(id).import_clauses(&batch);
-                    clauses_imported[id] += absorbed;
-                    bus_clause_deliveries += absorbed;
-                }
-            }
-
-            // Incumbent bus (optimisation jobs): publish the best value
-            // any member holds, then re-inject it into trailing members.
-            if let Some(obj) = objective {
-                let mut best: Option<(i64, usize)> = None;
-                for (id, _) in open.iter().enumerate().filter(|(_, o)| **o) {
-                    if let Some(v) = lock(id).best_incumbent() {
-                        best = Some(match best {
-                            None => (v, id),
-                            Some((b, _)) if obj.improves(v, b) => (v, id),
-                            Some(keep) => keep,
-                        });
-                    }
-                }
-                if let Some((value, contributor)) = best {
-                    let improved = match bus_best {
-                        None => true,
-                        Some(b) => obj.improves(value, b),
-                    };
-                    if improved {
-                        bus_best = Some(value);
-                        bus_bounds += 1;
-                        bounds_exported[contributor] += 1;
-                    }
-                    for id in 0..n {
-                        if !open[id] {
-                            continue;
-                        }
-                        let mut member = lock(id);
-                        let trailing = match member.best_incumbent() {
-                            None => true,
-                            Some(mine) => obj.improves(value, mine),
-                        };
-                        if trailing {
-                            member.inject_bound(value);
-                            bounds_imported[id] += 1;
-                            bus_bound_deliveries += 1;
-                        }
-                    }
-                }
-            }
-        }
-
-        // The race is decided: the earliest answer wins (lowest id on
-        // ties), and every still-open member is cancelled through its
-        // stop handle.
-        finished.sort_unstable();
-        for (id, still_open) in open.iter_mut().enumerate() {
-            if *still_open {
-                lock(id).cancel();
-                *still_open = false;
-            }
-        }
-
-        Some(RaceBook {
-            finished,
-            finished_epoch,
-            clauses_exported,
-            clauses_imported,
-            bounds_exported,
-            bounds_imported,
-            bus_clauses,
-            bus_clause_deliveries,
-            bus_bounds,
-            bus_bound_deliveries,
-            epochs,
-            race_outcome,
-        })
-    }
-}
-
-/// Everything the coordinator decided, handed back to the owning thread
-/// once the driver scope has ended.
-struct RaceBook {
-    /// `(finish units, member id)` pairs, sorted ascending — the head is
-    /// the winner.
-    finished: Vec<(u64, usize)>,
-    finished_epoch: Vec<Option<u64>>,
-    clauses_exported: Vec<u64>,
-    clauses_imported: Vec<u64>,
-    bounds_exported: Vec<u64>,
-    bounds_imported: Vec<u64>,
-    bus_clauses: u64,
-    bus_clause_deliveries: u64,
-    bus_bounds: u64,
-    bus_bound_deliveries: u64,
-    epochs: u64,
-    race_outcome: RunOutcome,
 }
 
 /// Epoch-synchronised state shared by the coordinator and its driver

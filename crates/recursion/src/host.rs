@@ -167,6 +167,66 @@ impl<P: RecProgram> RecState<P> {
     pub fn incumbent_trace(&self) -> &[IncumbentEvent] {
         &self.incumbent_trace
     }
+
+    /// Captures this node's search frontier for a checkpoint: how many
+    /// activations are suspended (with how many sub-calls outstanding)
+    /// and what the node's incumbent view is. The saved continuations
+    /// themselves are opaque closures — they are preserved by suspending
+    /// the live machine (or re-derived by deterministic replay), never
+    /// serialised — so this summary is what checkpoint metadata and
+    /// observability surfaces carry.
+    pub fn frontier(&self) -> FrontierSnapshot {
+        let mut snapshot = FrontierSnapshot {
+            incumbent: self.incumbent,
+            incumbent_updates: self.stats.incumbent_updates,
+            ..FrontierSnapshot::default()
+        };
+        for record in self.records.values() {
+            if record.closed {
+                snapshot.closed_records += 1;
+            } else {
+                snapshot.open_records += 1;
+                snapshot.pending_calls += record.pending.len() as u64;
+            }
+        }
+        snapshot
+    }
+}
+
+/// A summary of the branch-and-bound / recursion frontier held by one
+/// node (or, after [`FrontierSnapshot::absorb`], a whole machine) at a
+/// checkpoint boundary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontierSnapshot {
+    /// Suspended activations still waiting on sub-calls.
+    pub open_records: u64,
+    /// Records whose join already fired (or were cancelled) and linger
+    /// only for bookkeeping.
+    pub closed_records: u64,
+    /// Outstanding sub-call tickets across the open records.
+    pub pending_calls: u64,
+    /// Best feasible solution value known (B&B mode).
+    pub incumbent: Option<i64>,
+    /// Incumbent improvements observed so far.
+    pub incumbent_updates: u64,
+}
+
+impl FrontierSnapshot {
+    /// Folds another node's frontier into this one; `objective` decides
+    /// which incumbent wins (absent outside B&B mode).
+    pub fn absorb(&mut self, other: &FrontierSnapshot, objective: Option<Objective>) {
+        self.open_records += other.open_records;
+        self.closed_records += other.closed_records;
+        self.pending_calls += other.pending_calls;
+        self.incumbent_updates += other.incumbent_updates;
+        self.incumbent = match (self.incumbent, other.incumbent) {
+            (Some(a), Some(b)) => Some(match objective {
+                Some(obj) => obj.better(a, b),
+                None => a,
+            }),
+            (a, b) => a.or(b),
+        };
+    }
 }
 
 /// Layer-4 host: adapts a [`RecProgram`] to layer 3's [`TicketHandler`].
@@ -580,5 +640,69 @@ mod tests {
         let completed: u64 = (0..16).map(|n| sim.state(n).app.stats.completed).sum();
         assert_eq!(started, 26);
         assert_eq!(completed, 26);
+    }
+
+    #[test]
+    fn frontier_snapshot_tracks_suspended_activations() {
+        let host = MappingHost::new(
+            RecursionHost::new(sum_program()),
+            RoundRobinMapper::factory(),
+            MapConfig {
+                halt_on_root_reply: false,
+                ..MapConfig::default()
+            },
+        );
+        let mut sim = Simulation::new(Torus::new_2d(4, 4), host, SimConfig::default());
+        sim.inject(0, trigger(25));
+        // Mid-run: the linear recursion holds a chain of suspended
+        // activations, each waiting on exactly one sub-call.
+        for _ in 0..12 {
+            sim.step().unwrap();
+        }
+        let mut machine = FrontierSnapshot::default();
+        for node in 0..16 {
+            machine.absorb(&sim.state(node).app.frontier(), None);
+        }
+        assert!(machine.open_records > 0, "mid-run frontier must be open");
+        assert_eq!(machine.pending_calls, machine.open_records);
+        assert_eq!(machine.incumbent, None, "no B&B mode, no incumbent");
+        // Run to completion: the frontier drains.
+        sim.run_to_quiescence().unwrap();
+        let mut done = FrontierSnapshot::default();
+        for node in 0..16 {
+            done.absorb(&sim.state(node).app.frontier(), None);
+        }
+        assert_eq!(done.open_records, 0);
+        assert_eq!(done.pending_calls, 0);
+    }
+
+    #[test]
+    fn frontier_absorb_folds_incumbents_by_objective() {
+        let a = FrontierSnapshot {
+            open_records: 2,
+            closed_records: 1,
+            pending_calls: 3,
+            incumbent: Some(10),
+            incumbent_updates: 2,
+        };
+        let b = FrontierSnapshot {
+            open_records: 1,
+            closed_records: 0,
+            pending_calls: 1,
+            incumbent: Some(25),
+            incumbent_updates: 1,
+        };
+        let mut max = a;
+        max.absorb(&b, Some(Objective::Maximise));
+        assert_eq!(max.open_records, 3);
+        assert_eq!(max.pending_calls, 4);
+        assert_eq!(max.incumbent, Some(25));
+        assert_eq!(max.incumbent_updates, 3);
+        let mut min = a;
+        min.absorb(&b, Some(Objective::Minimise));
+        assert_eq!(min.incumbent, Some(10));
+        let mut one_sided = FrontierSnapshot::default();
+        one_sided.absorb(&b, Some(Objective::Minimise));
+        assert_eq!(one_sided.incumbent, Some(25));
     }
 }

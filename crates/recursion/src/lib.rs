@@ -35,5 +35,5 @@ mod host;
 mod program;
 
 pub use cps::{FnProgram, Pending, Rec};
-pub use host::{BnbMode, IncumbentEvent, RecState, RecStats, RecursionHost};
+pub use host::{BnbMode, FrontierSnapshot, IncumbentEvent, RecState, RecStats, RecursionHost};
 pub use program::{eval_local, Join, Objective, RecProgram, Resumed, Spawn, Step};

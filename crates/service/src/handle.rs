@@ -28,6 +28,10 @@ pub(crate) struct JobShared {
     /// Distinguishes submitter cancellation from deadline expiry when a
     /// run ends `Stopped`.
     pub(crate) cancelled: AtomicBool,
+    /// One-shot request to park the job back into the queue at its next
+    /// checkpoint barrier (checkpointed jobs only; cleared when
+    /// honoured).
+    pub(crate) suspend: AtomicBool,
     pub(crate) state: Mutex<(JobStatus, Option<JobResult>)>,
     pub(crate) done: Condvar,
 }
@@ -38,6 +42,7 @@ impl JobShared {
             id,
             stop: StopHandle::new(),
             cancelled: AtomicBool::new(false),
+            suspend: AtomicBool::new(false),
             state: Mutex::new((JobStatus::Queued, None)),
             done: Condvar::new(),
         })
@@ -47,6 +52,14 @@ impl JobShared {
         let mut state = self.state.lock().expect("job state poisoned");
         if state.0 == JobStatus::Queued {
             state.0 = JobStatus::Running;
+        }
+    }
+
+    /// A preempted/suspended job goes back to the queue.
+    pub(crate) fn set_queued(&self) {
+        let mut state = self.state.lock().expect("job state poisoned");
+        if state.0 == JobStatus::Running {
+            state.0 = JobStatus::Queued;
         }
     }
 
@@ -85,6 +98,18 @@ impl JobHandle {
     pub fn cancel(&self) {
         self.shared.cancelled.store(true, Ordering::SeqCst);
         self.shared.stop.stop();
+    }
+
+    /// Requests that a *running* job be suspended back into the
+    /// priority queue at its next checkpoint barrier, letting other
+    /// work overtake it; it resumes — bit-identically, from exactly
+    /// where it stopped — once it reaches the head of the queue again.
+    /// One-shot: the request is consumed when honoured. Only
+    /// checkpointed jobs (a [`hyperspace_core::CheckpointSpec`]
+    /// interval on the spec) have barriers to suspend at; for
+    /// monolithic jobs this is a no-op.
+    pub fn suspend(&self) {
+        self.shared.suspend.store(true, Ordering::SeqCst);
     }
 
     /// The result, if the job already finished (non-blocking).

@@ -15,10 +15,11 @@ use hyperspace_apps::{
     NQueensProgram, QueensTask, SumProgram, TspInstance, TspProgram, TspTask,
 };
 use hyperspace_core::{
-    BackendSpec, ErasedStackJob, JobParams, MapperSpec, ObjectiveSpec, PortfolioSpec, PruneSpec,
-    RunSummary, TopologySpec,
+    BackendSpec, CheckpointMeta, CheckpointSpec, ErasedStackJob, JobParams, MapperSpec,
+    ObjectiveSpec, PortfolioSpec, PruneSpec, RunSlice, RunSummary, SliceOutcome, StartedJob,
+    TopologySpec,
 };
-use hyperspace_portfolio::PortfolioRunner;
+use hyperspace_portfolio::{PortfolioRace, PortfolioRunner};
 use hyperspace_recursion::RecProgram;
 use hyperspace_sat::{dimacs, Cnf, DpllProgram, Heuristic, SimplifyMode, SubProblem};
 
@@ -77,6 +78,16 @@ pub enum JobKind {
         label: String,
         /// The boxed job.
         job: ErasedStackJob,
+    },
+    /// An arbitrary user program behind a re-invocable factory. Like
+    /// [`JobKind::Erased`] it is opaque to the cache, but because the
+    /// service can re-create the job it also supports checkpoint
+    /// restarts after a worker crash.
+    ErasedFactory {
+        /// Display label for stats and debugging.
+        label: String,
+        /// Builds a fresh copy of the job on demand.
+        factory: std::sync::Arc<dyn Fn() -> ErasedStackJob + Send + Sync>,
     },
 }
 
@@ -148,6 +159,55 @@ impl JobKind {
         }
     }
 
+    /// An arbitrary program behind a re-invocable factory: still
+    /// uncacheable, but rebuildable — which is what lets the service
+    /// restart it from its last checkpoint if a worker dies mid-solve.
+    pub fn erased_with_factory(
+        label: impl Into<String>,
+        factory: impl Fn() -> ErasedStackJob + Send + Sync + 'static,
+    ) -> JobKind {
+        JobKind::ErasedFactory {
+            label: label.into(),
+            factory: std::sync::Arc::new(factory),
+        }
+    }
+
+    /// A duplicate of this workload, when one can be made: every
+    /// data-carrying kind clones; closure-backed [`JobKind::Erased`]
+    /// jobs cannot (the service cannot duplicate an arbitrary
+    /// `FnOnce`), which is why they are excluded from checkpoint
+    /// restarts — use [`JobKind::erased_with_factory`] for those.
+    pub fn try_clone(&self) -> Option<JobKind> {
+        match self {
+            JobKind::Sat {
+                cnf,
+                heuristic,
+                mode,
+            } => Some(JobKind::Sat {
+                cnf: cnf.clone(),
+                heuristic: *heuristic,
+                mode: *mode,
+            }),
+            JobKind::Knapsack { items, capacity } => Some(JobKind::Knapsack {
+                items: items.clone(),
+                capacity: *capacity,
+            }),
+            JobKind::BnbKnapsack { items, capacity } => Some(JobKind::BnbKnapsack {
+                items: items.clone(),
+                capacity: *capacity,
+            }),
+            JobKind::Tsp { inst } => Some(JobKind::Tsp { inst: inst.clone() }),
+            JobKind::NQueens { n } => Some(JobKind::NQueens { n: *n }),
+            JobKind::Fib { n } => Some(JobKind::Fib { n: *n }),
+            JobKind::Sum { n } => Some(JobKind::Sum { n: *n }),
+            JobKind::Erased { .. } => None,
+            JobKind::ErasedFactory { label, factory } => Some(JobKind::ErasedFactory {
+                label: label.clone(),
+                factory: std::sync::Arc::clone(factory),
+            }),
+        }
+    }
+
     /// Short workload label for stats.
     pub fn label(&self) -> String {
         match self {
@@ -159,6 +219,7 @@ impl JobKind {
             JobKind::Fib { .. } => "fib".into(),
             JobKind::Sum { .. } => "sum".into(),
             JobKind::Erased { label, .. } => label.clone(),
+            JobKind::ErasedFactory { label, .. } => label.clone(),
         }
     }
 
@@ -200,7 +261,7 @@ impl JobKind {
             JobKind::NQueens { n } => Some(format!("nqueens/{n}")),
             JobKind::Fib { n } => Some(format!("fib/{n}")),
             JobKind::Sum { n } => Some(format!("sum/{n}")),
-            JobKind::Erased { .. } => None,
+            JobKind::Erased { .. } | JobKind::ErasedFactory { .. } => None,
         }
     }
 
@@ -214,11 +275,10 @@ impl JobKind {
     pub(crate) fn into_erased(self, portfolio: bool) -> ErasedStackJob {
         if portfolio {
             return match self {
-                JobKind::Sat { cnf, .. } => ErasedStackJob::from_fn(move |params| {
-                    PortfolioRunner::from_params(params)
-                        .expect("portfolio jobs carry a portfolio spec")
-                        .run_sat(&cnf)
-                        .into_summary()
+                JobKind::Sat { cnf, .. } => ErasedStackJob::from_start_fn(move |params| {
+                    let runner = PortfolioRunner::from_params(params)
+                        .expect("portfolio jobs carry a portfolio spec");
+                    start_race(runner.start_sat(&cnf), params.checkpoint)
                 }),
                 JobKind::Knapsack { items, capacity } => {
                     portfolio_mesh(KnapsackProgram, KnapsackTask::root(items, capacity))
@@ -231,6 +291,7 @@ impl JobKind {
                 JobKind::Fib { n } => portfolio_mesh(FibProgram, n),
                 JobKind::Sum { n } => portfolio_mesh(SumProgram, n),
                 JobKind::Erased { job, .. } => job,
+                JobKind::ErasedFactory { factory, .. } => factory(),
             };
         }
         match self {
@@ -253,6 +314,68 @@ impl JobKind {
             JobKind::Fib { n } => ErasedStackJob::new(FibProgram, n),
             JobKind::Sum { n } => ErasedStackJob::new(SumProgram, n),
             JobKind::Erased { job, .. } => job,
+            JobKind::ErasedFactory { factory, .. } => factory(),
+        }
+    }
+}
+
+/// A portfolio race sliced at its existing sync-epoch barriers: the
+/// whole race — live member machines plus bus bookkeeping — parks in
+/// the slice between epochs, making portfolio jobs suspendable and
+/// preemptible like any checkpointed single-stack job.
+struct PortfolioSlice {
+    race: Option<PortfolioRace>,
+    epochs_per_slice: u64,
+}
+
+impl PortfolioSlice {
+    fn race(&self) -> &PortfolioRace {
+        self.race.as_ref().expect("race present until finished")
+    }
+}
+
+impl RunSlice for PortfolioSlice {
+    fn run_slice(mut self: Box<Self>) -> SliceOutcome {
+        let race = self.race.as_mut().expect("race present until finished");
+        if race.run_epochs(self.epochs_per_slice) {
+            let race = self.race.take().expect("present");
+            SliceOutcome::Finished(race.finish().into_summary())
+        } else {
+            SliceOutcome::Yielded(self)
+        }
+    }
+
+    fn steps_done(&self) -> u64 {
+        let race = self.race();
+        race.epochs().saturating_mul(race.epoch_len())
+    }
+
+    fn checkpoint(&self) -> CheckpointMeta {
+        let mut meta = CheckpointMeta {
+            steps: self.steps_done(),
+            ..CheckpointMeta::default()
+        };
+        meta.frontier.incumbent = self.race().best_incumbent();
+        meta
+    }
+}
+
+/// Starts a race monolithically or — under an enabled checkpoint spec —
+/// sliced at epoch barriers, one checkpoint interval's worth of epochs
+/// per slice.
+fn start_race(race: PortfolioRace, checkpoint: CheckpointSpec) -> StartedJob {
+    match checkpoint.interval() {
+        None => {
+            let mut race = race;
+            race.run_epochs(u64::MAX);
+            StartedJob::Finished(race.finish().into_summary())
+        }
+        Some(interval) => {
+            let epochs_per_slice = interval.div_ceil(race.epoch_len()).max(1);
+            StartedJob::Sliced(Box::new(PortfolioSlice {
+                race: Some(race),
+                epochs_per_slice,
+            }))
         }
     }
 }
@@ -263,7 +386,10 @@ impl JobKind {
 /// (erased workloads ignore the portfolio entirely and stay valid).
 pub(crate) fn validate_portfolio(spec: &JobSpec) -> Option<String> {
     let folio = spec.params.portfolio.as_ref()?;
-    if matches!(spec.kind, JobKind::Sat { .. } | JobKind::Erased { .. }) {
+    if matches!(
+        spec.kind,
+        JobKind::Sat { .. } | JobKind::Erased { .. } | JobKind::ErasedFactory { .. }
+    ) {
         return None;
     }
     let cdcl = folio
@@ -284,11 +410,11 @@ where
     P::Arg: Clone,
     P::Out: std::fmt::Debug,
 {
-    ErasedStackJob::from_fn(move |params| {
-        PortfolioRunner::from_params(params)
-            .expect("portfolio jobs carry a portfolio spec")
-            .run_mesh(|_, _| program.clone(), root_arg.clone())
-            .into_summary()
+    ErasedStackJob::from_start_fn(move |params| {
+        let runner =
+            PortfolioRunner::from_params(params).expect("portfolio jobs carry a portfolio spec");
+        let race = runner.start_mesh(|_, _| program.clone(), root_arg.clone());
+        start_race(race, params.checkpoint)
     })
 }
 
@@ -358,6 +484,17 @@ impl JobSpec {
     /// the computation — and of the cache key.
     pub fn prune(mut self, spec: PruneSpec) -> Self {
         self.params.prune = spec;
+        self
+    }
+
+    /// Selects the checkpoint policy. `interval:N` makes the job
+    /// suspendable/preemptible at every `N`-step barrier and eligible
+    /// for checkpoint restarts after a worker crash. Like the backend
+    /// it never changes what is computed (sliced runs are bit-identical
+    /// to monolithic ones), so it is *not* part of
+    /// [`JobSpec::cache_key`].
+    pub fn checkpoint(mut self, spec: CheckpointSpec) -> Self {
+        self.params.checkpoint = spec;
         self
     }
 
@@ -536,6 +673,40 @@ mod tests {
         let seq = JobSpec::new(JobKind::sat(gen::uf20_91(1)));
         let sharded = JobSpec::new(JobKind::sat(gen::uf20_91(1))).backend(BackendSpec::sharded(8));
         assert_eq!(seq.cache_key(), sharded.cache_key());
+    }
+
+    #[test]
+    fn checkpoint_spec_does_not_split_the_cache() {
+        // Checkpointing is scheduling, not computation: sliced runs are
+        // bit-identical to monolithic ones, so — like the backend — the
+        // checkpoint spec must not split cache entries.
+        let monolithic = JobSpec::new(JobKind::sat(gen::uf20_91(1)));
+        let sliced =
+            JobSpec::new(JobKind::sat(gen::uf20_91(1))).checkpoint(CheckpointSpec::every(128));
+        assert_eq!(monolithic.cache_key(), sliced.cache_key());
+    }
+
+    #[test]
+    fn rebuildable_kinds_clone_and_erased_closures_do_not() {
+        assert!(JobKind::sat(gen::uf20_91(1)).try_clone().is_some());
+        assert!(JobKind::sum(9).try_clone().is_some());
+        assert!(JobKind::nqueens(5).try_clone().is_some());
+        use hyperspace_recursion::{FnProgram, Rec};
+        let erased = JobKind::erased(
+            "identity",
+            FnProgram::new(|n: u64| -> Rec<u64, u64> { Rec::done(n) }),
+            3,
+        );
+        assert!(erased.try_clone().is_none(), "FnOnce jobs cannot duplicate");
+        let factory = JobKind::erased_with_factory("made", || {
+            ErasedStackJob::new(
+                FnProgram::new(|n: u64| -> Rec<u64, u64> { Rec::done(n) }),
+                3,
+            )
+        });
+        let cloned = factory.try_clone().expect("factories re-invoke");
+        assert_eq!(cloned.label(), "made");
+        assert_eq!(JobSpec::new(cloned).cache_key(), None, "still uncacheable");
     }
 
     #[test]

@@ -5,12 +5,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use hyperspace_core::{ErasedStackJob, JobParams, RunSummary};
+use hyperspace_core::{ErasedStackJob, JobParams, RunSlice, RunSummary, SliceOutcome, StartedJob};
 use hyperspace_sim::RunOutcome;
 
 use crate::handle::{JobHandle, JobShared};
 use crate::job::{JobOutcome, JobRequest, JobResult};
-use crate::stats::{ServiceStats, StatsInner};
+use crate::stats::{saturating_micros, ServiceStats, StatsInner};
+
+/// What a queued entry carries: a job not yet started, or a running job
+/// suspended at a checkpoint barrier (preemption / explicit suspend)
+/// waiting to resume exactly where it stopped.
+enum Payload {
+    /// Not yet started.
+    Start(ErasedStackJob),
+    /// Suspended mid-run; resuming is bit-identical to never stopping.
+    Resume(Box<dyn RunSlice>),
+}
 
 /// A job as it sits in the priority queue.
 struct QueuedJob {
@@ -19,10 +29,30 @@ struct QueuedJob {
     submitted_at: Instant,
     deadline_at: Option<Instant>,
     params: JobParams,
-    job: ErasedStackJob,
+    /// `None` only transiently while a worker holds the job.
+    payload: Option<Payload>,
     cache_key: Option<String>,
     label: String,
     shared: Arc<JobShared>,
+    /// Re-creates the job from its spec — the checkpoint-restart path
+    /// for crashed workers. Present only for checkpoint-enabled jobs
+    /// whose workload is rebuildable ([`crate::JobKind::try_clone`]).
+    rebuild: Option<Box<dyn Fn() -> ErasedStackJob + Send>>,
+    /// Crash-recovery attempts consumed.
+    attempt: u32,
+    /// Steps completed at the last observed checkpoint barrier.
+    checkpoint_steps: u64,
+    /// After a crash restart: replay (deterministically) to this step
+    /// before preemption checks resume — the logical "restore from the
+    /// last checkpoint".
+    resume_floor: u64,
+    /// Queue wait to the *first* pickup (re-queues from preemption are
+    /// scheduling churn, not queue wait).
+    first_wait: Option<Duration>,
+    /// Execution sequence number assigned at first pickup.
+    exec_seq: Option<u64>,
+    /// Solve time accumulated over earlier slices of this job.
+    solve_so_far: Duration,
 }
 
 impl PartialEq for QueuedJob {
@@ -114,6 +144,7 @@ struct ServiceInner {
     exec_seq: AtomicU64,
     started: Instant,
     workers: usize,
+    max_restarts: u32,
 }
 
 /// Configuration of a [`SolverService`].
@@ -127,6 +158,14 @@ pub struct ServiceConfig {
     /// Maximum entries in the result cache; the oldest entry is evicted
     /// at capacity. `0` disables caching entirely.
     pub cache_capacity: usize,
+    /// How many times a checkpointed, rebuildable job whose worker
+    /// crashed (panicked) mid-solve is restarted from its last
+    /// checkpoint before being reported [`JobOutcome::Failed`].
+    /// Restarts re-derive the checkpoint state by deterministic replay,
+    /// so a recovered job's result is bit-identical to an uninterrupted
+    /// one. `0` disables crash recovery (jobs without checkpoints are
+    /// never restarted regardless).
+    pub max_restarts: u32,
 }
 
 impl Default for ServiceConfig {
@@ -138,6 +177,7 @@ impl Default for ServiceConfig {
                 .clamp(2, 16),
             start_workers: true,
             cache_capacity: 4096,
+            max_restarts: 1,
         }
     }
 }
@@ -185,6 +225,7 @@ impl SolverService {
             exec_seq: AtomicU64::new(0),
             started: Instant::now(),
             workers: cfg.workers,
+            max_restarts: cfg.max_restarts,
         });
         let mut service = SolverService {
             inner,
@@ -263,6 +304,21 @@ impl SolverService {
         let cache_key = request.spec.cache_key();
         let label = request.spec.kind.label();
         let portfolio = request.spec.params.portfolio.is_some();
+        // Checkpoint restarts need a second copy of the job; build the
+        // factory before the kind is consumed. Non-checkpointed jobs
+        // never restart, so they skip the clone.
+        let rebuild: Option<Box<dyn Fn() -> ErasedStackJob + Send>> =
+            if request.spec.params.checkpoint.is_enabled() {
+                request.spec.kind.try_clone().map(|kind| {
+                    Box::new(move || {
+                        kind.try_clone()
+                            .expect("cloneable kinds stay cloneable")
+                            .into_erased(portfolio)
+                    }) as Box<dyn Fn() -> ErasedStackJob + Send>
+                })
+            } else {
+                None
+            };
         let queued = QueuedJob {
             priority: request.priority,
             seq: 0, // assigned under the queue lock below
@@ -276,8 +332,15 @@ impl SolverService {
             },
             cache_key,
             label,
-            job: request.spec.kind.into_erased(portfolio),
+            payload: Some(Payload::Start(request.spec.kind.into_erased(portfolio))),
             shared,
+            rebuild,
+            attempt: 0,
+            checkpoint_steps: 0,
+            resume_floor: 0,
+            first_wait: None,
+            exec_seq: None,
+            solve_so_far: Duration::ZERO,
         };
         {
             let mut q = self.inner.queue.lock().expect("queue poisoned");
@@ -329,6 +392,9 @@ impl SolverService {
             cancelled: stats.cancelled,
             failed: stats.failed,
             cache_hits: stats.cache_hits,
+            preemptions: stats.preemptions,
+            suspensions: stats.suspensions,
+            restarts: stats.restarts,
             cache_entries,
             queue_depth,
             queue_wait_us: stats.queue_wait_us.clone(),
@@ -403,14 +469,22 @@ impl SolverService {
         let mut stats = self.inner.stats.lock().expect("stats poisoned");
         for job in jobs {
             stats.cancelled += 1;
+            // A job cancelled while queued still waited in the queue:
+            // its wait belongs in the distribution like everyone
+            // else's (recorded here unless a worker already recorded
+            // it at first pickup).
+            let queue_wait = job.first_wait.unwrap_or_else(|| job.submitted_at.elapsed());
+            if job.first_wait.is_none() {
+                stats.queue_wait_us.record(saturating_micros(queue_wait));
+            }
             job.shared.finish(JobResult {
                 id: job.shared.id,
                 outcome: JobOutcome::Cancelled,
                 from_cache: false,
-                queue_wait: job.submitted_at.elapsed(),
-                solve_time: Duration::ZERO,
+                queue_wait,
+                solve_time: job.solve_so_far,
                 worker: None,
-                exec_seq: None,
+                exec_seq: job.exec_seq,
             });
         }
     }
@@ -447,68 +521,236 @@ fn worker_loop(inner: Arc<ServiceInner>, wid: usize) {
     }
 }
 
-fn process_job(inner: &ServiceInner, wid: usize, job: QueuedJob) {
-    let queue_wait = job.submitted_at.elapsed();
-    let exec_seq = inner.exec_seq.fetch_add(1, Ordering::SeqCst);
+/// Whether the queue holds work that should preempt a running job of
+/// `priority` at its next checkpoint barrier. Strictly higher priority
+/// only: equal-priority work waits its FIFO turn, so two long jobs can
+/// never ping-pong each other.
+fn higher_priority_waiting(inner: &ServiceInner, priority: i32) -> bool {
+    inner
+        .queue
+        .lock()
+        .expect("queue poisoned")
+        .heap
+        .peek()
+        .is_some_and(|job| job.priority > priority)
+}
+
+/// Puts a suspended or restarted job back into the priority queue. With
+/// `to_back` false (preemption, crash restarts) it keeps its original
+/// submission `seq` and so resumes ahead of later arrivals at the same
+/// priority; with `to_back` true (explicit [`JobHandle::suspend`]) it
+/// takes a fresh `seq` and re-enters at the back of its priority class,
+/// letting already-queued peers overtake. On a shutting-down service the
+/// job is finished as cancelled instead, so no handle waits forever.
+fn requeue(inner: &ServiceInner, mut job: QueuedJob, to_back: bool) {
+    {
+        let mut q = inner.queue.lock().expect("queue poisoned");
+        if !q.shutdown {
+            if to_back {
+                job.seq = q.next_seq;
+                q.next_seq += 1;
+            }
+            q.heap.push(job);
+            drop(q);
+            inner.available.notify_one();
+            return;
+        }
+    }
+    inner.stats.lock().expect("stats poisoned").cancelled += 1;
+    job.shared.finish(JobResult {
+        id: job.shared.id,
+        outcome: JobOutcome::Cancelled,
+        from_cache: false,
+        queue_wait: job.first_wait.unwrap_or_default(),
+        solve_time: job.solve_so_far,
+        worker: None,
+        exec_seq: job.exec_seq,
+    });
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "job panicked".into())
+}
+
+/// A worker crashed (panicked) mid-solve. If the job carries a rebuild
+/// factory and restart budget, re-queue a fresh copy that will replay
+/// deterministically to the last checkpoint barrier (`resume_floor`)
+/// and continue — returning `None`. Otherwise hand the job back with
+/// the failure message.
+fn crash(inner: &ServiceInner, mut job: QueuedJob, message: String) -> Option<(QueuedJob, String)> {
+    if let Some(rebuild) = job
+        .rebuild
+        .as_ref()
+        .filter(|_| job.attempt < inner.max_restarts)
+    {
+        let fresh = rebuild();
+        job.attempt += 1;
+        job.resume_floor = job.checkpoint_steps;
+        job.payload = Some(Payload::Start(fresh));
+        job.shared.set_queued();
+        inner.stats.lock().expect("stats poisoned").restarts += 1;
+        requeue(inner, job, false);
+        None
+    } else {
+        Some((job, message))
+    }
+}
+
+/// Maps a finished run's summary to a job outcome, caching completed
+/// results.
+fn summary_outcome(inner: &ServiceInner, job: &QueuedJob, summary: RunSummary) -> JobOutcome {
+    match summary.outcome {
+        RunOutcome::Stopped => {
+            if job.shared.cancelled.load(Ordering::SeqCst) {
+                JobOutcome::Cancelled
+            } else {
+                JobOutcome::TimedOut
+            }
+        }
+        _ => {
+            if let Some(key) = &job.cache_key {
+                inner
+                    .cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(key, summary.clone());
+            }
+            JobOutcome::Completed(summary)
+        }
+    }
+}
+
+fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
+    let wait_now = job.submitted_at.elapsed();
+    if job.first_wait.is_none() {
+        // First pickup: this is the job's queue wait — later re-queues
+        // from preemption are scheduling churn, not queue wait.
+        job.first_wait = Some(wait_now);
+        job.exec_seq = Some(inner.exec_seq.fetch_add(1, Ordering::SeqCst));
+        inner
+            .stats
+            .lock()
+            .expect("stats poisoned")
+            .queue_wait_us
+            .record(saturating_micros(wait_now));
+    }
     let picked_up = Instant::now();
 
     let mut from_cache = false;
-    let mut solve_time = Duration::ZERO;
-    let outcome = if job.shared.cancelled.load(Ordering::SeqCst) {
-        JobOutcome::Cancelled
-    } else if job.deadline_at.is_some_and(|d| picked_up >= d) {
-        // Expired while queued: reject without occupying the worker.
-        JobOutcome::TimedOut
-    } else if let Some(hit) = job
-        .cache_key
-        .as_ref()
-        .and_then(|key| inner.cache.lock().expect("cache poisoned").get(key))
-    {
-        from_cache = true;
-        JobOutcome::Completed(hit)
-    } else {
-        job.shared.set_running();
-        let mut params = job.params.clone();
-        let mut stop = job.shared.stop.clone();
-        if let Some(deadline) = job.deadline_at {
-            stop = stop.until(deadline);
+    let mut executed = false;
+    let outcome = 'decide: {
+        if job.shared.cancelled.load(Ordering::SeqCst) {
+            break 'decide JobOutcome::Cancelled;
         }
-        params.stop = Some(stop);
-        let erased = job.job;
-        let ran =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || erased.run(&params)));
-        solve_time = picked_up.elapsed();
-        match ran {
-            Ok(summary) => match summary.outcome {
-                RunOutcome::Stopped => {
+        if job.deadline_at.is_some_and(|d| picked_up >= d) {
+            // Expired while queued: reject without occupying the worker.
+            break 'decide JobOutcome::TimedOut;
+        }
+        if matches!(job.payload, Some(Payload::Start(_))) {
+            if let Some(hit) = job
+                .cache_key
+                .as_ref()
+                .and_then(|key| inner.cache.lock().expect("cache poisoned").get(key))
+            {
+                from_cache = true;
+                break 'decide JobOutcome::Completed(hit);
+            }
+        }
+
+        job.shared.set_running();
+        executed = true;
+        let mut slice: Box<dyn RunSlice> = match job.payload.take().expect("payload present") {
+            Payload::Resume(slice) => slice,
+            Payload::Start(erased) => {
+                let mut params = job.params.clone();
+                let mut stop = job.shared.stop.clone();
+                if let Some(deadline) = job.deadline_at {
+                    // Absolute, so a resumed job keeps its original
+                    // budget: the handle travels with the suspended sim.
+                    stop = stop.until(deadline);
+                }
+                params.stop = Some(stop);
+                let started = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    erased.start(&params)
+                }));
+                match started {
+                    Ok(StartedJob::Finished(summary)) => {
+                        break 'decide summary_outcome(inner, &job, summary);
+                    }
+                    Ok(StartedJob::Sliced(slice)) => slice,
+                    Err(panic) => match crash(inner, job, panic_message(panic)) {
+                        None => return, // restarting from the checkpoint
+                        Some((returned, msg)) => {
+                            job = returned;
+                            break 'decide JobOutcome::Failed(msg);
+                        }
+                    },
+                }
+            }
+        };
+
+        // The slice loop: advance one checkpoint interval at a time; at
+        // every barrier honour cancellation, explicit suspension, and
+        // priority preemption.
+        loop {
+            let stepped =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || slice.run_slice()));
+            match stepped {
+                Err(panic) => match crash(inner, job, panic_message(panic)) {
+                    None => return, // restarting from the checkpoint
+                    Some((returned, msg)) => {
+                        job = returned;
+                        break 'decide JobOutcome::Failed(msg);
+                    }
+                },
+                Ok(SliceOutcome::Finished(summary)) => {
+                    break 'decide summary_outcome(inner, &job, summary);
+                }
+                Ok(SliceOutcome::Yielded(next)) => {
+                    slice = next;
+                    job.checkpoint_steps = slice.steps_done();
                     if job.shared.cancelled.load(Ordering::SeqCst) {
-                        JobOutcome::Cancelled
-                    } else {
-                        JobOutcome::TimedOut
+                        break 'decide JobOutcome::Cancelled;
                     }
-                }
-                _ => {
-                    if let Some(key) = &job.cache_key {
-                        inner
-                            .cache
-                            .lock()
-                            .expect("cache poisoned")
-                            .insert(key, summary.clone());
+                    if slice.steps_done() < job.resume_floor {
+                        // Crash recovery: replay to the last checkpoint
+                        // before anything may interleave again.
+                        continue;
                     }
-                    JobOutcome::Completed(summary)
+                    let suspend = job.shared.suspend.swap(false, Ordering::SeqCst);
+                    if !suspend && !higher_priority_waiting(inner, job.priority) {
+                        continue;
+                    }
+                    // Preempted: park the live run back in the queue and
+                    // free this worker for the higher-priority job.
+                    {
+                        let mut stats = inner.stats.lock().expect("stats poisoned");
+                        if suspend {
+                            stats.suspensions += 1;
+                        } else {
+                            stats.preemptions += 1;
+                        }
+                        stats.per_worker_busy_us[wid] += saturating_micros(picked_up.elapsed());
+                    }
+                    job.solve_so_far += picked_up.elapsed();
+                    job.payload = Some(Payload::Resume(slice));
+                    job.shared.set_queued();
+                    requeue(inner, job, suspend);
+                    return;
                 }
-            },
-            Err(panic) => {
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "job panicked".into());
-                JobOutcome::Failed(msg)
             }
         }
     };
 
+    let solve_time = if executed {
+        job.solve_so_far + picked_up.elapsed()
+    } else {
+        job.solve_so_far
+    };
     {
         let mut stats = inner.stats.lock().expect("stats poisoned");
         match &outcome {
@@ -522,12 +764,13 @@ fn process_job(inner: &ServiceInner, wid: usize, job: QueuedJob) {
             JobOutcome::Cancelled => stats.cancelled += 1,
             JobOutcome::Failed(_) => stats.failed += 1,
         }
-        stats.queue_wait_us.record(queue_wait.as_micros() as u64);
         if !from_cache && solve_time > Duration::ZERO {
-            stats.solve_time_us.record(solve_time.as_micros() as u64);
+            stats.solve_time_us.record(saturating_micros(solve_time));
         }
         stats.per_worker_jobs[wid] += 1;
-        stats.per_worker_busy_us[wid] += solve_time.as_micros() as u64;
+        if executed {
+            stats.per_worker_busy_us[wid] += saturating_micros(picked_up.elapsed());
+        }
         *stats.jobs_by_kind.entry(job.label.clone()).or_insert(0) += 1;
     }
 
@@ -535,10 +778,10 @@ fn process_job(inner: &ServiceInner, wid: usize, job: QueuedJob) {
         id: job.shared.id,
         outcome,
         from_cache,
-        queue_wait,
+        queue_wait: job.first_wait.unwrap_or(wait_now),
         solve_time,
         worker: Some(wid),
-        exec_seq: Some(exec_seq),
+        exec_seq: job.exec_seq,
     });
 }
 
@@ -640,6 +883,7 @@ mod tests {
             workers: 1,
             start_workers: true,
             cache_capacity: 0,
+            max_restarts: 1,
         });
         let first = service.submit(small(JobKind::fib(9))).wait();
         let second = service.submit(small(JobKind::fib(9))).wait();
@@ -717,8 +961,28 @@ mod tests {
     fn dropping_the_service_cancels_queued_jobs() {
         let service = SolverService::paused(1);
         let handle = service.submit(small(JobKind::sum(5)));
+        let other = service.submit(small(JobKind::sum(6)));
+        // A waiter already blocked on the handle must be woken by the
+        // drop-path cancellation, not left hanging forever.
+        let waiter = {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.wait())
+        };
+        let inner = Arc::clone(&service.inner);
         drop(service);
-        assert_eq!(handle.wait().outcome, JobOutcome::Cancelled);
+        let woken = waiter.join().expect("waiter thread");
+        assert_eq!(woken.outcome, JobOutcome::Cancelled);
+        let late = handle.wait();
+        assert_eq!(late.outcome, JobOutcome::Cancelled);
+        assert_eq!(other.wait().outcome, JobOutcome::Cancelled);
+        // Cancelled-in-queue jobs still record their queue wait.
+        let stats = inner.stats.lock().expect("stats poisoned");
+        assert_eq!(stats.cancelled, 2);
+        assert_eq!(
+            stats.queue_wait_us.count(),
+            2,
+            "both aborted jobs must land in the queue-wait histogram"
+        );
     }
 
     #[test]

@@ -4,6 +4,15 @@ use std::time::Duration;
 
 use hyperspace_metrics::Histogram;
 
+/// Converts a duration to whole microseconds, saturating at `u64::MAX`
+/// instead of silently truncating the `u128` (`as u64` would wrap a
+/// pathological ~584-millennium wait into a tiny number, corrupting
+/// every histogram and busy-time counter downstream). All
+/// duration-to-micros conversions in the service go through this.
+pub(crate) fn saturating_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Mutable counters behind the service's stats mutex.
 #[derive(Debug, Default)]
 pub(crate) struct StatsInner {
@@ -13,6 +22,9 @@ pub(crate) struct StatsInner {
     pub cancelled: u64,
     pub failed: u64,
     pub cache_hits: u64,
+    pub preemptions: u64,
+    pub suspensions: u64,
+    pub restarts: u64,
     pub queue_wait_us: Histogram,
     pub solve_time_us: Histogram,
     pub per_worker_jobs: Vec<u64>,
@@ -49,6 +61,14 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Results served straight from the cache.
     pub cache_hits: u64,
+    /// Times a running job was preempted back into the queue because
+    /// higher-priority work was waiting (automatic time-slicing).
+    pub preemptions: u64,
+    /// Times a submitter suspended a running job via
+    /// [`crate::JobHandle::suspend`].
+    pub suspensions: u64,
+    /// Jobs restarted from their last checkpoint after a worker crash.
+    pub restarts: u64,
     /// Entries currently held by the result cache.
     pub cache_entries: usize,
     /// Jobs currently waiting in the queue.
@@ -152,6 +172,13 @@ impl std::fmt::Display for ServiceStats {
             self.cache_hit_rate() * 100.0,
             self.cache_entries
         )?;
+        if self.preemptions + self.suspensions + self.restarts > 0 {
+            writeln!(
+                f,
+                "  scheduling: {} preemptions | {} suspensions | {} checkpoint restarts",
+                self.preemptions, self.suspensions, self.restarts
+            )?;
+        }
         render_histogram(f, "queue wait", &self.queue_wait_us)?;
         render_histogram(f, "solve time", &self.solve_time_us)?;
         for (w, jobs) in self.per_worker_jobs.iter().enumerate() {
@@ -171,5 +198,33 @@ impl std::fmt::Display for ServiceStats {
             writeln!(f, "  by kind: {}", kinds.join(" "))?;
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_micros_is_exact_below_the_cap() {
+        assert_eq!(saturating_micros(Duration::ZERO), 0);
+        assert_eq!(saturating_micros(Duration::from_micros(1)), 1);
+        assert_eq!(saturating_micros(Duration::from_millis(7)), 7_000);
+        assert_eq!(saturating_micros(Duration::from_secs(3)), 3_000_000);
+        // Sub-microsecond remainders truncate toward zero, as before.
+        assert_eq!(saturating_micros(Duration::from_nanos(999)), 0);
+    }
+
+    #[test]
+    fn saturating_micros_saturates_instead_of_wrapping() {
+        // u64::MAX seconds is ~10^19 s; in microseconds that exceeds
+        // u64::MAX by a factor of 10^6 — `as u64` would silently wrap.
+        let huge = Duration::new(u64::MAX, 999_999_999);
+        assert_eq!(saturating_micros(huge), u64::MAX);
+        // The exact boundary: u64::MAX microseconds still fits.
+        let edge = Duration::from_micros(u64::MAX);
+        assert_eq!(saturating_micros(edge), u64::MAX);
+        let over = edge + Duration::from_micros(1);
+        assert_eq!(saturating_micros(over), u64::MAX);
     }
 }

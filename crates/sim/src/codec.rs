@@ -1,0 +1,394 @@
+//! A small self-contained byte codec for checkpoints.
+//!
+//! Checkpoints must be durable bytes (written to disk, shipped between
+//! processes) without pulling a serialisation framework into the
+//! dependency tree, so this module implements the minimum needed:
+//! little-endian fixed-width scalars, length-prefixed sequences, and a
+//! [`Codec`] trait composing them. Everything a checkpoint contains —
+//! node states, envelopes, metrics — encodes through this trait, and
+//! decoding validates lengths so truncated or corrupt inputs surface as
+//! [`CodecError`]s instead of panics.
+
+use std::collections::VecDeque;
+
+/// Error decoding checkpoint bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value was complete.
+    Truncated {
+        /// Bytes needed by the read that failed.
+        needed: usize,
+        /// Bytes remaining in the input.
+        remaining: usize,
+    },
+    /// A value was syntactically readable but semantically invalid.
+    Invalid(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => write!(
+                f,
+                "checkpoint truncated: needed {needed} bytes, {remaining} remaining"
+            ),
+            CodecError::Invalid(what) => write!(f, "invalid checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// An append-only byte sink checkpoints encode into.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// A cursor over checkpoint bytes being decoded.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole input.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.get_len()?;
+        self.take(len)
+    }
+
+    /// Reads a `u64` length prefix, bounds-checked against the remaining
+    /// input so a corrupt length cannot trigger a huge allocation.
+    pub fn get_len(&mut self) -> Result<usize, CodecError> {
+        let len = self.get_u64()?;
+        let len = usize::try_from(len)
+            .map_err(|_| CodecError::Invalid(format!("length {len} exceeds the address space")))?;
+        if len > self.remaining() {
+            return Err(CodecError::Truncated {
+                needed: len,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+}
+
+/// A value that round-trips through checkpoint bytes.
+pub trait Codec: Sized {
+    /// Appends this value's encoding.
+    fn encode(&self, w: &mut Writer);
+    /// Decodes one value from the cursor.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+}
+
+impl Codec for () {
+    fn encode(&self, _w: &mut Writer) {}
+    fn decode(_r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(())
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::Invalid(format!("bool byte {other}"))),
+        }
+    }
+}
+
+impl Codec for u8 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.get_u8()
+    }
+}
+
+impl Codec for u32 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.get_u32()
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.get_u64()
+    }
+}
+
+impl Codec for i64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_i64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.get_i64()
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let bytes = r.get_bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CodecError::Invalid("string is not UTF-8".into()))
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(CodecError::Invalid(format!("option tag {other}"))),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = r.get_u64()?;
+        let len =
+            usize::try_from(len).map_err(|_| CodecError::Invalid(format!("vec length {len}")))?;
+        // Items are at least one byte each (tighter per-type bounds are
+        // unknowable here); this caps a corrupt prefix's allocation.
+        let mut out = Vec::with_capacity(len.min(r.remaining().max(1)));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Codec> Codec for VecDeque<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Vec::<T>::decode(r)?.into())
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(value: T) {
+        let mut w = Writer::new();
+        value.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(T::decode(&mut r).expect("decodes"), value);
+        assert_eq!(r.remaining(), 0, "decode must consume exactly its bytes");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(());
+        round_trip(true);
+        round_trip(false);
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(i64::MIN);
+        round_trip(i64::MAX);
+        round_trip("hyperspace checkpoint".to_string());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(Option::<u64>::None);
+        round_trip(Some(42u64));
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u32>::new());
+        round_trip(VecDeque::from([9u8, 8, 7]));
+        round_trip((3u64, 7u32));
+        round_trip((1u64, 2u32, 3u32));
+        round_trip(vec![Some((1u64, "a".to_string())), None]);
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut w = Writer::new();
+        (vec![1u64, 2, 3]).encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(
+                Vec::<u64>::decode(&mut r).is_err(),
+                "prefix of {cut} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_are_bounded() {
+        // A length prefix far beyond the remaining input must error, not
+        // allocate.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.get_len().is_err());
+        let mut r = Reader::new(&bytes);
+        assert!(Vec::<u8>::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        let bytes = [7u8];
+        assert!(bool::decode(&mut Reader::new(&bytes)).is_err());
+        assert!(Option::<u8>::decode(&mut Reader::new(&bytes)).is_err());
+        let bad_utf8 = {
+            let mut w = Writer::new();
+            w.put_bytes(&[0xFF, 0xFE]);
+            w.into_bytes()
+        };
+        assert!(String::decode(&mut Reader::new(&bad_utf8)).is_err());
+    }
+}

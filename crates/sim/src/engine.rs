@@ -19,6 +19,8 @@
 
 use std::collections::VecDeque;
 
+use crate::checkpoint::{encode_body, CheckpointState, SimCheckpoint, TransitKey};
+use crate::codec::{Codec, CodecError};
 use crate::control::StopHandle;
 use crate::envelope::Envelope;
 use crate::program::{InitCtx, NodeCtx, NodeProgram, Outbox};
@@ -186,8 +188,14 @@ pub struct Simulation<T: Topology, P: NodeProgram> {
     cfg: SimConfig,
     states: Vec<P::State>,
     inboxes: Vec<VecDeque<Envelope<P::Msg>>>,
-    /// Routed-mode in-flight messages, tagged with their current position.
-    transit: VecDeque<(NodeId, Envelope<P::Msg>)>,
+    /// Routed-mode in-flight messages, tagged with their current
+    /// position and their global delivery key (`enqueue step, sender,
+    /// emission index`). The deque stays key-sorted by construction —
+    /// survivors keep their relative order, new entries enqueue with
+    /// strictly larger keys — which is what makes checkpoints portable
+    /// to and from the sharded backend, whose transit queues are keyed
+    /// the same way.
+    transit: VecDeque<(TransitKey, NodeId, Envelope<P::Msg>)>,
     /// Per-node staging buffers, reused across steps.
     staged: Vec<Vec<Envelope<P::Msg>>>,
     /// Per-node delivery batches, reused across steps.
@@ -311,7 +319,7 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
         // Phase 1: advance routed in-flight messages one hop.
         if self.cfg.delivery == DeliveryModel::Routed {
             for _ in 0..self.transit.len() {
-                let (at, mut env) = self.transit.pop_front().expect("len checked");
+                let (key, at, mut env) = self.transit.pop_front().expect("len checked");
                 let next = self.topo.next_hop(at, env.dst);
                 if next != at {
                     env.advance_hop();
@@ -319,7 +327,7 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
                 if next == env.dst {
                     self.inboxes[env.dst as usize].push_back(env);
                 } else {
-                    self.transit.push_back((next, env));
+                    self.transit.push_back((key, next, env));
                 }
             }
         }
@@ -379,7 +387,7 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
         // Phase 3: deterministic delivery of staged sends.
         let mut overflow: Option<SimError> = None;
         for node in 0..n {
-            for env in self.staged[node].drain(..) {
+            for (emission, env) in self.staged[node].drain(..).enumerate() {
                 if self.cfg.record_trace {
                     self.trace.push(TraceEvent {
                         step,
@@ -400,7 +408,8 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
                     DeliveryModel::Routed
                         if env.src != env.dst && !self.topo.are_adjacent(env.src, env.dst) =>
                     {
-                        self.transit.push_back((env.src, env));
+                        let key: TransitKey = (step, node as NodeId, emission as u32);
+                        self.transit.push_back((key, env.src, env));
                     }
                     _ => {
                         let dst = env.dst as usize;
@@ -583,6 +592,65 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
     /// Consumes the simulation, returning final states and metrics.
     pub fn into_parts(self) -> (Vec<P::State>, SimMetrics) {
         (self.states, self.metrics)
+    }
+}
+
+impl<T: Topology, P: NodeProgram> Simulation<T, P>
+where
+    P::State: Codec,
+    P::Msg: Codec,
+{
+    /// Serialises the simulation's complete logical state at the current
+    /// step barrier. Valid between steps only (which is whenever the
+    /// caller can observe `&self`): staging buffers are drained every
+    /// step, so a checkpoint never holds half a step. The result is the
+    /// canonical cross-backend format — byte-identical to what a
+    /// [`crate::ShardedSimulation`] of the same run would emit at the
+    /// same step, and restorable on either backend.
+    pub fn snapshot(&self) -> SimCheckpoint {
+        debug_assert!(self.staged.iter().all(|s| s.is_empty()));
+        debug_assert!(self.batches.iter().all(|b| b.is_empty()));
+        let body = encode_body(
+            self.states.iter(),
+            self.inboxes.iter(),
+            self.transit.len(),
+            self.transit.iter().map(|(key, at, env)| (*key, *at, env)),
+            &self.metrics,
+            &self.trace,
+        );
+        SimCheckpoint::new(self.step, self.halted, self.states.len(), body)
+    }
+
+    /// Rebuilds a simulation from a checkpoint, ready to resume exactly
+    /// where the snapshot was taken: continuing the run produces
+    /// bit-identical states, metrics and traces to a run that was never
+    /// interrupted. The caller supplies the same topology, program and
+    /// config the checkpoint was taken under; a machine-size mismatch is
+    /// rejected.
+    pub fn restore(
+        topo: T,
+        program: P,
+        cfg: SimConfig,
+        ckpt: &SimCheckpoint,
+    ) -> Result<Self, CodecError> {
+        let mut sim = Simulation::new(topo, program, cfg);
+        if ckpt.num_nodes() != sim.states.len() {
+            return Err(CodecError::Invalid(format!(
+                "checkpoint is for a {}-node machine, topology has {}",
+                ckpt.num_nodes(),
+                sim.states.len()
+            )));
+        }
+        let state = CheckpointState::<P::State, P::Msg>::decode(ckpt)?;
+        sim.queued = state.queued();
+        sim.states = state.states;
+        sim.inboxes = state.inboxes;
+        sim.transit = state.transit.into();
+        sim.metrics = state.metrics;
+        sim.trace = state.trace;
+        sim.step = ckpt.step();
+        sim.halted = ckpt.halted();
+        Ok(sim)
     }
 }
 
@@ -943,6 +1011,109 @@ mod tests {
         stop.stop();
         let report = sim.run_to_quiescence().unwrap();
         assert_eq!(report.outcome, RunOutcome::Quiescent);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        // Reference: an uninterrupted flood-fill. Then, for several cut
+        // points, run to the cut, snapshot, round-trip the bytes,
+        // restore, and finish: everything must match the reference.
+        let cfg = SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        };
+        let mut reference = Simulation::new(Torus::new_2d(6, 6), Traverse, cfg.clone());
+        reference.inject(7, ());
+        let ref_report = reference.run_to_quiescence().unwrap();
+        for cut in [0u64, 1, 2, 5, ref_report.steps] {
+            let mut sim = Simulation::new(Torus::new_2d(6, 6), Traverse, cfg.clone());
+            sim.inject(7, ());
+            sim.set_max_steps(cut);
+            sim.run_to_quiescence().unwrap();
+            let ckpt = sim.snapshot();
+            assert_eq!(ckpt.step(), cut.min(ref_report.steps));
+            let bytes = ckpt.to_bytes();
+            let ckpt = SimCheckpoint::from_bytes(&bytes).expect("bytes round-trip");
+            let mut resumed =
+                Simulation::restore(Torus::new_2d(6, 6), Traverse, cfg.clone(), &ckpt)
+                    .expect("restores");
+            let report = resumed.run_to_quiescence().unwrap();
+            assert_eq!(report.outcome, ref_report.outcome, "cut={cut}");
+            assert_eq!(report.steps, ref_report.steps, "cut={cut}");
+            assert_eq!(
+                report.computation_time, ref_report.computation_time,
+                "cut={cut}"
+            );
+            assert_eq!(resumed.states(), reference.states(), "cut={cut}");
+            assert_eq!(resumed.trace(), reference.trace(), "cut={cut}");
+            assert_eq!(resumed.queued(), reference.queued(), "cut={cut}");
+            let m = resumed.metrics();
+            let rm = reference.metrics();
+            assert_eq!(m.delivered_per_node, rm.delivered_per_node, "cut={cut}");
+            assert_eq!(m.sent_per_node, rm.sent_per_node, "cut={cut}");
+            assert_eq!(m.hop_histogram, rm.hop_histogram, "cut={cut}");
+            assert_eq!(
+                m.queued_series.as_slice(),
+                rm.queued_series.as_slice(),
+                "cut={cut}"
+            );
+            assert_eq!(m.total_sent, rm.total_sent, "cut={cut}");
+            assert_eq!(m.first_delivery_step, rm.first_delivery_step, "cut={cut}");
+            assert_eq!(m.last_delivery_step, rm.last_delivery_step, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn snapshot_captures_routed_transit_mid_flight() {
+        // A distance-5 send is cut while in transit: the restored run
+        // must deliver it at the same step with the same hop count.
+        struct Echo;
+        impl NodeProgram for Echo {
+            type Msg = u8;
+            type State = Option<u64>;
+            fn init(&self, _n: NodeId, _c: &InitCtx) -> Option<u64> {
+                None
+            }
+            fn on_message(&self, got: &mut Option<u64>, msg: u8, ctx: &mut Outbox<'_, u8>) {
+                if msg == 1 && ctx.node() == 0 {
+                    ctx.send(5, 3);
+                } else {
+                    *got = Some(ctx.step());
+                }
+            }
+        }
+        let cfg = SimConfig {
+            delivery: DeliveryModel::Routed,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(Ring::new(10), Echo, cfg.clone());
+        sim.inject(0, 1);
+        sim.set_max_steps(3); // the send is 2 hops into its 5-hop route
+        sim.run_to_quiescence().unwrap();
+        let ckpt = sim.snapshot();
+        let mut resumed = Simulation::restore(Ring::new(10), Echo, cfg, &ckpt).expect("restores");
+        resumed.run_to_quiescence().unwrap();
+        assert_eq!(*resumed.state(5), Some(6));
+        assert_eq!(resumed.metrics().hop_histogram.max(), Some(5));
+    }
+
+    #[test]
+    fn restore_rejects_wrong_machine_sizes_and_corrupt_bytes() {
+        let mut sim = Simulation::new(Torus::new_2d(4, 4), Traverse, SimConfig::default());
+        sim.inject(0, ());
+        sim.set_max_steps(2);
+        sim.run_to_quiescence().unwrap();
+        let ckpt = sim.snapshot();
+        // Wrong topology size.
+        assert!(
+            Simulation::restore(Torus::new_2d(6, 6), Traverse, SimConfig::default(), &ckpt)
+                .is_err()
+        );
+        // Truncated payloads fail cleanly.
+        let bytes = ckpt.to_bytes();
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(SimCheckpoint::from_bytes(&bytes[..cut]).is_err(), "{cut}");
+        }
     }
 
     #[test]

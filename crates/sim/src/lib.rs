@@ -57,6 +57,8 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
+pub mod codec;
 mod control;
 mod engine;
 mod envelope;
@@ -65,6 +67,8 @@ pub mod record;
 pub mod sharded;
 pub mod threaded;
 
+pub use checkpoint::SimCheckpoint;
+pub use codec::{Codec, CodecError};
 pub use control::StopHandle;
 pub use engine::{
     DeliveryModel, RunOutcome, RunReport, SimConfig, SimError, Simulation, StepReport,

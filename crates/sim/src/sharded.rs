@@ -43,6 +43,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Barrier, Mutex};
 
+use crate::checkpoint::{encode_body, CheckpointState, SimCheckpoint};
+use crate::codec::{Codec, CodecError};
 use crate::engine::{DeliveryModel, RunOutcome, RunReport, SimConfig, SimError};
 use crate::envelope::Envelope;
 use crate::program::{InitCtx, NodeProgram, Outbox};
@@ -173,8 +175,10 @@ impl ShardedConfig {
 }
 
 /// Exchange-ordering key: `(enqueue step, sender, emission index)` —
-/// the sequential engine's global delivery order.
-type Key = (u64, NodeId, u32);
+/// the sequential engine's global delivery order (also the checkpoint
+/// format's transit key, which is what makes checkpoints portable
+/// between backends).
+type Key = crate::checkpoint::TransitKey;
 
 /// An envelope travelling between shards, tagged with its ordering key
 /// and (for routed transit) its current mesh position.
@@ -695,9 +699,9 @@ impl<T: Topology, P: NodeProgram> ShardedSimulation<T, P> {
         }
     }
 
-    /// Rebuilds the merged metrics and trace from the shards plus the
-    /// coordinator's series.
-    fn rebuild_merged(&mut self) {
+    /// Computes the merged metrics and trace from the shards plus the
+    /// coordinator's series — the sequential engine's view of the run.
+    fn merged_parts(&self) -> (SimMetrics, Vec<TraceEvent>) {
         let mut metrics = SimMetrics::new(self.topo.num_nodes(), self.cfg.record_node_activity);
         for shard in &self.shards {
             metrics.merge_shard(&shard.metrics);
@@ -710,9 +714,9 @@ impl<T: Topology, P: NodeProgram> ShardedSimulation<T, P> {
                 metrics.delivered_series.push(v);
             }
         }
-        self.merged_metrics = metrics;
+        let mut trace = Vec::new();
         if self.cfg.record_trace {
-            let mut trace: Vec<TraceEvent> = self
+            trace = self
                 .shards
                 .iter()
                 .flat_map(|s| s.trace.iter().copied())
@@ -729,8 +733,25 @@ impl<T: Topology, P: NodeProgram> ShardedSimulation<T, P> {
                 };
                 (e.step, rank, node)
             });
-            self.merged_trace = trace;
         }
+        (metrics, trace)
+    }
+
+    /// Rebuilds the merged metrics and trace from the shards plus the
+    /// coordinator's series.
+    fn rebuild_merged(&mut self) {
+        let (metrics, trace) = self.merged_parts();
+        self.merged_metrics = metrics;
+        self.merged_trace = trace;
+    }
+
+    fn locate(&self, node: NodeId) -> (usize, usize) {
+        let n = self.topo.num_nodes();
+        let k = self.shards.len();
+        (
+            self.partition.shard_of(node, n, k),
+            self.partition.local_of(node, n, k),
+        )
     }
 
     /// Consumes the simulation, returning final states (global node
@@ -748,6 +769,104 @@ impl<T: Topology, P: NodeProgram> ShardedSimulation<T, P> {
             .map(|s| s.expect("every node initialised"))
             .collect();
         (states, self.merged_metrics)
+    }
+}
+
+impl<T: Topology, P: NodeProgram> ShardedSimulation<T, P>
+where
+    P::State: Codec,
+    P::Msg: Codec,
+{
+    /// Serialises the sharded machine's complete logical state at the
+    /// current step barrier, in the canonical cross-backend format:
+    /// byte-identical to the [`crate::Simulation::snapshot`] of the same
+    /// run at the same step, whatever the shard count, partitioner or
+    /// thread count — and restorable on either backend.
+    pub fn snapshot(&self) -> SimCheckpoint {
+        debug_assert!(self.shards.iter().all(
+            |s| s.staged.iter().all(|b| b.is_empty()) && s.batches.iter().all(|b| b.is_empty())
+        ));
+        let n = self.topo.num_nodes();
+        let (metrics, trace) = self.merged_parts();
+        let mut states: Vec<&P::State> = Vec::with_capacity(n);
+        let mut inboxes: Vec<&VecDeque<Envelope<P::Msg>>> = Vec::with_capacity(n);
+        for node in 0..n as NodeId {
+            let (sid, li) = self.locate(node);
+            states.push(self.shards[sid].states[li].as_ref().expect("initialised"));
+            inboxes.push(&self.shards[sid].inboxes[li]);
+        }
+        // Each shard's transit queue is key-sorted; the union in key
+        // order is exactly the sequential engine's global FIFO.
+        let mut transit: Vec<(Key, NodeId, &Envelope<P::Msg>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.transit.iter().map(|k| (k.key, k.at, &k.env)))
+            .collect();
+        transit.sort_by_key(|&(key, _, _)| key);
+        let body = encode_body(
+            states.into_iter(),
+            inboxes.into_iter(),
+            transit.len(),
+            transit.into_iter(),
+            &metrics,
+            &trace,
+        );
+        SimCheckpoint::new(self.step, self.halted, n, body)
+    }
+
+    /// Rebuilds a sharded simulation from a checkpoint — taken on *any*
+    /// backend, under any shard count — ready to resume bit-identically.
+    /// The caller supplies the same topology, program and engine config
+    /// the checkpoint was taken under; the sharding configuration is
+    /// free (resume a sequential run `sharded:7`, re-shard a `sharded:2`
+    /// run as `sharded:5`, ...).
+    pub fn restore(
+        topo: T,
+        program: P,
+        cfg: SimConfig,
+        scfg: ShardedConfig,
+        ckpt: &SimCheckpoint,
+    ) -> Result<Self, CodecError> {
+        let mut sim = ShardedSimulation::new(topo, program, cfg, scfg);
+        let n = sim.topo.num_nodes();
+        if ckpt.num_nodes() != n {
+            return Err(CodecError::Invalid(format!(
+                "checkpoint is for a {}-node machine, topology has {n}",
+                ckpt.num_nodes()
+            )));
+        }
+        let state = CheckpointState::<P::State, P::Msg>::decode(ckpt)?;
+        sim.queued = state.queued();
+        for (node, st) in state.states.into_iter().enumerate() {
+            let (sid, li) = sim.locate(node as NodeId);
+            sim.shards[sid].states[li] = Some(st);
+        }
+        for (node, inbox) in state.inboxes.into_iter().enumerate() {
+            let (sid, li) = sim.locate(node as NodeId);
+            sim.shards[sid].queued += inbox.len() as u64;
+            sim.shards[sid].inboxes[li] = inbox;
+        }
+        // The canonical transit list is globally key-sorted, so each
+        // shard receives its slice already in its required order.
+        for (key, at, env) in state.transit {
+            let (sid, _) = sim.locate(at);
+            sim.shards[sid].transit.push(Keyed { key, at, env });
+            sim.shards[sid].queued += 1;
+        }
+        // All merged instrumentation is parked on shard 0: per-node
+        // vectors scatter-add under `merge_shard`, so one shard holding
+        // the whole prefix and the rest holding zeros folds back to the
+        // exact sequential view. The global per-step series live on the
+        // coordinator's side.
+        let mut metrics = state.metrics;
+        sim.queued_series = std::mem::take(&mut metrics.queued_series).into_vec();
+        sim.delivered_series = std::mem::take(&mut metrics.delivered_series).into_vec();
+        sim.shards[0].metrics = metrics;
+        sim.shards[0].trace = state.trace;
+        sim.step = ckpt.step();
+        sim.halted = ckpt.halted();
+        sim.rebuild_merged();
+        Ok(sim)
     }
 }
 
@@ -1495,5 +1614,142 @@ mod tests {
     #[test]
     fn more_shards_than_nodes_is_fine() {
         assert_equivalent(Ring::new(3), Traverse, SimConfig::default(), vec![(1, ())]);
+    }
+
+    #[test]
+    fn checkpoints_are_byte_identical_across_backends() {
+        // At every cut point, the sequential engine and every sharded
+        // configuration must emit the *same bytes* — the canonical
+        // format is a pure function of the logical state.
+        let cfg = SimConfig {
+            record_trace: true,
+            delivery: DeliveryModel::Routed,
+            ..SimConfig::default()
+        };
+        for cut in [0u64, 1, 3, 6] {
+            let mut seq = Simulation::new(Torus::new_2d(5, 5), FarEcho, cfg.clone());
+            seq.inject(0, 9);
+            seq.inject(13, 11);
+            seq.set_max_steps(cut);
+            seq.run_to_quiescence().unwrap();
+            let reference = seq.snapshot().to_bytes();
+            for shards in [1usize, 2, 7] {
+                for partition in [Partition::Block, Partition::RoundRobin] {
+                    let scfg = ShardedConfig {
+                        shards,
+                        partition,
+                        threads: Some(2),
+                    };
+                    let mut sim =
+                        ShardedSimulation::new(Torus::new_2d(5, 5), FarEcho, cfg.clone(), scfg);
+                    sim.inject(0, 9);
+                    sim.inject(13, 11);
+                    sim.set_max_steps(cut);
+                    sim.run_to_quiescence().unwrap();
+                    assert_eq!(
+                        sim.snapshot().to_bytes(),
+                        reference,
+                        "cut={cut} K={shards} {partition:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoints_restore_across_backends() {
+        // Snapshot a sequential run mid-flight and resume it sharded —
+        // and re-shard a sharded checkpoint under a different K — with
+        // bit-identical final results.
+        let cfg = SimConfig {
+            record_trace: true,
+            delivery: DeliveryModel::Routed,
+            ..SimConfig::default()
+        };
+        let (ref_report, ref_states, ref_metrics, ref_trace) =
+            seq_run(&Torus::new_2d(5, 5), &FarEcho, &cfg, &[(0, 9), (13, 11)]);
+
+        let mut seq = Simulation::new(Torus::new_2d(5, 5), FarEcho, cfg.clone());
+        seq.inject(0, 9);
+        seq.inject(13, 11);
+        seq.set_max_steps(4);
+        seq.run_to_quiescence().unwrap();
+        let ckpt = seq.snapshot();
+
+        for shards in [1usize, 2, 7] {
+            let scfg = ShardedConfig {
+                shards,
+                partition: Partition::RoundRobin,
+                threads: Some(2),
+            };
+            let mut resumed =
+                ShardedSimulation::restore(Torus::new_2d(5, 5), FarEcho, cfg.clone(), scfg, &ckpt)
+                    .expect("restores");
+            let report = resumed.run_to_quiescence().unwrap();
+            assert_eq!(report.outcome, ref_report.outcome, "K={shards}");
+            assert_eq!(report.steps, ref_report.steps, "K={shards}");
+            assert_eq!(resumed.trace(), ref_trace.as_slice(), "K={shards}");
+            // Re-shard this sharded run's own checkpoint under another K
+            // and hand it back to the sequential engine.
+            let mid = resumed.snapshot();
+            let mut seq_resumed =
+                Simulation::restore(Torus::new_2d(5, 5), FarEcho, cfg.clone(), &mid)
+                    .expect("sharded checkpoint restores sequentially");
+            seq_resumed.run_to_quiescence().unwrap();
+            let (states, metrics) = resumed.into_parts();
+            assert_eq!(&states, &ref_states, "K={shards}");
+            assert_eq!(
+                metrics.delivered_per_node, ref_metrics.delivered_per_node,
+                "K={shards}"
+            );
+            assert_eq!(
+                metrics.hop_histogram, ref_metrics.hop_histogram,
+                "K={shards}"
+            );
+            assert_eq!(
+                metrics.queued_series.as_slice(),
+                ref_metrics.queued_series.as_slice(),
+                "K={shards}"
+            );
+            assert_eq!(seq_resumed.states(), ref_states.as_slice(), "K={shards}");
+        }
+    }
+
+    #[test]
+    fn crash_restore_finishes_the_run_identically() {
+        // A worker dies mid-run (simulated by dropping the simulation);
+        // the job restarts from its last checkpoint and the final report
+        // is indistinguishable from an uninterrupted run.
+        let cfg = SimConfig::default();
+        let (ref_report, ref_states, ref_metrics, _) =
+            seq_run(&Torus::new_2d(6, 6), &Traverse, &cfg, &[(7, ())]);
+        let mut sim = ShardedSimulation::new(
+            Torus::new_2d(6, 6),
+            Traverse,
+            cfg.clone(),
+            ShardedConfig::with_shards(3),
+        );
+        sim.inject(7, ());
+        sim.set_max_steps(3);
+        sim.run_to_quiescence().unwrap();
+        let last_checkpoint = sim.snapshot().to_bytes();
+        drop(sim); // the crash
+
+        let ckpt = SimCheckpoint::from_bytes(&last_checkpoint).expect("durable bytes");
+        let mut recovered = ShardedSimulation::restore(
+            Torus::new_2d(6, 6),
+            Traverse,
+            cfg,
+            ShardedConfig::with_shards(5),
+            &ckpt,
+        )
+        .expect("restores");
+        let report = recovered.run_to_quiescence().unwrap();
+        assert_eq!(report.outcome, ref_report.outcome);
+        assert_eq!(report.steps, ref_report.steps);
+        let (states, metrics) = recovered.into_parts();
+        assert_eq!(states, ref_states);
+        assert_eq!(metrics.delivered_per_node, ref_metrics.delivered_per_node);
+        assert_eq!(metrics.total_sent, ref_metrics.total_sent);
     }
 }

@@ -7,7 +7,7 @@
 
 use std::time::{Duration, Instant};
 
-use hyperspace::core::{MapperSpec, TopologySpec};
+use hyperspace::core::{CheckpointSpec, MapperSpec, TopologySpec};
 use hyperspace::sat::gen;
 use hyperspace::service::{JobKind, JobOutcome, JobRequest, JobSpec, JobStatus, SolverService};
 
@@ -19,6 +19,12 @@ fn on_small_torus(kind: JobKind) -> JobSpec {
 /// ~10^8 activations.
 fn endless() -> JobSpec {
     JobSpec::new(JobKind::fib(40)).topology(TopologySpec::Torus2D { w: 14, h: 14 })
+}
+
+/// The endless job, checkpointed: suspendable/preemptible every 200
+/// simulated steps.
+fn endless_checkpointed() -> JobSpec {
+    endless().checkpoint(CheckpointSpec::every(200))
 }
 
 #[test]
@@ -318,6 +324,231 @@ fn mixed_seeded_workload_loses_nothing() {
     let stats = service.shutdown();
     assert_eq!(stats.completed, 30);
     assert_eq!(stats.finished(), 30);
+}
+
+#[test]
+fn high_priority_jobs_preempt_a_checkpointed_long_job() {
+    // One worker, occupied by an endless checkpointed job: a
+    // higher-priority short job must overtake it at the next checkpoint
+    // barrier instead of waiting for it to finish (it never would).
+    let service = SolverService::with_workers(1);
+    let long = service.submit(JobRequest::new(endless_checkpointed()));
+    let patience = Instant::now();
+    while long.status() != JobStatus::Running {
+        assert!(
+            patience.elapsed() < Duration::from_secs(30),
+            "long job never started"
+        );
+        std::thread::yield_now();
+    }
+    let short = service.submit(JobRequest::new(on_small_torus(JobKind::sum(20))).priority(5));
+    let result = short
+        .wait_timeout(Duration::from_secs(60))
+        .expect("the short job must preempt the long one");
+    let summary = result.outcome.summary().expect("completed");
+    assert_eq!(summary.result.as_deref(), Some("210"));
+    // The long job survived its preemption and is running (or queued)
+    // again; it keeps its handle semantics and can be cancelled.
+    assert_ne!(long.status(), JobStatus::Done);
+    long.cancel();
+    let long_result = long
+        .wait_timeout(Duration::from_secs(60))
+        .expect("cancel must end the long job");
+    assert_eq!(long_result.outcome, JobOutcome::Cancelled);
+    let stats = service.stats();
+    assert!(
+        stats.preemptions >= 1,
+        "the scheduler must have recorded the preemption: {stats}"
+    );
+}
+
+#[test]
+fn suspend_parks_a_running_job_behind_its_priority_class() {
+    // Explicitly suspending the running long job sends it to the back
+    // of its priority class, so an equal-priority job that was queued
+    // behind it gets the worker.
+    let service = SolverService::with_workers(1);
+    let long = service.submit(JobRequest::new(endless_checkpointed()));
+    let patience = Instant::now();
+    while long.status() != JobStatus::Running {
+        assert!(
+            patience.elapsed() < Duration::from_secs(30),
+            "long job never started"
+        );
+        std::thread::yield_now();
+    }
+    let peer = service.submit(JobRequest::new(on_small_torus(JobKind::sum(12))));
+    long.suspend();
+    let result = peer
+        .wait_timeout(Duration::from_secs(60))
+        .expect("the suspended job must yield the worker to its peer");
+    assert_eq!(
+        result
+            .outcome
+            .summary()
+            .expect("completed")
+            .result
+            .as_deref(),
+        Some("78")
+    );
+    // The suspended job resumes afterwards — from exactly where it
+    // stopped — and remains cancellable.
+    long.cancel();
+    assert_eq!(
+        long.wait_timeout(Duration::from_secs(60))
+            .expect("resumes then honours the cancel")
+            .outcome,
+        JobOutcome::Cancelled
+    );
+    assert!(service.stats().suspensions >= 1);
+}
+
+#[test]
+fn checkpointed_jobs_report_identical_summaries_and_share_the_cache() {
+    // Checkpointing is pure scheduling: the sliced run's summary is
+    // bit-identical to the monolithic one, and the two must share a
+    // cache entry (like backends, the checkpoint spec is not part of
+    // the computation).
+    let service = SolverService::with_workers(1);
+    let spec = || {
+        JobSpec::new(JobKind::sat(gen::uf20_91(3))).topology(TopologySpec::Torus2D { w: 6, h: 6 })
+    };
+    let monolithic = service.submit(spec()).wait();
+    let sliced = service
+        .submit(spec().checkpoint(CheckpointSpec::every(50)))
+        .wait();
+    assert!(!monolithic.from_cache);
+    assert!(
+        sliced.from_cache,
+        "the checkpoint spec must not split the cache"
+    );
+    assert_eq!(
+        monolithic.outcome.summary().unwrap(),
+        sliced.outcome.summary().unwrap()
+    );
+    // And with the cache disabled, a genuinely re-executed sliced run
+    // still produces the identical summary.
+    let uncached = SolverService::new(hyperspace::service::ServiceConfig {
+        workers: 1,
+        start_workers: true,
+        cache_capacity: 0,
+        max_restarts: 1,
+    });
+    let a = uncached.submit(spec()).wait();
+    let b = uncached
+        .submit(spec().checkpoint(CheckpointSpec::every(37)))
+        .wait();
+    assert!(!a.from_cache && !b.from_cache);
+    assert_eq!(
+        a.outcome.summary().unwrap(),
+        b.outcome.summary().unwrap(),
+        "sliced and monolithic runs must be bit-identical"
+    );
+}
+
+#[test]
+fn crashed_workers_restart_checkpointed_jobs_from_their_last_checkpoint() {
+    use hyperspace::core::ErasedStackJob;
+    use hyperspace::recursion::{FnProgram, Rec};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    // A booby-trapped job: the first build panics mid-recursion, every
+    // rebuild runs clean — modelling a worker dying mid-solve.
+    let builds = Arc::new(AtomicU32::new(0));
+    let make_kind = {
+        let builds = Arc::clone(&builds);
+        move || {
+            let builds = Arc::clone(&builds);
+            JobKind::erased_with_factory("boobytrap", move || {
+                let attempt = builds.fetch_add(1, Ordering::SeqCst);
+                ErasedStackJob::new(
+                    FnProgram::new(move |n: u64| -> Rec<u64, u64> {
+                        if attempt == 0 && n == 3 {
+                            panic!("injected worker crash");
+                        }
+                        if n < 1 {
+                            Rec::done(0)
+                        } else {
+                            Rec::call(n - 1).then(move |total| Rec::done(total + n))
+                        }
+                    }),
+                    20,
+                )
+            })
+        }
+    };
+
+    let service = SolverService::with_workers(1);
+    let recovered = service
+        .submit(on_small_torus(make_kind()).checkpoint(CheckpointSpec::every(10)))
+        .wait();
+    let summary = recovered
+        .outcome
+        .summary()
+        .expect("the job must complete after its checkpoint restart");
+    assert_eq!(summary.result.as_deref(), Some("210"));
+    assert_eq!(builds.load(Ordering::SeqCst), 2, "exactly one rebuild");
+    let stats = service.stats();
+    assert_eq!(stats.restarts, 1);
+    assert_eq!(stats.failed, 0);
+
+    // Without a checkpoint spec the same crash still fails the job —
+    // restarts are a checkpoint-subsystem feature, not a blanket retry.
+    let builds2 = Arc::new(AtomicU32::new(0));
+    let kind = {
+        let builds2 = Arc::clone(&builds2);
+        JobKind::erased_with_factory("boobytrap-nockpt", move || {
+            builds2.fetch_add(1, Ordering::SeqCst);
+            ErasedStackJob::new(
+                FnProgram::new(|n: u64| -> Rec<u64, u64> {
+                    if n == 3 {
+                        panic!("injected worker crash");
+                    }
+                    if n < 1 {
+                        Rec::done(0)
+                    } else {
+                        Rec::call(n - 1).then(move |total| Rec::done(total + n))
+                    }
+                }),
+                20,
+            )
+        })
+    };
+    let failed = service.submit(on_small_torus(kind)).wait();
+    match failed.outcome {
+        JobOutcome::Failed(reason) => assert!(reason.contains("injected"), "{reason}"),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert_eq!(
+        builds2.load(Ordering::SeqCst),
+        1,
+        "no retry without checkpoints"
+    );
+}
+
+#[test]
+fn dropped_service_wakes_blocked_waiters_with_recorded_queue_waits() {
+    // Satellite regression: drain-on-drop must wake every handle —
+    // including waiters already blocked in wait() — and the cancelled
+    // jobs' results must carry their genuine queue wait.
+    let service = SolverService::paused(1);
+    let handle = service.submit(on_small_torus(JobKind::sum(5)));
+    let waiter = {
+        let handle = handle.clone();
+        std::thread::spawn(move || handle.wait())
+    };
+    // Give the job a measurable queue wait before the drop.
+    std::thread::sleep(Duration::from_millis(2));
+    drop(service);
+    let result = waiter.join().expect("blocked waiter must be woken");
+    assert_eq!(result.outcome, JobOutcome::Cancelled);
+    assert!(
+        result.queue_wait >= Duration::from_millis(2),
+        "cancelled queued jobs must report their time in the queue, got {:?}",
+        result.queue_wait
+    );
+    assert_eq!(result.solve_time, Duration::ZERO);
 }
 
 #[test]

@@ -45,4 +45,4 @@ pub use stack::{
     StackShardedSim, StackSim, StartedJob,
 };
 
-pub use hyperspace_sim::StopHandle;
+pub use hyperspace_sim::{ObsHandle, Observer, StopHandle};

@@ -14,7 +14,7 @@
 //! deterministic replay after a worker crash).
 
 use hyperspace_recursion::{FrontierSnapshot, RecProgram};
-use hyperspace_sim::{NodeId, RunOutcome, SimError};
+use hyperspace_sim::{NodeId, ObsHandle, RunOutcome, SimError};
 
 use crate::report::RunSummary;
 use crate::stack::{summarise, summarise_sharded, StackShardedSim, StackSim};
@@ -69,6 +69,10 @@ pub(crate) struct StackSlice<P: RecProgram> {
     pub(crate) interval: u64,
     /// The run's hard step cap.
     pub(crate) cap: u64,
+    /// Passive telemetry sink; slice barriers report the live frontier
+    /// to it. The engine inside `sim` holds its own copy for per-step
+    /// reporting.
+    pub(crate) obs: ObsHandle,
 }
 
 impl<P: RecProgram> StackSlice<P> {
@@ -130,30 +134,10 @@ impl<P: RecProgram> StackSlice<P> {
             }
         }
     }
-}
 
-impl<P: RecProgram> RunSlice for StackSlice<P>
-where
-    P::Out: std::fmt::Debug,
-{
-    fn run_slice(mut self: Box<Self>) -> SliceOutcome {
-        let outcome = match self.advance() {
-            None => return SliceOutcome::Yielded(self),
-            Some(outcome) => outcome,
-        };
-        let this = *self;
-        let root = this.root;
-        SliceOutcome::Finished(match this.sim {
-            SliceSim::Seq(sim) => summarise(sim, outcome, root).summary(),
-            SliceSim::Sharded(sim) => summarise_sharded(sim, outcome, root).summary(),
-        })
-    }
-
-    fn steps_done(&self) -> u64 {
-        self.current_step()
-    }
-
-    fn checkpoint(&self) -> CheckpointMeta {
+    /// Checkpoint metadata at the current step barrier: steps plus the
+    /// machine-wide frontier folded over all nodes.
+    fn checkpoint_meta(&self) -> CheckpointMeta {
         let mut frontier = FrontierSnapshot::default();
         match &self.sim {
             SliceSim::Seq(sim) => {
@@ -170,8 +154,52 @@ where
             }
         }
         CheckpointMeta {
-            steps: self.steps_done(),
+            steps: self.current_step(),
             frontier,
         }
+    }
+
+    /// Reports the live frontier to the observer. Folding the frontier
+    /// walks every node, so this is gated on an attached observer —
+    /// un-observed runs pay nothing at slice barriers.
+    fn report_progress(&self) {
+        if self.obs.enabled() {
+            let meta = self.checkpoint_meta();
+            self.obs.on_progress(
+                meta.steps,
+                meta.frontier.open_records,
+                meta.frontier.incumbent,
+            );
+        }
+    }
+}
+
+impl<P: RecProgram> RunSlice for StackSlice<P>
+where
+    P::Out: std::fmt::Debug,
+{
+    fn run_slice(mut self: Box<Self>) -> SliceOutcome {
+        let outcome = match self.advance() {
+            None => {
+                self.report_progress();
+                return SliceOutcome::Yielded(self);
+            }
+            Some(outcome) => outcome,
+        };
+        self.report_progress();
+        let this = *self;
+        let root = this.root;
+        SliceOutcome::Finished(match this.sim {
+            SliceSim::Seq(sim) => summarise(sim, outcome, root).summary(),
+            SliceSim::Sharded(sim) => summarise_sharded(sim, outcome, root).summary(),
+        })
+    }
+
+    fn steps_done(&self) -> u64 {
+        self.current_step()
+    }
+
+    fn checkpoint(&self) -> CheckpointMeta {
+        self.checkpoint_meta()
     }
 }

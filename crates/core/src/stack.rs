@@ -4,7 +4,7 @@ use hyperspace_mapping::{MapConfig, MapState, MappingHost};
 use hyperspace_recursion::{BnbMode, RecProgram, RecState, RecursionHost};
 use hyperspace_sim::record::SimMetrics;
 use hyperspace_sim::{
-    NodeId, RunOutcome, ShardedSimulation, SimConfig, Simulation, StopHandle, Topology,
+    NodeId, ObsHandle, RunOutcome, ShardedSimulation, SimConfig, Simulation, StopHandle, Topology,
 };
 
 use crate::report::{IncumbentEvent, RecRunReport, RunSummary};
@@ -121,6 +121,16 @@ impl<P: RecProgram> StackBuilder<P> {
     /// match the mapper's status period.
     pub fn sim_config(mut self, cfg: SimConfig) -> Self {
         self.sim = cfg;
+        self
+    }
+
+    /// Attaches a passive observer (see [`hyperspace_sim::Observer`]):
+    /// the engine reports steps and checkpoints to it, and slice
+    /// barriers report live frontier progress. Observation never
+    /// changes what is computed — results, metrics, traces and
+    /// checkpoint bytes stay bit-identical with it on or off.
+    pub fn observer(mut self, obs: ObsHandle) -> Self {
+        self.sim.obs = obs;
         self
     }
 
@@ -253,6 +263,7 @@ impl<P: RecProgram> StackBuilder<P> {
         // `Off` degenerates to a single slice spanning the whole cap.
         let interval = self.checkpoint.interval().unwrap_or(u64::MAX);
         let cap = self.sim.max_steps;
+        let obs = self.sim.obs.clone();
         let sim = match self.backend {
             BackendSpec::Sharded { .. } => {
                 let mut sim = self.build_sharded();
@@ -270,6 +281,7 @@ impl<P: RecProgram> StackBuilder<P> {
             root: root_node,
             interval,
             cap,
+            obs,
         }
     }
 
@@ -481,6 +493,11 @@ pub struct JobParams {
     /// the member set changes the search — so services must key caches
     /// on it.
     pub portfolio: Option<crate::spec::PortfolioSpec>,
+    /// Passive telemetry sink threaded into the assembled stack. Like
+    /// the checkpoint policy this never changes what is computed (the
+    /// observer has no channel back into the run), so it is *not* part
+    /// of service cache keys.
+    pub obs: ObsHandle,
 }
 
 impl Default for JobParams {
@@ -499,6 +516,7 @@ impl Default for JobParams {
             root_node: 0,
             stop: None,
             portfolio: None,
+            obs: ObsHandle::off(),
         }
     }
 }
@@ -541,7 +559,8 @@ impl ErasedStackJob {
                     .objective(params.objective)
                     .prune(params.prune)
                     .checkpoint(params.checkpoint)
-                    .max_steps(params.max_steps);
+                    .max_steps(params.max_steps)
+                    .observer(params.obs.clone());
                 if let Some(stop) = params.stop.clone() {
                     builder = builder.stop(stop);
                 }

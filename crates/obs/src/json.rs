@@ -1,0 +1,214 @@
+//! A self-contained JSON value and writer (no serde: the workspace is
+//! dependency-free by policy). Snapshots and `BENCH_*.json` baselines
+//! render through `Display`, which emits valid, deterministic JSON —
+//! object fields keep insertion order.
+
+/// A JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    /// Fields in insertion order (deterministic output).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(fields: impl IntoIterator<Item = (K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks a field up in an object (`None` elsewhere).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as f64, for numeric variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::UInt(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &JsonValue, out: &mut String) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Int(n) => out.push_str(&n.to_string()),
+        JsonValue::UInt(n) => out.push_str(&n.to_string()),
+        JsonValue::Float(f) => {
+            // JSON has no NaN/Infinity; clamp to null like JS does.
+            if f.is_finite() {
+                out.push_str(&format!("{f:.6}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        JsonValue::Str(s) => escape(s, out),
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(fields) => {
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape(k, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        write_value(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Pretty-prints with two-space indentation (for committed baselines).
+pub fn pretty(v: &JsonValue) -> String {
+    fn go(v: &JsonValue, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match v {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push_str("  ");
+                    go(item, indent + 1, out);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            JsonValue::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, item)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push_str("  ");
+                    escape(k, out);
+                    out.push_str(": ");
+                    go(item, indent + 1, out);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+            other => write_value(other, out),
+        }
+    }
+    let mut out = String::new();
+    go(v, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output_is_valid_json() {
+        let v = JsonValue::object([
+            ("name", JsonValue::str("obs")),
+            ("count", JsonValue::UInt(3)),
+            ("ratio", JsonValue::Float(0.5)),
+            ("ok", JsonValue::Bool(true)),
+            ("none", JsonValue::Null),
+            (
+                "items",
+                JsonValue::Array(vec![JsonValue::Int(-1), JsonValue::str("a\"b")]),
+            ),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"obs","count":3,"ratio":0.500000,"ok":true,"none":null,"items":[-1,"a\"b"]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let v = JsonValue::str("a\nb\tc\u{1}");
+        assert_eq!(v.to_string(), "\"a\\nb\\tc\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::Float(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn get_and_as_f64() {
+        let v = JsonValue::object([("x", JsonValue::UInt(4))]);
+        assert_eq!(v.get("x").and_then(|x| x.as_f64()), Some(4.0));
+        assert!(v.get("y").is_none());
+    }
+
+    #[test]
+    fn pretty_round_trips_shape() {
+        let v = JsonValue::object([
+            ("a", JsonValue::Array(vec![JsonValue::UInt(1)])),
+            ("b", JsonValue::object([("c", JsonValue::Null)])),
+            ("empty", JsonValue::Array(vec![])),
+        ]);
+        let p = pretty(&v);
+        assert!(p.contains("\"a\": [\n"), "{p}");
+        assert!(p.contains("\"empty\": []"), "{p}");
+        assert!(p.ends_with("}\n"), "{p}");
+    }
+}

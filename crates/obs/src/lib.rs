@@ -1,0 +1,261 @@
+//! Live observability core (dependency-free).
+//!
+//! The paper's evaluation (§V-C) is reconstructed from post-hoc logs;
+//! this crate is the *live* counterpart: lock-light counters, gauges
+//! and span timers that every layer of the stack can feed while a run
+//! is in flight, plus a fixed-capacity ring-buffer event recorder (the
+//! "flight recorder") whose tail survives a crash.
+//!
+//! Design invariant — **observation never perturbs computation**: the
+//! [`Observer`] trait's methods take values by copy and return nothing,
+//! so an observer has no channel through which to feed data back into
+//! the deterministic step loop. The bit-identity suites run with
+//! observation on and off and assert identical reports, metrics,
+//! traces and checkpoint bytes.
+//!
+//! The second invariant is **bounded overhead**: every hook sits behind
+//! an [`ObsHandle`] that is a single `Option` branch when disabled (no
+//! clock reads, no allocation), and the instrumented hot paths update
+//! relaxed atomics only. `bench/bin/obs_overhead.rs` measures the
+//! instrumented-vs-bare steps/sec ratio and asserts the budget.
+
+mod json;
+mod metric;
+mod probe;
+mod recorder;
+mod registry;
+
+pub use json::{pretty, JsonValue};
+pub use metric::{Counter, Gauge, SpanStat, SpanTimer};
+pub use probe::JobProbe;
+pub use recorder::{Event, EventKind, FlightRecorder};
+pub use registry::{CrashDump, Registry, CRASH_DUMP_TAIL};
+
+use std::sync::Arc;
+
+/// Passive telemetry sink threaded through the stack's layers. Every
+/// method has a no-op default, takes plain values and returns nothing:
+/// an observer can watch a deterministic run but never steer it.
+///
+/// Implementations must be cheap and non-blocking — hooks fire from the
+/// engine's step loop and from shard worker threads. The bundled
+/// [`JobProbe`]/[`Registry`] implementations use relaxed atomics on the
+/// per-step paths and take short mutexes only for lifecycle-rate
+/// events.
+pub trait Observer: Send + Sync {
+    /// One engine step completed: messages delivered during the step
+    /// and messages still queued (inboxes + transit) after it.
+    fn on_step(&self, step: u64, delivered: u64, queued: u64) {
+        let _ = (step, delivered, queued);
+    }
+
+    /// A shard worker spent `nanos` waiting at a step barrier.
+    fn on_barrier_wait(&self, shard: usize, nanos: u64) {
+        let _ = (shard, nanos);
+    }
+
+    /// Live recursion/B&B frontier progress at a slice barrier.
+    fn on_progress(&self, steps: u64, open_records: u64, incumbent: Option<i64>) {
+        let _ = (steps, open_records, incumbent);
+    }
+
+    /// One portfolio member finished a sync epoch; `clauses` and
+    /// `incumbents` count what the knowledge bus carried this epoch.
+    fn on_epoch(&self, epoch: u64, member: usize, steps: u64, clauses: u64, incumbents: u64) {
+        let _ = (epoch, member, steps, clauses, incumbents);
+    }
+
+    /// A checkpoint was encoded (`bytes` of payload in `nanos`).
+    fn on_checkpoint(&self, bytes: u64, nanos: u64) {
+        let _ = (bytes, nanos);
+    }
+
+    /// A checkpoint was decoded/restored (`bytes` of payload in `nanos`).
+    fn on_restore(&self, bytes: u64, nanos: u64) {
+        let _ = (bytes, nanos);
+    }
+
+    /// A lifecycle-rate structured event (job submitted, slice yielded,
+    /// preemption, crash, ...). Fires far below step rate.
+    fn on_event(&self, event: &Event) {
+        let _ = event;
+    }
+}
+
+/// A cloneable on/off switch around an observer, designed to live
+/// inside `Clone + Debug` config structs. Disabled (the default) every
+/// hook is one `Option` branch — no clock reads, no allocation — which
+/// is what keeps un-observed runs at bare-engine speed.
+#[derive(Clone, Default)]
+pub struct ObsHandle(Option<Arc<dyn Observer>>);
+
+impl ObsHandle {
+    /// The disabled handle (all hooks are no-ops).
+    pub fn off() -> ObsHandle {
+        ObsHandle(None)
+    }
+
+    /// Wraps an observer.
+    pub fn new(observer: Arc<dyn Observer>) -> ObsHandle {
+        ObsHandle(Some(observer))
+    }
+
+    /// Whether an observer is attached. Instrumentation sites use this
+    /// to skip clock reads entirely when disabled.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&Arc<dyn Observer>> {
+        self.0.as_ref()
+    }
+
+    /// See [`Observer::on_step`].
+    #[inline]
+    pub fn on_step(&self, step: u64, delivered: u64, queued: u64) {
+        if let Some(o) = &self.0 {
+            o.on_step(step, delivered, queued);
+        }
+    }
+
+    /// See [`Observer::on_barrier_wait`].
+    #[inline]
+    pub fn on_barrier_wait(&self, shard: usize, nanos: u64) {
+        if let Some(o) = &self.0 {
+            o.on_barrier_wait(shard, nanos);
+        }
+    }
+
+    /// See [`Observer::on_progress`].
+    #[inline]
+    pub fn on_progress(&self, steps: u64, open_records: u64, incumbent: Option<i64>) {
+        if let Some(o) = &self.0 {
+            o.on_progress(steps, open_records, incumbent);
+        }
+    }
+
+    /// See [`Observer::on_epoch`].
+    #[inline]
+    pub fn on_epoch(&self, epoch: u64, member: usize, steps: u64, clauses: u64, incumbents: u64) {
+        if let Some(o) = &self.0 {
+            o.on_epoch(epoch, member, steps, clauses, incumbents);
+        }
+    }
+
+    /// See [`Observer::on_checkpoint`].
+    #[inline]
+    pub fn on_checkpoint(&self, bytes: u64, nanos: u64) {
+        if let Some(o) = &self.0 {
+            o.on_checkpoint(bytes, nanos);
+        }
+    }
+
+    /// See [`Observer::on_restore`].
+    #[inline]
+    pub fn on_restore(&self, bytes: u64, nanos: u64) {
+        if let Some(o) = &self.0 {
+            o.on_restore(bytes, nanos);
+        }
+    }
+
+    /// See [`Observer::on_event`].
+    #[inline]
+    pub fn on_event(&self, event: &Event) {
+        if let Some(o) = &self.0 {
+            o.on_event(event);
+        }
+    }
+
+    /// Times `f` and reports the wall-clock wait to
+    /// [`Observer::on_barrier_wait`]; when disabled, runs `f` with no
+    /// clock reads at all.
+    #[inline]
+    pub fn time_barrier<R>(&self, shard: usize, f: impl FnOnce() -> R) -> R {
+        match &self.0 {
+            None => f(),
+            Some(o) => {
+                let start = std::time::Instant::now();
+                let out = f();
+                o.on_barrier_wait(shard, start.elapsed().as_nanos() as u64);
+                out
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "ObsHandle(on)"
+        } else {
+            "ObsHandle(off)"
+        })
+    }
+}
+
+impl From<Arc<dyn Observer>> for ObsHandle {
+    fn from(observer: Arc<dyn Observer>) -> ObsHandle {
+        ObsHandle::new(observer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct CountingObserver {
+        steps: AtomicU64,
+        barriers: AtomicU64,
+        events: AtomicU64,
+    }
+
+    impl Observer for CountingObserver {
+        fn on_step(&self, _step: u64, _delivered: u64, _queued: u64) {
+            self.steps.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_barrier_wait(&self, _shard: usize, _nanos: u64) {
+            self.barriers.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_event(&self, _event: &Event) {
+            self.events.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = ObsHandle::default();
+        assert!(!h.enabled());
+        h.on_step(1, 2, 3);
+        h.on_progress(1, 2, Some(3));
+        assert_eq!(h.time_barrier(0, || 42), 42);
+        assert_eq!(format!("{h:?}"), "ObsHandle(off)");
+    }
+
+    #[test]
+    fn enabled_handle_forwards_every_hook() {
+        let obs = Arc::new(CountingObserver::default());
+        let h = ObsHandle::new(obs.clone() as Arc<dyn Observer>);
+        assert!(h.enabled());
+        h.on_step(1, 0, 0);
+        h.on_step(2, 0, 0);
+        assert_eq!(h.time_barrier(3, || "x"), "x");
+        h.on_event(&Event::new(EventKind::Submitted, Some(7), 0));
+        assert_eq!(obs.steps.load(Ordering::Relaxed), 2);
+        assert_eq!(obs.barriers.load(Ordering::Relaxed), 1);
+        assert_eq!(obs.events.load(Ordering::Relaxed), 1);
+        assert_eq!(format!("{h:?}"), "ObsHandle(on)");
+    }
+
+    #[test]
+    fn clones_share_the_observer() {
+        let obs = Arc::new(CountingObserver::default());
+        let h = ObsHandle::new(obs.clone() as Arc<dyn Observer>);
+        let h2 = h.clone();
+        h.on_step(1, 0, 0);
+        h2.on_step(2, 0, 0);
+        assert_eq!(obs.steps.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Lock-free metric primitives: counters, gauges, span statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonically increasing counter. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Aggregated timing of a named region: invocation count, total and
+/// maximum duration. All updates are relaxed atomics, so recording from
+/// shard worker threads never serialises them.
+#[derive(Debug, Default)]
+pub struct SpanStat {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl SpanStat {
+    pub fn new() -> SpanStat {
+        SpanStat::default()
+    }
+
+    /// Records one completed span of `nanos`.
+    pub fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(nanos, Ordering::Relaxed);
+        self.max_ns.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Starts a drop-guard timer that records into this stat.
+    pub fn start(self: &Arc<Self>) -> SpanTimer {
+        SpanTimer {
+            stat: Arc::clone(self),
+            started: Instant::now(),
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean span duration in nanoseconds (0 when never recorded).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns().checked_div(self.count()).unwrap_or(0)
+    }
+}
+
+/// Drop-guard timer: the span runs from construction to drop.
+pub struct SpanTimer {
+    stat: Arc<SpanStat>,
+    started: Instant,
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.stat.record(self.started.elapsed().as_nanos() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_share_on_clone() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        let g2 = g.clone();
+        g.set(9);
+        assert_eq!(g2.get(), 9);
+        g2.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn span_stat_aggregates() {
+        let s = SpanStat::new();
+        s.record(10);
+        s.record(30);
+        s.record(20);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.total_ns(), 60);
+        assert_eq!(s.max_ns(), 30);
+        assert_eq!(s.mean_ns(), 20);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let s = Arc::new(SpanStat::new());
+        {
+            let _t = s.start();
+        }
+        assert_eq!(s.count(), 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-job progress probes: the live, lock-free view of one running
+//! job that [`crate::Registry`] hands out and the engine layers feed.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::json::JsonValue;
+use crate::metric::SpanStat;
+use crate::recorder::{Event, FlightRecorder};
+use crate::Observer;
+
+/// Sentinel for "no incumbent yet" in the packed atomic.
+const NO_INCUMBENT: i64 = i64::MIN;
+
+/// Live telemetry of one job. All per-step fields are relaxed atomics:
+/// the engine writes them from inside its step loop, dashboard readers
+/// sample them from other threads, and neither ever blocks the other.
+///
+/// A probe implements [`Observer`], so it plugs straight into the
+/// engine's `SimConfig` observation slot; lifecycle events additionally
+/// forward to the shared [`FlightRecorder`].
+pub struct JobProbe {
+    id: u64,
+    label: String,
+    /// Engine steps executed (latest step counter seen).
+    steps: AtomicU64,
+    /// Total messages delivered to handlers.
+    delivered: AtomicU64,
+    /// Messages queued after the latest step.
+    queued: AtomicU64,
+    /// Open recursion records at the latest slice barrier.
+    open_records: AtomicU64,
+    /// Best incumbent seen ([`NO_INCUMBENT`] = none yet).
+    incumbent: AtomicI64,
+    /// Latest portfolio sync epoch.
+    epoch: AtomicU64,
+    /// Learned clauses the portfolio bus carried for this job.
+    bus_clauses: AtomicU64,
+    /// Incumbent broadcasts the portfolio bus carried for this job.
+    bus_incumbents: AtomicU64,
+    /// Checkpoints taken / payload bytes encoded.
+    checkpoints: AtomicU64,
+    checkpoint_bytes: AtomicU64,
+    /// Time spent encoding/decoding checkpoints.
+    checkpoint_span: Arc<SpanStat>,
+    /// Time shard workers spent waiting at step barriers.
+    barrier_span: Arc<SpanStat>,
+    /// Shared service-wide flight recorder, if attached.
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+impl JobProbe {
+    /// A probe for job `id`, forwarding events to `recorder` when given.
+    pub fn new(id: u64, label: impl Into<String>, recorder: Option<Arc<FlightRecorder>>) -> Self {
+        JobProbe {
+            id,
+            label: label.into(),
+            steps: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            open_records: AtomicU64::new(0),
+            incumbent: AtomicI64::new(NO_INCUMBENT),
+            epoch: AtomicU64::new(0),
+            bus_clauses: AtomicU64::new(0),
+            bus_incumbents: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            checkpoint_bytes: AtomicU64::new(0),
+            checkpoint_span: Arc::new(SpanStat::new()),
+            barrier_span: Arc::new(SpanStat::new()),
+            recorder,
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    pub fn open_records(&self) -> u64 {
+        self.open_records.load(Ordering::Relaxed)
+    }
+
+    pub fn incumbent(&self) -> Option<i64> {
+        match self.incumbent.load(Ordering::Relaxed) {
+            NO_INCUMBENT => None,
+            v => Some(v),
+        }
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    pub fn bus_clauses(&self) -> u64 {
+        self.bus_clauses.load(Ordering::Relaxed)
+    }
+
+    pub fn bus_incumbents(&self) -> u64 {
+        self.bus_incumbents.load(Ordering::Relaxed)
+    }
+
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints.load(Ordering::Relaxed)
+    }
+
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.checkpoint_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint encode/decode timing.
+    pub fn checkpoint_span(&self) -> &SpanStat {
+        &self.checkpoint_span
+    }
+
+    /// Shard barrier-wait timing.
+    pub fn barrier_span(&self) -> &SpanStat {
+        &self.barrier_span
+    }
+
+    /// Point-in-time JSON snapshot of the probe.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("id", JsonValue::UInt(self.id)),
+            ("label", JsonValue::str(&self.label)),
+            ("steps", JsonValue::UInt(self.steps())),
+            ("delivered", JsonValue::UInt(self.delivered())),
+            ("queued", JsonValue::UInt(self.queued())),
+            ("open_records", JsonValue::UInt(self.open_records())),
+            (
+                "incumbent",
+                match self.incumbent() {
+                    Some(v) => JsonValue::Int(v),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("epoch", JsonValue::UInt(self.epoch())),
+            ("bus_clauses", JsonValue::UInt(self.bus_clauses())),
+            ("bus_incumbents", JsonValue::UInt(self.bus_incumbents())),
+            ("checkpoints", JsonValue::UInt(self.checkpoints())),
+            ("checkpoint_bytes", JsonValue::UInt(self.checkpoint_bytes())),
+            (
+                "barrier_wait_ms",
+                JsonValue::Float(self.barrier_span.total_ns() as f64 / 1e6),
+            ),
+        ])
+    }
+}
+
+impl Observer for JobProbe {
+    fn on_step(&self, step: u64, delivered: u64, queued: u64) {
+        // `fetch_max`, not `store`: a restarted/resumed engine re-runs
+        // from an earlier step; the probe tracks the furthest point.
+        self.steps.fetch_max(step, Ordering::Relaxed);
+        self.delivered.fetch_add(delivered, Ordering::Relaxed);
+        self.queued.store(queued, Ordering::Relaxed);
+    }
+
+    fn on_barrier_wait(&self, _shard: usize, nanos: u64) {
+        self.barrier_span.record(nanos);
+    }
+
+    fn on_progress(&self, steps: u64, open_records: u64, incumbent: Option<i64>) {
+        self.steps.fetch_max(steps, Ordering::Relaxed);
+        self.open_records.store(open_records, Ordering::Relaxed);
+        if let Some(v) = incumbent {
+            self.incumbent.store(v, Ordering::Relaxed);
+        }
+    }
+
+    fn on_epoch(&self, epoch: u64, _member: usize, steps: u64, clauses: u64, incumbents: u64) {
+        self.epoch.fetch_max(epoch, Ordering::Relaxed);
+        self.steps.fetch_max(steps, Ordering::Relaxed);
+        self.bus_clauses.fetch_add(clauses, Ordering::Relaxed);
+        self.bus_incumbents.fetch_add(incumbents, Ordering::Relaxed);
+    }
+
+    fn on_checkpoint(&self, bytes: u64, nanos: u64) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.checkpoint_span.record(nanos);
+    }
+
+    fn on_restore(&self, _bytes: u64, nanos: u64) {
+        self.checkpoint_span.record(nanos);
+    }
+
+    fn on_event(&self, event: &Event) {
+        if let Some(recorder) = &self.recorder {
+            let mut event = event.clone();
+            event.job.get_or_insert(self.id);
+            recorder.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::EventKind;
+
+    #[test]
+    fn probe_accumulates_steps_and_progress() {
+        let p = JobProbe::new(3, "sat", None);
+        p.on_step(1, 4, 10);
+        p.on_step(2, 6, 8);
+        assert_eq!(p.steps(), 2);
+        assert_eq!(p.delivered(), 10);
+        assert_eq!(p.queued(), 8);
+        p.on_progress(5, 7, Some(-2));
+        assert_eq!(p.steps(), 5);
+        assert_eq!(p.open_records(), 7);
+        assert_eq!(p.incumbent(), Some(-2));
+        // Progress without an incumbent keeps the old one.
+        p.on_progress(6, 3, None);
+        assert_eq!(p.incumbent(), Some(-2));
+    }
+
+    #[test]
+    fn restarted_run_never_regresses_the_step_counter() {
+        let p = JobProbe::new(1, "replay", None);
+        p.on_step(100, 0, 0);
+        p.on_step(5, 0, 0); // deterministic replay from step 0
+        assert_eq!(p.steps(), 100);
+    }
+
+    #[test]
+    fn events_are_attributed_to_the_probe_job() {
+        let rec = Arc::new(FlightRecorder::new(8));
+        let p = JobProbe::new(42, "x", Some(rec.clone()));
+        p.on_event(&Event::new(EventKind::Started, None, 0));
+        assert_eq!(rec.snapshot()[0].job, Some(42));
+    }
+
+    #[test]
+    fn json_snapshot_includes_incumbent_null() {
+        let p = JobProbe::new(1, "k", None);
+        let json = p.to_json().to_string();
+        assert!(json.contains("\"incumbent\":null"), "{json}");
+    }
+}

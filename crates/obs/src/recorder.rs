@@ -1,0 +1,209 @@
+//! The flight recorder: a fixed-capacity ring of recent structured
+//! events. Lifecycle-rate only (submissions, slice yields, preemptions,
+//! crashes) — never per-step — so one short mutex suffices.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::JsonValue;
+
+/// What a flight-recorder event describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A job entered the service queue.
+    Submitted,
+    /// A worker picked a job up and started (or resumed) executing it.
+    Started,
+    /// A sliced job yielded at a checkpoint barrier.
+    SliceYielded,
+    /// A job was preempted by higher-priority work.
+    Preempted,
+    /// A job was suspended on request.
+    Suspended,
+    /// A crashed job was rebuilt and requeued for deterministic replay.
+    Restarted,
+    /// A job finished with a result.
+    Completed,
+    /// A job was cancelled.
+    Cancelled,
+    /// A job exceeded its deadline.
+    TimedOut,
+    /// A job's handler panicked.
+    Crashed,
+    /// A checkpoint was taken.
+    Checkpoint,
+    /// A portfolio sync epoch completed.
+    Epoch,
+}
+
+impl EventKind {
+    /// Stable lower-snake name (the JSON encoding).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::Submitted => "submitted",
+            EventKind::Started => "started",
+            EventKind::SliceYielded => "slice_yielded",
+            EventKind::Preempted => "preempted",
+            EventKind::Suspended => "suspended",
+            EventKind::Restarted => "restarted",
+            EventKind::Completed => "completed",
+            EventKind::Cancelled => "cancelled",
+            EventKind::TimedOut => "timed_out",
+            EventKind::Crashed => "crashed",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Epoch => "epoch",
+        }
+    }
+}
+
+/// One structured flight-recorder entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number assigned by the recorder (0 until
+    /// recorded).
+    pub seq: u64,
+    /// Microseconds since the recorder was created (0 until recorded).
+    pub micros: u64,
+    /// The job the event belongs to, if any.
+    pub job: Option<u64>,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific magnitude (steps at a yield, payload bytes of a
+    /// checkpoint, epoch index, ...).
+    pub value: i64,
+    /// Optional human-readable detail (panic message, job label).
+    pub detail: Option<String>,
+}
+
+impl Event {
+    /// A bare event; the recorder stamps `seq` and `micros`.
+    pub fn new(kind: EventKind, job: Option<u64>, value: i64) -> Event {
+        Event {
+            seq: 0,
+            micros: 0,
+            job,
+            kind,
+            value,
+            detail: None,
+        }
+    }
+
+    /// Attaches a detail string.
+    pub fn with_detail(mut self, detail: impl Into<String>) -> Event {
+        self.detail = Some(detail.into());
+        self
+    }
+
+    /// The event as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("seq".to_string(), JsonValue::UInt(self.seq)),
+            ("micros".to_string(), JsonValue::UInt(self.micros)),
+            ("kind".to_string(), JsonValue::str(self.kind.as_str())),
+            ("value".to_string(), JsonValue::Int(self.value)),
+        ];
+        if let Some(job) = self.job {
+            fields.insert(2, ("job".to_string(), JsonValue::UInt(job)));
+        }
+        if let Some(detail) = &self.detail {
+            fields.push(("detail".to_string(), JsonValue::str(detail)));
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+    next_seq: u64,
+}
+
+/// Fixed-capacity ring buffer of recent [`Event`]s. Old entries fall
+/// off the front; the tail is what a crash dump preserves.
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+    capacity: usize,
+    epoch: Instant,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` events.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity.min(1024)),
+                next_seq: 0,
+            }),
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Stamps and records an event, evicting the oldest on overflow.
+    pub fn record(&self, mut event: Event) {
+        event.micros = self.epoch.elapsed().as_micros() as u64;
+        let mut ring = self.ring.lock().expect("recorder poisoned");
+        event.seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(event);
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.ring.lock().expect("recorder poisoned").next_seq
+    }
+
+    /// A copy of the ring's current contents, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let ring = self.ring.lock().expect("recorder poisoned");
+        ring.events.iter().cloned().collect()
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn last_n(&self, n: usize) -> Vec<Event> {
+        let ring = self.ring.lock().expect("recorder poisoned");
+        let skip = ring.events.len().saturating_sub(n);
+        ring.events.iter().skip(skip).cloned().collect()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_sequence() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5 {
+            rec.record(Event::new(EventKind::Submitted, Some(i), i as i64));
+        }
+        let tail = rec.snapshot();
+        assert_eq!(tail.len(), 3);
+        assert_eq!(
+            tail.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(rec.recorded(), 5);
+        let last = rec.last_n(2);
+        assert_eq!(last.len(), 2);
+        assert_eq!(last[1].job, Some(4));
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let rec = FlightRecorder::new(4);
+        rec.record(Event::new(EventKind::Crashed, Some(9), 3).with_detail("boom"));
+        let json = rec.snapshot()[0].to_json().to_string();
+        assert!(json.contains("\"kind\":\"crashed\""), "{json}");
+        assert!(json.contains("\"job\":9"), "{json}");
+        assert!(json.contains("\"detail\":\"boom\""), "{json}");
+    }
+}

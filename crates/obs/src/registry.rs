@@ -1,0 +1,254 @@
+//! The service-wide metric registry: named counters/gauges/spans, the
+//! shared flight recorder, per-job probes, and crash dumps.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::json::JsonValue;
+use crate::metric::{Counter, Gauge, SpanStat};
+use crate::probe::JobProbe;
+use crate::recorder::{Event, FlightRecorder};
+
+/// The flight-recorder tail preserved when a job's handler panicked.
+#[derive(Clone, Debug)]
+pub struct CrashDump {
+    /// The job whose execution crashed.
+    pub job: u64,
+    /// The panic payload (best-effort string).
+    pub message: String,
+    /// The recorder's most recent events at dump time, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl CrashDump {
+    /// The dump as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("job", JsonValue::UInt(self.job)),
+            ("message", JsonValue::str(&self.message)),
+            (
+                "events",
+                JsonValue::Array(self.events.iter().map(Event::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// How many flight-recorder events a crash dump preserves.
+pub const CRASH_DUMP_TAIL: usize = 32;
+
+/// A registry of named metrics plus per-job probes. Names are interned
+/// `&'static str`s in sorted maps, so JSON snapshots are deterministic.
+/// All accessors hand out shared cells — callers cache them and update
+/// lock-free; the registry mutexes guard only name lookup and
+/// registration, never hot-path updates.
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, Gauge>>,
+    spans: Mutex<BTreeMap<&'static str, Arc<SpanStat>>>,
+    probes: Mutex<BTreeMap<u64, Arc<JobProbe>>>,
+    crashes: Mutex<Vec<CrashDump>>,
+    recorder: Arc<FlightRecorder>,
+}
+
+impl Registry {
+    /// A registry whose flight recorder keeps `capacity` events.
+    pub fn new(capacity: usize) -> Registry {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            probes: Mutex::new(BTreeMap::new()),
+            crashes: Mutex::new(Vec::new()),
+            recorder: Arc::new(FlightRecorder::new(capacity)),
+        }
+    }
+
+    /// The named counter, created on first use.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.counters
+            .lock()
+            .expect("registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// The named gauge, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.gauges
+            .lock()
+            .expect("registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// The named span statistic, created on first use.
+    pub fn span(&self, name: &'static str) -> Arc<SpanStat> {
+        self.spans
+            .lock()
+            .expect("registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// The shared flight recorder.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Records a lifecycle event into the flight recorder.
+    pub fn record(&self, event: Event) {
+        self.recorder.record(event);
+    }
+
+    /// Registers (or returns the existing) probe for job `id`, wired to
+    /// the shared flight recorder.
+    pub fn probe(&self, id: u64, label: &str) -> Arc<JobProbe> {
+        self.probes
+            .lock()
+            .expect("registry poisoned")
+            .entry(id)
+            .or_insert_with(|| Arc::new(JobProbe::new(id, label, Some(self.recorder.clone()))))
+            .clone()
+    }
+
+    /// All registered probes, ordered by job id.
+    pub fn probes(&self) -> Vec<Arc<JobProbe>> {
+        self.probes
+            .lock()
+            .expect("registry poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Preserves the flight recorder's tail as a crash dump for `job`.
+    pub fn dump_crash(&self, job: u64, message: impl Into<String>) -> CrashDump {
+        let dump = CrashDump {
+            job,
+            message: message.into(),
+            events: self.recorder.last_n(CRASH_DUMP_TAIL),
+        };
+        self.crashes
+            .lock()
+            .expect("registry poisoned")
+            .push(dump.clone());
+        dump
+    }
+
+    /// All crash dumps captured so far.
+    pub fn crashes(&self) -> Vec<CrashDump> {
+        self.crashes.lock().expect("registry poisoned").clone()
+    }
+
+    /// Point-in-time JSON snapshot: counters, gauges, spans, per-job
+    /// probes, the flight recorder tail and any crash dumps.
+    pub fn to_json(&self) -> JsonValue {
+        let counters: Vec<_> = {
+            let map = self.counters.lock().expect("registry poisoned");
+            map.iter()
+                .map(|(k, v)| (k.to_string(), JsonValue::UInt(v.get())))
+                .collect()
+        };
+        let gauges: Vec<_> = {
+            let map = self.gauges.lock().expect("registry poisoned");
+            map.iter()
+                .map(|(k, v)| (k.to_string(), JsonValue::UInt(v.get())))
+                .collect()
+        };
+        let spans: Vec<_> = {
+            let map = self.spans.lock().expect("registry poisoned");
+            map.iter()
+                .map(|(k, v)| {
+                    (
+                        k.to_string(),
+                        JsonValue::object([
+                            ("count", JsonValue::UInt(v.count())),
+                            ("total_ns", JsonValue::UInt(v.total_ns())),
+                            ("max_ns", JsonValue::UInt(v.max_ns())),
+                            ("mean_ns", JsonValue::UInt(v.mean_ns())),
+                        ]),
+                    )
+                })
+                .collect()
+        };
+        let jobs: Vec<JsonValue> = self.probes().iter().map(|p| p.to_json()).collect();
+        let events: Vec<JsonValue> = self
+            .recorder
+            .snapshot()
+            .iter()
+            .map(Event::to_json)
+            .collect();
+        let crashes: Vec<JsonValue> = self.crashes().iter().map(CrashDump::to_json).collect();
+        JsonValue::object([
+            ("counters", JsonValue::Object(counters)),
+            ("gauges", JsonValue::Object(gauges)),
+            ("spans", JsonValue::Object(spans)),
+            ("jobs", JsonValue::Array(jobs)),
+            ("events", JsonValue::Array(events)),
+            ("crashes", JsonValue::Array(crashes)),
+        ])
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new(256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::EventKind;
+    use crate::Observer;
+
+    #[test]
+    fn named_cells_are_shared() {
+        let r = Registry::default();
+        r.counter("jobs.submitted").inc();
+        r.counter("jobs.submitted").add(2);
+        assert_eq!(r.counter("jobs.submitted").get(), 3);
+        r.gauge("queue.depth").set(7);
+        assert_eq!(r.gauge("queue.depth").get(), 7);
+        r.span("slice").record(100);
+        assert_eq!(r.span("slice").count(), 1);
+    }
+
+    #[test]
+    fn probes_register_once_per_job() {
+        let r = Registry::default();
+        let a = r.probe(1, "sat");
+        let b = r.probe(1, "ignored");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.on_step(5, 1, 0);
+        assert_eq!(r.probes()[0].steps(), 5);
+    }
+
+    #[test]
+    fn crash_dump_preserves_recorder_tail() {
+        let r = Registry::new(4);
+        for i in 0..6 {
+            r.record(Event::new(EventKind::SliceYielded, Some(9), i));
+        }
+        let dump = r.dump_crash(9, "boom");
+        assert_eq!(dump.job, 9);
+        assert_eq!(dump.events.len(), 4);
+        assert_eq!(dump.events.last().unwrap().value, 5);
+        assert_eq!(r.crashes().len(), 1);
+    }
+
+    #[test]
+    fn json_snapshot_has_the_documented_sections() {
+        let r = Registry::default();
+        r.counter("c").inc();
+        r.probe(1, "x");
+        let json = r.to_json().to_string();
+        for key in ["counters", "gauges", "spans", "jobs", "events", "crashes"] {
+            assert!(json.contains(&format!("\"{key}\"")), "{key}: {json}");
+        }
+    }
+}

@@ -10,7 +10,7 @@ use hyperspace_core::{
 };
 use hyperspace_recursion::RecProgram;
 use hyperspace_sat::{Cnf, DpllProgram, Lit, SubProblem};
-use hyperspace_sim::{NodeId, RunOutcome, StopHandle};
+use hyperspace_sim::{NodeId, ObsHandle, RunOutcome, StopHandle};
 
 use crate::member::{cdcl_config, CdclMember, EpochStatus, MemberDrive, MeshMember};
 use crate::report::{MemberReport, PortfolioReport};
@@ -33,6 +33,7 @@ pub struct PortfolioRunner {
     root_node: NodeId,
     threads: usize,
     stop: Option<StopHandle>,
+    obs: ObsHandle,
 }
 
 impl PortfolioRunner {
@@ -57,6 +58,7 @@ impl PortfolioRunner {
                 .unwrap_or(1)
                 .min(members),
             stop: None,
+            obs: ObsHandle::off(),
         }
     }
 
@@ -75,6 +77,7 @@ impl PortfolioRunner {
         if let Some(stop) = params.stop.clone() {
             runner = runner.stop(stop);
         }
+        runner = runner.observer(params.obs.clone());
         Some(runner)
     }
 
@@ -142,6 +145,16 @@ impl PortfolioRunner {
     /// open member is cancelled.
     pub fn stop(mut self, handle: StopHandle) -> Self {
         self.stop = Some(handle);
+        self
+    }
+
+    /// Attaches a passive observer: the race reports each member's
+    /// progress and the knowledge-bus traffic at every epoch barrier.
+    /// Observation never changes the race (reports stay bit-identical
+    /// with it on or off). Member engines run un-observed — a race's
+    /// live signal is its epoch cadence, not member step noise.
+    pub fn observer(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -286,6 +299,7 @@ impl PortfolioRunner {
             max_steps: self.max_steps,
             threads: self.threads,
             stop: self.stop.clone(),
+            obs: self.obs.clone(),
             strategies: self.spec.members.iter().map(|m| m.describe()).collect(),
             members: members.into_iter().map(Mutex::new).collect(),
             st: RaceState::new(n),
@@ -359,6 +373,7 @@ pub struct PortfolioRace {
     max_steps: u64,
     threads: usize,
     stop: Option<StopHandle>,
+    obs: ObsHandle,
     strategies: Vec<String>,
     members: Vec<Mutex<Box<dyn MemberDrive>>>,
     st: RaceState,
@@ -426,6 +441,7 @@ impl PortfolioRace {
         let objective = self.objective.objective();
         let max_steps = self.max_steps;
         let stop = self.stop.as_ref();
+        let obs = &self.obs;
         std::thread::scope(|scope| {
             for d in 1..drivers {
                 let shared = &shared;
@@ -472,8 +488,22 @@ impl PortfolioRace {
                         EpochStatus::Exhausted | EpochStatus::Stopped => st.open[id] = false,
                     }
                 }
+                // Per-epoch observation captures each member's progress
+                // plus what *this* epoch's bus moved (deltas of the
+                // cumulative export counters). Purely passive: nothing
+                // flows back into the race.
+                let before = obs
+                    .enabled()
+                    .then(|| (st.clauses_exported.clone(), st.bounds_exported.clone()));
                 if !st.finished.is_empty() || st.open.iter().all(|o| !o) {
                     st.decided = true;
+                    if obs.enabled() {
+                        // Decided at the barrier: no bus ran this epoch,
+                        // so the traffic deltas are zero by definition.
+                        for id in 0..n {
+                            obs.on_epoch(st.epochs, id, lock(id).units(), 0, 0);
+                        }
+                    }
                     break;
                 }
 
@@ -554,6 +584,18 @@ impl PortfolioRace {
                                 st.bus_bound_deliveries += 1;
                             }
                         }
+                    }
+                }
+
+                if let Some((clauses0, bounds0)) = before {
+                    for id in 0..n {
+                        obs.on_epoch(
+                            st.epochs,
+                            id,
+                            lock(id).units(),
+                            st.clauses_exported[id] - clauses0[id],
+                            st.bounds_exported[id] - bounds0[id],
+                        );
                     }
                 }
             }

@@ -27,7 +27,14 @@
 //!   re-solving;
 //! * a [`ServiceStats`] report: throughput, queue-wait and solve-time
 //!   histograms (via `hyperspace-metrics`), cache hit rate, and
-//!   per-worker utilization.
+//!   per-worker utilization;
+//! * a **live observability layer** ([`SolverService::observe`] →
+//!   [`ServiceObserver`]): per-job progress probes fed from inside the
+//!   engines (steps, deliveries, frontier, incumbents, checkpoint and
+//!   barrier timing), a lifecycle flight recorder whose tail is dumped
+//!   when a worker panics, JSON snapshots and ASCII dashboards — all
+//!   strictly one-way, so observed runs stay bit-identical to
+//!   un-observed ones.
 //!
 //! # Example
 //!
@@ -60,10 +67,12 @@
 
 mod handle;
 mod job;
+mod observe;
 mod service;
 mod stats;
 
 pub use handle::{JobHandle, JobStatus};
 pub use job::{JobKind, JobOutcome, JobRequest, JobResult, JobSpec};
+pub use observe::ServiceObserver;
 pub use service::{ServiceConfig, SolverService};
 pub use stats::ServiceStats;

@@ -1,0 +1,206 @@
+//! [`ServiceObserver`]: the live window onto a running service.
+//!
+//! A cloneable view over the service's [`Registry`] — per-job probes,
+//! lifecycle flight recorder, queue-depth gauge, crash dumps — plus a
+//! small sampling loop that turns the raw counters into the two series
+//! an operator watches first: aggregate **steps/sec** and **queue
+//! depth**. Observation is strictly read-only: nothing an observer does
+//! can reach back into the deterministic solve loops.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use hyperspace_metrics::ascii::render_multi_chart;
+use hyperspace_obs::{pretty, CrashDump, JobProbe, JsonValue, Registry};
+
+/// Sampled history behind the observer's mutex. Sampling is explicit
+/// (the embedder decides the cadence), so the mutex is never touched by
+/// solver threads.
+struct History {
+    /// Wall-clock and aggregate step count at the previous sample.
+    last: Option<(Instant, u64)>,
+    steps_per_sec: Vec<f64>,
+    queue_depth: Vec<f64>,
+}
+
+/// A cloneable, read-only live view of a [`crate::SolverService`].
+///
+/// Clones share the same registry and sample history, so one clone can
+/// drive a sampling loop while another renders dashboards. Obtain one
+/// via [`crate::SolverService::observe`]; it stays valid after the
+/// service shuts down (the final counters remain readable).
+#[derive(Clone)]
+pub struct ServiceObserver {
+    registry: Arc<Registry>,
+    history: Arc<Mutex<History>>,
+}
+
+impl ServiceObserver {
+    pub(crate) fn new(registry: Arc<Registry>) -> ServiceObserver {
+        ServiceObserver {
+            registry,
+            history: Arc::new(Mutex::new(History {
+                last: None,
+                steps_per_sec: Vec::new(),
+                queue_depth: Vec::new(),
+            })),
+        }
+    }
+
+    /// The underlying metric registry (named counters/gauges/spans,
+    /// probes, flight recorder, crash dumps).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Per-job probes, ordered by job id.
+    pub fn probes(&self) -> Vec<Arc<JobProbe>> {
+        self.registry.probes()
+    }
+
+    /// Crash dumps captured so far (flight-recorder tails of panicked
+    /// jobs).
+    pub fn crashes(&self) -> Vec<CrashDump> {
+        self.registry.crashes()
+    }
+
+    /// Engine steps executed across every job the service has run.
+    pub fn total_steps(&self) -> u64 {
+        self.registry.probes().iter().map(|p| p.steps()).sum()
+    }
+
+    /// Jobs currently waiting in the queue (the service keeps this
+    /// gauge current at every push and pop).
+    pub fn queue_depth(&self) -> u64 {
+        self.registry.gauge("queue.depth").get()
+    }
+
+    /// Takes one sample for the dashboard series and returns the
+    /// aggregate steps/sec since the previous sample (`0.0` on the
+    /// first call). Call this on whatever cadence the display wants —
+    /// the solver threads never pay for it.
+    pub fn sample(&self) -> f64 {
+        let steps = self.total_steps();
+        let depth = self.queue_depth();
+        let now = Instant::now();
+        let mut h = self.history.lock().expect("observer history poisoned");
+        let rate = match h.last {
+            Some((then, prev)) => {
+                let dt = now.duration_since(then).as_secs_f64();
+                if dt > 0.0 {
+                    steps.saturating_sub(prev) as f64 / dt
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        };
+        h.last = Some((now, steps));
+        h.steps_per_sec.push(rate);
+        h.queue_depth.push(depth as f64);
+        rate
+    }
+
+    /// Samples recorded so far.
+    pub fn samples(&self) -> usize {
+        self.history
+            .lock()
+            .expect("observer history poisoned")
+            .steps_per_sec
+            .len()
+    }
+
+    /// Point-in-time JSON snapshot of the whole registry: counters,
+    /// gauges, spans, per-job probes, flight-recorder tail and crash
+    /// dumps. Self-contained — render with `to_string()` (compact) or
+    /// [`ServiceObserver::snapshot_pretty`].
+    pub fn snapshot(&self) -> JsonValue {
+        self.registry.to_json()
+    }
+
+    /// The snapshot, pretty-printed.
+    pub fn snapshot_pretty(&self) -> String {
+        pretty(&self.snapshot())
+    }
+
+    /// An ASCII dashboard: the sampled steps/sec and queue-depth series
+    /// as an overlaid line chart, followed by a one-line live summary.
+    /// Both series are normalised to their own maxima by the renderer,
+    /// so the chart shows trajectory, not absolute scale (the summary
+    /// line carries the numbers).
+    pub fn dashboard(&self, width: usize, height: usize) -> String {
+        let h = self.history.lock().expect("observer history poisoned");
+        let mut out = String::new();
+        if h.steps_per_sec.is_empty() {
+            out.push_str("(no samples yet — call sample() on a cadence)\n");
+        } else {
+            out.push_str(&render_multi_chart(
+                &[
+                    ("steps/s", h.steps_per_sec.as_slice()),
+                    ("queue", h.queue_depth.as_slice()),
+                ],
+                width,
+                height,
+            ));
+        }
+        let latest = h.steps_per_sec.last().copied().unwrap_or(0.0);
+        drop(h);
+        out.push_str(&format!(
+            "live: {:.0} steps/s | {} queued | {} jobs probed | {} events | {} crashes\n",
+            latest,
+            self.queue_depth(),
+            self.registry.probes().len(),
+            self.registry.recorder().recorded(),
+            self.registry.crashes().len(),
+        ));
+        out
+    }
+}
+
+impl std::fmt::Debug for ServiceObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceObserver")
+            .field("jobs", &self.registry.probes().len())
+            .field("samples", &self.samples())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperspace_obs::Observer;
+
+    #[test]
+    fn sampling_builds_the_dashboard_series() {
+        let registry = Arc::new(Registry::default());
+        let obs = ServiceObserver::new(Arc::clone(&registry));
+        assert_eq!(obs.sample(), 0.0); // no previous sample
+        registry.probe(1, "x").on_step(500, 10, 0);
+        registry.gauge("queue.depth").set(3);
+        let rate = obs.sample();
+        assert!(rate > 0.0, "steps advanced between samples: {rate}");
+        assert_eq!(obs.samples(), 2);
+        assert_eq!(obs.queue_depth(), 3);
+        let dash = obs.dashboard(40, 8);
+        assert!(dash.contains("steps/s"), "{dash}");
+        assert!(dash.contains("3 queued"), "{dash}");
+    }
+
+    #[test]
+    fn clones_share_history_and_registry() {
+        let obs = ServiceObserver::new(Arc::new(Registry::default()));
+        let clone = obs.clone();
+        obs.sample();
+        clone.sample();
+        assert_eq!(obs.samples(), 2);
+    }
+
+    #[test]
+    fn empty_observer_renders_placeholder_dashboard() {
+        let obs = ServiceObserver::new(Arc::new(Registry::default()));
+        assert!(obs.dashboard(40, 8).contains("no samples yet"));
+        let json = obs.snapshot_pretty();
+        assert!(json.contains("\"jobs\""), "{json}");
+    }
+}

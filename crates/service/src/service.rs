@@ -6,10 +6,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use hyperspace_core::{ErasedStackJob, JobParams, RunSlice, RunSummary, SliceOutcome, StartedJob};
+use hyperspace_obs::{Event, EventKind, Gauge, ObsHandle, Observer, Registry};
 use hyperspace_sim::RunOutcome;
 
 use crate::handle::{JobHandle, JobShared};
 use crate::job::{JobOutcome, JobRequest, JobResult};
+use crate::observe::ServiceObserver;
 use crate::stats::{saturating_micros, ServiceStats, StatsInner};
 
 /// What a queued entry carries: a job not yet started, or a running job
@@ -145,6 +147,14 @@ struct ServiceInner {
     started: Instant,
     workers: usize,
     max_restarts: u32,
+    /// Live telemetry: per-job probes, lifecycle flight recorder, crash
+    /// dumps. Strictly one-way — nothing read from here feeds back into
+    /// scheduling or solving, so results stay bit-identical whether
+    /// anyone is watching or not.
+    registry: Arc<Registry>,
+    /// Cached `queue.depth` gauge cell (skips the registry name lookup
+    /// on every push/pop).
+    depth: Gauge,
 }
 
 /// Configuration of a [`SolverService`].
@@ -210,6 +220,8 @@ impl SolverService {
     /// A service with the given configuration.
     pub fn new(cfg: ServiceConfig) -> SolverService {
         assert!(cfg.workers >= 1, "a service needs at least one worker");
+        let registry = Arc::new(Registry::default());
+        let depth = registry.gauge("queue.depth");
         let inner = Arc::new(ServiceInner {
             queue: Mutex::new(QueueInner {
                 heap: BinaryHeap::new(),
@@ -226,6 +238,8 @@ impl SolverService {
             started: Instant::now(),
             workers: cfg.workers,
             max_restarts: cfg.max_restarts,
+            registry,
+            depth,
         });
         let mut service = SolverService {
             inner,
@@ -303,6 +317,10 @@ impl SolverService {
         let now = Instant::now();
         let cache_key = request.spec.cache_key();
         let label = request.spec.kind.label();
+        self.inner.registry.record(
+            Event::new(EventKind::Submitted, Some(id), request.priority as i64)
+                .with_detail(label.clone()),
+        );
         let portfolio = request.spec.params.portfolio.is_some();
         // Checkpoint restarts need a second copy of the job; build the
         // factory before the kind is consumed. Non-checkpointed jobs
@@ -362,9 +380,20 @@ impl SolverService {
             queued.seq = q.next_seq;
             q.next_seq += 1;
             q.heap.push(queued);
+            self.inner.depth.set(q.heap.len() as u64);
         }
         self.inner.available.notify_one();
         handle
+    }
+
+    /// A cloneable live view of the service: per-job progress probes,
+    /// the lifecycle flight recorder, queue-depth/steps-per-second
+    /// dashboard series, JSON snapshots, and crash dumps. Observation
+    /// is strictly read-only and never perturbs results — the
+    /// bit-identity suite runs every backend with it on and off and
+    /// asserts identical reports and checkpoint bytes.
+    pub fn observe(&self) -> ServiceObserver {
+        ServiceObserver::new(Arc::clone(&self.inner.registry))
     }
 
     /// Jobs currently waiting in the queue.
@@ -461,6 +490,7 @@ impl SolverService {
         let jobs: Vec<QueuedJob> = {
             let mut q = self.inner.queue.lock().expect("queue poisoned");
             q.shutdown = true;
+            self.inner.depth.set(0);
             std::mem::take(&mut q.heap).into_vec()
         };
         if jobs.is_empty() {
@@ -469,6 +499,9 @@ impl SolverService {
         let mut stats = self.inner.stats.lock().expect("stats poisoned");
         for job in jobs {
             stats.cancelled += 1;
+            self.inner
+                .registry
+                .record(Event::new(EventKind::Cancelled, Some(job.shared.id), 0));
             // A job cancelled while queued still waited in the queue:
             // its wait belongs in the distribution like everyone
             // else's (recorded here unless a worker already recorded
@@ -504,6 +537,7 @@ fn worker_loop(inner: Arc<ServiceInner>, wid: usize) {
             loop {
                 if let Some(job) = q.heap.pop() {
                     q.running += 1;
+                    inner.depth.set(q.heap.len() as u64);
                     break job;
                 }
                 if q.shutdown {
@@ -551,6 +585,7 @@ fn requeue(inner: &ServiceInner, mut job: QueuedJob, to_back: bool) {
                 q.next_seq += 1;
             }
             q.heap.push(job);
+            inner.depth.set(q.heap.len() as u64);
             drop(q);
             inner.available.notify_one();
             return;
@@ -582,6 +617,14 @@ fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
 /// and continue — returning `None`. Otherwise hand the job back with
 /// the failure message.
 fn crash(inner: &ServiceInner, mut job: QueuedJob, message: String) -> Option<(QueuedJob, String)> {
+    // Record the crash, then preserve the flight recorder's tail so the
+    // dump includes the crash event itself and the lead-up to it.
+    let id = job.shared.id;
+    inner.registry.record(
+        Event::new(EventKind::Crashed, Some(id), job.checkpoint_steps as i64)
+            .with_detail(message.clone()),
+    );
+    inner.registry.dump_crash(id, message.clone());
     if let Some(rebuild) = job
         .rebuild
         .as_ref()
@@ -593,6 +636,11 @@ fn crash(inner: &ServiceInner, mut job: QueuedJob, message: String) -> Option<(Q
         job.payload = Some(Payload::Start(fresh));
         job.shared.set_queued();
         inner.stats.lock().expect("stats poisoned").restarts += 1;
+        inner.registry.record(Event::new(
+            EventKind::Restarted,
+            Some(id),
+            job.resume_floor as i64,
+        ));
         requeue(inner, job, false);
         None
     } else {
@@ -663,10 +711,20 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
 
         job.shared.set_running();
         executed = true;
+        inner.registry.record(Event::new(
+            EventKind::Started,
+            Some(job.shared.id),
+            wid as i64,
+        ));
         let mut slice: Box<dyn RunSlice> = match job.payload.take().expect("payload present") {
             Payload::Resume(slice) => slice,
             Payload::Start(erased) => {
                 let mut params = job.params.clone();
+                // The per-job probe rides with the engine for its whole
+                // life (restarts re-use the same probe: step counters
+                // only move forward through deterministic replay).
+                let probe = inner.registry.probe(job.shared.id, &job.label);
+                params.obs = ObsHandle::new(probe as Arc<dyn Observer>);
                 let mut stop = job.shared.stop.clone();
                 if let Some(deadline) = job.deadline_at {
                     // Absolute, so a resumed job keeps its original
@@ -713,6 +771,11 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
                 Ok(SliceOutcome::Yielded(next)) => {
                     slice = next;
                     job.checkpoint_steps = slice.steps_done();
+                    inner.registry.record(Event::new(
+                        EventKind::SliceYielded,
+                        Some(job.shared.id),
+                        job.checkpoint_steps as i64,
+                    ));
                     if job.shared.cancelled.load(Ordering::SeqCst) {
                         break 'decide JobOutcome::Cancelled;
                     }
@@ -739,6 +802,15 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
                     job.solve_so_far += picked_up.elapsed();
                     job.payload = Some(Payload::Resume(slice));
                     job.shared.set_queued();
+                    inner.registry.record(Event::new(
+                        if suspend {
+                            EventKind::Suspended
+                        } else {
+                            EventKind::Preempted
+                        },
+                        Some(job.shared.id),
+                        job.checkpoint_steps as i64,
+                    ));
                     requeue(inner, job, suspend);
                     return;
                 }
@@ -772,6 +844,21 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
             stats.per_worker_busy_us[wid] += saturating_micros(picked_up.elapsed());
         }
         *stats.jobs_by_kind.entry(job.label.clone()).or_insert(0) += 1;
+    }
+    // Terminal lifecycle event (failures were already recorded as
+    // `Crashed`, with the flight-recorder tail dumped, in `crash`).
+    let terminal = match &outcome {
+        JobOutcome::Completed(_) => Some(EventKind::Completed),
+        JobOutcome::TimedOut => Some(EventKind::TimedOut),
+        JobOutcome::Cancelled => Some(EventKind::Cancelled),
+        JobOutcome::Failed(_) => None,
+    };
+    if let Some(kind) = terminal {
+        inner.registry.record(Event::new(
+            kind,
+            Some(job.shared.id),
+            saturating_micros(solve_time) as i64,
+        ));
     }
 
     job.shared.finish(JobResult {
@@ -983,6 +1070,35 @@ mod tests {
             2,
             "both aborted jobs must land in the queue-wait histogram"
         );
+    }
+
+    #[test]
+    fn observe_exposes_probes_and_lifecycle_events() {
+        let service = SolverService::with_workers(1);
+        let observer = service.observe();
+        let result = service.submit(small(JobKind::sum(12))).wait();
+        assert!(result.outcome.is_completed());
+        service.drain();
+        // The job's probe saw engine steps from inside the solve loop.
+        let probes = observer.probes();
+        assert_eq!(probes.len(), 1);
+        assert!(probes[0].steps() > 0, "probe fed from the engine");
+        assert!(probes[0].delivered() > 0);
+        assert_eq!(observer.total_steps(), probes[0].steps());
+        // The flight recorder holds the full lifecycle in order.
+        let events = observer.registry().recorder().snapshot();
+        let kinds: Vec<_> = events.iter().map(|e| e.kind).collect();
+        use hyperspace_obs::EventKind::*;
+        assert!(kinds.starts_with(&[Submitted, Started]), "{kinds:?}");
+        assert_eq!(*kinds.last().unwrap(), Completed);
+        assert!(events.iter().all(|e| e.job == Some(result.id)));
+        // Queue is empty again; the snapshot is valid JSON with the
+        // documented sections.
+        assert_eq!(observer.queue_depth(), 0);
+        let json = observer.snapshot().to_string();
+        for key in ["counters", "gauges", "jobs", "events", "crashes"] {
+            assert!(json.contains(&format!("\"{key}\"")), "{key} in {json}");
+        }
     }
 
     #[test]

@@ -110,13 +110,19 @@ impl ServiceStats {
         }
     }
 
-    /// Fraction of a worker's wall-clock spent solving.
+    /// Fraction of a worker's wall-clock spent solving. Unknown worker
+    /// ids report `0.0` — a dashboard polling a stale snapshot must not
+    /// panic the caller.
     pub fn worker_utilization(&self, worker: usize) -> f64 {
         let up = self.uptime.as_secs_f64();
+        let busy = match self.per_worker_busy.get(worker) {
+            Some(d) => d.as_secs_f64(),
+            None => return 0.0,
+        };
         if up == 0.0 {
             0.0
         } else {
-            self.per_worker_busy[worker].as_secs_f64() / up
+            busy / up
         }
     }
 }
@@ -204,6 +210,36 @@ impl std::fmt::Display for ServiceStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn worker_utilization_is_zero_for_unknown_workers() {
+        let stats = ServiceStats {
+            workers: 2,
+            uptime: Duration::from_secs(10),
+            submitted: 0,
+            completed: 0,
+            timed_out: 0,
+            cancelled: 0,
+            failed: 0,
+            cache_hits: 0,
+            preemptions: 0,
+            suspensions: 0,
+            restarts: 0,
+            cache_entries: 0,
+            queue_depth: 0,
+            queue_wait_us: Histogram::default(),
+            solve_time_us: Histogram::default(),
+            per_worker_jobs: vec![1, 2],
+            per_worker_busy: vec![Duration::from_secs(5), Duration::from_secs(1)],
+            jobs_by_kind: Vec::new(),
+        };
+        assert!((stats.worker_utilization(0) - 0.5).abs() < 1e-9);
+        assert!((stats.worker_utilization(1) - 0.1).abs() < 1e-9);
+        // Out-of-range ids must not panic (a dashboard may poll with a
+        // worker count from an older snapshot).
+        assert_eq!(stats.worker_utilization(2), 0.0);
+        assert_eq!(stats.worker_utilization(usize::MAX), 0.0);
+    }
 
     #[test]
     fn saturating_micros_is_exact_below_the_cap() {

@@ -25,6 +25,7 @@ use crate::control::StopHandle;
 use crate::envelope::Envelope;
 use crate::program::{InitCtx, NodeCtx, NodeProgram, Outbox};
 use crate::record::{SimMetrics, TraceEvent, TraceKind};
+use hyperspace_obs::ObsHandle;
 use hyperspace_topology::{NodeId, Topology};
 
 /// How sends traverse the machine.
@@ -70,6 +71,13 @@ pub struct SimConfig {
     /// run with [`RunOutcome::Stopped`]. Checked between steps, so all
     /// per-step invariants hold at the point of interruption.
     pub stop: Option<StopHandle>,
+    /// Passive telemetry sink (see [`hyperspace_obs::Observer`]). Off by
+    /// default; when attached, the engine reports each completed step
+    /// and each checkpoint encode/decode. Observation is one-way — an
+    /// observer has no channel back into the step loop — so results,
+    /// metrics, traces and checkpoint bytes are bit-identical with
+    /// observation on or off.
+    pub obs: ObsHandle,
 }
 
 impl Default for SimConfig {
@@ -85,6 +93,7 @@ impl Default for SimConfig {
             tick_every: None,
             queue_capacity: None,
             stop: None,
+            obs: ObsHandle::off(),
         }
     }
 }
@@ -438,6 +447,8 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
             self.metrics.delivered_series.push(delivered);
         }
 
+        self.cfg.obs.on_step(step, delivered, self.queued);
+
         Ok(StepReport {
             step,
             delivered,
@@ -610,6 +621,7 @@ where
     pub fn snapshot(&self) -> SimCheckpoint {
         debug_assert!(self.staged.iter().all(|s| s.is_empty()));
         debug_assert!(self.batches.iter().all(|b| b.is_empty()));
+        let started = self.cfg.obs.enabled().then(std::time::Instant::now);
         let body = encode_body(
             self.states.iter(),
             self.inboxes.iter(),
@@ -618,6 +630,11 @@ where
             &self.metrics,
             &self.trace,
         );
+        if let Some(started) = started {
+            self.cfg
+                .obs
+                .on_checkpoint(body.len() as u64, started.elapsed().as_nanos() as u64);
+        }
         SimCheckpoint::new(self.step, self.halted, self.states.len(), body)
     }
 
@@ -641,7 +658,14 @@ where
                 sim.states.len()
             )));
         }
+        let started = sim.cfg.obs.enabled().then(std::time::Instant::now);
         let state = CheckpointState::<P::State, P::Msg>::decode(ckpt)?;
+        if let Some(started) = started {
+            sim.cfg.obs.on_restore(
+                ckpt.size_bytes() as u64,
+                started.elapsed().as_nanos() as u64,
+            );
+        }
         sim.queued = state.queued();
         sim.states = state.states;
         sim.inboxes = state.inboxes;

@@ -77,4 +77,5 @@ pub use envelope::Envelope;
 pub use program::{InitCtx, NodeProgram, Outbox};
 pub use sharded::{Partition, ShardedConfig, ShardedSimulation};
 
+pub use hyperspace_obs::{ObsHandle, Observer};
 pub use hyperspace_topology::{NodeId, Topology};

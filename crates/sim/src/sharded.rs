@@ -369,9 +369,14 @@ impl<'a> Coordinator<'a> {
                 step: self.step,
                 len,
             });
-        } else if self.cfg.record_queue_series {
-            self.queued_series.push(queued);
-            self.delivered_series.push(delivered);
+        } else {
+            if self.cfg.record_queue_series {
+                self.queued_series.push(queued);
+                self.delivered_series.push(delivered);
+            }
+            // Same contract as the sequential engine: the observer sees
+            // each successfully completed step, never a failed one.
+            self.cfg.obs.on_step(self.step, delivered, queued);
         }
     }
 
@@ -803,6 +808,7 @@ where
             .flat_map(|s| s.transit.iter().map(|k| (k.key, k.at, &k.env)))
             .collect();
         transit.sort_by_key(|&(key, _, _)| key);
+        let started = self.cfg.obs.enabled().then(std::time::Instant::now);
         let body = encode_body(
             states.into_iter(),
             inboxes.into_iter(),
@@ -811,6 +817,11 @@ where
             &metrics,
             &trace,
         );
+        if let Some(started) = started {
+            self.cfg
+                .obs
+                .on_checkpoint(body.len() as u64, started.elapsed().as_nanos() as u64);
+        }
         SimCheckpoint::new(self.step, self.halted, n, body)
     }
 
@@ -835,7 +846,14 @@ where
                 ckpt.num_nodes()
             )));
         }
+        let started = sim.cfg.obs.enabled().then(std::time::Instant::now);
         let state = CheckpointState::<P::State, P::Msg>::decode(ckpt)?;
+        if let Some(started) = started {
+            sim.cfg.obs.on_restore(
+                ckpt.size_bytes() as u64,
+                started.elapsed().as_nanos() as u64,
+            );
+        }
         sim.queued = state.queued();
         for (node, st) in state.states.into_iter().enumerate() {
             let (sid, li) = sim.locate(node as NodeId);
@@ -883,12 +901,17 @@ fn drive<T: Topology, P: NodeProgram>(
 ) {
     let routed = env.cfg.delivery == DeliveryModel::Routed;
     let mut step = start_step;
+    // Barrier waits are attributed to the worker's first shard; the
+    // observer sees one span per wait per worker thread.
+    let worker = group.first().map(|s| s.id).unwrap_or(0);
+    let obs = &env.cfg.obs;
     loop {
         if let Some(coord) = coordinator.as_deref_mut() {
             let cmd = coord.decide(shared);
             shared.command.store(cmd, Ordering::SeqCst);
         }
-        shared.barrier.wait(); // command visible to every thread
+        // command visible to every thread
+        obs.time_barrier(worker, || shared.barrier.wait());
         if shared.command.load(Ordering::SeqCst) == CMD_FINISH {
             return;
         }
@@ -897,7 +920,8 @@ fn drive<T: Topology, P: NodeProgram>(
             for shard in group.iter_mut() {
                 phase_transit(shard, env, shared);
             }
-            shared.barrier.wait(); // transit mail fully posted
+            // transit mail fully posted
+            obs.time_barrier(worker, || shared.barrier.wait());
             for shard in group.iter_mut() {
                 absorb_transit(shard, env, shared);
             }
@@ -905,11 +929,13 @@ fn drive<T: Topology, P: NodeProgram>(
         for shard in group.iter_mut() {
             phase_handlers(shard, env, shared, step);
         }
-        shared.barrier.wait(); // send mail fully posted
+        // send mail fully posted
+        obs.time_barrier(worker, || shared.barrier.wait());
         for shard in group.iter_mut() {
             absorb_sends(shard, env, shared);
         }
-        shared.barrier.wait(); // step results published
+        // step results published
+        obs.time_barrier(worker, || shared.barrier.wait());
     }
 }
 

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release --example service`
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use hyperspace::core::{MapperSpec, TopologySpec};
@@ -12,6 +14,23 @@ use hyperspace::service::{JobKind, JobOutcome, JobRequest, JobSpec, SolverServic
 
 fn main() {
     let service = SolverService::with_workers(4);
+
+    // The live observability layer: a sampling thread feeds the
+    // dashboard series (aggregate steps/sec, queue depth) while the
+    // tenants below run. Observation is one-way — results are
+    // bit-identical whether anyone watches or not.
+    let observer = service.observe();
+    let sampling = Arc::new(AtomicBool::new(true));
+    let sampler = {
+        let observer = observer.clone();
+        let sampling = Arc::clone(&sampling);
+        std::thread::spawn(move || {
+            while sampling.load(Ordering::Relaxed) {
+                observer.sample();
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
 
     // Tenant 1: a batch of SAT instances at high priority, on the
     // paper's 14x14 torus. Specs parse from strings, so this could all
@@ -81,6 +100,26 @@ fn main() {
     println!("doomed fib(40): {:?} (as intended)", doomed_result.outcome);
     let repeat_result = repeat.wait();
     println!("repeat sat[0]: from_cache = {}", repeat_result.from_cache);
+
+    // Stop sampling and show what the observer saw live: the steps/sec
+    // and queue-depth trajectory, then the per-job probes.
+    sampling.store(false, Ordering::Relaxed);
+    sampler.join().expect("sampler thread");
+    println!("\nlive dashboard ({} samples @ 10ms):", observer.samples());
+    print!("{}", observer.dashboard(64, 10));
+    for probe in observer.probes() {
+        println!(
+            "  job {:>2} [{}]: {} steps, {} delivered",
+            probe.id(),
+            probe.label(),
+            probe.steps(),
+            probe.delivered(),
+        );
+    }
+    println!(
+        "  flight recorder: {} lifecycle events",
+        observer.registry().recorder().recorded()
+    );
 
     println!("\n{}", service.shutdown());
 }

@@ -46,6 +46,7 @@ pub use hyperspace_apps as apps;
 pub use hyperspace_core as core;
 pub use hyperspace_mapping as mapping;
 pub use hyperspace_metrics as metrics;
+pub use hyperspace_obs as obs;
 pub use hyperspace_portfolio as portfolio;
 pub use hyperspace_recursion as recursion;
 pub use hyperspace_sat as sat;

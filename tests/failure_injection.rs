@@ -254,6 +254,84 @@ fn handler_panic_inside_bnb_search_surfaces_without_corrupting_incumbents() {
 }
 
 #[test]
+fn worker_panic_dumps_the_flight_recorder_tail_for_the_failing_job() {
+    use hyperspace::core::ErasedStackJob;
+    use hyperspace::obs::{EventKind, CRASH_DUMP_TAIL};
+    use hyperspace::recursion::{FnProgram, Rec};
+    use hyperspace::service::{JobKind, JobOutcome, JobSpec, SolverService};
+
+    let on_torus =
+        |kind: JobKind| JobSpec::new(kind).topology(TopologySpec::Torus2D { w: 4, h: 4 });
+    let service = SolverService::with_workers(1);
+    let observer = service.observe();
+    // Healthy traffic first, so the recorder tail has context to keep.
+    for n in [5u64, 6, 7] {
+        assert!(service
+            .submit(on_torus(JobKind::sum(n)))
+            .wait()
+            .outcome
+            .is_completed());
+    }
+    // Then a job whose handler detonates mid-recursion (no checkpoint
+    // spec, so the crash is terminal rather than restarted).
+    let doomed = JobKind::erased_with_factory("detonator", || {
+        ErasedStackJob::new(
+            FnProgram::new(|n: u64| -> Rec<u64, u64> {
+                if n == 3 {
+                    panic!("injected worker crash");
+                }
+                if n < 1 {
+                    Rec::done(0)
+                } else {
+                    Rec::call(n - 1).then(move |total| Rec::done(total + n))
+                }
+            }),
+            20,
+        )
+    });
+    let failed = service.submit(on_torus(doomed)).wait();
+    let crashed_id = failed.id;
+    match failed.outcome {
+        JobOutcome::Failed(reason) => assert!(reason.contains("injected"), "{reason}"),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+
+    // Exactly one crash dump, attributed to the failing job, holding
+    // the recorder's last-N events with the crash itself at the tail.
+    let crashes = observer.crashes();
+    assert_eq!(crashes.len(), 1);
+    let dump = &crashes[0];
+    assert_eq!(dump.job, crashed_id);
+    assert!(
+        dump.message.contains("injected worker crash"),
+        "{}",
+        dump.message
+    );
+    assert!(!dump.events.is_empty() && dump.events.len() <= CRASH_DUMP_TAIL);
+    let last = dump.events.last().unwrap();
+    assert_eq!(last.kind, EventKind::Crashed);
+    assert_eq!(last.job, Some(crashed_id));
+    assert!(
+        last.detail.as_deref().unwrap_or("").contains("injected"),
+        "crash event carries the panic message"
+    );
+    // The dump preserves the doomed job's own lead-up (submit + start),
+    // not just the crash line.
+    for kind in [EventKind::Submitted, EventKind::Started] {
+        assert!(
+            dump.events
+                .iter()
+                .any(|e| e.kind == kind && e.job == Some(crashed_id)),
+            "dump is missing the {kind:?} event of job {crashed_id}"
+        );
+    }
+    // Events are in recorded order (sequence numbers ascend).
+    for pair in dump.events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+}
+
+#[test]
 fn generous_capacity_is_equivalent_to_unbounded() {
     // With a cap the run never reaches, results match the unbounded run.
     let cnf = gen::uf20_91(3);

@@ -1,0 +1,262 @@
+//! Observation bit-identity: attaching an observer to any layer of the
+//! stack must not change what is computed. Every suite here runs the
+//! same workload with observation ON and OFF and asserts the observable
+//! artefacts — run reports, metrics, traces, checkpoint bytes, service
+//! summaries, portfolio reports — are identical, while the observer
+//! itself demonstrably saw the run (so the tests can't pass vacuously).
+
+use std::sync::Arc;
+
+use hyperspace::core::{
+    BackendSpec, MapperSpec, PartitionSpec, PortfolioSpec, RecRunReport, StackBuilder, TopologySpec,
+};
+use hyperspace::obs::{JobProbe, ObsHandle};
+use hyperspace::portfolio::{PortfolioReport, PortfolioRunner};
+use hyperspace::sat::{gen, DpllProgram, Heuristic, SimplifyMode, SubProblem, Verdict};
+use hyperspace::sim::record::TraceEvent;
+use hyperspace::sim::{
+    InitCtx, NodeId, NodeProgram, Outbox, Partition, ShardedConfig, ShardedSimulation, SimConfig,
+    Simulation,
+};
+
+fn probe() -> (Arc<JobProbe>, ObsHandle) {
+    let p = Arc::new(JobProbe::new(0, "equivalence", None));
+    let h = ObsHandle::new(Arc::clone(&p) as _);
+    (p, h)
+}
+
+fn stack_run(obs: ObsHandle, seed: u64, parallel: bool) -> RecRunReport<Verdict> {
+    let cnf = gen::uf20_91(seed);
+    let program = DpllProgram::new(Heuristic::FirstUnassigned).with_mode(SimplifyMode::SplitOnly);
+    StackBuilder::new(program)
+        .topology(TopologySpec::Torus2D { w: 8, h: 8 })
+        .mapper(MapperSpec::LeastBusy {
+            status_period: None,
+        })
+        .parallel(parallel)
+        .halt_on_root_reply(false)
+        .observer(obs)
+        .run(SubProblem::root(cnf), 0)
+}
+
+fn assert_reports_identical(on: &RecRunReport<Verdict>, off: &RecRunReport<Verdict>, tag: &str) {
+    assert_eq!(on.steps, off.steps, "{tag}");
+    assert_eq!(on.computation_time, off.computation_time, "{tag}");
+    assert_eq!(on.result, off.result, "{tag}");
+    assert_eq!(on.rec_totals, off.rec_totals, "{tag}");
+    assert_eq!(on.metrics.total_sent, off.metrics.total_sent, "{tag}");
+    assert_eq!(
+        on.metrics.delivered_per_node, off.metrics.delivered_per_node,
+        "{tag}"
+    );
+    assert_eq!(
+        on.metrics.queued_series.as_slice(),
+        off.metrics.queued_series.as_slice(),
+        "{tag}"
+    );
+}
+
+#[test]
+fn stack_reports_are_identical_with_observation_on_and_off() {
+    for parallel in [false, true] {
+        let off = stack_run(ObsHandle::off(), 2017, parallel);
+        let (p, handle) = probe();
+        let on = stack_run(handle, 2017, parallel);
+        assert_reports_identical(&on, &off, &format!("parallel={parallel}"));
+        // The probe genuinely watched the run it did not perturb.
+        assert_eq!(p.steps(), off.steps, "probe saw every step");
+        assert!(p.delivered() > 0, "probe saw deliveries");
+    }
+}
+
+/// The checkpoint-equivalence scatter workload: plain `u64` state and
+/// messages, so runs are checkpointable through the codec.
+#[derive(Clone)]
+struct SeededScatter;
+
+fn mix(v: u64) -> u64 {
+    v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31) ^ v
+}
+
+impl NodeProgram for SeededScatter {
+    type Msg = u64;
+    type State = u64;
+
+    fn init(&self, node: NodeId, _ctx: &InitCtx) -> u64 {
+        mix(node as u64)
+    }
+
+    fn on_message(&self, state: &mut u64, msg: u64, ctx: &mut Outbox<'_, u64>) {
+        *state = state.wrapping_add(mix(msg));
+        let ttl = msg & 0xFF;
+        if ttl > 0 {
+            let degree = ctx.degree();
+            ctx.send_port((msg >> 8) as usize % degree, msg - 1);
+            if ttl.is_multiple_of(3) {
+                ctx.send_port((msg >> 16) as usize % degree, msg - 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn checkpoint_bytes_are_identical_with_observation_on_and_off() {
+    let topo = || hyperspace::topology::Torus::new_2d(5, 5);
+    let payload = (0xABCDu64 << 8) | 14;
+    let run_to_cut = |obs: ObsHandle, cut: u64| {
+        let cfg = SimConfig {
+            obs,
+            record_trace: true,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(topo(), SeededScatter, cfg);
+        sim.inject(3, payload);
+        sim.set_max_steps(cut);
+        sim.run_to_quiescence().expect("prefix run");
+        (sim.snapshot().to_bytes(), sim.trace().to_vec())
+    };
+    for cut in [0u64, 7, 40] {
+        let (bytes_off, trace_off) = run_to_cut(ObsHandle::off(), cut);
+        let (p, handle) = probe();
+        let (bytes_on, trace_on) = run_to_cut(handle, cut);
+        assert_eq!(bytes_on, bytes_off, "checkpoint bytes diverged at {cut}");
+        assert_eq!(trace_on, trace_off, "trace diverged at {cut}");
+        if cut > 0 {
+            assert!(p.steps() > 0, "probe saw the prefix run");
+            assert!(p.checkpoints() > 0, "probe saw the snapshot encode");
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_are_identical_with_observation_on_and_off() {
+    let run = |obs: ObsHandle| -> (Vec<TraceEvent>, Vec<u64>, u64, Vec<u8>) {
+        let cfg = SimConfig {
+            obs,
+            record_trace: true,
+            ..SimConfig::default()
+        };
+        let mut sim = ShardedSimulation::new(
+            hyperspace::topology::Torus::new_2d(6, 6),
+            SeededScatter,
+            cfg,
+            ShardedConfig {
+                shards: 4,
+                partition: Partition::RoundRobin,
+                threads: Some(3),
+            },
+        );
+        sim.inject(0, (0x55AAu64 << 8) | 11);
+        let report = sim.run_to_quiescence().expect("sharded run");
+        let bytes = sim.snapshot().to_bytes();
+        let metrics = sim.metrics();
+        (
+            sim.trace().to_vec(),
+            metrics.delivered_per_node.clone(),
+            report.steps,
+            bytes,
+        )
+    };
+    let off = run(ObsHandle::off());
+    let (p, handle) = probe();
+    let on = run(handle);
+    assert_eq!(on, off, "sharded run diverged under observation");
+    assert_eq!(p.steps(), off.2, "probe saw every sharded step");
+    assert!(
+        p.barrier_span().count() > 0,
+        "probe timed shard barrier waits"
+    );
+}
+
+#[test]
+fn sharded_stack_reports_are_identical_with_observation_on_and_off() {
+    let run = |obs: ObsHandle| {
+        let cnf = gen::uf20_91(42);
+        let program =
+            DpllProgram::new(Heuristic::FirstUnassigned).with_mode(SimplifyMode::SplitOnly);
+        let mut sim = StackBuilder::new(program)
+            .topology(TopologySpec::Torus2D { w: 6, h: 6 })
+            .mapper(MapperSpec::RoundRobin)
+            .backend(BackendSpec::Sharded {
+                shards: 4,
+                partition: PartitionSpec::Block,
+                threads: Some(2),
+            })
+            .halt_on_root_reply(false)
+            .observer(obs)
+            .build_sharded();
+        sim.inject(0, hyperspace::mapping::trigger(SubProblem::root(cnf)));
+        let report = sim.run_to_quiescence().expect("sharded SAT run");
+        (
+            report.steps,
+            sim.metrics().total_sent,
+            sim.metrics().delivered_per_node.clone(),
+        )
+    };
+    let off = run(ObsHandle::off());
+    let (p, handle) = probe();
+    let on = run(handle);
+    assert_eq!(on, off);
+    assert_eq!(p.steps(), off.0);
+}
+
+#[test]
+fn portfolio_reports_are_identical_with_observation_on_and_off() {
+    let cnf = gen::random_ksat(7, 8, 36, 3);
+    let spec = PortfolioSpec::diversified_sat(3);
+    let race = |obs: ObsHandle| -> PortfolioReport {
+        PortfolioRunner::new(spec.clone())
+            .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+            .mapper(MapperSpec::RoundRobin)
+            .threads(2)
+            .observer(obs)
+            .run_sat(&cnf)
+    };
+    let off = race(ObsHandle::off());
+    let (p, handle) = probe();
+    let on = race(handle);
+    assert_eq!(on, off, "portfolio report diverged under observation");
+    assert!(p.epoch() > 0, "probe saw the race's epochs");
+}
+
+#[test]
+fn service_results_match_an_unobserved_direct_run() {
+    use hyperspace::service::{JobKind, JobSpec, SolverService};
+
+    // The service wires a probe into every job it executes; the summary
+    // it returns must match a direct, completely unobserved stack run.
+    let cnf = gen::uf20_91(5);
+    let direct = StackBuilder::new(
+        DpllProgram::new(Heuristic::FirstUnassigned).with_mode(SimplifyMode::SplitOnly),
+    )
+    .topology(TopologySpec::Torus2D { w: 6, h: 6 })
+    .mapper(MapperSpec::LeastBusy {
+        status_period: None,
+    })
+    .run(SubProblem::root(cnf.clone()), 0);
+
+    let service = SolverService::with_workers(2);
+    let observer = service.observe();
+    let result = service
+        .submit(
+            JobSpec::new(JobKind::sat_with(
+                cnf,
+                Heuristic::FirstUnassigned,
+                SimplifyMode::SplitOnly,
+            ))
+            .topology(TopologySpec::Torus2D { w: 6, h: 6 })
+            .mapper(MapperSpec::LeastBusy {
+                status_period: None,
+            }),
+        )
+        .wait();
+    let summary = result.outcome.summary().expect("completed");
+    assert_eq!(summary.steps, direct.steps);
+    assert_eq!(summary.computation_time, direct.computation_time);
+    assert_eq!(summary.total_sent, direct.metrics.total_sent);
+    assert_eq!(
+        summary.result.as_deref(),
+        direct.result.as_ref().map(|v| format!("{v:?}")).as_deref()
+    );
+    assert_eq!(observer.total_steps(), direct.steps);
+}

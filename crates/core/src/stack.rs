@@ -124,6 +124,16 @@ impl<P: RecProgram> StackBuilder<P> {
         self
     }
 
+    /// Disables the engine's event-driven active set: every node is
+    /// visited every step (the dense baseline the active set is judged
+    /// against). Results are bit-identical either way — this only
+    /// trades wall-clock time, and exists for benchmarks and the
+    /// equivalence suites.
+    pub fn dense_stepping(mut self, on: bool) -> Self {
+        self.sim.dense_stepping = on;
+        self
+    }
+
     /// Attaches a passive observer (see [`hyperspace_sim::Observer`]):
     /// the engine reports steps and checkpoints to it, and slice
     /// barriers report live frontier progress. Observation never

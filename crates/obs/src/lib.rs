@@ -32,6 +32,24 @@ pub use recorder::{Event, EventKind, FlightRecorder};
 pub use registry::{CrashDump, Registry, CRASH_DUMP_TAIL};
 
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Saturating `Duration` → nanoseconds conversion. `as_nanos()` returns
+/// a `u128`; a bare `as u64` cast silently truncates durations beyond
+/// ~584 years (the bug class PR 5 fixed in the service stats). Telemetry
+/// sites clamp instead: an impossible duration reads as `u64::MAX`, not
+/// as a small plausible-looking number.
+#[inline]
+pub fn saturating_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Saturating `Duration` → microseconds conversion (see
+/// [`saturating_nanos`]).
+#[inline]
+pub fn saturating_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
 
 /// Passive telemetry sink threaded through the stack's layers. Every
 /// method has a no-op default, takes plain values and returns nothing:
@@ -177,7 +195,7 @@ impl ObsHandle {
             Some(o) => {
                 let start = std::time::Instant::now();
                 let out = f();
-                o.on_barrier_wait(shard, start.elapsed().as_nanos() as u64);
+                o.on_barrier_wait(shard, saturating_nanos(start.elapsed()));
                 out
             }
         }

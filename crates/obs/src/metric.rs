@@ -103,7 +103,8 @@ pub struct SpanTimer {
 
 impl Drop for SpanTimer {
     fn drop(&mut self) {
-        self.stat.record(self.started.elapsed().as_nanos() as u64);
+        self.stat
+            .record(crate::saturating_nanos(self.started.elapsed()));
     }
 }
 

@@ -141,7 +141,7 @@ impl FlightRecorder {
 
     /// Stamps and records an event, evicting the oldest on overflow.
     pub fn record(&self, mut event: Event) {
-        event.micros = self.epoch.elapsed().as_micros() as u64;
+        event.micros = crate::saturating_micros(self.epoch.elapsed());
         let mut ring = self.ring.lock().expect("recorder poisoned");
         event.seq = ring.next_seq;
         ring.next_seq += 1;

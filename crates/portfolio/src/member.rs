@@ -88,6 +88,7 @@ where
         mapper: &MapperSpec,
         objective: ObjectiveSpec,
         cancellation: bool,
+        dense_stepping: bool,
         max_steps: u64,
         root: NodeId,
     ) -> Self {
@@ -97,6 +98,7 @@ where
             .mapper(mapper.clone())
             .objective(objective)
             .cancellation(cancellation)
+            .dense_stepping(dense_stepping)
             .strategy(member)
             .max_steps(max_steps)
             .stop(handle.clone());

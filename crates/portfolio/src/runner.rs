@@ -29,6 +29,7 @@ pub struct PortfolioRunner {
     objective: ObjectiveSpec,
     prune: PruneSpec,
     cancellation: bool,
+    dense_stepping: bool,
     max_steps: u64,
     root_node: NodeId,
     threads: usize,
@@ -51,6 +52,7 @@ impl PortfolioRunner {
             objective: ObjectiveSpec::Enumerate,
             prune: PruneSpec::Off,
             cancellation: false,
+            dense_stepping: false,
             max_steps: 1_000_000,
             root_node: 0,
             threads: std::thread::available_parallelism()
@@ -117,6 +119,15 @@ impl PortfolioRunner {
     /// inside every member stack.
     pub fn cancellation(mut self, on: bool) -> Self {
         self.cancellation = on;
+        self
+    }
+
+    /// Runs every mesh member's engine with the dense (visit-every-node)
+    /// step loop instead of the event-driven active set. Reports are
+    /// bit-identical either way; this exists for benchmarks and the
+    /// equivalence suites.
+    pub fn dense_stepping(mut self, on: bool) -> Self {
+        self.dense_stepping = on;
         self
     }
 
@@ -282,6 +293,7 @@ impl PortfolioRunner {
             &self.mapper,
             objective,
             self.cancellation,
+            self.dense_stepping,
             self.max_steps,
             self.root_node,
         )

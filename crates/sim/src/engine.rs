@@ -25,7 +25,7 @@ use crate::control::StopHandle;
 use crate::envelope::Envelope;
 use crate::program::{InitCtx, NodeCtx, NodeProgram, Outbox};
 use crate::record::{SimMetrics, TraceEvent, TraceKind};
-use hyperspace_obs::ObsHandle;
+use hyperspace_obs::{saturating_nanos, ObsHandle};
 use hyperspace_topology::{NodeId, Topology};
 
 /// How sends traverse the machine.
@@ -48,7 +48,10 @@ pub enum DeliveryModel {
 pub struct SimConfig {
     /// Hard step cap; a run hitting it reports [`RunOutcome::MaxSteps`].
     pub max_steps: u64,
-    /// Inbox pops per node per step (the paper uses 1).
+    /// Inbox pops per node per step (the paper uses 1). A budget of `0`
+    /// could never drain queued work — `run_to_quiescence` would spin
+    /// forever delivering nothing — so construction clamps it to at
+    /// least 1.
     pub msgs_per_step: u32,
     /// Message traversal semantics.
     pub delivery: DeliveryModel,
@@ -60,6 +63,13 @@ pub struct SimConfig {
     pub record_trace: bool,
     /// Execute the handler phase on a scoped thread pool.
     pub parallel: bool,
+    /// Visit every node every step (the pre-active-set dense baseline)
+    /// instead of only the event-driven active set (nodes with pending
+    /// deliveries, plus everyone on tick steps). Results are
+    /// bit-identical either way — the active set only skips nodes that
+    /// provably have no work — so this exists as a benchmark baseline
+    /// and an escape hatch, enforced by the equivalence suites.
+    pub dense_stepping: bool,
     /// Invoke `NodeProgram::on_tick` for every node each `k` steps.
     pub tick_every: Option<u64>,
     /// Bounded-inbox failure injection: exceeding this capacity aborts the
@@ -90,6 +100,7 @@ impl Default for SimConfig {
             record_node_activity: true,
             record_trace: false,
             parallel: false,
+            dense_stepping: false,
             tick_every: None,
             queue_capacity: None,
             stop: None,
@@ -188,6 +199,35 @@ impl std::error::Error for SimError {}
 /// to sequential stepping (results are bit-identical either way).
 const PARALLEL_MIN_NODES: usize = 128;
 
+/// Adds `node` to the active set (idempotent). The invariant the
+/// scheduler rests on: `mask[n]` ⇔ `n ∈ active`.
+#[inline]
+fn mark_active(active: &mut Vec<NodeId>, mask: &mut [bool], node: NodeId) {
+    let i = node as usize;
+    if !mask[i] {
+        mask[i] = true;
+        active.push(node);
+    }
+}
+
+/// Splits `slice` into disjoint `&mut` element references at the given
+/// strictly-ascending indices — how the parallel handler phase hands a
+/// sparse work list to scoped threads without cloning or `unsafe`.
+fn gather_mut<'a, S>(mut slice: &'a mut [S], ids: &[NodeId]) -> Vec<&'a mut S> {
+    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    let mut out = Vec::with_capacity(ids.len());
+    let mut base = 0usize;
+    for &id in ids {
+        let rest = std::mem::take(&mut slice);
+        let (_, tail) = rest.split_at_mut(id as usize - base);
+        let (item, tail) = tail.split_first_mut().expect("id within slice");
+        out.push(item);
+        slice = tail;
+        base = id as usize + 1;
+    }
+    out
+}
+
 /// A deterministic time-stepped simulation of a hyperspace machine running
 /// one [`NodeProgram`] on every node.
 pub struct Simulation<T: Topology, P: NodeProgram> {
@@ -209,6 +249,15 @@ pub struct Simulation<T: Topology, P: NodeProgram> {
     staged: Vec<Vec<Envelope<P::Msg>>>,
     /// Per-node delivery batches, reused across steps.
     batches: Vec<Vec<Envelope<P::Msg>>>,
+    /// The event-driven active set: nodes with pending inbox deliveries,
+    /// in insertion order, deduplicated by `active_mask`. Only these
+    /// nodes are visited by phase 2 (sorted into `work` first); empty
+    /// and unmaintained under `dense_stepping`.
+    active: Vec<NodeId>,
+    /// `active_mask[n]` ⇔ node `n` is in `active`.
+    active_mask: Vec<bool>,
+    /// This step's sorted work list; recycled across steps.
+    work: Vec<NodeId>,
     step: u64,
     queued: u64,
     halted: bool,
@@ -224,7 +273,10 @@ pub struct Simulation<T: Topology, P: NodeProgram> {
 impl<T: Topology, P: NodeProgram> Simulation<T, P> {
     /// Builds the machine: initialises every node's state via
     /// `program.init` and empty queues.
-    pub fn new(topo: T, program: P, cfg: SimConfig) -> Self {
+    pub fn new(topo: T, program: P, mut cfg: SimConfig) -> Self {
+        // A zero budget would deliver nothing forever (see the field's
+        // doc); clamp rather than panic so sweeps over budgets are safe.
+        cfg.msgs_per_step = cfg.msgs_per_step.max(1);
         let n = topo.num_nodes();
         let ctx = NodeCtx::new(&topo);
         let mut states = Vec::with_capacity(n);
@@ -247,6 +299,9 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
             transit: VecDeque::new(),
             staged: (0..n).map(|_| Vec::new()).collect(),
             batches: (0..n).map(|_| Vec::new()).collect(),
+            active: Vec::new(),
+            active_mask: vec![false; n],
+            work: Vec::new(),
             step: 0,
             queued: 0,
             halted: false,
@@ -275,6 +330,9 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
             payload: msg,
         });
         self.queued += 1;
+        if !self.cfg.dense_stepping {
+            mark_active(&mut self.active, &mut self.active_mask, node);
+        }
     }
 
     /// Current simulation step (number of steps executed so far).
@@ -324,6 +382,14 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
     pub fn step(&mut self) -> Result<StepReport, SimError> {
         self.step += 1;
         let step = self.step;
+        let sparse = !self.cfg.dense_stepping;
+        // First overflow in delivery order. Phase-1 arrivals carry keys
+        // from earlier steps, so any phase-1 candidate precedes every
+        // phase-3 candidate of this step; within each phase, pushes
+        // already happen in ascending key order. Keeping the first
+        // candidate found therefore yields the globally smallest — the
+        // same winner the sharded coordinator's min-key rule picks.
+        let mut overflow: Option<SimError> = None;
 
         // Phase 1: advance routed in-flight messages one hop.
         if self.cfg.delivery == DeliveryModel::Routed {
@@ -334,18 +400,48 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
                     env.advance_hop();
                 }
                 if next == env.dst {
-                    self.inboxes[env.dst as usize].push_back(env);
+                    let dst = env.dst;
+                    self.inboxes[dst as usize].push_back(env);
+                    if sparse {
+                        mark_active(&mut self.active, &mut self.active_mask, dst);
+                    }
+                    if let Some(cap) = self.cfg.queue_capacity {
+                        let len = self.inboxes[dst as usize].len();
+                        if len > cap && overflow.is_none() {
+                            overflow = Some(SimError::QueueOverflow {
+                                node: dst,
+                                step,
+                                len,
+                            });
+                        }
+                    }
                 } else {
                     self.transit.push_back((key, next, env));
                 }
             }
         }
 
-        // Phase 2: pop batches (sequential — cheap) then run handlers.
         let n = self.states.len();
+        let tick = matches!(self.cfg.tick_every, Some(k) if k > 0 && step.is_multiple_of(k));
+
+        // Build this step's work list in ascending node order: everyone
+        // on dense or tick steps, otherwise exactly the active set.
+        self.work.clear();
+        if !sparse || tick {
+            self.work.extend(0..n as NodeId);
+            // A tick step visits every node anyway; pending marks are
+            // subsumed and re-derived from inbox occupancy below.
+            self.active.clear();
+        } else {
+            std::mem::swap(&mut self.work, &mut self.active);
+            self.work.sort_unstable();
+        }
+
+        // Phase 2: pop batches (sequential — cheap) then run handlers.
         let budget = self.cfg.msgs_per_step as usize;
         let mut delivered = 0u64;
-        for node in 0..n {
+        for wi in 0..self.work.len() {
+            let node = self.work[wi] as usize;
             let inbox = &mut self.inboxes[node];
             let batch = &mut self.batches[node];
             debug_assert!(batch.is_empty());
@@ -356,6 +452,16 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
                 }
             }
             delivered += batch.len() as u64;
+            // Re-derive this node's membership: each work-list entry is
+            // unique and was either swapped out of `active` or cleared
+            // above, so a plain push keeps the mask invariant.
+            if sparse {
+                let more = !inbox.is_empty();
+                self.active_mask[node] = more;
+                if more {
+                    self.active.push(node as NodeId);
+                }
+            }
         }
         self.queued -= delivered;
         if delivered > 0 {
@@ -364,13 +470,14 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
             self.metrics.total_delivered += delivered;
         }
         if self.cfg.record_node_activity {
-            for (node, batch) in self.batches.iter().enumerate() {
-                self.metrics.delivered_per_node[node] += batch.len() as u64;
+            for &node in &self.work {
+                self.metrics.delivered_per_node[node as usize] +=
+                    self.batches[node as usize].len() as u64;
             }
         }
         if self.cfg.record_trace {
-            for batch in &self.batches {
-                for env in batch {
+            for &node in &self.work {
+                for env in &self.batches[node as usize] {
                     self.trace.push(TraceEvent {
                         step,
                         kind: TraceKind::Deliver,
@@ -381,21 +488,26 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
                 }
             }
         }
-        for batch in &self.batches {
-            for env in batch {
+        for &node in &self.work {
+            for env in &self.batches[node as usize] {
                 self.metrics.hop_histogram.record(env.hops as u64);
             }
         }
 
-        let tick = matches!(self.cfg.tick_every, Some(k) if k > 0 && step.is_multiple_of(k));
-        let halted_flag = self.run_handlers(step, tick);
+        let halted_flag = {
+            let work = std::mem::take(&mut self.work);
+            let halted = self.run_handlers(step, tick, &work);
+            self.work = work;
+            halted
+        };
         if halted_flag {
             self.halted = true;
         }
 
-        // Phase 3: deterministic delivery of staged sends.
-        let mut overflow: Option<SimError> = None;
-        for node in 0..n {
+        // Phase 3: deterministic delivery of staged sends. Only work
+        // nodes ran handlers, so only they can have staged anything.
+        for wi in 0..self.work.len() {
+            let node = self.work[wi] as usize;
             for (emission, env) in self.staged[node].drain(..).enumerate() {
                 if self.cfg.record_trace {
                     self.trace.push(TraceEvent {
@@ -425,6 +537,9 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
                         let mut env = env;
                         env.complete_direct();
                         self.inboxes[dst].push_back(env);
+                        if sparse {
+                            mark_active(&mut self.active, &mut self.active_mask, dst as NodeId);
+                        }
                         if let Some(cap) = self.cfg.queue_capacity {
                             if self.inboxes[dst].len() > cap && overflow.is_none() {
                                 overflow = Some(SimError::QueueOverflow {
@@ -457,9 +572,10 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
         })
     }
 
-    /// Runs the handler phase over the drained batches; returns the halt
-    /// flag. Sequential or thread-parallel per config — identical results.
-    fn run_handlers(&mut self, step: u64, tick: bool) -> bool {
+    /// Runs the handler phase over the work list's drained batches;
+    /// returns the halt flag. Sequential or thread-parallel per config —
+    /// identical results.
+    fn run_handlers(&mut self, step: u64, tick: bool, work: &[NodeId]) -> bool {
         let program = &self.program;
         let topo = &self.topo;
         let csr = &self.ctx.csr;
@@ -511,30 +627,30 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
         } else {
             1
         };
-        if threads > 1 {
-            // Fork-join over contiguous node chunks; staged sends stay
-            // per-node, so results are bit-identical to sequential
+        // Forking scoped threads per step only pays off for wide work
+        // lists; a sparse frontier finishes faster inline.
+        if threads > 1 && work.len() >= PARALLEL_MIN_NODES {
+            // Fork-join over contiguous work-list chunks; staged sends
+            // stay per-node, so results are bit-identical to sequential
             // stepping regardless of the chunking.
-            let chunk = num_nodes.div_ceil(threads);
+            let states = gather_mut(&mut self.states, work);
+            let batches = gather_mut(&mut self.batches, work);
+            let staged = gather_mut(&mut self.staged, work);
+            let mut refs: Vec<_> = work
+                .iter()
+                .zip(states)
+                .zip(batches)
+                .zip(staged)
+                .map(|(((&node, state), batch), staged)| (node as usize, state, batch, staged))
+                .collect();
+            let chunk = refs.len().div_ceil(threads);
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(threads);
-                for (ci, ((states, batches), staged)) in self
-                    .states
-                    .chunks_mut(chunk)
-                    .zip(self.batches.chunks_mut(chunk))
-                    .zip(self.staged.chunks_mut(chunk))
-                    .enumerate()
-                {
-                    let base = ci * chunk;
+                for chunk_refs in refs.chunks_mut(chunk) {
                     handles.push(scope.spawn(move || {
                         let mut halt = false;
-                        for (off, ((state, batch), staged)) in states
-                            .iter_mut()
-                            .zip(batches.iter_mut())
-                            .zip(staged.iter_mut())
-                            .enumerate()
-                        {
-                            halt |= body(base + off, state, batch, staged);
+                        for (node, state, batch, staged) in chunk_refs.iter_mut() {
+                            halt |= body(*node, state, batch, staged);
                         }
                         halt
                     }));
@@ -549,14 +665,14 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
             })
         } else {
             let mut halt = false;
-            for (node, ((state, batch), staged)) in self
-                .states
-                .iter_mut()
-                .zip(self.batches.iter_mut())
-                .zip(self.staged.iter_mut())
-                .enumerate()
-            {
-                halt |= body(node, state, batch, staged);
+            for &node in work {
+                let node = node as usize;
+                halt |= body(
+                    node,
+                    &mut self.states[node],
+                    &mut self.batches[node],
+                    &mut self.staged[node],
+                );
             }
             halt
         }
@@ -587,6 +703,29 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
             }
             if self.step >= self.cfg.max_steps {
                 return Ok(self.report(RunOutcome::MaxSteps));
+            }
+            // Event-driven fast-forward: with nothing queued anywhere,
+            // the only possible work left is the next tick — every step
+            // until then delivers nothing, runs no handler and stages
+            // nothing. Synthesise those steps' (empty) records and jump.
+            if !self.cfg.dense_stepping && self.queued == 0 {
+                if let Some(k) = self.cfg.tick_every {
+                    // checked_div: k == 0 means ticks never fire.
+                    if let Some(next_tick) = self.step.checked_div(k).map(|q| (q + 1) * k) {
+                        let skip_to = (next_tick - 1).min(self.cfg.max_steps);
+                        while self.step < skip_to {
+                            self.step += 1;
+                            if self.cfg.record_queue_series {
+                                self.metrics.queued_series.push(0);
+                                self.metrics.delivered_series.push(0);
+                            }
+                            self.cfg.obs.on_step(self.step, 0, 0);
+                        }
+                        if self.step >= self.cfg.max_steps {
+                            continue; // re-run the completion checks
+                        }
+                    }
+                }
             }
             self.step()?;
         }
@@ -633,7 +772,7 @@ where
         if let Some(started) = started {
             self.cfg
                 .obs
-                .on_checkpoint(body.len() as u64, started.elapsed().as_nanos() as u64);
+                .on_checkpoint(body.len() as u64, saturating_nanos(started.elapsed()));
         }
         SimCheckpoint::new(self.step, self.halted, self.states.len(), body)
     }
@@ -663,7 +802,7 @@ where
         if let Some(started) = started {
             sim.cfg.obs.on_restore(
                 ckpt.size_bytes() as u64,
-                started.elapsed().as_nanos() as u64,
+                saturating_nanos(started.elapsed()),
             );
         }
         sim.queued = state.queued();
@@ -674,6 +813,16 @@ where
         sim.trace = state.trace;
         sim.step = ckpt.step();
         sim.halted = ckpt.halted();
+        // The active set is derived state, not part of the checkpoint:
+        // rebuild it from inbox occupancy (a fresh sim starts with an
+        // all-false mask and an empty list).
+        if !sim.cfg.dense_stepping {
+            for node in 0..sim.inboxes.len() {
+                if !sim.inboxes[node].is_empty() {
+                    mark_active(&mut sim.active, &mut sim.active_mask, node as NodeId);
+                }
+            }
+        }
         Ok(sim)
     }
 }
@@ -1170,5 +1319,231 @@ mod tests {
             metrics_p.queued_series.as_slice()
         );
         assert_eq!(trace_s, trace_p);
+    }
+
+    #[test]
+    fn dense_stepping_is_bit_identical_to_active_set() {
+        let run = |dense_stepping| {
+            let mut sim = Simulation::new(
+                Torus::new_2d(6, 6),
+                Traverse,
+                SimConfig {
+                    dense_stepping,
+                    record_trace: true,
+                    ..SimConfig::default()
+                },
+            );
+            sim.inject(7, ());
+            let report = sim.run_to_quiescence().unwrap();
+            let trace = sim.trace().to_vec();
+            let (states, metrics) = sim.into_parts();
+            (report.steps, states, metrics, trace)
+        };
+        let (steps_a, states_a, metrics_a, trace_a) = run(false);
+        let (steps_d, states_d, metrics_d, trace_d) = run(true);
+        assert_eq!(steps_a, steps_d);
+        assert_eq!(states_a, states_d);
+        assert_eq!(metrics_a.delivered_per_node, metrics_d.delivered_per_node);
+        assert_eq!(metrics_a.sent_per_node, metrics_d.sent_per_node);
+        assert_eq!(
+            metrics_a.queued_series.as_slice(),
+            metrics_d.queued_series.as_slice()
+        );
+        assert_eq!(
+            metrics_a.delivered_series.as_slice(),
+            metrics_d.delivered_series.as_slice()
+        );
+        assert_eq!(metrics_a.hop_histogram, metrics_d.hop_histogram);
+        assert_eq!(metrics_a.total_sent, metrics_d.total_sent);
+        assert_eq!(metrics_a.total_delivered, metrics_d.total_delivered);
+        assert_eq!(trace_a, trace_d);
+    }
+
+    #[test]
+    fn zero_msgs_per_step_is_clamped_to_one() {
+        // A zero budget would make every step a no-op and the run an
+        // infinite spin; the engine clamps it to 1 at construction.
+        let run = |msgs_per_step| {
+            let mut sim = Simulation::new(
+                Torus::new_2d(4, 4),
+                Traverse,
+                SimConfig {
+                    msgs_per_step,
+                    ..SimConfig::default()
+                },
+            );
+            sim.inject(0, ());
+            let report = sim.run_to_quiescence().unwrap();
+            (report.steps, sim.metrics().total_delivered)
+        };
+        assert_eq!(run(0), run(1));
+    }
+
+    #[test]
+    fn routed_arrivals_respect_queue_capacity() {
+        // Non-adjacent senders flood node 0 purely through the transit
+        // queue, so every delivery lands on the phase-1 arrival path —
+        // which must enforce `queue_capacity` exactly like the direct
+        // staged-send path.
+        struct FarFlood;
+        impl NodeProgram for FarFlood {
+            type Msg = ();
+            type State = ();
+            fn init(&self, _n: NodeId, _c: &InitCtx) {}
+            fn on_message(&self, _s: &mut (), _m: (), ctx: &mut Outbox<'_, ()>) {
+                if ctx.node() != 0 {
+                    for _ in 0..4 {
+                        ctx.send(0, ());
+                    }
+                }
+            }
+        }
+        let mut sim = Simulation::new(
+            Ring::new(12),
+            FarFlood,
+            SimConfig {
+                delivery: DeliveryModel::Routed,
+                queue_capacity: Some(3),
+                ..SimConfig::default()
+            },
+        );
+        for node in [4, 5, 6, 7] {
+            sim.inject(node, ());
+        }
+        let err = sim.run_to_quiescence().unwrap_err();
+        match err {
+            SimError::QueueOverflow { node, len, .. } => {
+                assert_eq!(node, 0);
+                assert!(len > 3);
+            }
+            other => panic!("expected QueueOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tick_only_program_runs_ticks_with_empty_inboxes() {
+        // No messages ever flow: under the active set every step is
+        // "dead" except the tick cadence, which must still visit every
+        // node, and the fast-forward must synthesise the skipped steps'
+        // records bit-identically to the dense walk.
+        struct Busy;
+        impl NodeProgram for Busy {
+            type Msg = ();
+            type State = u32;
+            fn init(&self, _n: NodeId, _c: &InitCtx) -> u32 {
+                0
+            }
+            fn on_message(&self, _s: &mut u32, _m: (), _ctx: &mut Outbox<'_, ()>) {}
+            fn on_tick(&self, ticks: &mut u32, _ctx: &mut Outbox<'_, ()>) {
+                *ticks += 1;
+            }
+            fn is_idle(&self, ticks: &u32) -> bool {
+                *ticks >= 3
+            }
+        }
+        let run = |dense_stepping| {
+            let mut sim = Simulation::new(
+                Ring::new(5),
+                Busy,
+                SimConfig {
+                    tick_every: Some(5),
+                    dense_stepping,
+                    ..SimConfig::default()
+                },
+            );
+            let report = sim.run_to_quiescence().unwrap();
+            let series = sim.metrics().queued_series.as_slice().to_vec();
+            let (states, _) = sim.into_parts();
+            (report.outcome, report.steps, states, series)
+        };
+        let sparse = run(false);
+        assert_eq!(sparse, run(true));
+        let (outcome, steps, states, series) = sparse;
+        assert_eq!(outcome, RunOutcome::Quiescent);
+        assert_eq!(steps, 15); // ticks at 5, 10, 15 — then every node idle
+        assert_eq!(states, vec![3; 5]);
+        assert_eq!(series, vec![0; 15]);
+    }
+
+    #[test]
+    fn idle_node_reactivates_on_late_routed_arrival() {
+        // Node 5 handles a message at step 1 and drains out of the
+        // active set; a distance-5 send launched the same step must
+        // still wake it on arrival five steps later.
+        struct Echo;
+        impl NodeProgram for Echo {
+            type Msg = u8;
+            type State = Option<u64>;
+            fn init(&self, _n: NodeId, _c: &InitCtx) -> Option<u64> {
+                None
+            }
+            fn on_message(&self, got: &mut Option<u64>, msg: u8, ctx: &mut Outbox<'_, u8>) {
+                if msg == 1 && ctx.node() == 0 {
+                    ctx.send(5, 2);
+                } else {
+                    *got = Some(ctx.step());
+                }
+            }
+        }
+        let mut sim = Simulation::new(
+            Ring::new(10),
+            Echo,
+            SimConfig {
+                delivery: DeliveryModel::Routed,
+                ..SimConfig::default()
+            },
+        );
+        sim.inject(5, 0); // wakes node 5, which records and goes idle
+        sim.inject(0, 1); // launches the far send the same step
+        let report = sim.run_to_quiescence().unwrap();
+        assert_eq!(report.outcome, RunOutcome::Quiescent);
+        // Handled at step 1, then re-woken by the 5-hop arrival.
+        assert_eq!(*sim.state(5), Some(6));
+    }
+
+    #[test]
+    fn restore_mid_backlog_rebuilds_the_active_set() {
+        // Cut while node 0 still holds a half-drained backlog: the
+        // restored run (whose active set is rebuilt from inbox
+        // occupancy, not checkpointed) must finish identically.
+        struct CountDeliveries;
+        impl NodeProgram for CountDeliveries {
+            type Msg = ();
+            type State = u32;
+            fn init(&self, _n: NodeId, _c: &InitCtx) -> u32 {
+                0
+            }
+            fn on_message(&self, count: &mut u32, _m: (), _ctx: &mut Outbox<'_, ()>) {
+                *count += 1;
+            }
+        }
+        let cfg = SimConfig {
+            delivery: DeliveryModel::Direct,
+            ..SimConfig::default()
+        };
+        let mut reference = Simulation::new(FullyConnected::new(9), CountDeliveries, cfg.clone());
+        for _ in 0..6 {
+            reference.inject(0, ());
+        }
+        let ref_report = reference.run_to_quiescence().unwrap();
+        assert_eq!(ref_report.steps, 6); // one pop per step
+
+        let mut sim = Simulation::new(FullyConnected::new(9), CountDeliveries, cfg.clone());
+        for _ in 0..6 {
+            sim.inject(0, ());
+        }
+        sim.set_max_steps(3);
+        sim.run_to_quiescence().unwrap();
+        let ckpt = sim.snapshot();
+        let mut resumed = Simulation::restore(FullyConnected::new(9), CountDeliveries, cfg, &ckpt)
+            .expect("restores");
+        let report = resumed.run_to_quiescence().unwrap();
+        assert_eq!(report.outcome, ref_report.outcome);
+        assert_eq!(report.steps, ref_report.steps);
+        assert_eq!(*resumed.state(0), 6);
+        assert_eq!(
+            resumed.metrics().queued_series.as_slice(),
+            reference.metrics().queued_series.as_slice()
+        );
     }
 }

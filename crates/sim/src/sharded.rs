@@ -40,8 +40,10 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Barrier, Mutex};
+
+use hyperspace_obs::saturating_nanos;
 
 use crate::checkpoint::{encode_body, CheckpointState, SimCheckpoint};
 use crate::codec::{Codec, CodecError};
@@ -204,25 +206,29 @@ impl<M> MailGrid<M> {
         }
     }
 
-    fn post(&self, dst: usize, src: usize, batch: Vec<Keyed<M>>) {
+    /// Posts `batch` into the `[dst][src]` slot by swapping buffers: the
+    /// slot takes the batch's contents and the caller gets back the
+    /// slot's drained-but-allocated vector, so the posting buffers
+    /// recycle their capacity step after step instead of reallocating.
+    fn post(&self, dst: usize, src: usize, batch: &mut Vec<Keyed<M>>) {
         if batch.is_empty() {
             return;
         }
         let mut slot = self.slots[dst][src].lock().expect("mail slot poisoned");
         debug_assert!(slot.is_empty(), "mail slot drained every step");
-        *slot = batch;
+        std::mem::swap(&mut *slot, batch);
     }
 
-    /// Drains every sender's slot for `dst` and returns the union in
-    /// ascending key order (each slot is already sorted, so this is a
-    /// merge; a sort keeps the code obvious and the result identical).
-    fn collect(&self, dst: usize) -> Vec<Keyed<M>> {
-        let mut merged: Vec<Keyed<M>> = Vec::new();
+    /// Drains every sender's slot for `dst` into `out` in ascending key
+    /// order (each slot is already sorted, so this is a merge; a sort
+    /// keeps the code obvious and the result identical). `out` is a
+    /// reusable buffer — cleared here, capacity retained.
+    fn collect_into(&self, dst: usize, out: &mut Vec<Keyed<M>>) {
+        out.clear();
         for slot in &self.slots[dst] {
-            merged.append(&mut slot.lock().expect("mail slot poisoned"));
+            out.append(&mut slot.lock().expect("mail slot poisoned"));
         }
-        merged.sort_by_key(|k| k.key);
-        merged
+        out.sort_by_key(|k| k.key);
     }
 }
 
@@ -238,6 +244,24 @@ struct Shard<P: NodeProgram> {
     batches: Vec<Vec<Envelope<P::Msg>>>,
     /// Routed in-flight messages positioned in this shard, sorted by key.
     transit: Vec<Keyed<P::Msg>>,
+    /// Local indices with pending inbox deliveries (insertion order,
+    /// deduplicated by `active_mask`); the shard's slice of the
+    /// event-driven active set. Empty and unmaintained under
+    /// `dense_stepping`.
+    active: Vec<usize>,
+    /// `active_mask[li]` ⇔ `li ∈ active`.
+    active_mask: Vec<bool>,
+    /// This step's sorted work list; recycled across steps.
+    work: Vec<usize>,
+    /// Reusable per-destination-shard posting buffers (phase-1 arrivals
+    /// and migrations, phase-3 sends); swapped with mail slots.
+    post_arrivals: Vec<Vec<Keyed<P::Msg>>>,
+    post_migrations: Vec<Vec<Keyed<P::Msg>>>,
+    post_sends: Vec<Vec<Keyed<P::Msg>>>,
+    /// Reusable transit survivor/merge buffer.
+    transit_buf: Vec<Keyed<P::Msg>>,
+    /// Reusable mailbox collection buffer.
+    mail_buf: Vec<Keyed<P::Msg>>,
     /// Messages resident in this shard (inboxes + transit).
     queued: u64,
     /// Deliveries during the current step.
@@ -248,6 +272,18 @@ struct Shard<P: NodeProgram> {
     panic: Option<(NodeId, String)>,
     metrics: SimMetrics,
     trace: Vec<TraceEvent>,
+}
+
+impl<P: NodeProgram> Shard<P> {
+    /// Adds local index `li` to the shard's active set (idempotent; the
+    /// invariant is `active_mask[li]` ⇔ `li ∈ active`).
+    #[inline]
+    fn mark_active(&mut self, li: usize) {
+        if !self.active_mask[li] {
+            self.active_mask[li] = true;
+            self.active.push(li);
+        }
+    }
 }
 
 /// Per-step results a shard publishes for the coordinator.
@@ -268,6 +304,11 @@ const CMD_FINISH: u8 = 1;
 struct Shared<M> {
     barrier: Barrier,
     command: AtomicU8,
+    /// The step workers are commanded to execute next. Published by the
+    /// coordinator before each `CMD_STEP` so dead-step fast-forwards
+    /// (which advance the clock without waking the workers) stay in
+    /// sync with every shard's notion of time.
+    step: AtomicU64,
     /// Phase-1 mail: routed messages that reached their destination.
     arrivals: MailGrid<M>,
     /// Phase-1 mail: routed messages whose position moved shards.
@@ -409,34 +450,56 @@ impl<'a> Coordinator<'a> {
             self.outcome = Some(RunOutcome::MaxSteps);
             return CMD_FINISH;
         }
+        // Event-driven fast-forward, mirroring the sequential engine's
+        // `run_to_quiescence`: with nothing queued anywhere the only
+        // possible work left is the next tick, so the steps until then
+        // are dead on every shard — synthesise their (empty) records
+        // here instead of waking all workers to do nothing.
+        if !self.cfg.dense_stepping && self.queued == 0 {
+            if let Some(k) = self.cfg.tick_every {
+                // checked_div: k == 0 means ticks never fire.
+                if let Some(next_tick) = self.step.checked_div(k).map(|q| (q + 1) * k) {
+                    let skip_to = (next_tick - 1).min(self.max_steps);
+                    while self.step < skip_to {
+                        self.step += 1;
+                        if self.cfg.record_queue_series {
+                            self.queued_series.push(0);
+                            self.delivered_series.push(0);
+                        }
+                        self.cfg.obs.on_step(self.step, 0, 0);
+                    }
+                    if self.step >= self.max_steps {
+                        self.outcome = Some(RunOutcome::MaxSteps);
+                        return CMD_FINISH;
+                    }
+                }
+            }
+        }
         self.step += 1;
+        shared.step.store(self.step, Ordering::SeqCst);
         CMD_STEP
     }
 }
 
-/// Merges two key-sorted vectors into one.
-fn merge_sorted<M>(a: Vec<Keyed<M>>, b: Vec<Keyed<M>>) -> Vec<Keyed<M>> {
-    if b.is_empty() {
-        return a;
-    }
-    if a.is_empty() {
-        return b;
-    }
-    let mut merged = Vec::with_capacity(a.len() + b.len());
-    let (mut ai, mut bi) = (a.into_iter().peekable(), b.into_iter().peekable());
+/// Merges two key-sorted vectors into `out` (cleared first), draining
+/// both inputs but keeping all three allocations for reuse.
+fn merge_sorted_into<M>(a: &mut Vec<Keyed<M>>, b: &mut Vec<Keyed<M>>, out: &mut Vec<Keyed<M>>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let (mut ai, mut bi) = (a.drain(..).peekable(), b.drain(..).peekable());
     loop {
         match (ai.peek(), bi.peek()) {
             (Some(x), Some(y)) => {
                 if x.key <= y.key {
-                    merged.push(ai.next().expect("peeked"));
+                    out.push(ai.next().expect("peeked"));
                 } else {
-                    merged.push(bi.next().expect("peeked"));
+                    out.push(bi.next().expect("peeked"));
                 }
             }
-            (Some(_), None) => merged.extend(ai.by_ref()),
+            (Some(_), None) => out.extend(ai.by_ref()),
             (None, _) => {
-                merged.extend(bi.by_ref());
-                return merged;
+                out.extend(bi.by_ref());
+                return;
             }
         }
     }
@@ -466,7 +529,10 @@ impl<T: Topology, P: NodeProgram> ShardedSimulation<T, P> {
     /// Builds the sharded machine: K shards, each owning its partition's
     /// node states and queues. Nodes are initialised in global id order,
     /// exactly like the sequential engine.
-    pub fn new(topo: T, program: P, cfg: SimConfig, scfg: ShardedConfig) -> Self {
+    pub fn new(topo: T, program: P, mut cfg: SimConfig, scfg: ShardedConfig) -> Self {
+        // Same clamp as the sequential engine: a zero budget can never
+        // drain queued work.
+        cfg.msgs_per_step = cfg.msgs_per_step.max(1);
         let n = topo.num_nodes();
         let k = scfg.shards.max(1);
         let csr = Csr::build(&topo);
@@ -482,6 +548,14 @@ impl<T: Topology, P: NodeProgram> ShardedSimulation<T, P> {
                     staged: (0..len).map(|_| Vec::new()).collect(),
                     batches: (0..len).map(|_| Vec::new()).collect(),
                     transit: Vec::new(),
+                    active: Vec::new(),
+                    active_mask: vec![false; len],
+                    work: Vec::new(),
+                    post_arrivals: (0..k).map(|_| Vec::new()).collect(),
+                    post_migrations: (0..k).map(|_| Vec::new()).collect(),
+                    post_sends: (0..k).map(|_| Vec::new()).collect(),
+                    transit_buf: Vec::new(),
+                    mail_buf: Vec::new(),
                     queued: 0,
                     step_delivered: 0,
                     halted: false,
@@ -546,6 +620,9 @@ impl<T: Topology, P: NodeProgram> ShardedSimulation<T, P> {
         });
         self.shards[sid].queued += 1;
         self.queued += 1;
+        if !self.cfg.dense_stepping {
+            self.shards[sid].mark_active(li);
+        }
     }
 
     /// Number of shards.
@@ -616,6 +693,7 @@ impl<T: Topology, P: NodeProgram> ShardedSimulation<T, P> {
         let shared: Shared<P::Msg> = Shared {
             barrier: Barrier::new(workers),
             command: AtomicU8::new(CMD_STEP),
+            step: AtomicU64::new(self.step),
             arrivals: MailGrid::new(k),
             migrations: MailGrid::new(k),
             sends: MailGrid::new(k),
@@ -631,7 +709,6 @@ impl<T: Topology, P: NodeProgram> ShardedSimulation<T, P> {
                         .map(|st| st.as_ref().expect("initialised"))
                         .all(|st| self.program.is_idle(st))
                 }));
-        let start_step = self.step;
         // The coordinator and run environment borrow `self`'s fields;
         // scope them so the post-run bookkeeping can mutate `self`.
         let mut coordinator = {
@@ -666,10 +743,10 @@ impl<T: Topology, P: NodeProgram> ShardedSimulation<T, P> {
                     .map(|group| {
                         let env = &env;
                         let shared = &shared;
-                        scope.spawn(move || drive(group, env, shared, start_step, None))
+                        scope.spawn(move || drive(group, env, shared, None))
                     })
                     .collect();
-                drive(first, &env, &shared, start_step, Some(&mut coordinator));
+                drive(first, &env, &shared, Some(&mut coordinator));
                 for handle in handles {
                     handle.join().expect("shard worker thread panicked");
                 }
@@ -820,7 +897,7 @@ where
         if let Some(started) = started {
             self.cfg
                 .obs
-                .on_checkpoint(body.len() as u64, started.elapsed().as_nanos() as u64);
+                .on_checkpoint(body.len() as u64, saturating_nanos(started.elapsed()));
         }
         SimCheckpoint::new(self.step, self.halted, n, body)
     }
@@ -851,7 +928,7 @@ where
         if let Some(started) = started {
             sim.cfg.obs.on_restore(
                 ckpt.size_bytes() as u64,
-                started.elapsed().as_nanos() as u64,
+                saturating_nanos(started.elapsed()),
             );
         }
         sim.queued = state.queued();
@@ -862,6 +939,12 @@ where
         for (node, inbox) in state.inboxes.into_iter().enumerate() {
             let (sid, li) = sim.locate(node as NodeId);
             sim.shards[sid].queued += inbox.len() as u64;
+            // The active set is derived state (never checkpointed):
+            // rebuild each shard's slice from inbox occupancy, exactly
+            // like the sequential engine's restore.
+            if !sim.cfg.dense_stepping && !inbox.is_empty() {
+                sim.shards[sid].mark_active(li);
+            }
             sim.shards[sid].inboxes[li] = inbox;
         }
         // The canonical transit list is globally key-sorted, so each
@@ -896,11 +979,9 @@ fn drive<T: Topology, P: NodeProgram>(
     group: &mut [Shard<P>],
     env: &RunEnv<'_, T, P>,
     shared: &Shared<P::Msg>,
-    start_step: u64,
     mut coordinator: Option<&mut Coordinator<'_>>,
 ) {
     let routed = env.cfg.delivery == DeliveryModel::Routed;
-    let mut step = start_step;
     // Barrier waits are attributed to the worker's first shard; the
     // observer sees one span per wait per worker thread.
     let worker = group.first().map(|s| s.id).unwrap_or(0);
@@ -915,7 +996,9 @@ fn drive<T: Topology, P: NodeProgram>(
         if shared.command.load(Ordering::SeqCst) == CMD_FINISH {
             return;
         }
-        step += 1;
+        // The coordinator owns the clock: dead-step fast-forwards can
+        // advance it by more than one between commands.
+        let step = shared.step.load(Ordering::SeqCst);
         if routed {
             for shard in group.iter_mut() {
                 phase_transit(shard, env, shared);
@@ -946,32 +1029,40 @@ fn phase_transit<T: Topology, P: NodeProgram>(
     env: &RunEnv<'_, T, P>,
     shared: &Shared<P::Msg>,
 ) {
-    let taken = std::mem::take(&mut shard.transit);
-    shard.queued -= taken.len() as u64;
-    let mut stay: Vec<Keyed<P::Msg>> = Vec::new();
-    let mut arrivals: Vec<Vec<Keyed<P::Msg>>> = (0..env.shards).map(|_| Vec::new()).collect();
-    let mut migrations: Vec<Vec<Keyed<P::Msg>>> = (0..env.shards).map(|_| Vec::new()).collect();
-    for mut kenv in taken {
+    let Shard {
+        id,
+        transit,
+        transit_buf,
+        post_arrivals,
+        post_migrations,
+        queued,
+        ..
+    } = shard;
+    *queued -= transit.len() as u64;
+    debug_assert!(transit_buf.is_empty());
+    for mut kenv in transit.drain(..) {
         let next = env.topo.next_hop(kenv.at, kenv.env.dst);
         if next != kenv.at {
             kenv.env.advance_hop();
         }
         kenv.at = next;
         if next == kenv.env.dst {
-            arrivals[env.shard_of(next)].push(kenv);
-        } else if env.shard_of(next) == shard.id {
-            stay.push(kenv);
+            post_arrivals[env.shard_of(next)].push(kenv);
+        } else if env.shard_of(next) == *id {
+            transit_buf.push(kenv);
         } else {
-            migrations[env.shard_of(next)].push(kenv);
+            post_migrations[env.shard_of(next)].push(kenv);
         }
     }
-    shard.queued += stay.len() as u64;
-    shard.transit = stay;
-    for (dst, batch) in arrivals.into_iter().enumerate() {
-        shared.arrivals.post(dst, shard.id, batch);
+    // Survivors become the new transit queue; the drained old vector
+    // becomes next step's survivor buffer — no allocation either way.
+    std::mem::swap(transit, transit_buf);
+    *queued += transit.len() as u64;
+    for (dst, batch) in post_arrivals.iter_mut().enumerate() {
+        shared.arrivals.post(dst, *id, batch);
     }
-    for (dst, batch) in migrations.into_iter().enumerate() {
-        shared.migrations.post(dst, shard.id, batch);
+    for (dst, batch) in post_migrations.iter_mut().enumerate() {
+        shared.migrations.post(dst, *id, batch);
     }
 }
 
@@ -982,15 +1073,54 @@ fn absorb_transit<T: Topology, P: NodeProgram>(
     env: &RunEnv<'_, T, P>,
     shared: &Shared<P::Msg>,
 ) {
-    let arrived = shared.arrivals.collect(shard.id);
-    shard.queued += arrived.len() as u64;
-    for kenv in arrived {
-        let li = env.local_of(kenv.env.dst);
-        shard.inboxes[li].push_back(kenv.env);
+    let sparse = !env.cfg.dense_stepping;
+    shared.arrivals.collect_into(shard.id, &mut shard.mail_buf);
+    {
+        let Shard {
+            nodes,
+            inboxes,
+            active,
+            active_mask,
+            overflow,
+            mail_buf,
+            queued,
+            ..
+        } = shard;
+        *queued += mail_buf.len() as u64;
+        for Keyed { key, env: msg, .. } in mail_buf.drain(..) {
+            let li = env.local_of(msg.dst);
+            inboxes[li].push_back(msg);
+            if sparse && !active_mask[li] {
+                active_mask[li] = true;
+                active.push(li);
+            }
+            // Routed arrivals respect `queue_capacity` exactly like the
+            // direct-delivery path in `absorb_sends`; arrivals land in
+            // ascending key order, so the first violation found is the
+            // shard's lowest-key candidate.
+            if let Some(cap) = env.cfg.queue_capacity {
+                let len = inboxes[li].len();
+                if len > cap && overflow.is_none() {
+                    *overflow = Some((key, nodes[li], len));
+                }
+            }
+        }
     }
-    let migrated = shared.migrations.collect(shard.id);
-    shard.queued += migrated.len() as u64;
-    shard.transit = merge_sorted(std::mem::take(&mut shard.transit), migrated);
+    shared
+        .migrations
+        .collect_into(shard.id, &mut shard.mail_buf);
+    shard.queued += shard.mail_buf.len() as u64;
+    if !shard.mail_buf.is_empty() {
+        let Shard {
+            transit,
+            transit_buf,
+            mail_buf,
+            ..
+        } = shard;
+        debug_assert!(transit_buf.is_empty());
+        merge_sorted_into(transit, mail_buf, transit_buf);
+        std::mem::swap(transit, transit_buf);
+    }
 }
 
 /// Phases 2 and 3 (local half): pop batches, run handlers (catching
@@ -1004,10 +1134,32 @@ fn phase_handlers<T: Topology, P: NodeProgram>(
     let cfg = env.cfg;
     let budget = cfg.msgs_per_step as usize;
     let num_local = shard.nodes.len();
+    let tick = matches!(cfg.tick_every, Some(k) if k > 0 && step.is_multiple_of(k));
+    let sparse = !cfg.dense_stepping;
 
-    // Pop this step's batches.
+    // Build this step's work list: on tick steps (and under
+    // `dense_stepping`) every local node runs, otherwise only the
+    // shard's active set. Sorting restores ascending local order — the
+    // order the dense loop visits — so every per-node effect below is
+    // emitted in the exact dense sequence. Nodes outside the work list
+    // have empty inboxes and (on a non-tick step) would run nothing:
+    // skipping them is unobservable.
+    shard.work.clear();
+    if !sparse || tick {
+        shard.work.extend(0..num_local);
+        shard.active.clear();
+    } else {
+        std::mem::swap(&mut shard.work, &mut shard.active);
+        shard.work.sort_unstable();
+    }
+
+    // Pop this step's batches, re-deriving active-set membership: a
+    // worked node stays active iff its inbox still has a backlog. Work
+    // entries are unique, so the unconditional push keeps the mask
+    // invariant.
     let mut delivered = 0u64;
-    for li in 0..num_local {
+    for wi in 0..shard.work.len() {
+        let li = shard.work[wi];
         let inbox = &mut shard.inboxes[li];
         let batch = &mut shard.batches[li];
         debug_assert!(batch.is_empty());
@@ -1018,6 +1170,13 @@ fn phase_handlers<T: Topology, P: NodeProgram>(
             }
         }
         delivered += batch.len() as u64;
+        if sparse {
+            let more = !inbox.is_empty();
+            shard.active_mask[li] = more;
+            if more {
+                shard.active.push(li);
+            }
+        }
     }
     shard.queued -= delivered;
     shard.step_delivered = delivered;
@@ -1027,13 +1186,14 @@ fn phase_handlers<T: Topology, P: NodeProgram>(
         shard.metrics.total_delivered += delivered;
     }
     if cfg.record_node_activity {
-        for (li, batch) in shard.batches.iter().enumerate() {
-            shard.metrics.delivered_per_node[shard.nodes[li] as usize] += batch.len() as u64;
+        for &li in &shard.work {
+            shard.metrics.delivered_per_node[shard.nodes[li] as usize] +=
+                shard.batches[li].len() as u64;
         }
     }
     if cfg.record_trace {
-        for batch in &shard.batches {
-            for env in batch {
+        for &li in &shard.work {
+            for env in &shard.batches[li] {
                 shard.trace.push(TraceEvent {
                     step,
                     kind: TraceKind::Deliver,
@@ -1044,16 +1204,16 @@ fn phase_handlers<T: Topology, P: NodeProgram>(
             }
         }
     }
-    for batch in &shard.batches {
-        for env in batch {
+    for &li in &shard.work {
+        for env in &shard.batches[li] {
             shard.metrics.hop_histogram.record(env.hops as u64);
         }
     }
 
     // Run handlers, containing panics to this shard.
-    let tick = matches!(cfg.tick_every, Some(k) if k > 0 && step.is_multiple_of(k));
     let adjacent_only = cfg.delivery == DeliveryModel::AdjacentOnly;
-    for li in 0..num_local {
+    for wi in 0..shard.work.len() {
+        let li = shard.work[wi];
         let node = shard.nodes[li];
         let state = shard.states[li].as_mut().expect("initialised");
         let batch = &mut shard.batches[li];
@@ -1114,9 +1274,10 @@ fn phase_handlers<T: Topology, P: NodeProgram>(
         }
     }
 
-    // Phase 3, local half: stage sends in (sender, emission) order.
-    let mut outgoing: Vec<Vec<Keyed<P::Msg>>> = (0..env.shards).map(|_| Vec::new()).collect();
-    for li in 0..num_local {
+    // Phase 3, local half: stage sends in (sender, emission) order,
+    // batched into the reusable per-destination posting buffers.
+    for wi in 0..shard.work.len() {
+        let li = shard.work[wi];
         let src = shard.nodes[li];
         for (emission, mut msg) in shard.staged[li].drain(..).enumerate() {
             if cfg.record_trace {
@@ -1148,11 +1309,11 @@ fn phase_handlers<T: Topology, P: NodeProgram>(
             } else {
                 msg.complete_direct();
                 let at = msg.dst;
-                outgoing[env.shard_of(at)].push(Keyed { key, at, env: msg });
+                shard.post_sends[env.shard_of(at)].push(Keyed { key, at, env: msg });
             }
         }
     }
-    for (dst, batch) in outgoing.into_iter().enumerate() {
+    for (dst, batch) in shard.post_sends.iter_mut().enumerate() {
         shared.sends.post(dst, shard.id, batch);
     }
 }
@@ -1164,14 +1325,35 @@ fn absorb_sends<T: Topology, P: NodeProgram>(
     env: &RunEnv<'_, T, P>,
     shared: &Shared<P::Msg>,
 ) {
-    for kenv in shared.sends.collect(shard.id) {
-        let li = env.local_of(kenv.env.dst);
-        shard.inboxes[li].push_back(kenv.env);
-        shard.queued += 1;
-        if let Some(cap) = env.cfg.queue_capacity {
-            let len = shard.inboxes[li].len();
-            if len > cap && shard.overflow.is_none() {
-                shard.overflow = Some((kenv.key, shard.nodes[li], len));
+    let sparse = !env.cfg.dense_stepping;
+    shared.sends.collect_into(shard.id, &mut shard.mail_buf);
+    {
+        let Shard {
+            nodes,
+            inboxes,
+            active,
+            active_mask,
+            overflow,
+            mail_buf,
+            queued,
+            ..
+        } = shard;
+        *queued += mail_buf.len() as u64;
+        for Keyed { key, env: msg, .. } in mail_buf.drain(..) {
+            let li = env.local_of(msg.dst);
+            inboxes[li].push_back(msg);
+            if sparse && !active_mask[li] {
+                active_mask[li] = true;
+                active.push(li);
+            }
+            // The `is_none` guard keeps any phase-1 candidate: routed
+            // arrivals carry earlier-step keys, so they are always below
+            // this step's send keys — first-found is lowest-key.
+            if let Some(cap) = env.cfg.queue_capacity {
+                let len = inboxes[li].len();
+                if len > cap && overflow.is_none() {
+                    *overflow = Some((key, nodes[li], len));
+                }
             }
         }
     }
@@ -1479,6 +1661,105 @@ mod tests {
             let err = sim.run_to_quiescence().unwrap_err();
             assert_eq!(err, seq_err, "K={shards}");
         }
+    }
+
+    #[test]
+    fn routed_arrival_overflow_matches_sequential() {
+        // Non-adjacent senders flood node 0 through the transit queue:
+        // the overflow fires on the phase-1 arrival path, and every
+        // shard count must report the sequential engine's exact error.
+        #[derive(Clone)]
+        struct FarFlood;
+        impl NodeProgram for FarFlood {
+            type Msg = ();
+            type State = ();
+            fn init(&self, _n: NodeId, _c: &InitCtx) {}
+            fn on_message(&self, _s: &mut (), _m: (), ctx: &mut Outbox<'_, ()>) {
+                if ctx.node() != 0 {
+                    for _ in 0..4 {
+                        ctx.send(0, ());
+                    }
+                }
+            }
+        }
+        let cfg = SimConfig {
+            delivery: DeliveryModel::Routed,
+            queue_capacity: Some(3),
+            ..SimConfig::default()
+        };
+        let injections: Vec<(NodeId, ())> = vec![(4, ()), (5, ()), (6, ()), (7, ())];
+        let mut seq = Simulation::new(Ring::new(12), FarFlood, cfg.clone());
+        for &(node, msg) in &injections {
+            seq.inject(node, msg);
+        }
+        let seq_err = seq.run_to_quiescence().unwrap_err();
+        assert!(matches!(seq_err, SimError::QueueOverflow { node: 0, .. }));
+        for shards in [1usize, 2, 5] {
+            for partition in [Partition::Block, Partition::RoundRobin] {
+                let mut sim = ShardedSimulation::new(
+                    Ring::new(12),
+                    FarFlood,
+                    cfg.clone(),
+                    ShardedConfig {
+                        shards,
+                        partition,
+                        threads: Some(2),
+                    },
+                );
+                for &(node, msg) in &injections {
+                    sim.inject(node, msg);
+                }
+                let err = sim.run_to_quiescence().unwrap_err();
+                assert_eq!(err, seq_err, "K={shards} {partition:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_stepping_matches_sequential() {
+        // The dense baseline must stay bit-identical across backends
+        // too — it is the reference the active set is judged against.
+        assert_equivalent(
+            Torus::new_2d(6, 6),
+            Traverse,
+            SimConfig {
+                dense_stepping: true,
+                ..SimConfig::default()
+            },
+            vec![(7, ())],
+        );
+    }
+
+    #[test]
+    fn dense_and_active_set_sharded_runs_are_bit_identical() {
+        // Direct sparse-vs-dense comparison on the sharded backend,
+        // with ticks and routed traffic in play.
+        let run = |dense_stepping| {
+            let cfg = SimConfig {
+                delivery: DeliveryModel::Routed,
+                tick_every: Some(3),
+                dense_stepping,
+                record_trace: true,
+                ..SimConfig::default()
+            };
+            let scfg = ShardedConfig {
+                shards: 3,
+                partition: Partition::Block,
+                threads: Some(3),
+            };
+            sharded_run(&Ring::new(10), &Ticker, &cfg, scfg, &[(2, ())])
+        };
+        let (report_a, states_a, metrics_a, trace_a) = run(false);
+        let (report_d, states_d, metrics_d, trace_d) = run(true);
+        assert_eq!(report_a.outcome, report_d.outcome);
+        assert_eq!(report_a.steps, report_d.steps);
+        assert_eq!(states_a, states_d);
+        assert_eq!(
+            metrics_a.queued_series.as_slice(),
+            metrics_d.queued_series.as_slice()
+        );
+        assert_eq!(metrics_a.total_delivered, metrics_d.total_delivered);
+        assert_eq!(trace_a, trace_d);
     }
 
     #[test]

@@ -215,6 +215,58 @@ proptest! {
         }
     }
 
+    /// Checkpoints neither contain nor depend on the active set: dense
+    /// and sparse prefixes emit identical bytes, and a checkpoint cut
+    /// under one stepping mode resumes bit-identically under the other
+    /// (the restore rebuilds the active set from inbox occupancy).
+    #[test]
+    fn checkpoints_are_portable_across_stepping_modes(
+        topo_spec in arb_topology(),
+        seed in any::<u64>(),
+        cut_seed in any::<u32>(),
+    ) {
+        let payload = (seed & !0xFF) | 12;
+        let sparse_cfg = SimConfig { record_trace: true, ..SimConfig::default() };
+        let dense_cfg = SimConfig { dense_stepping: true, ..sparse_cfg.clone() };
+
+        let mut reference = Simulation::new(topo_spec.build(), SeededScatter, sparse_cfg.clone());
+        reference.inject(0, payload);
+        let ref_report = reference.run_to_quiescence().expect("reference");
+        let ref_trace = reference.trace().to_vec();
+        let (ref_states, ref_metrics) = reference.into_parts();
+
+        let cut = cut_seed as u64 % (ref_report.steps + 1);
+        let prefix = |cfg: &SimConfig| {
+            let mut sim = Simulation::new(topo_spec.build(), SeededScatter, cfg.clone());
+            sim.inject(0, payload);
+            sim.set_max_steps(cut);
+            sim.run_to_quiescence().expect("prefix");
+            sim.snapshot().to_bytes()
+        };
+        let bytes = prefix(&sparse_cfg);
+        prop_assert_eq!(
+            &prefix(&dense_cfg), &bytes,
+            "dense and sparse prefixes diverge at {}", cut
+        );
+
+        let ckpt = SimCheckpoint::from_bytes(&bytes).expect("durable bytes");
+        for (tag, cfg) in [("sparse", &sparse_cfg), ("dense", &dense_cfg)] {
+            let mut resumed = Simulation::restore(
+                topo_spec.build(), SeededScatter, cfg.clone(), &ckpt,
+            ).expect("restore");
+            let report = resumed.run_to_quiescence().expect("resume");
+            prop_assert_eq!(report.outcome, ref_report.outcome, "{}", tag);
+            prop_assert_eq!(report.steps, ref_report.steps, "{}", tag);
+            prop_assert_eq!(resumed.trace(), ref_trace.as_slice(), "{}", tag);
+            let (states, metrics) = resumed.into_parts();
+            prop_assert_eq!(&states, &ref_states, "{}", tag);
+            prop_assert_eq!(&metrics.queued_series, &ref_metrics.queued_series, "{}", tag);
+            prop_assert_eq!(
+                &metrics.delivered_per_node, &ref_metrics.delivered_per_node, "{}", tag
+            );
+        }
+    }
+
     /// Full-stack bit-identity: a checkpointed (sliced) solve equals the
     /// monolithic solve on every backend, for any interval.
     #[test]

@@ -239,6 +239,26 @@ proptest! {
         prop_assert_eq!(&states_par, &states_seq);
         prop_assert_eq!(&metrics_par.delivered_per_node, &metrics_seq.delivered_per_node);
 
+        // Dense baseline: disabling the event-driven active set must be
+        // bit-identical to the default sparse stepping.
+        let mut dense = Simulation::new(
+            topo_spec.build(),
+            SeededScatter,
+            SimConfig { dense_stepping: true, ..cfg.clone() },
+        );
+        dense.inject(root, payload);
+        let report_dense = dense.run_to_quiescence().expect("dense run");
+        prop_assert_eq!(report_dense.outcome, report_seq.outcome);
+        prop_assert_eq!(report_dense.steps, report_seq.steps);
+        prop_assert_eq!(dense.trace(), trace_seq.as_slice());
+        let (states_dense, metrics_dense) = dense.into_parts();
+        prop_assert_eq!(&states_dense, &states_seq);
+        prop_assert_eq!(&metrics_dense.delivered_per_node, &metrics_seq.delivered_per_node);
+        prop_assert_eq!(
+            metrics_dense.queued_series.as_slice(), metrics_seq.queued_series.as_slice()
+        );
+        prop_assert_eq!(&metrics_dense.hop_histogram, &metrics_seq.hop_histogram);
+
         // Sharded backend, K ∈ {1, 2, 7}, both partitioners.
         for scfg in sharded_matrix() {
             let tag = format!("K={} {:?} T={:?}", scfg.shards, scfg.partition, scfg.threads);
@@ -303,6 +323,23 @@ proptest! {
         };
         let seq = run(BackendSpec::Sequential);
         prop_assert_eq!(seq.result, Some(n * (n + 1) / 2));
+        // The dense step loop is part of the backend matrix too: the
+        // full stack must not notice the active set.
+        let dense = StackBuilder::new(SumProgram)
+            .topology(topo.clone())
+            .mapper(mapper.clone())
+            .dense_stepping(true)
+            .run(n, root);
+        prop_assert_eq!(dense.result, seq.result, "dense");
+        prop_assert_eq!(dense.steps, seq.steps, "dense");
+        prop_assert_eq!(dense.computation_time, seq.computation_time, "dense");
+        prop_assert_eq!(&dense.rec_totals, &seq.rec_totals, "dense");
+        prop_assert_eq!(
+            dense.metrics.queued_series.as_slice(),
+            seq.metrics.queued_series.as_slice(),
+            "dense"
+        );
+        prop_assert_eq!(dense.metrics.total_sent, seq.metrics.total_sent, "dense");
         for backend in [
             BackendSpec::Parallel,
             BackendSpec::sharded(1),

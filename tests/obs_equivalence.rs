@@ -129,6 +129,35 @@ fn checkpoint_bytes_are_identical_with_observation_on_and_off() {
 }
 
 #[test]
+fn observer_sees_the_same_run_with_dense_and_active_set_stepping() {
+    // The observer's per-step feed is part of the bit-identity contract
+    // between stepping modes: the active-set fast-forward synthesises
+    // `on_step` for dead steps, so a probe cannot tell the modes apart.
+    let run = |dense_stepping| {
+        let (p, handle) = probe();
+        let cfg = SimConfig {
+            obs: handle,
+            dense_stepping,
+            record_trace: true,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(
+            hyperspace::topology::Torus::new_2d(5, 5),
+            SeededScatter,
+            cfg,
+        );
+        sim.inject(3, (0xABCDu64 << 8) | 14);
+        let report = sim.run_to_quiescence().expect("run");
+        let trace = sim.trace().to_vec();
+        (report.steps, p.steps(), p.delivered(), trace)
+    };
+    let sparse = run(false);
+    let dense = run(true);
+    assert_eq!(sparse, dense, "probe view diverged between stepping modes");
+    assert_eq!(sparse.0, sparse.1, "probe saw every step");
+}
+
+#[test]
 fn sharded_runs_are_identical_with_observation_on_and_off() {
     let run = |obs: ObsHandle| -> (Vec<TraceEvent>, Vec<u64>, u64, Vec<u8>) {
         let cfg = SimConfig {

@@ -1,0 +1,84 @@
+//! Durable-decode fuzz driver — the crash-recovery trust boundary,
+//! hammered.
+//!
+//! Recovery reads bytes nobody vouches for: manifests that survived a
+//! kill -9 mid-rename, checkpoints from a disk with opinions, job
+//! records from a previous (possibly newer, possibly corrupt) build.
+//! [`hyperspace_bench::fuzz`] mutates *valid* encodings of all three
+//! surfaces — byte flips, truncations, inflated length prefixes,
+//! cross-corpus splices, appended garbage — and requires every decoder
+//! to answer with a clean `CodecError`: no panic, no attacker-sized
+//! allocation, ever.
+//!
+//! Deterministic by construction: a failure reproduces from the printed
+//! `(seed, iteration)` pair. `--smoke` runs the 10k-input CI tier;
+//! the full run is 200k inputs. `--out PATH` writes the machine-readable
+//! summary (`BENCH_store.json` keeps the committed baseline diffable).
+
+use hyperspace_bench::fuzz;
+use hyperspace_obs::{pretty, JsonValue};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--seed takes a u64"))
+        .unwrap_or(0xD15C_0DE5);
+    let iterations = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--iters takes a u64"))
+        .unwrap_or(if smoke { 10_000 } else { 200_000 });
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let surfaces: Vec<&'static str> = fuzz::targets().iter().map(|t| t.name).collect();
+    println!(
+        "store fuzz: {iterations} mutated inputs over {} (seed {seed:#x})",
+        surfaces.join(" + ")
+    );
+
+    let report = match fuzz::run(iterations, seed) {
+        Ok(report) => report,
+        Err(failure) => {
+            eprintln!("FUZZ FAILURE: {failure}");
+            std::process::exit(1);
+        }
+    };
+
+    assert_eq!(report.iterations, iterations);
+    assert_eq!(report.accepted + report.rejected, iterations);
+    assert!(
+        report.rejected > iterations / 2,
+        "mutations must actually corrupt inputs (rejected {}/{iterations})",
+        report.rejected
+    );
+    let pct = 100.0 * report.rejected as f64 / iterations as f64;
+    println!(
+        "  zero panics | {} rejected cleanly ({pct:.1}%) | {} mutations survived as valid",
+        report.rejected, report.accepted
+    );
+
+    if let Some(path) = out_path {
+        let json = JsonValue::object([
+            ("seed", JsonValue::UInt(seed)),
+            ("iterations", JsonValue::UInt(report.iterations)),
+            ("accepted", JsonValue::UInt(report.accepted)),
+            ("rejected", JsonValue::UInt(report.rejected)),
+            ("panics", JsonValue::UInt(0)),
+            (
+                "surfaces",
+                JsonValue::Array(surfaces.into_iter().map(JsonValue::str).collect()),
+            ),
+        ]);
+        std::fs::write(&path, pretty(&json)).expect("write fuzz baseline");
+        println!("  wrote {path}");
+    }
+}

@@ -3,3 +3,4 @@
 //! ablations catalogued in DESIGN.md.
 
 pub mod experiments;
+pub mod fuzz;

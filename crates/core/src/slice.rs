@@ -53,6 +53,16 @@ pub trait RunSlice: Send {
 
     /// Checkpoint metadata at the current step barrier.
     fn checkpoint(&self) -> CheckpointMeta;
+
+    /// Serialised engine state at the current barrier, if this run's
+    /// state can round-trip through bytes. Stack runs return `None`:
+    /// their node states hold live continuations, so a crashed process
+    /// re-derives them by deterministic replay instead. Slices whose
+    /// state does serialise may override this to let a durable store
+    /// skip the replay.
+    fn checkpoint_bytes(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// The two stack shapes a suspendable run drives.

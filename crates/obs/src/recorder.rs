@@ -35,6 +35,10 @@ pub enum EventKind {
     Checkpoint,
     /// A portfolio sync epoch completed.
     Epoch,
+    /// A job's durable record was written to the on-disk store.
+    Persisted,
+    /// A job was recovered from the on-disk store after a restart.
+    Recovered,
 }
 
 impl EventKind {
@@ -53,6 +57,8 @@ impl EventKind {
             EventKind::Crashed => "crashed",
             EventKind::Checkpoint => "checkpoint",
             EventKind::Epoch => "epoch",
+            EventKind::Persisted => "persisted",
+            EventKind::Recovered => "recovered",
         }
     }
 }

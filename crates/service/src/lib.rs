@@ -68,6 +68,7 @@
 mod handle;
 mod job;
 mod observe;
+pub mod persist;
 mod service;
 mod stats;
 

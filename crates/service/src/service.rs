@@ -1,18 +1,21 @@
 //! [`SolverService`]: the multi-tenant worker pool.
 
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use hyperspace_core::{ErasedStackJob, JobParams, RunSlice, RunSummary, SliceOutcome, StartedJob};
 use hyperspace_obs::{Event, EventKind, Gauge, ObsHandle, Observer, Registry};
 use hyperspace_sim::RunOutcome;
+use hyperspace_store::JobStore;
 
 use crate::handle::{JobHandle, JobShared};
-use crate::job::{JobOutcome, JobRequest, JobResult};
+use crate::job::{JobOutcome, JobRequest, JobResult, JobSpec};
 use crate::observe::ServiceObserver;
-use crate::stats::{saturating_micros, ServiceStats, StatsInner};
+use crate::persist;
+use crate::stats::{saturating_i64, saturating_micros, ServiceStats, StatsInner};
 
 /// What a queued entry carries: a job not yet started, or a running job
 /// suspended at a checkpoint barrier (preemption / explicit suspend)
@@ -55,6 +58,15 @@ struct QueuedJob {
     exec_seq: Option<u64>,
     /// Solve time accumulated over earlier slices of this job.
     solve_so_far: Duration,
+    /// The job's durable spec encoding — present iff the service has a
+    /// store and the workload is persistable. Encoded exactly once (at
+    /// submission or recovery) and reused verbatim by every barrier
+    /// persist.
+    spec_bytes: Option<Arc<Vec<u8>>>,
+    /// Sequence number of the job's next durable write; resumes — not
+    /// resets — across recovery, so a record's freshness is always
+    /// comparable.
+    persist_seq: u64,
 }
 
 impl PartialEq for QueuedJob {
@@ -155,6 +167,14 @@ struct ServiceInner {
     /// Cached `queue.depth` gauge cell (skips the registry name lookup
     /// on every push/pop).
     depth: Gauge,
+    /// The durable on-disk job store, when configured
+    /// ([`ServiceConfig::store_dir`]).
+    store: Option<Arc<JobStore>>,
+    /// Set by [`SolverService::kill`]: simulate abrupt process death.
+    /// Workers stop at their next barrier without finishing handles,
+    /// and durable records are left in place for the next service to
+    /// recover.
+    killed: AtomicBool,
 }
 
 /// Configuration of a [`SolverService`].
@@ -176,6 +196,14 @@ pub struct ServiceConfig {
     /// one. `0` disables crash recovery (jobs without checkpoints are
     /// never restarted regardless).
     pub max_restarts: u32,
+    /// Directory of the durable on-disk job store. When set, every
+    /// checkpoint-enabled persistable job's latest record (spec +
+    /// progress floor) survives process death under this directory, and
+    /// a new service opened over the same directory recovers all
+    /// in-flight jobs before its workers start
+    /// ([`SolverService::recovered`]). `None` (the default) disables
+    /// persistence entirely.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -188,6 +216,7 @@ impl Default for ServiceConfig {
             start_workers: true,
             cache_capacity: 4096,
             max_restarts: 1,
+            store_dir: None,
         }
     }
 }
@@ -214,12 +243,25 @@ impl Default for ServiceConfig {
 pub struct SolverService {
     inner: Arc<ServiceInner>,
     threads: Vec<std::thread::JoinHandle<()>>,
+    /// Handles of jobs recovered from the durable store at startup.
+    recovered: Vec<JobHandle>,
 }
 
 impl SolverService {
     /// A service with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// When [`ServiceConfig::store_dir`] is set but the directory cannot
+    /// be created or scanned — a service that silently dropped its
+    /// durability guarantee would be worse than one that refuses to
+    /// start.
     pub fn new(cfg: ServiceConfig) -> SolverService {
         assert!(cfg.workers >= 1, "a service needs at least one worker");
+        let store = cfg
+            .store_dir
+            .as_ref()
+            .map(|dir| Arc::new(JobStore::open(dir).expect("open the durable job store")));
         let registry = Arc::new(Registry::default());
         let depth = registry.gauge("queue.depth");
         let inner = Arc::new(ServiceInner {
@@ -240,15 +282,148 @@ impl SolverService {
             max_restarts: cfg.max_restarts,
             registry,
             depth,
+            store,
+            killed: AtomicBool::new(false),
         });
         let mut service = SolverService {
             inner,
             threads: Vec::new(),
+            recovered: Vec::new(),
         };
+        service.recover();
         if cfg.start_workers {
             service.start();
         }
         service
+    }
+
+    /// Scans the durable store and re-queues every in-flight job it
+    /// finds, before the workers start (so recovered jobs re-enter in
+    /// their original submission order, ahead of anything submitted to
+    /// this incarnation). Each keeps its original id and replays
+    /// deterministically to its last checkpoint barrier; corrupt
+    /// records are quarantined by the scan and counted as persist
+    /// errors. No-op without a store.
+    fn recover(&mut self) {
+        let Some(store) = self.inner.store.clone() else {
+            return;
+        };
+        let outcome = store.scan().expect("scan the durable job store");
+        let mut persist_errors = outcome.corrupt.len() as u64;
+        for manifest in outcome.jobs {
+            let record = match persist::decode_record(&manifest.payload) {
+                Ok(record) => record,
+                Err(_) => {
+                    // Manifest framing was healthy but the job record
+                    // inside was not; quarantine it like the scan does
+                    // so the next restart is not haunted by it too.
+                    let _ = store.remove(manifest.job_id);
+                    persist_errors += 1;
+                    continue;
+                }
+            };
+            let id = manifest.job_id;
+            let next = self.inner.next_id.load(Ordering::Relaxed).max(id + 1);
+            self.inner.next_id.store(next, Ordering::Relaxed);
+            let spec = JobSpec {
+                kind: record.kind,
+                params: record.params,
+            };
+            let cache_key = spec.cache_key();
+            let label = spec.kind.label();
+            let portfolio = spec.params.portfolio.is_some();
+            let rebuild: Option<Box<dyn Fn() -> ErasedStackJob + Send>> =
+                spec.kind.try_clone().map(|kind| {
+                    Box::new(move || {
+                        kind.try_clone()
+                            .expect("cloneable kinds stay cloneable")
+                            .into_erased(portfolio)
+                    }) as Box<dyn Fn() -> ErasedStackJob + Send>
+                });
+            let shared = JobShared::new(id);
+            self.recovered.push(JobHandle {
+                shared: Arc::clone(&shared),
+            });
+            {
+                let mut stats = self.inner.stats.lock().expect("stats poisoned");
+                stats.submitted += 1;
+                stats.recovered += 1;
+            }
+            self.inner.registry.record(
+                Event::new(
+                    EventKind::Recovered,
+                    Some(id),
+                    saturating_i64(record.checkpoint_steps),
+                )
+                .with_detail(label.clone()),
+            );
+            let now = Instant::now();
+            let queued = QueuedJob {
+                priority: record.priority,
+                seq: 0, // assigned under the queue lock below
+                submitted_at: now,
+                // Deadlines are wall-clock budgets from the original
+                // submission; after a restart of unknown delay they are
+                // meaningless, so recovered jobs run without one.
+                deadline_at: None,
+                params: JobParams {
+                    stop: None,
+                    ..spec.params
+                },
+                cache_key,
+                label,
+                payload: Some(Payload::Start(spec.kind.into_erased(portfolio))),
+                shared,
+                rebuild,
+                attempt: 0,
+                checkpoint_steps: record.checkpoint_steps,
+                // Replay deterministically to the last durable barrier
+                // before preemption checks resume — the cross-process
+                // "restore from checkpoint".
+                resume_floor: record.checkpoint_steps,
+                first_wait: None,
+                exec_seq: None,
+                solve_so_far: Duration::ZERO,
+                spec_bytes: Some(Arc::new(record.spec_bytes)),
+                persist_seq: manifest.job_seq + 1,
+            };
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            let mut queued = queued;
+            queued.seq = q.next_seq;
+            q.next_seq += 1;
+            q.heap.push(queued);
+            self.inner.depth.set(q.heap.len() as u64);
+        }
+        if persist_errors > 0 {
+            self.inner
+                .stats
+                .lock()
+                .expect("stats poisoned")
+                .persist_errors += persist_errors;
+        }
+    }
+
+    /// Handles of the jobs recovered from the durable store when this
+    /// service started (empty without a [`ServiceConfig::store_dir`]).
+    /// Recovered jobs replay deterministically to their last durable
+    /// checkpoint barrier, so their eventual [`RunSummary`]s are
+    /// bit-identical to an uninterrupted run.
+    pub fn recovered(&self) -> &[JobHandle] {
+        &self.recovered
+    }
+
+    /// Simulates abrupt process death (crash-recovery testing): stops
+    /// the pool *without* draining the queue, without finishing
+    /// outstanding handles, and without touching the durable store.
+    /// Running checkpointed jobs stop at their next barrier — their
+    /// latest durable record stays on disk — while monolithic jobs run
+    /// to completion (there is no barrier to stop them at). A new
+    /// service opened over the same [`ServiceConfig::store_dir`]
+    /// recovers everything still in flight.
+    pub fn kill(self) {
+        self.inner.killed.store(true, Ordering::SeqCst);
+        // Drop does the rest: with the killed flag set it skips
+        // aborting queued jobs and just stops and joins the workers.
     }
 
     /// A running service with `workers` worker threads.
@@ -318,7 +493,7 @@ impl SolverService {
         let cache_key = request.spec.cache_key();
         let label = request.spec.kind.label();
         self.inner.registry.record(
-            Event::new(EventKind::Submitted, Some(id), request.priority as i64)
+            Event::new(EventKind::Submitted, Some(id), i64::from(request.priority))
                 .with_detail(label.clone()),
         );
         let portfolio = request.spec.params.portfolio.is_some();
@@ -337,7 +512,16 @@ impl SolverService {
             } else {
                 None
             };
-        let queued = QueuedJob {
+        // Persistable = rebuildable + checkpoint-enabled + a workload
+        // the spec grammar can serialise (closure-backed kinds cannot
+        // cross a process boundary). Encoded once, here.
+        let spec_bytes = if self.inner.store.is_some() && rebuild.is_some() {
+            persist::encode_spec(request.priority, &request.spec.kind, &request.spec.params)
+                .map(Arc::new)
+        } else {
+            None
+        };
+        let mut queued = QueuedJob {
             priority: request.priority,
             seq: 0, // assigned under the queue lock below
             submitted_at: now,
@@ -359,11 +543,24 @@ impl SolverService {
             first_wait: None,
             exec_seq: None,
             solve_so_far: Duration::ZERO,
+            spec_bytes,
+            persist_seq: 0,
         };
+        // Make the submission durable *before* it becomes poppable: a
+        // process killed the instant submit() returns must still
+        // recover this job.
+        persist_job(&self.inner, &mut queued, None);
+        let queued = queued;
         {
             let mut q = self.inner.queue.lock().expect("queue poisoned");
             if q.shutdown {
                 drop(q);
+                // Rejected, so the record written above is dead weight.
+                if queued.spec_bytes.is_some() {
+                    if let Some(store) = self.inner.store.as_ref() {
+                        let _ = store.remove(id);
+                    }
+                }
                 queued.shared.finish(JobResult {
                     id,
                     outcome: JobOutcome::Failed("service is shut down".into()),
@@ -424,6 +621,9 @@ impl SolverService {
             preemptions: stats.preemptions,
             suspensions: stats.suspensions,
             restarts: stats.restarts,
+            persisted: stats.persisted,
+            recovered: stats.recovered,
+            persist_errors: stats.persist_errors,
             cache_entries,
             queue_depth,
             queue_wait_us: stats.queue_wait_us.clone(),
@@ -487,6 +687,12 @@ impl SolverService {
     /// Marks every still-queued job cancelled (used on drop so no
     /// handle waits forever).
     fn abort_queued(&self) {
+        if self.inner.killed.load(Ordering::SeqCst) {
+            // Simulated process death: queued jobs keep their durable
+            // records and their handles deliberately never finish —
+            // recovery by the next service incarnation owns them now.
+            return;
+        }
         let jobs: Vec<QueuedJob> = {
             let mut q = self.inner.queue.lock().expect("queue poisoned");
             q.shutdown = true;
@@ -499,6 +705,14 @@ impl SolverService {
         let mut stats = self.inner.stats.lock().expect("stats poisoned");
         for job in jobs {
             stats.cancelled += 1;
+            // A graceful shutdown resolves the job as cancelled; its
+            // durable record must not resurrect it in the next
+            // incarnation (only a kill leaves records behind).
+            if job.spec_bytes.is_some() {
+                if let Some(store) = self.inner.store.as_ref() {
+                    let _ = store.remove(job.shared.id);
+                }
+            }
             self.inner
                 .registry
                 .record(Event::new(EventKind::Cancelled, Some(job.shared.id), 0));
@@ -535,6 +749,11 @@ fn worker_loop(inner: Arc<ServiceInner>, wid: usize) {
         let job = {
             let mut q = inner.queue.lock().expect("queue poisoned");
             loop {
+                if inner.killed.load(Ordering::SeqCst) {
+                    // Simulated process death: stop without popping —
+                    // whatever is queued belongs to recovery.
+                    return;
+                }
                 if let Some(job) = q.heap.pop() {
                     q.running += 1;
                     inner.depth.set(q.heap.len() as u64);
@@ -592,6 +811,13 @@ fn requeue(inner: &ServiceInner, mut job: QueuedJob, to_back: bool) {
         }
     }
     inner.stats.lock().expect("stats poisoned").cancelled += 1;
+    // Resolved as cancelled at shutdown: drop the durable record so the
+    // next incarnation does not resurrect an already-answered job.
+    if job.spec_bytes.is_some() {
+        if let Some(store) = inner.store.as_ref() {
+            let _ = store.remove(job.shared.id);
+        }
+    }
     job.shared.finish(JobResult {
         id: job.shared.id,
         outcome: JobOutcome::Cancelled,
@@ -601,6 +827,37 @@ fn requeue(inner: &ServiceInner, mut job: QueuedJob, to_back: bool) {
         worker: None,
         exec_seq: job.exec_seq,
     });
+}
+
+/// Writes `job`'s current durable record — its pre-encoded spec, its
+/// progress floor, and (when the slice's state is byte-serialisable)
+/// its checkpoint bytes — and bumps the persist sequence. No-op for
+/// jobs without a store or spec encoding. Persist failures are counted
+/// and recorded, never fatal: the job keeps running, it just loses
+/// crash durability back to its previous record.
+fn persist_job(inner: &ServiceInner, job: &mut QueuedJob, checkpoint: Option<&[u8]>) {
+    let (Some(store), Some(spec)) = (inner.store.as_ref(), job.spec_bytes.as_ref()) else {
+        return;
+    };
+    let payload = persist::encode_record(spec, job.checkpoint_steps, checkpoint);
+    match store.put(job.shared.id, job.persist_seq, &payload) {
+        Ok(()) => {
+            job.persist_seq += 1;
+            inner.stats.lock().expect("stats poisoned").persisted += 1;
+            inner.registry.record(Event::new(
+                EventKind::Persisted,
+                Some(job.shared.id),
+                saturating_i64(job.checkpoint_steps),
+            ));
+        }
+        Err(err) => {
+            inner.stats.lock().expect("stats poisoned").persist_errors += 1;
+            inner.registry.record(
+                Event::new(EventKind::Persisted, Some(job.shared.id), -1)
+                    .with_detail(format!("persist failed: {err}")),
+            );
+        }
+    }
 }
 
 fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
@@ -621,8 +878,12 @@ fn crash(inner: &ServiceInner, mut job: QueuedJob, message: String) -> Option<(Q
     // dump includes the crash event itself and the lead-up to it.
     let id = job.shared.id;
     inner.registry.record(
-        Event::new(EventKind::Crashed, Some(id), job.checkpoint_steps as i64)
-            .with_detail(message.clone()),
+        Event::new(
+            EventKind::Crashed,
+            Some(id),
+            saturating_i64(job.checkpoint_steps),
+        )
+        .with_detail(message.clone()),
     );
     inner.registry.dump_crash(id, message.clone());
     if let Some(rebuild) = job
@@ -633,13 +894,17 @@ fn crash(inner: &ServiceInner, mut job: QueuedJob, message: String) -> Option<(Q
         let fresh = rebuild();
         job.attempt += 1;
         job.resume_floor = job.checkpoint_steps;
+        // The restart replays from step zero and re-times everything up
+        // to the floor; keeping the pre-crash slice time would count
+        // every replayed step twice in the job's reported solve time.
+        job.solve_so_far = Duration::ZERO;
         job.payload = Some(Payload::Start(fresh));
         job.shared.set_queued();
         inner.stats.lock().expect("stats poisoned").restarts += 1;
         inner.registry.record(Event::new(
             EventKind::Restarted,
             Some(id),
-            job.resume_floor as i64,
+            saturating_i64(job.resume_floor),
         ));
         requeue(inner, job, false);
         None
@@ -673,7 +938,12 @@ fn summary_outcome(inner: &ServiceInner, job: &QueuedJob, summary: RunSummary) -
 }
 
 fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
-    let wait_now = job.submitted_at.elapsed();
+    // One timestamp anchors both measurements: everything before it is
+    // queue wait, everything after it is solve time. (Taking separate
+    // `elapsed()` readings here used to leak the stats-lock acquisition
+    // into neither/both, depending on contention.)
+    let picked_up = Instant::now();
+    let wait_now = picked_up.saturating_duration_since(job.submitted_at);
     if job.first_wait.is_none() {
         // First pickup: this is the job's queue wait — later re-queues
         // from preemption are scheduling churn, not queue wait.
@@ -686,7 +956,6 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
             .queue_wait_us
             .record(saturating_micros(wait_now));
     }
-    let picked_up = Instant::now();
 
     let mut from_cache = false;
     let mut executed = false;
@@ -714,7 +983,7 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
         inner.registry.record(Event::new(
             EventKind::Started,
             Some(job.shared.id),
-            wid as i64,
+            saturating_i64(wid as u64),
         ));
         let mut slice: Box<dyn RunSlice> = match job.payload.take().expect("payload present") {
             Payload::Resume(slice) => slice,
@@ -740,13 +1009,28 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
                         break 'decide summary_outcome(inner, &job, summary);
                     }
                     Ok(StartedJob::Sliced(slice)) => slice,
-                    Err(panic) => match crash(inner, job, panic_message(panic)) {
-                        None => return, // restarting from the checkpoint
-                        Some((returned, msg)) => {
-                            job = returned;
-                            break 'decide JobOutcome::Failed(msg);
+                    Err(panic) => {
+                        let busy = picked_up.elapsed();
+                        match crash(inner, job, panic_message(panic)) {
+                            None => {
+                                // Restarting from the checkpoint. The
+                                // crashed attempt still occupied this
+                                // worker; the terminal accounting below
+                                // never runs for it, so bill the busy
+                                // time here.
+                                inner
+                                    .stats
+                                    .lock()
+                                    .expect("stats poisoned")
+                                    .per_worker_busy_us[wid] += saturating_micros(busy);
+                                return;
+                            }
+                            Some((returned, msg)) => {
+                                job = returned;
+                                break 'decide JobOutcome::Failed(msg);
+                            }
                         }
-                    },
+                    }
                 }
             }
         };
@@ -758,13 +1042,25 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
             let stepped =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || slice.run_slice()));
             match stepped {
-                Err(panic) => match crash(inner, job, panic_message(panic)) {
-                    None => return, // restarting from the checkpoint
-                    Some((returned, msg)) => {
-                        job = returned;
-                        break 'decide JobOutcome::Failed(msg);
+                Err(panic) => {
+                    let busy = picked_up.elapsed();
+                    match crash(inner, job, panic_message(panic)) {
+                        None => {
+                            // Restarting from the checkpoint; bill the
+                            // crashed attempt's busy time (see above).
+                            inner
+                                .stats
+                                .lock()
+                                .expect("stats poisoned")
+                                .per_worker_busy_us[wid] += saturating_micros(busy);
+                            return;
+                        }
+                        Some((returned, msg)) => {
+                            job = returned;
+                            break 'decide JobOutcome::Failed(msg);
+                        }
                     }
-                },
+                }
                 Ok(SliceOutcome::Finished(summary)) => {
                     break 'decide summary_outcome(inner, &job, summary);
                 }
@@ -774,8 +1070,19 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
                     inner.registry.record(Event::new(
                         EventKind::SliceYielded,
                         Some(job.shared.id),
-                        job.checkpoint_steps as i64,
+                        saturating_i64(job.checkpoint_steps),
                     ));
+                    if job.checkpoint_steps > job.resume_floor {
+                        // A new durable barrier (replay below the floor
+                        // re-derives state the store already has).
+                        persist_job(inner, &mut job, slice.checkpoint_bytes().as_deref());
+                    }
+                    if inner.killed.load(Ordering::SeqCst) {
+                        // Simulated process death: stop here, leaving
+                        // the barrier record durable and the handle
+                        // unfinished — recovery owns this job now.
+                        return;
+                    }
                     if job.shared.cancelled.load(Ordering::SeqCst) {
                         break 'decide JobOutcome::Cancelled;
                     }
@@ -789,7 +1096,11 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
                         continue;
                     }
                     // Preempted: park the live run back in the queue and
-                    // free this worker for the higher-priority job.
+                    // free this worker for the higher-priority job. One
+                    // reading of the clock feeds both the worker's busy
+                    // counter and the job's accumulated solve time —
+                    // separate `elapsed()` calls drifted apart.
+                    let busy = picked_up.elapsed();
                     {
                         let mut stats = inner.stats.lock().expect("stats poisoned");
                         if suspend {
@@ -797,9 +1108,9 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
                         } else {
                             stats.preemptions += 1;
                         }
-                        stats.per_worker_busy_us[wid] += saturating_micros(picked_up.elapsed());
+                        stats.per_worker_busy_us[wid] += saturating_micros(busy);
                     }
-                    job.solve_so_far += picked_up.elapsed();
+                    job.solve_so_far += busy;
                     job.payload = Some(Payload::Resume(slice));
                     job.shared.set_queued();
                     inner.registry.record(Event::new(
@@ -809,7 +1120,7 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
                             EventKind::Preempted
                         },
                         Some(job.shared.id),
-                        job.checkpoint_steps as i64,
+                        saturating_i64(job.checkpoint_steps),
                     ));
                     requeue(inner, job, suspend);
                     return;
@@ -818,8 +1129,12 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
         }
     };
 
+    // One reading of the clock for the final attempt: both the job's
+    // total solve time and the worker's busy counter are derived from
+    // it, so they cannot drift apart.
+    let ran_for = picked_up.elapsed();
     let solve_time = if executed {
-        job.solve_so_far + picked_up.elapsed()
+        job.solve_so_far + ran_for
     } else {
         job.solve_so_far
     };
@@ -841,7 +1156,7 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
         }
         stats.per_worker_jobs[wid] += 1;
         if executed {
-            stats.per_worker_busy_us[wid] += saturating_micros(picked_up.elapsed());
+            stats.per_worker_busy_us[wid] += saturating_micros(ran_for);
         }
         *stats.jobs_by_kind.entry(job.label.clone()).or_insert(0) += 1;
     }
@@ -857,8 +1172,15 @@ fn process_job(inner: &ServiceInner, wid: usize, mut job: QueuedJob) {
         inner.registry.record(Event::new(
             kind,
             Some(job.shared.id),
-            saturating_micros(solve_time) as i64,
+            saturating_i64(saturating_micros(solve_time)),
         ));
+    }
+
+    // A terminal job no longer needs a durable record.
+    if job.spec_bytes.is_some() {
+        if let Some(store) = inner.store.as_ref() {
+            let _ = store.remove(job.shared.id);
+        }
     }
 
     job.shared.finish(JobResult {
@@ -971,6 +1293,7 @@ mod tests {
             start_workers: true,
             cache_capacity: 0,
             max_restarts: 1,
+            store_dir: None,
         });
         let first = service.submit(small(JobKind::fib(9))).wait();
         let second = service.submit(small(JobKind::fib(9))).wait();
@@ -1109,5 +1432,113 @@ mod tests {
         drop(service);
         let q = inner.queue.lock().unwrap();
         assert!(q.shutdown);
+    }
+
+    #[test]
+    fn preempt_then_finish_records_each_job_exactly_once() {
+        use crate::handle::JobStatus;
+        use hyperspace_core::CheckpointSpec;
+        let service = SolverService::with_workers(1);
+        let long = service.submit(
+            JobRequest::new(
+                JobSpec::new(JobKind::fib(40))
+                    .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+                    .checkpoint(CheckpointSpec::every(200)),
+            )
+            .priority(-5),
+        );
+        while long.status() != JobStatus::Running {
+            std::thread::yield_now();
+        }
+        // With one worker, the quick job can only run if the long job
+        // is preempted at a checkpoint barrier.
+        let quick = service.submit(small(JobKind::sum(6)).priority(50));
+        assert!(quick.wait().outcome.is_completed());
+        long.cancel();
+        assert_eq!(long.wait().outcome, JobOutcome::Cancelled);
+        let stats = service.stats();
+        assert!(stats.preemptions >= 1, "long job preempted at a barrier");
+        // The regression this pins: a preempted job's re-queues are
+        // scheduling churn, not fresh queue waits, and its slices are
+        // one solve — each job lands in each histogram exactly once.
+        assert_eq!(stats.queue_wait_us.count(), 2, "{stats}");
+        assert_eq!(stats.solve_time_us.count(), 2, "{stats}");
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hyperspace-service-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_config(dir: &std::path::Path, start_workers: bool) -> ServiceConfig {
+        ServiceConfig {
+            workers: 1,
+            start_workers,
+            store_dir: Some(dir.to_path_buf()),
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// A small checkpoint-enabled job — the durable store only persists
+    /// jobs that can restart from a checkpoint barrier.
+    fn durable_job(n: u64) -> JobRequest {
+        use hyperspace_core::CheckpointSpec;
+        JobRequest::new(
+            JobSpec::new(JobKind::sum(n))
+                .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+                .checkpoint(CheckpointSpec::every(64)),
+        )
+    }
+
+    #[test]
+    fn submitted_jobs_are_durable_until_terminal() {
+        let dir = store_dir("durable");
+        let mut service = SolverService::new(durable_config(&dir, false));
+        let handle = service.submit(durable_job(30));
+        // Persisted at submission, before any worker could touch it.
+        let store = JobStore::open(&dir).expect("open");
+        assert!(store.get(handle.id()).expect("get").is_some());
+        service.start();
+        assert!(handle.wait().outcome.is_completed());
+        service.drain();
+        // A terminal job no longer needs its record.
+        assert!(store.get(handle.id()).expect("get").is_none());
+        assert!(service.stats().persisted >= 1);
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_service_recovers_queued_jobs_bit_identically() {
+        let dir = store_dir("recover");
+        // Reference: the same job on a store-less service.
+        let reference = SolverService::with_workers(1).submit(durable_job(9)).wait();
+        let expected = reference.outcome.summary().expect("completed").clone();
+
+        let service = SolverService::new(durable_config(&dir, false));
+        let handle = service.submit(durable_job(9).priority(2));
+        let id = handle.id();
+        service.kill();
+        // The kill left the handle unfinished and the record on disk.
+        assert!(handle.try_result().is_none());
+
+        let revived = SolverService::new(durable_config(&dir, true));
+        let recovered = revived.recovered().to_vec();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].id(), id, "recovered under its original id");
+        let result = recovered[0].wait();
+        assert_eq!(
+            result.outcome.summary().expect("completed"),
+            &expected,
+            "recovered summary is bit-identical to an uninterrupted run"
+        );
+        assert_eq!(revived.stats().recovered, 1);
+        revived.drain();
+        let store = JobStore::open(&dir).expect("open");
+        assert!(store.get(id).expect("get").is_none(), "record retired");
+        drop(revived);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -13,6 +13,16 @@ pub(crate) fn saturating_micros(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
+/// Converts an unsigned counter (step counts, byte sizes, microsecond
+/// totals) to the flight recorder's signed `value` field, saturating at
+/// `i64::MAX` instead of wrapping negative (`as i64` would turn a
+/// corrupted or adversarial `u64::MAX` into `-1`). All
+/// externally-influenced u64 → i64 conversions in the service go
+/// through this.
+pub(crate) fn saturating_i64(v: u64) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
+}
+
 /// Mutable counters behind the service's stats mutex.
 #[derive(Debug, Default)]
 pub(crate) struct StatsInner {
@@ -25,6 +35,9 @@ pub(crate) struct StatsInner {
     pub preemptions: u64,
     pub suspensions: u64,
     pub restarts: u64,
+    pub persisted: u64,
+    pub recovered: u64,
+    pub persist_errors: u64,
     pub queue_wait_us: Histogram,
     pub solve_time_us: Histogram,
     pub per_worker_jobs: Vec<u64>,
@@ -69,6 +82,13 @@ pub struct ServiceStats {
     pub suspensions: u64,
     /// Jobs restarted from their last checkpoint after a worker crash.
     pub restarts: u64,
+    /// Durable records written to the on-disk job store.
+    pub persisted: u64,
+    /// Jobs rebuilt from the on-disk job store after a process restart.
+    pub recovered: u64,
+    /// Store writes that failed plus on-disk records that failed to
+    /// decode (corrupt records are quarantined, never trusted).
+    pub persist_errors: u64,
     /// Entries currently held by the result cache.
     pub cache_entries: usize,
     /// Jobs currently waiting in the queue.
@@ -185,6 +205,13 @@ impl std::fmt::Display for ServiceStats {
                 self.preemptions, self.suspensions, self.restarts
             )?;
         }
+        if self.persisted + self.recovered + self.persist_errors > 0 {
+            writeln!(
+                f,
+                "  durability: {} persisted | {} recovered | {} persist errors",
+                self.persisted, self.recovered, self.persist_errors
+            )?;
+        }
         render_histogram(f, "queue wait", &self.queue_wait_us)?;
         render_histogram(f, "solve time", &self.solve_time_us)?;
         for (w, jobs) in self.per_worker_jobs.iter().enumerate() {
@@ -225,6 +252,9 @@ mod tests {
             preemptions: 0,
             suspensions: 0,
             restarts: 0,
+            persisted: 0,
+            recovered: 0,
+            persist_errors: 0,
             cache_entries: 0,
             queue_depth: 0,
             queue_wait_us: Histogram::default(),
@@ -262,5 +292,19 @@ mod tests {
         assert_eq!(saturating_micros(edge), u64::MAX);
         let over = edge + Duration::from_micros(1);
         assert_eq!(saturating_micros(over), u64::MAX);
+    }
+
+    #[test]
+    fn saturating_i64_is_exact_below_the_cap() {
+        assert_eq!(saturating_i64(0), 0);
+        assert_eq!(saturating_i64(1), 1);
+        assert_eq!(saturating_i64(i64::MAX as u64), i64::MAX);
+    }
+
+    #[test]
+    fn saturating_i64_saturates_instead_of_wrapping_negative() {
+        // `as i64` would map these to i64::MIN and -1 respectively.
+        assert_eq!(saturating_i64(i64::MAX as u64 + 1), i64::MAX);
+        assert_eq!(saturating_i64(u64::MAX), i64::MAX);
     }
 }

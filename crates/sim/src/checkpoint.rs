@@ -225,6 +225,19 @@ impl<S: Codec, M: Codec> CheckpointState<S, M> {
             ));
         }
         let metrics = SimMetrics::decode(&mut r)?;
+        // The engines index these unchecked per delivery; a forged
+        // short vector would panic long after the decode "succeeded".
+        for (name, v) in [
+            ("delivered_per_node", &metrics.delivered_per_node),
+            ("sent_per_node", &metrics.sent_per_node),
+        ] {
+            if !(v.is_empty() || v.len() == n) {
+                return Err(CodecError::Invalid(format!(
+                    "checkpoint {name} has {} entries for a {n}-node machine",
+                    v.len()
+                )));
+            }
+        }
         let trace = Vec::<TraceEvent>::decode(&mut r)?;
         if r.remaining() != 0 {
             return Err(CodecError::Invalid(format!(
@@ -308,6 +321,14 @@ impl Codec for Histogram {
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let buckets = Vec::<u64>::decode(r)?;
+        // log2-spaced buckets over u64 samples: index 63 is the highest
+        // any recorder can produce, so more is structural corruption.
+        if buckets.len() > 64 {
+            return Err(CodecError::Invalid(format!(
+                "histogram with {} buckets (log2-spaced u64 buckets cap at 64)",
+                buckets.len()
+            )));
+        }
         let count = r.get_u64()?;
         let sum = r.get_u64()?;
         let min = r.get_u64()?;
@@ -435,5 +456,64 @@ mod tests {
         let mut long = bytes.clone();
         long.push(0);
         assert!(SimCheckpoint::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn forged_huge_length_prefix_errors_without_allocating() {
+        // Layout: magic(4) + version(4) + step(8) + halted(1) +
+        // num_nodes(8) = 25, then the body's u64 length prefix.
+        let bytes = SimCheckpoint::new(3, false, 2, vec![7; 16]).to_bytes();
+        for forged_len in [u64::MAX, u64::MAX / 2, 1 << 40, 17] {
+            let mut forged = bytes.clone();
+            forged[25..33].copy_from_slice(&forged_len.to_le_bytes());
+            // An inflated length must fail as truncation *before* any
+            // attacker-sized allocation (the decoder bounds every
+            // length by the bytes actually present).
+            match SimCheckpoint::from_bytes(&forged) {
+                Err(CodecError::Truncated { .. }) => {}
+                other => panic!("forged length {forged_len}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn histograms_with_impossible_bucket_counts_are_rejected() {
+        let mut w = Writer::new();
+        Histogram::new().encode(&mut w);
+        let ok = w.into_bytes();
+        assert!(Histogram::decode(&mut Reader::new(&ok)).is_ok());
+        // 65 buckets cannot come from any real recorder.
+        let mut w = Writer::new();
+        vec![0u64; 65].encode(&mut w);
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u64(u64::MAX);
+        w.put_u64(0);
+        let bad = w.into_bytes();
+        assert!(Histogram::decode(&mut Reader::new(&bad)).is_err());
+    }
+
+    #[test]
+    fn per_node_metrics_must_match_the_machine_size() {
+        // A structurally valid body for a 2-node machine, except the
+        // per-node delivery counters claim only one node — restoring it
+        // would panic on the first delivery to node 1.
+        let mut w = Writer::new();
+        vec![0u64, 0].encode(&mut w); // states (2 x u64)
+        let inboxes: Vec<VecDeque<Envelope<u64>>> = vec![VecDeque::new(), VecDeque::new()];
+        inboxes.encode(&mut w);
+        w.put_u64(0); // no transit
+        let metrics = SimMetrics {
+            delivered_per_node: vec![9], // wrong: 1 entry, 2 nodes
+            ..SimMetrics::default()
+        };
+        metrics.encode(&mut w);
+        Vec::<TraceEvent>::new().encode(&mut w);
+        let ckpt = SimCheckpoint::new(0, false, 2, w.into_bytes());
+        let err = match CheckpointState::<u64, u64>::decode(&ckpt) {
+            Err(err) => err,
+            Ok(_) => panic!("undersized per-node metrics must be rejected"),
+        };
+        assert!(err.to_string().contains("delivered_per_node"), "{err}");
     }
 }

@@ -1,0 +1,47 @@
+//! **hyperspace-store** — a versioned, append-safe on-disk job store.
+//!
+//! The paper's solvers run for hours on supercomputer partitions where
+//! node *and* process loss is the norm. The checkpoint subsystem (PR 5)
+//! already survives *worker* death inside a live service by
+//! deterministic replay; this crate is the durability substrate that
+//! survives *process* death: every checkpoint-enabled job's latest
+//! durable record — its spec, its progress, and (when the workload's
+//! state is byte-serialisable) its latest
+//! [`hyperspace_sim::SimCheckpoint`] bytes — is persisted under a
+//! per-job [`Manifest`] with a magic/version/job-seq/CRC header, so a
+//! restarted service can scan the directory and re-submit every
+//! in-flight job from its last durable checkpoint.
+//!
+//! Design rules, in order:
+//!
+//! * **Append-safe atomic writes.** An update never touches the
+//!   previous durable record: bytes go to a temp file in the same
+//!   directory (synced before publication), then a single `rename`
+//!   replaces the manifest. A crash mid-write leaves either the old
+//!   record or the new one — never a torn hybrid.
+//! * **Schema-versioned decode.** The manifest header carries a magic
+//!   and a format version; [`Manifest::from_bytes`] decodes the current
+//!   v1 layout, and [`Manifest::decode_any`] additionally migrates the
+//!   frozen legacy v0 layout forward (the `serialize.rs`/`migration.rs`
+//!   pattern: old bytes keep decoding forever, new bytes are always
+//!   written in the newest version).
+//! * **Corruption-safe decode.** Every decoder returns
+//!   [`hyperspace_sim::CodecError`] on truncated, bit-flipped or
+//!   length-inflated input — never panics, never allocates from an
+//!   attacker-controlled length (`tests/codec_fuzz.rs` and
+//!   `store_fuzz` drive tens of thousands of mutated inputs through
+//!   these paths).
+//! * **Scan, don't trust.** [`JobStore::scan`] decodes every manifest
+//!   defensively: corrupt files are reported (and can be quarantined),
+//!   healthy ones are returned sorted by job id — the original
+//!   submission order.
+
+#![warn(missing_docs)]
+
+mod crc;
+mod manifest;
+mod store;
+
+pub use crc::crc32;
+pub use manifest::{Manifest, FORMAT_VERSION, LEGACY_VERSION};
+pub use store::{JobStore, ScanOutcome, StoreError};

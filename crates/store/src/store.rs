@@ -1,0 +1,254 @@
+//! The on-disk store: one manifest file per job, atomic updates, and a
+//! defensive startup scan.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hyperspace_sim::CodecError;
+
+use crate::manifest::Manifest;
+
+/// Extension of a live manifest file: `job-<id:016x>.hsj`.
+const MANIFEST_EXT: &str = "hsj";
+
+/// Extension a corrupt manifest is quarantined under so a later scan
+/// does not keep re-reporting (or worse, re-trusting) it.
+const QUARANTINE_EXT: &str = "corrupt";
+
+/// Prefix of in-progress temp files; anything still wearing it after a
+/// restart is a torn write that never got renamed, and is swept away.
+const TEMP_PREFIX: &str = ".tmp-";
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The on-disk bytes failed the manifest decoder.
+    Corrupt(CodecError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "store io error: {err}"),
+            StoreError::Corrupt(err) => write!(f, "corrupt manifest: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> StoreError {
+        StoreError::Io(err)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(err: CodecError) -> StoreError {
+        StoreError::Corrupt(err)
+    }
+}
+
+/// What a startup [`JobStore::scan`] found on disk.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Every healthy manifest, sorted by job id (submission order).
+    pub jobs: Vec<Manifest>,
+    /// Files that failed to decode, with the reason. Each has already
+    /// been quarantined (renamed to `*.corrupt`) so it will not be
+    /// re-reported — or trusted — by the next scan.
+    pub corrupt: Vec<(PathBuf, StoreError)>,
+}
+
+/// A directory of per-job manifests with atomic, append-safe updates.
+///
+/// Concurrency model: any number of threads may call [`JobStore::put`]
+/// for *different* jobs; callers serialise updates to the same job (the
+/// service holds the queue lock while persisting). `rename` gives
+/// last-writer-wins atomicity either way — a reader never observes a
+/// torn manifest.
+#[derive(Debug)]
+pub struct JobStore {
+    dir: PathBuf,
+    /// Distinguishes concurrent temp files within this process.
+    temp_seq: AtomicU64,
+}
+
+impl JobStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<JobStore, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(JobStore {
+            dir,
+            temp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn manifest_path(&self, job_id: u64) -> PathBuf {
+        self.dir.join(format!("job-{job_id:016x}.{MANIFEST_EXT}"))
+    }
+
+    /// Durably replaces job `job_id`'s record. Append-safe: the bytes
+    /// are written to a fresh temp file in the store directory, synced,
+    /// and then renamed over the manifest — the previous durable record
+    /// is never modified in place, so a crash at any instant leaves
+    /// either the old complete record or the new one.
+    pub fn put(&self, job_id: u64, job_seq: u64, payload: &[u8]) -> Result<(), StoreError> {
+        let bytes = Manifest::new(job_id, job_seq, payload.to_vec()).to_bytes();
+        let tmp = self.dir.join(format!(
+            "{TEMP_PREFIX}{job_id:016x}-{}-{}",
+            std::process::id(),
+            self.temp_seq.fetch_add(1, Ordering::Relaxed),
+        ));
+        let publish = (|| -> std::io::Result<()> {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+            drop(file);
+            fs::rename(&tmp, self.manifest_path(job_id))
+        })();
+        if publish.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        publish.map_err(StoreError::from)
+    }
+
+    /// Reads and decodes job `job_id`'s record, if one exists.
+    pub fn get(&self, job_id: u64) -> Result<Option<Manifest>, StoreError> {
+        let path = self.manifest_path(job_id);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(err) => return Err(err.into()),
+        };
+        let (manifest, _version) = Manifest::decode_any(&bytes)?;
+        Ok(Some(manifest))
+    }
+
+    /// Removes job `job_id`'s record (a completed job no longer needs
+    /// one). Returns whether a record existed.
+    pub fn remove(&self, job_id: u64) -> Result<bool, StoreError> {
+        match fs::remove_file(self.manifest_path(job_id)) {
+            Ok(()) => Ok(true),
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    /// Scans the store after a restart: sweeps torn temp files, decodes
+    /// every manifest defensively (any version; legacy records are
+    /// migrated forward in memory), quarantines corrupt files, and
+    /// returns the healthy records sorted by job id.
+    pub fn scan(&self) -> Result<ScanOutcome, StoreError> {
+        let mut outcome = ScanOutcome::default();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let name = match path.file_name().and_then(|n| n.to_str()) {
+                Some(name) => name.to_string(),
+                None => continue,
+            };
+            if name.starts_with(TEMP_PREFIX) {
+                // A write that never reached its rename; the previous
+                // durable record (if any) is still intact.
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            if path.extension().and_then(|e| e.to_str()) != Some(MANIFEST_EXT) {
+                continue;
+            }
+            let decoded = fs::read(&path)
+                .map_err(StoreError::from)
+                .and_then(|bytes| Manifest::decode_any(&bytes).map_err(StoreError::from));
+            match decoded {
+                Ok((manifest, _version)) => outcome.jobs.push(manifest),
+                Err(err) => {
+                    let _ = fs::rename(&path, path.with_extension(QUARANTINE_EXT));
+                    outcome.corrupt.push((path, err));
+                }
+            }
+        }
+        outcome.jobs.sort_by_key(|m| m.job_id);
+        outcome.corrupt.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> JobStore {
+        let dir =
+            std::env::temp_dir().join(format!("hyperspace-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        JobStore::open(&dir).expect("open")
+    }
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let store = temp_store("roundtrip");
+        assert!(store.get(1).expect("get").is_none());
+        store.put(1, 0, b"first").expect("put");
+        store.put(1, 1, b"second").expect("put again");
+        let m = store.get(1).expect("get").expect("present");
+        assert_eq!(m.job_seq, 1);
+        assert_eq!(m.payload, b"second");
+        assert!(store.remove(1).expect("remove"));
+        assert!(!store.remove(1).expect("second remove is a no-op"));
+        assert!(store.get(1).expect("get").is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn scan_sorts_sweeps_and_quarantines() {
+        let store = temp_store("scan");
+        store.put(5, 2, b"five").expect("put");
+        store.put(2, 7, b"two").expect("put");
+        // A torn temp write, a corrupt manifest, and an unrelated file.
+        fs::write(store.dir().join(".tmp-dead"), b"torn").expect("tmp");
+        fs::write(store.dir().join("job-00ff.hsj"), b"not a manifest").expect("bad");
+        fs::write(store.dir().join("notes.txt"), b"ignored").expect("other");
+
+        let outcome = store.scan().expect("scan");
+        let ids: Vec<u64> = outcome.jobs.iter().map(|m| m.job_id).collect();
+        assert_eq!(ids, vec![2, 5], "healthy manifests, sorted by job id");
+        assert_eq!(outcome.corrupt.len(), 1);
+        assert!(!store.dir().join(".tmp-dead").exists(), "temp swept");
+        assert!(
+            store.dir().join("job-00ff.corrupt").exists(),
+            "corrupt file quarantined"
+        );
+
+        // The next scan reports a clean store.
+        let again = store.scan().expect("rescan");
+        assert_eq!(again.jobs.len(), 2);
+        assert!(again.corrupt.is_empty(), "quarantined file not re-reported");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn legacy_v0_file_is_readable_in_place() {
+        let store = temp_store("legacy");
+        let legacy = Manifest::new(3, 0, b"old bytes".to_vec()).to_bytes_v0();
+        fs::write(store.manifest_path(3), legacy).expect("write v0");
+        let m = store.get(3).expect("get").expect("present");
+        assert_eq!(m.payload, b"old bytes");
+        let outcome = store.scan().expect("scan");
+        assert_eq!(outcome.jobs.len(), 1);
+        // Re-persisting rewrites it in the current format.
+        store.put(3, 1, &m.payload).expect("upgrade");
+        let bytes = fs::read(store.manifest_path(3)).expect("read");
+        assert_eq!(&bytes[..4], b"HSJS");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -53,4 +53,5 @@ pub use hyperspace_sat as sat;
 pub use hyperspace_sched as sched;
 pub use hyperspace_service as service;
 pub use hyperspace_sim as sim;
+pub use hyperspace_store as store;
 pub use hyperspace_topology as topology;

@@ -215,7 +215,7 @@ proptest! {
             .halt_on_root_reply(false)
             .dense_stepping(true)
             .run(BnbKnapsackTask::root(items.clone(), capacity), root);
-        assert_reports_identical!(dense, seq, "[dense]".to_string());
+        assert_reports_identical!(dense, seq, "[dense]");
     }
 
     /// The TSP minimisation complement: optimum equals brute force and

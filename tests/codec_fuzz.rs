@@ -1,0 +1,45 @@
+//! Mutation-fuzz smoke tier for every durable decode path.
+//!
+//! Crash recovery reads checkpoints, store manifests, and job records
+//! off disk with no one vouching for the bytes. The shared harness in
+//! `hyperspace_bench::fuzz` mutates valid encodings of all three
+//! surfaces (byte flips, truncations, inflated length prefixes,
+//! cross-corpus splices, appended garbage) and decodes the wreckage
+//! under `catch_unwind`: every input must either decode or fail with a
+//! clean `CodecError` — never panic, never allocate an
+//! attacker-controlled length. The CI-scale sweep lives in the
+//! `store_fuzz` bench binary (`--smoke` = 10k inputs); this tier keeps
+//! the property in the plain `cargo test` loop.
+
+use hyperspace_bench::fuzz;
+
+#[test]
+fn mutated_durable_bytes_never_panic_any_decoder() {
+    let report = fuzz::run(3_000, 0xDECAF).expect("a decoder panicked on mutated input");
+    assert_eq!(report.iterations, 3_000);
+    assert_eq!(report.accepted + report.rejected, 3_000);
+    // Sanity that the mutations bite: the overwhelming majority of
+    // mangled inputs must be rejected, not silently accepted.
+    assert!(
+        report.rejected > 3_000 / 2,
+        "only {} of 3000 mutated inputs were rejected",
+        report.rejected
+    );
+}
+
+#[test]
+fn fuzzing_is_deterministic_per_seed() {
+    let a = fuzz::run(400, 7).expect("no panics");
+    let b = fuzz::run(400, 7).expect("no panics");
+    assert_eq!(
+        (a.accepted, a.rejected),
+        (b.accepted, b.rejected),
+        "a failure must reproduce from (seed, iteration) alone"
+    );
+    let c = fuzz::run(400, 8).expect("no panics");
+    assert_ne!(
+        (a.accepted, a.rejected),
+        (c.accepted, c.rejected),
+        "different seeds must explore different mutations"
+    );
+}

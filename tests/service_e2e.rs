@@ -433,6 +433,7 @@ fn checkpointed_jobs_report_identical_summaries_and_share_the_cache() {
         start_workers: true,
         cache_capacity: 0,
         max_restarts: 1,
+        store_dir: None,
     });
     let a = uncached.submit(spec()).wait();
     let b = uncached

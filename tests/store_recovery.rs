@@ -1,0 +1,197 @@
+//! Kill-and-restart crash recovery, end to end.
+//!
+//! The durable job store's contract: a process killed mid-flight loses
+//! no checkpoint-enabled job, and every recovered job's eventual
+//! `RunSummary` is **bit-identical** to a run that was never
+//! interrupted — recovery re-submits the persisted spec and replays
+//! deterministically to the last durable barrier, and the engines are
+//! bit-exact, so the cut point is unobservable in the result.
+//!
+//! The choreography is deterministic, not timing-hopeful: one worker,
+//! one long checkpointed job submitted first, three more queued behind
+//! it. `SolverService::kill()` models process death — the long job
+//! stops at its next checkpoint barrier (its record stays durable), the
+//! queued three are never popped, and none of the four handles ever
+//! finish. A second service over the same `store_dir` must recover all
+//! four under their original ids.
+
+use std::time::{Duration, Instant};
+
+use hyperspace::core::{CheckpointSpec, TopologySpec};
+use hyperspace::obs::EventKind;
+use hyperspace::service::{JobKind, JobRequest, JobSpec, JobStatus, ServiceConfig, SolverService};
+use hyperspace::store::JobStore;
+
+fn store_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("hyperspace-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &std::path::Path) -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        start_workers: true,
+        cache_capacity: 0, // summaries must come from real runs
+        max_restarts: 1,
+        store_dir: Some(dir.to_path_buf()),
+    }
+}
+
+/// The four-job workload: one long job that is mid-flight at the kill,
+/// three short ones queued behind it. All checkpoint-enabled (the store
+/// only persists jobs that can restart from a barrier).
+fn workload() -> Vec<JobRequest> {
+    let job = |kind: JobKind, every: u64| {
+        JobRequest::new(
+            JobSpec::new(kind)
+                .topology(TopologySpec::Torus2D { w: 4, h: 4 })
+                .checkpoint(CheckpointSpec::every(every)),
+        )
+    };
+    vec![
+        // Long enough that the kill lands between barriers, not after
+        // the last one: ~100k recursive activations.
+        job(JobKind::sum(100_000), 500),
+        job(JobKind::fib(14), 100),
+        job(JobKind::nqueens(6), 250),
+        job(JobKind::sum(333), 64),
+    ]
+}
+
+#[test]
+fn killed_process_recovers_all_jobs_with_bit_identical_summaries() {
+    // Uninterrupted reference: same jobs, same worker count, no store.
+    let reference_service = SolverService::new(ServiceConfig {
+        store_dir: None,
+        ..config(std::path::Path::new("/unused"))
+    });
+    let reference: Vec<_> = workload()
+        .into_iter()
+        .map(|job| {
+            let summary = reference_service
+                .submit(job)
+                .wait()
+                .outcome
+                .summary()
+                .expect("reference completes")
+                .clone();
+            summary
+        })
+        .collect();
+    drop(reference_service);
+
+    // Incarnation 1: submit everything, wait until the long job is
+    // mid-flight, then die.
+    let dir = store_dir("e2e");
+    let service = SolverService::new(config(&dir));
+    let handles: Vec<_> = workload().into_iter().map(|j| service.submit(j)).collect();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while handles[0].status() != JobStatus::Running {
+        assert!(Instant::now() < deadline, "long job never started");
+        std::thread::yield_now();
+    }
+    let ids: Vec<u64> = handles.iter().map(|h| h.id()).collect();
+    service.kill();
+
+    // Process death: no handle resolved, every record still on disk.
+    for h in &handles {
+        assert!(h.try_result().is_none(), "kill must not finish handles");
+    }
+    {
+        let store = JobStore::open(&dir).expect("open");
+        let scan = store.scan().expect("scan");
+        assert_eq!(scan.jobs.len(), 4, "all four records survive the kill");
+        assert!(scan.corrupt.is_empty());
+        // The long job reached at least one barrier persist beyond its
+        // submit-time record.
+        assert!(
+            scan.jobs.iter().any(|m| m.job_seq >= 1),
+            "the running job re-persisted at a checkpoint barrier"
+        );
+    }
+
+    // Incarnation 2: same directory, fresh process state.
+    let revived = SolverService::new(config(&dir));
+    let recovered = revived.recovered().to_vec();
+    assert_eq!(recovered.len(), 4, "every in-flight job is recovered");
+    // The flight recorder saw each recovery (checked now, before the
+    // replay's slice events can evict them from the ring).
+    let events = revived.observe().registry().recorder().snapshot();
+    let recoveries = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Recovered)
+        .count();
+    assert_eq!(recoveries, 4);
+    let mut recovered_ids: Vec<u64> = recovered.iter().map(|h| h.id()).collect();
+    recovered_ids.sort_unstable();
+    let mut expected_ids = ids.clone();
+    expected_ids.sort_unstable();
+    assert_eq!(recovered_ids, expected_ids, "original job ids are kept");
+
+    // The headline guarantee: recovered summaries are bit-identical to
+    // the uninterrupted reference, whatever the cut point was.
+    for (handle, expected) in recovered.iter().zip(reference.iter()) {
+        let result = handle.wait();
+        let summary = result.outcome.summary().expect("recovered job completes");
+        assert_eq!(
+            summary,
+            expected,
+            "job {} diverged after crash recovery",
+            handle.id()
+        );
+    }
+
+    let stats = revived.stats();
+    assert_eq!(stats.recovered, 4);
+    assert_eq!(stats.completed, 4);
+
+    // Terminal jobs retire their records: the store ends empty, so a
+    // third incarnation would recover nothing.
+    revived.drain();
+    let store = JobStore::open(&dir).expect("open");
+    let scan = store.scan().expect("scan");
+    assert!(scan.jobs.is_empty(), "completed jobs retire their records");
+    assert!(scan.corrupt.is_empty());
+    drop(revived);
+    let third = SolverService::new(config(&dir));
+    assert!(third.recovered().is_empty());
+    drop(third);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_ignores_quarantined_garbage_and_still_recovers_the_rest() {
+    let dir = store_dir("garbage");
+    // A paused durable service with two queued jobs, killed.
+    let service = SolverService::new(ServiceConfig {
+        start_workers: false,
+        ..config(&dir)
+    });
+    let a = service.submit(workload().remove(3));
+    let b = service.submit(workload().remove(1));
+    let (a_id, b_id) = (a.id(), b.id());
+    service.kill();
+
+    // A torn temp file and a corrupt manifest land next to the records.
+    std::fs::write(dir.join(".tmp-feedface"), b"torn write").expect("tmp");
+    std::fs::write(dir.join("job-00000000000000ff.hsj"), b"zeroed by disk").expect("bad");
+
+    let revived = SolverService::new(config(&dir));
+    let recovered = revived.recovered().to_vec();
+    let mut got: Vec<u64> = recovered.iter().map(|h| h.id()).collect();
+    got.sort_unstable();
+    let mut want = vec![a_id, b_id];
+    want.sort_unstable();
+    assert_eq!(got, want, "healthy records recover around the garbage");
+    for h in &recovered {
+        assert!(h.wait().outcome.is_completed());
+    }
+    assert_eq!(revived.stats().persist_errors, 1, "corruption is counted");
+    // The corrupt file was quarantined, not deleted and not trusted.
+    assert!(dir.join("job-00000000000000ff.corrupt").exists());
+    assert!(!dir.join(".tmp-feedface").exists(), "torn temp swept");
+    drop(revived);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -39,6 +39,7 @@ fn config(dir: Option<std::path::PathBuf>) -> ServiceConfig {
         cache_capacity: 0, // measure solves, not cache luck
         max_restarts: 1,
         store_dir: dir,
+        ..ServiceConfig::default()
     }
 }
 

@@ -69,6 +69,7 @@ fn run(scenario: &Scenario, checkpoint: CheckpointSpec) -> Vec<Duration> {
         cache_capacity: 0, // measure execution, not cache luck
         max_restarts: 0,
         store_dir: None,
+        ..ServiceConfig::default()
     });
     let long_handles: Vec<_> = (0..scenario.long_jobs)
         .map(|i| service.submit(long_job(scenario.long_steps, checkpoint, i as u64)))

@@ -1,0 +1,360 @@
+//! Wire-format exporters (dependency-free, like everything here): a
+//! Chrome-trace/Perfetto JSON writer for per-shard phase timelines, and
+//! a Prometheus text-exposition encoder over the registry's counters,
+//! gauges, spans and per-job probes.
+//!
+//! Both formats are validated in tests: the trace output parses back
+//! through [`crate::JsonValue::parse`], and the Prometheus output is
+//! checked line-by-line against the exposition grammar.
+
+use std::sync::Arc;
+
+use crate::json::JsonValue;
+use crate::phase::Phase;
+use crate::probe::JobProbe;
+use crate::registry::Registry;
+
+/// Renders the probes' buffered phase spans as a Chrome-trace (a.k.a.
+/// Trace Event Format) JSON document — loadable in `chrome://tracing`
+/// and Perfetto. One *process* per job, one *thread* per shard, one
+/// complete (`"ph":"X"`) event per recorded span; timestamps are
+/// microseconds relative to each probe's trace-buffer epoch.
+///
+/// Probes without an attached trace buffer contribute only their
+/// process-name metadata (aggregates carry no timeline).
+pub fn chrome_trace(probes: &[Arc<JobProbe>]) -> JsonValue {
+    let mut events = Vec::new();
+    for probe in probes {
+        let pid = probe.id();
+        events.push(JsonValue::object([
+            ("name", JsonValue::str("process_name")),
+            ("ph", JsonValue::str("M")),
+            ("pid", JsonValue::UInt(pid)),
+            ("tid", JsonValue::UInt(0)),
+            (
+                "args",
+                JsonValue::object([("name", JsonValue::str(probe.label()))]),
+            ),
+        ]));
+        let samples = probe.trace_samples();
+        let mut shards: Vec<usize> = samples.iter().map(|s| s.shard).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        for shard in shards {
+            events.push(JsonValue::object([
+                ("name", JsonValue::str("thread_name")),
+                ("ph", JsonValue::str("M")),
+                ("pid", JsonValue::UInt(pid)),
+                ("tid", JsonValue::UInt(shard as u64)),
+                (
+                    "args",
+                    JsonValue::object([("name", JsonValue::str(format!("shard {shard}")))]),
+                ),
+            ]));
+        }
+        for sample in samples {
+            let dur_us = sample.dur_nanos as f64 / 1_000.0;
+            let start_us = sample.end_micros.saturating_sub(sample.dur_nanos / 1_000);
+            events.push(JsonValue::object([
+                ("name", JsonValue::str(sample.phase.as_str())),
+                ("cat", JsonValue::str("phase")),
+                ("ph", JsonValue::str("X")),
+                ("ts", JsonValue::UInt(start_us)),
+                ("dur", JsonValue::Float(dur_us)),
+                ("pid", JsonValue::UInt(pid)),
+                ("tid", JsonValue::UInt(sample.shard as u64)),
+            ]));
+        }
+    }
+    JsonValue::object([
+        ("traceEvents", JsonValue::Array(events)),
+        ("displayTimeUnit", JsonValue::str("ms")),
+    ])
+}
+
+/// Maps an internal metric name onto the Prometheus name charset
+/// (`[a-zA-Z0-9_:]`, non-digit first): every other character becomes
+/// `_`.
+fn sanitize(name: &str, out: &mut String) {
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' if i > 0 => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(value: &str, out: &mut String) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+struct Expo {
+    out: String,
+}
+
+impl Expo {
+    fn family(&mut self, name: &str, kind: &str, help: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                escape_label(v, &mut self.out);
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        if value.is_finite() && value.fract() == 0.0 && value.abs() < 9e15 {
+            self.out.push_str(&format!("{value:.0}"));
+        } else {
+            self.out.push_str(&format!("{value}"));
+        }
+        self.out.push('\n');
+    }
+}
+
+/// Encodes the registry — named counters/gauges/spans plus every
+/// per-job probe and its phase profile — in the Prometheus text
+/// exposition format (version 0.0.4), ready to serve from a
+/// `/metrics` endpoint. All metric names carry the `hyperspace_`
+/// prefix; per-job samples carry `job`/`label` labels, phase samples
+/// additionally `shard`/`phase`.
+pub fn prometheus(registry: &Registry) -> String {
+    let mut expo = Expo { out: String::new() };
+
+    for (name, value) in registry.counter_values() {
+        let mut metric = String::from("hyperspace_");
+        sanitize(name, &mut metric);
+        expo.family(&metric, "counter", "registry counter");
+        expo.sample(&metric, &[], value as f64);
+    }
+    for (name, value) in registry.gauge_values() {
+        let mut metric = String::from("hyperspace_");
+        sanitize(name, &mut metric);
+        expo.family(&metric, "gauge", "registry gauge");
+        expo.sample(&metric, &[], value as f64);
+    }
+    for (name, count, total_ns, max_ns) in registry.span_values() {
+        let mut base = String::from("hyperspace_span_");
+        sanitize(name, &mut base);
+        let counts = format!("{base}_count");
+        expo.family(&counts, "counter", "span invocations");
+        expo.sample(&counts, &[], count as f64);
+        let totals = format!("{base}_total_ns");
+        expo.family(&totals, "counter", "span nanoseconds, summed");
+        expo.sample(&totals, &[], total_ns as f64);
+        let maxes = format!("{base}_max_ns");
+        expo.family(&maxes, "gauge", "longest span in nanoseconds");
+        expo.sample(&maxes, &[], max_ns as f64);
+    }
+
+    let probes = registry.probes();
+    type JobFamily = (&'static str, &'static str, fn(&JobProbe) -> f64);
+    let job_families: [JobFamily; 8] = [
+        ("hyperspace_job_steps", "counter", |p| p.steps() as f64),
+        ("hyperspace_job_delivered", "counter", |p| {
+            p.delivered() as f64
+        }),
+        ("hyperspace_job_queued", "gauge", |p| p.queued() as f64),
+        ("hyperspace_job_open_records", "gauge", |p| {
+            p.open_records() as f64
+        }),
+        ("hyperspace_job_checkpoints", "counter", |p| {
+            p.checkpoints() as f64
+        }),
+        ("hyperspace_job_checkpoint_bytes", "counter", |p| {
+            p.checkpoint_bytes() as f64
+        }),
+        ("hyperspace_job_persists", "counter", |p| {
+            p.persists() as f64
+        }),
+        ("hyperspace_job_recovers", "counter", |p| {
+            p.recovers() as f64
+        }),
+    ];
+    for (metric, kind, read) in job_families {
+        if probes.is_empty() {
+            continue;
+        }
+        expo.family(metric, kind, "per-job probe value");
+        for probe in &probes {
+            let job = probe.id().to_string();
+            expo.sample(
+                metric,
+                &[("job", &job), ("label", probe.label())],
+                read(probe),
+            );
+        }
+    }
+
+    // Per-shard phase attribution, flattened over (job, shard, phase).
+    let mut phase_counts: Vec<(u64, String, usize, Phase, u64, u64)> = Vec::new();
+    for probe in &probes {
+        for (shard, stats) in probe.phases().shards().iter().enumerate() {
+            for phase in Phase::ALL {
+                let stat = stats.stat(phase);
+                if stat.count() > 0 {
+                    phase_counts.push((
+                        probe.id(),
+                        probe.label().to_string(),
+                        shard,
+                        phase,
+                        stat.count(),
+                        stat.total_ns(),
+                    ));
+                }
+            }
+        }
+    }
+    if !phase_counts.is_empty() {
+        expo.family(
+            "hyperspace_phase_count",
+            "counter",
+            "recorded spans per job/shard/phase",
+        );
+        for (job, label, shard, phase, count, _) in &phase_counts {
+            let job = job.to_string();
+            let shard = shard.to_string();
+            expo.sample(
+                "hyperspace_phase_count",
+                &[
+                    ("job", &job),
+                    ("label", label),
+                    ("shard", &shard),
+                    ("phase", phase.as_str()),
+                ],
+                *count as f64,
+            );
+        }
+        expo.family(
+            "hyperspace_phase_total_ns",
+            "counter",
+            "attributed nanoseconds per job/shard/phase",
+        );
+        for (job, label, shard, phase, _, total) in &phase_counts {
+            let job = job.to_string();
+            let shard = shard.to_string();
+            expo.sample(
+                "hyperspace_phase_total_ns",
+                &[
+                    ("job", &job),
+                    ("label", label),
+                    ("shard", &shard),
+                    ("phase", phase.as_str()),
+                ],
+                *total as f64,
+            );
+        }
+    }
+
+    expo.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::TraceBuffer;
+
+    fn traced_probe() -> Arc<JobProbe> {
+        let probe =
+            JobProbe::new(7, "torus", None).with_phase_trace(Arc::new(TraceBuffer::new(64)));
+        let probe = Arc::new(probe);
+        use crate::Observer;
+        probe.on_phase(0, Phase::Delivery, 1_000);
+        probe.on_phase(0, Phase::Handler, 2_000);
+        probe.on_phase(1, Phase::Handler, 3_000);
+        probe
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_span_events() {
+        let trace = chrome_trace(&[traced_probe()]);
+        let parsed = JsonValue::parse(&trace.to_string()).expect("trace parses");
+        let events = match parsed.get("traceEvents") {
+            Some(JsonValue::Array(events)) => events,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        let spans = events
+            .iter()
+            .filter(|e| matches!(e.get("ph"), Some(JsonValue::Str(ph)) if ph == "X"))
+            .count();
+        assert_eq!(spans, 3, "one X event per recorded span");
+        let threads = events
+            .iter()
+            .filter(|e| matches!(e.get("name"), Some(JsonValue::Str(n)) if n == "thread_name"))
+            .count();
+        assert_eq!(threads, 2, "one thread per shard");
+    }
+
+    #[test]
+    fn prometheus_encodes_registry_and_probes() {
+        let registry = Registry::new(16);
+        registry.counter("jobs.submitted").add(2);
+        registry.gauge("queue.depth").set(5);
+        registry.span("store.persist").record(123);
+        let probe = registry.probe(1, "sat");
+        use crate::Observer;
+        probe.on_step(10, 3, 1);
+        probe.on_phase(0, Phase::Fsync, 999);
+        let out = prometheus(&registry);
+        assert!(out.contains("hyperspace_jobs_submitted 2\n"), "{out}");
+        assert!(out.contains("hyperspace_queue_depth 5\n"), "{out}");
+        assert!(
+            out.contains("hyperspace_span_store_persist_total_ns 123\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("hyperspace_job_steps{job=\"1\",label=\"sat\"} 10\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains(
+                "hyperspace_phase_total_ns{job=\"1\",label=\"sat\",shard=\"0\",phase=\"fsync\"} 999\n"
+            ),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn sanitize_maps_onto_the_prometheus_charset() {
+        let mut out = String::new();
+        sanitize("jobs.submitted-total", &mut out);
+        assert_eq!(out, "jobs_submitted_total");
+        let mut out = String::new();
+        sanitize("9lives", &mut out);
+        assert_eq!(out, "_lives");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut out = String::new();
+        escape_label("a\"b\\c\nd", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd");
+    }
+}

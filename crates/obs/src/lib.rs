@@ -19,17 +19,23 @@
 //! relaxed atomics only. `bench/bin/obs_overhead.rs` measures the
 //! instrumented-vs-bare steps/sec ratio and asserts the budget.
 
+mod export;
 mod json;
 mod metric;
+mod phase;
 mod probe;
 mod recorder;
 mod registry;
+mod series;
 
+pub use export::{chrome_trace, prometheus};
 pub use json::{pretty, JsonValue};
 pub use metric::{Counter, Gauge, SpanStat, SpanTimer};
+pub use phase::{Phase, PhaseProfiler, PhaseSample, ShardPhases, TraceBuffer};
 pub use probe::JobProbe;
 pub use recorder::{Event, EventKind, FlightRecorder};
 pub use registry::{CrashDump, Registry, CRASH_DUMP_TAIL};
+pub use series::{EwmaRate, RingSeries, Signals};
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -98,41 +104,134 @@ pub trait Observer: Send + Sync {
     fn on_event(&self, event: &Event) {
         let _ = event;
     }
+
+    /// `shard` spent `nanos` of wall time in `phase`. Step-loop phases
+    /// (delivery/handler/exchange) only fire on sampled steps (see
+    /// [`ObsHandle::phase_sampled`]); checkpoint-encode and fsync fire
+    /// on every occurrence.
+    fn on_phase(&self, shard: usize, phase: Phase, nanos: u64) {
+        let _ = (shard, phase, nanos);
+    }
+
+    /// `shard`'s active-set size after a sampled step — the per-shard
+    /// load-imbalance signal.
+    fn on_shard_active(&self, shard: usize, nodes: u64) {
+        let _ = (shard, nodes);
+    }
 }
+
+/// How often the engines *time* step-loop phases when an observer is
+/// attached: every `DEFAULT_PHASE_PERIOD`-th step. Sub-microsecond
+/// sparse steps cannot afford clock reads on every step; sampling every
+/// power-of-two-th step keeps attribution statistically faithful (every
+/// phase of a sampled step is timed together) at 1/16th the clock cost.
+pub const DEFAULT_PHASE_PERIOD: u64 = 16;
 
 /// A cloneable on/off switch around an observer, designed to live
 /// inside `Clone + Debug` config structs. Disabled (the default) every
 /// hook is one `Option` branch — no clock reads, no allocation — which
 /// is what keeps un-observed runs at bare-engine speed.
-#[derive(Clone, Default)]
-pub struct ObsHandle(Option<Arc<dyn Observer>>);
+#[derive(Clone)]
+pub struct ObsHandle {
+    observer: Option<Arc<dyn Observer>>,
+    /// Power-of-two-minus-one mask: steps with `step & mask == 0` get
+    /// their phases timed.
+    phase_mask: u64,
+}
+
+impl Default for ObsHandle {
+    fn default() -> ObsHandle {
+        ObsHandle::off()
+    }
+}
 
 impl ObsHandle {
     /// The disabled handle (all hooks are no-ops).
     pub fn off() -> ObsHandle {
-        ObsHandle(None)
+        ObsHandle {
+            observer: None,
+            phase_mask: DEFAULT_PHASE_PERIOD - 1,
+        }
     }
 
     /// Wraps an observer.
     pub fn new(observer: Arc<dyn Observer>) -> ObsHandle {
-        ObsHandle(Some(observer))
+        ObsHandle {
+            observer: Some(observer),
+            phase_mask: DEFAULT_PHASE_PERIOD - 1,
+        }
+    }
+
+    /// Sets the phase-sampling period (rounded up to a power of two,
+    /// min 1 = every step). Period 1 times every step — right for
+    /// coarse-step workloads; the default suits sub-µs sparse steps.
+    pub fn with_phase_period(mut self, period: u64) -> ObsHandle {
+        self.phase_mask = period.clamp(1, 1 << 62).next_power_of_two() - 1;
+        self
+    }
+
+    /// The effective phase-sampling period.
+    pub fn phase_period(&self) -> u64 {
+        self.phase_mask + 1
     }
 
     /// Whether an observer is attached. Instrumentation sites use this
     /// to skip clock reads entirely when disabled.
     pub fn enabled(&self) -> bool {
-        self.0.is_some()
+        self.observer.is_some()
     }
 
     /// The attached observer, if any.
     pub fn observer(&self) -> Option<&Arc<dyn Observer>> {
-        self.0.as_ref()
+        self.observer.as_ref()
+    }
+
+    /// Whether `step`'s phases should be timed: an observer is attached
+    /// *and* the step lands on the sampling grid. One branch when
+    /// disabled.
+    #[inline]
+    pub fn phase_sampled(&self, step: u64) -> bool {
+        self.observer.is_some() && step & self.phase_mask == 0
+    }
+
+    /// A lap clock for `step`'s phases on `shard`, or `None` when the
+    /// step is unsampled (or observation is off). The engines call
+    /// [`PhaseClock::lap`] at each phase boundary; consecutive laps
+    /// share clock reads, so a fully-timed step costs phases + 1 reads.
+    /// The clock owns its observer handle (cloned only on sampled
+    /// steps), so it can live across `&mut self` engine calls.
+    #[inline]
+    pub fn phase_clock(&self, shard: usize, step: u64) -> Option<PhaseClock> {
+        if step & self.phase_mask != 0 {
+            return None;
+        }
+        self.observer.as_ref().map(|o| PhaseClock {
+            obs: Arc::clone(o),
+            shard,
+            last: std::time::Instant::now(),
+        })
+    }
+
+    /// Times `f` and attributes it to `phase` on `shard` — for
+    /// occurrence-rate phases (checkpoint encode, fsync) that are never
+    /// sampled away. Runs `f` with no clock reads when disabled.
+    #[inline]
+    pub fn time_phase<R>(&self, shard: usize, phase: Phase, f: impl FnOnce() -> R) -> R {
+        match &self.observer {
+            None => f(),
+            Some(o) => {
+                let start = std::time::Instant::now();
+                let out = f();
+                o.on_phase(shard, phase, saturating_nanos(start.elapsed()));
+                out
+            }
+        }
     }
 
     /// See [`Observer::on_step`].
     #[inline]
     pub fn on_step(&self, step: u64, delivered: u64, queued: u64) {
-        if let Some(o) = &self.0 {
+        if let Some(o) = &self.observer {
             o.on_step(step, delivered, queued);
         }
     }
@@ -140,7 +239,7 @@ impl ObsHandle {
     /// See [`Observer::on_barrier_wait`].
     #[inline]
     pub fn on_barrier_wait(&self, shard: usize, nanos: u64) {
-        if let Some(o) = &self.0 {
+        if let Some(o) = &self.observer {
             o.on_barrier_wait(shard, nanos);
         }
     }
@@ -148,7 +247,7 @@ impl ObsHandle {
     /// See [`Observer::on_progress`].
     #[inline]
     pub fn on_progress(&self, steps: u64, open_records: u64, incumbent: Option<i64>) {
-        if let Some(o) = &self.0 {
+        if let Some(o) = &self.observer {
             o.on_progress(steps, open_records, incumbent);
         }
     }
@@ -156,7 +255,7 @@ impl ObsHandle {
     /// See [`Observer::on_epoch`].
     #[inline]
     pub fn on_epoch(&self, epoch: u64, member: usize, steps: u64, clauses: u64, incumbents: u64) {
-        if let Some(o) = &self.0 {
+        if let Some(o) = &self.observer {
             o.on_epoch(epoch, member, steps, clauses, incumbents);
         }
     }
@@ -164,7 +263,7 @@ impl ObsHandle {
     /// See [`Observer::on_checkpoint`].
     #[inline]
     pub fn on_checkpoint(&self, bytes: u64, nanos: u64) {
-        if let Some(o) = &self.0 {
+        if let Some(o) = &self.observer {
             o.on_checkpoint(bytes, nanos);
         }
     }
@@ -172,7 +271,7 @@ impl ObsHandle {
     /// See [`Observer::on_restore`].
     #[inline]
     pub fn on_restore(&self, bytes: u64, nanos: u64) {
-        if let Some(o) = &self.0 {
+        if let Some(o) = &self.observer {
             o.on_restore(bytes, nanos);
         }
     }
@@ -180,8 +279,24 @@ impl ObsHandle {
     /// See [`Observer::on_event`].
     #[inline]
     pub fn on_event(&self, event: &Event) {
-        if let Some(o) = &self.0 {
+        if let Some(o) = &self.observer {
             o.on_event(event);
+        }
+    }
+
+    /// See [`Observer::on_phase`].
+    #[inline]
+    pub fn on_phase(&self, shard: usize, phase: Phase, nanos: u64) {
+        if let Some(o) = &self.observer {
+            o.on_phase(shard, phase, nanos);
+        }
+    }
+
+    /// See [`Observer::on_shard_active`].
+    #[inline]
+    pub fn on_shard_active(&self, shard: usize, nodes: u64) {
+        if let Some(o) = &self.observer {
+            o.on_shard_active(shard, nodes);
         }
     }
 
@@ -190,7 +305,7 @@ impl ObsHandle {
     /// clock reads at all.
     #[inline]
     pub fn time_barrier<R>(&self, shard: usize, f: impl FnOnce() -> R) -> R {
-        match &self.0 {
+        match &self.observer {
             None => f(),
             Some(o) => {
                 let start = std::time::Instant::now();
@@ -202,9 +317,33 @@ impl ObsHandle {
     }
 }
 
+/// A lap timer over one sampled step's phase sequence. Each
+/// [`PhaseClock::lap`] attributes the wall time since the previous lap
+/// (or construction) to the given phase, so consecutive phases share
+/// clock reads: a step timed into `p` phases costs `p + 1` reads total.
+pub struct PhaseClock {
+    obs: Arc<dyn Observer>,
+    shard: usize,
+    last: std::time::Instant,
+}
+
+impl PhaseClock {
+    /// Closes the current phase span and opens the next.
+    #[inline]
+    pub fn lap(&mut self, phase: Phase) {
+        let now = std::time::Instant::now();
+        self.obs.on_phase(
+            self.shard,
+            phase,
+            saturating_nanos(now.saturating_duration_since(self.last)),
+        );
+        self.last = now;
+    }
+}
+
 impl std::fmt::Debug for ObsHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(if self.0.is_some() {
+        f.write_str(if self.observer.is_some() {
             "ObsHandle(on)"
         } else {
             "ObsHandle(off)"
@@ -275,5 +414,48 @@ mod tests {
         h.on_step(1, 0, 0);
         h2.on_step(2, 0, 0);
         assert_eq!(obs.steps.load(Ordering::Relaxed), 2);
+    }
+
+    #[derive(Default)]
+    struct PhaseCounter {
+        phases: AtomicU64,
+        nanos: AtomicU64,
+    }
+
+    impl Observer for PhaseCounter {
+        fn on_phase(&self, _shard: usize, _phase: Phase, nanos: u64) {
+            self.phases.fetch_add(1, Ordering::Relaxed);
+            self.nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn phase_sampling_follows_the_mask() {
+        let h = ObsHandle::off();
+        assert!(!h.phase_sampled(0), "disabled handle never samples");
+        let obs = Arc::new(PhaseCounter::default());
+        let h = ObsHandle::new(obs.clone() as Arc<dyn Observer>);
+        assert_eq!(h.phase_period(), DEFAULT_PHASE_PERIOD);
+        assert!(h.phase_sampled(0));
+        assert!(!h.phase_sampled(1));
+        assert!(h.phase_sampled(DEFAULT_PHASE_PERIOD));
+        let every = h.clone().with_phase_period(1);
+        assert!(every.phase_sampled(7));
+        let rounded = h.clone().with_phase_period(5);
+        assert_eq!(rounded.phase_period(), 8);
+        assert!(h.phase_clock(0, 1).is_none());
+        let mut clock = h.phase_clock(0, 16).expect("sampled step");
+        clock.lap(Phase::Delivery);
+        clock.lap(Phase::Handler);
+        assert_eq!(obs.phases.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn time_phase_reports_only_when_enabled() {
+        assert_eq!(ObsHandle::off().time_phase(0, Phase::Fsync, || 9), 9);
+        let obs = Arc::new(PhaseCounter::default());
+        let h = ObsHandle::new(obs.clone() as Arc<dyn Observer>);
+        assert_eq!(h.time_phase(0, Phase::Fsync, || "io"), "io");
+        assert_eq!(obs.phases.load(Ordering::Relaxed), 1);
     }
 }

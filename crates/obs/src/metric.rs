@@ -65,7 +65,13 @@ impl SpanStat {
     /// Records one completed span of `nanos`.
     pub fn record(&self, nanos: u64) {
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_ns.fetch_add(nanos, Ordering::Relaxed);
+        // Saturate rather than wrap: a clamped `u64::MAX` span (see
+        // `crate::saturating_nanos`) must keep reading as "absurdly
+        // long", not reset the accumulated total to something small.
+        let prev = self.total_ns.fetch_add(nanos, Ordering::Relaxed);
+        if prev.checked_add(nanos).is_none() {
+            self.total_ns.store(u64::MAX, Ordering::Relaxed);
+        }
         self.max_ns.fetch_max(nanos, Ordering::Relaxed);
     }
 

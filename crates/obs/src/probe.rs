@@ -6,7 +6,8 @@ use std::sync::Arc;
 
 use crate::json::JsonValue;
 use crate::metric::SpanStat;
-use crate::recorder::{Event, FlightRecorder};
+use crate::phase::{Phase, PhaseProfiler, PhaseSample, TraceBuffer};
+use crate::recorder::{Event, EventKind, FlightRecorder};
 use crate::Observer;
 
 /// Sentinel for "no incumbent yet" in the packed atomic.
@@ -41,10 +42,21 @@ pub struct JobProbe {
     /// Checkpoints taken / payload bytes encoded.
     checkpoints: AtomicU64,
     checkpoint_bytes: AtomicU64,
+    /// Successful durable-store persists of this job (PR 8 lifecycle).
+    persists: AtomicU64,
+    /// Times this job was recovered from the durable store.
+    recovers: AtomicU64,
+    /// Times the incumbent actually changed (the improvement-rate
+    /// numerator).
+    incumbent_updates: AtomicU64,
     /// Time spent encoding/decoding checkpoints.
     checkpoint_span: Arc<SpanStat>,
     /// Time shard workers spent waiting at step barriers.
     barrier_span: Arc<SpanStat>,
+    /// Per-shard, per-phase wall-time attribution.
+    phases: Arc<PhaseProfiler>,
+    /// Individual phase spans for timeline export, when attached.
+    trace: Option<Arc<TraceBuffer>>,
     /// Shared service-wide flight recorder, if attached.
     recorder: Option<Arc<FlightRecorder>>,
 }
@@ -65,10 +77,22 @@ impl JobProbe {
             bus_incumbents: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             checkpoint_bytes: AtomicU64::new(0),
+            persists: AtomicU64::new(0),
+            recovers: AtomicU64::new(0),
+            incumbent_updates: AtomicU64::new(0),
             checkpoint_span: Arc::new(SpanStat::new()),
             barrier_span: Arc::new(SpanStat::new()),
+            phases: Arc::new(PhaseProfiler::new()),
+            trace: None,
             recorder,
         }
+    }
+
+    /// Attaches a span buffer so individual phase spans are kept for
+    /// Chrome-trace timeline export (aggregates are always kept).
+    pub fn with_phase_trace(mut self, trace: Arc<TraceBuffer>) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     pub fn id(&self) -> u64 {
@@ -122,6 +146,21 @@ impl JobProbe {
         self.checkpoint_bytes.load(Ordering::Relaxed)
     }
 
+    /// Successful durable-store persists.
+    pub fn persists(&self) -> u64 {
+        self.persists.load(Ordering::Relaxed)
+    }
+
+    /// Recoveries from the durable store.
+    pub fn recovers(&self) -> u64 {
+        self.recovers.load(Ordering::Relaxed)
+    }
+
+    /// Times the incumbent improved (changed value).
+    pub fn incumbent_updates(&self) -> u64 {
+        self.incumbent_updates.load(Ordering::Relaxed)
+    }
+
     /// Checkpoint encode/decode timing.
     pub fn checkpoint_span(&self) -> &SpanStat {
         &self.checkpoint_span
@@ -130,6 +169,17 @@ impl JobProbe {
     /// Shard barrier-wait timing.
     pub fn barrier_span(&self) -> &SpanStat {
         &self.barrier_span
+    }
+
+    /// Per-shard, per-phase wall-time attribution.
+    pub fn phases(&self) -> &Arc<PhaseProfiler> {
+        &self.phases
+    }
+
+    /// The buffered individual phase spans (empty without an attached
+    /// trace buffer).
+    pub fn trace_samples(&self) -> Vec<PhaseSample> {
+        self.trace.as_ref().map(|t| t.samples()).unwrap_or_default()
     }
 
     /// Point-in-time JSON snapshot of the probe.
@@ -153,10 +203,17 @@ impl JobProbe {
             ("bus_incumbents", JsonValue::UInt(self.bus_incumbents())),
             ("checkpoints", JsonValue::UInt(self.checkpoints())),
             ("checkpoint_bytes", JsonValue::UInt(self.checkpoint_bytes())),
+            ("persists", JsonValue::UInt(self.persists())),
+            ("recovers", JsonValue::UInt(self.recovers())),
+            (
+                "incumbent_updates",
+                JsonValue::UInt(self.incumbent_updates()),
+            ),
             (
                 "barrier_wait_ms",
                 JsonValue::Float(self.barrier_span.total_ns() as f64 / 1e6),
             ),
+            ("phases", self.phases.to_json()),
         ])
     }
 }
@@ -170,15 +227,23 @@ impl Observer for JobProbe {
         self.queued.store(queued, Ordering::Relaxed);
     }
 
-    fn on_barrier_wait(&self, _shard: usize, nanos: u64) {
+    fn on_barrier_wait(&self, shard: usize, nanos: u64) {
         self.barrier_span.record(nanos);
+        self.phases.record(shard, Phase::BarrierWait, nanos);
+        if let Some(trace) = &self.trace {
+            trace.record(shard, Phase::BarrierWait, nanos);
+        }
     }
 
     fn on_progress(&self, steps: u64, open_records: u64, incumbent: Option<i64>) {
         self.steps.fetch_max(steps, Ordering::Relaxed);
         self.open_records.store(open_records, Ordering::Relaxed);
         if let Some(v) = incumbent {
-            self.incumbent.store(v, Ordering::Relaxed);
+            // Count actual changes: the improvement-rate signal should
+            // not tick when progress re-reports the same bound.
+            if self.incumbent.swap(v, Ordering::Relaxed) != v {
+                self.incumbent_updates.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -200,11 +265,33 @@ impl Observer for JobProbe {
     }
 
     fn on_event(&self, event: &Event) {
+        match event.kind {
+            // A failed persist is reported as `Persisted` with a
+            // negative value; only successes count as durable progress.
+            EventKind::Persisted if event.value >= 0 => {
+                self.persists.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::Recovered => {
+                self.recovers.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
         if let Some(recorder) = &self.recorder {
             let mut event = event.clone();
             event.job.get_or_insert(self.id);
             recorder.record(event);
         }
+    }
+
+    fn on_phase(&self, shard: usize, phase: Phase, nanos: u64) {
+        self.phases.record(shard, phase, nanos);
+        if let Some(trace) = &self.trace {
+            trace.record(shard, phase, nanos);
+        }
+    }
+
+    fn on_shard_active(&self, shard: usize, nodes: u64) {
+        self.phases.set_active(shard, nodes);
     }
 }
 
@@ -251,5 +338,41 @@ mod tests {
         let p = JobProbe::new(1, "k", None);
         let json = p.to_json().to_string();
         assert!(json.contains("\"incumbent\":null"), "{json}");
+        assert!(json.contains("\"persists\":0"), "{json}");
+        assert!(json.contains("\"phases\""), "{json}");
+    }
+
+    #[test]
+    fn persist_and_recover_events_are_counted() {
+        let p = JobProbe::new(5, "durable", None);
+        p.on_event(&Event::new(EventKind::Persisted, Some(5), 100));
+        p.on_event(&Event::new(EventKind::Persisted, Some(5), 0));
+        p.on_event(&Event::new(EventKind::Persisted, Some(5), -1)); // failure
+        p.on_event(&Event::new(EventKind::Recovered, Some(5), 100));
+        p.on_event(&Event::new(EventKind::Completed, Some(5), 0));
+        assert_eq!(p.persists(), 2, "failures don't count");
+        assert_eq!(p.recovers(), 1);
+    }
+
+    #[test]
+    fn incumbent_updates_count_changes_only() {
+        let p = JobProbe::new(2, "bnb", None);
+        p.on_progress(1, 0, Some(10));
+        p.on_progress(2, 0, Some(10));
+        p.on_progress(3, 0, Some(7));
+        p.on_progress(4, 0, None);
+        assert_eq!(p.incumbent_updates(), 2);
+    }
+
+    #[test]
+    fn phase_hooks_feed_profiler_and_trace() {
+        use crate::phase::{Phase, TraceBuffer};
+        let p = JobProbe::new(3, "sharded", None)
+            .with_phase_trace(std::sync::Arc::new(TraceBuffer::new(8)));
+        p.on_phase(1, Phase::Handler, 40);
+        p.on_shard_active(1, 9);
+        assert_eq!(p.phases().phase_total(Phase::Handler), (1, 40, 40));
+        assert_eq!(p.phases().shard(1).unwrap().active(), 9);
+        assert_eq!(p.trace_samples().len(), 1);
     }
 }

@@ -34,7 +34,8 @@ impl CrashDump {
     }
 }
 
-/// How many flight-recorder events a crash dump preserves.
+/// How many flight-recorder events a crash dump preserves by default
+/// (configurable per registry via [`Registry::with_limits`]).
 pub const CRASH_DUMP_TAIL: usize = 32;
 
 /// A registry of named metrics plus per-job probes. Names are interned
@@ -49,11 +50,22 @@ pub struct Registry {
     probes: Mutex<BTreeMap<u64, Arc<JobProbe>>>,
     crashes: Mutex<Vec<CrashDump>>,
     recorder: Arc<FlightRecorder>,
+    crash_tail: usize,
 }
 
 impl Registry {
-    /// A registry whose flight recorder keeps `capacity` events.
+    /// A registry whose flight recorder keeps `capacity` events, with
+    /// the default crash-dump tail ([`CRASH_DUMP_TAIL`]).
     pub fn new(capacity: usize) -> Registry {
+        Registry::with_limits(capacity, CRASH_DUMP_TAIL)
+    }
+
+    /// A registry with explicit flight-recorder capacity and crash-dump
+    /// tail length. Both are bounds-checked: capacity 0 keeps one event
+    /// (a recorder that silently kept nothing would make crash dumps
+    /// lie), and the tail is clamped into `[1, capacity]`.
+    pub fn with_limits(capacity: usize, crash_tail: usize) -> Registry {
+        let capacity = capacity.max(1);
         Registry {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
@@ -61,7 +73,13 @@ impl Registry {
             probes: Mutex::new(BTreeMap::new()),
             crashes: Mutex::new(Vec::new()),
             recorder: Arc::new(FlightRecorder::new(capacity)),
+            crash_tail: crash_tail.clamp(1, capacity),
         }
+    }
+
+    /// The crash-dump tail length in effect.
+    pub fn crash_tail(&self) -> usize {
+        self.crash_tail
     }
 
     /// The named counter, created on first use.
@@ -130,7 +148,7 @@ impl Registry {
         let dump = CrashDump {
             job,
             message: message.into(),
-            events: self.recorder.last_n(CRASH_DUMP_TAIL),
+            events: self.recorder.last_n(self.crash_tail),
         };
         self.crashes
             .lock()
@@ -142,6 +160,38 @@ impl Registry {
     /// All crash dumps captured so far.
     pub fn crashes(&self) -> Vec<CrashDump> {
         self.crashes.lock().expect("registry poisoned").clone()
+    }
+
+    /// `(name, value)` of every registered counter, name-ordered (the
+    /// exporters' read surface).
+    pub fn counter_values(&self) -> Vec<(&'static str, u64)> {
+        self.counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (*k, v.get()))
+            .collect()
+    }
+
+    /// `(name, value)` of every registered gauge, name-ordered.
+    pub fn gauge_values(&self) -> Vec<(&'static str, u64)> {
+        self.gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (*k, v.get()))
+            .collect()
+    }
+
+    /// `(name, count, total_ns, max_ns)` of every registered span
+    /// statistic, name-ordered.
+    pub fn span_values(&self) -> Vec<(&'static str, u64, u64, u64)> {
+        self.spans
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (*k, v.count(), v.total_ns(), v.max_ns()))
+            .collect()
     }
 
     /// Point-in-time JSON snapshot: counters, gauges, spans, per-job
@@ -239,6 +289,38 @@ mod tests {
         assert_eq!(dump.events.len(), 4);
         assert_eq!(dump.events.last().unwrap().value, 5);
         assert_eq!(r.crashes().len(), 1);
+    }
+
+    #[test]
+    fn limits_are_bounds_checked() {
+        // Capacity 0 and 1: the recorder still works and crash dumps
+        // still carry the most recent event — the regression the
+        // configurable limits must not reintroduce.
+        for capacity in [0, 1] {
+            let r = Registry::with_limits(capacity, 0);
+            assert_eq!(r.recorder().capacity(), 1);
+            assert_eq!(r.crash_tail(), 1);
+            r.record(Event::new(EventKind::Submitted, Some(1), 0));
+            r.record(Event::new(EventKind::Crashed, Some(1), 0));
+            let dump = r.dump_crash(1, "boom");
+            assert_eq!(dump.events.len(), 1);
+            assert_eq!(dump.events[0].kind, EventKind::Crashed);
+        }
+        // Tail never exceeds capacity.
+        assert_eq!(Registry::with_limits(4, 99).crash_tail(), 4);
+        assert_eq!(Registry::default().crash_tail(), CRASH_DUMP_TAIL);
+    }
+
+    #[test]
+    fn exporter_read_surface_is_name_ordered() {
+        let r = Registry::default();
+        r.counter("b").inc();
+        r.counter("a").add(2);
+        r.gauge("g").set(7);
+        r.span("s").record(50);
+        assert_eq!(r.counter_values(), vec![("a", 2), ("b", 1)]);
+        assert_eq!(r.gauge_values(), vec![("g", 7)]);
+        assert_eq!(r.span_values(), vec![("s", 1, 50, 50)]);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Time-series telemetry: fixed-capacity ring-buffer series, EWMA rate
+//! estimators, and the [`Signals`] vector the elastic scheduler (and
+//! any dashboard) subscribes to.
+//!
+//! These are plain data structures — no interior locking — because they
+//! live behind the embedder's own sampling cadence (e.g. the service
+//! observer's history mutex). Solver threads never touch them.
+
+use std::collections::VecDeque;
+
+use crate::json::JsonValue;
+
+/// A fixed-capacity ring of `f64` samples: the last `capacity` values
+/// of one telemetry signal, oldest first. Pushing at capacity evicts
+/// the oldest sample; `pushed` keeps counting.
+#[derive(Clone, Debug)]
+pub struct RingSeries {
+    data: VecDeque<f64>,
+    capacity: usize,
+    pushed: u64,
+}
+
+impl RingSeries {
+    /// A series keeping the most recent `capacity` samples (min 1).
+    pub fn new(capacity: usize) -> RingSeries {
+        let capacity = capacity.max(1);
+        RingSeries {
+            data: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            pushed: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest at capacity.
+    pub fn push(&mut self, value: f64) {
+        if self.data.len() == self.capacity {
+            self.data.pop_front();
+        }
+        self.data.push_back(value);
+        self.pushed += 1;
+    }
+
+    /// Samples currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples ever pushed (including evicted ones).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<f64> {
+        self.data.back().copied()
+    }
+
+    /// The held samples as a contiguous vector, oldest first (the shape
+    /// chart renderers want).
+    pub fn values(&self) -> Vec<f64> {
+        self.data.iter().copied().collect()
+    }
+
+    /// Mean of the held samples (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum of the held samples (`0.0` when empty).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// An exponentially-weighted moving-average rate estimator over a
+/// monotone total. Feed it `(total, dt)` observations on any cadence;
+/// it differentiates (`Δtotal / dt`) and smooths with factor `alpha`
+/// (1.0 = instantaneous, small = heavily smoothed). Clock-free: the
+/// caller supplies elapsed time, so the estimator is deterministic
+/// under test.
+#[derive(Clone, Debug)]
+pub struct EwmaRate {
+    alpha: f64,
+    last_total: Option<f64>,
+    rate: Option<f64>,
+}
+
+impl EwmaRate {
+    /// An estimator with smoothing factor `alpha`, clamped to (0, 1].
+    pub fn new(alpha: f64) -> EwmaRate {
+        EwmaRate {
+            alpha: if alpha > 0.0 { alpha.min(1.0) } else { 1.0 },
+            last_total: None,
+            rate: None,
+        }
+    }
+
+    /// Observes the monotone total after `dt_secs` more seconds and
+    /// returns the updated smoothed rate. Non-positive `dt_secs` and
+    /// backward totals (a counter reset) leave the rate unchanged.
+    pub fn observe(&mut self, total: f64, dt_secs: f64) -> f64 {
+        if let Some(last) = self.last_total {
+            if dt_secs > 0.0 && total >= last {
+                let instantaneous = (total - last) / dt_secs;
+                self.rate = Some(match self.rate {
+                    Some(rate) => rate + self.alpha * (instantaneous - rate),
+                    None => instantaneous,
+                });
+            }
+        }
+        self.last_total = Some(total);
+        self.rate()
+    }
+
+    /// The current smoothed rate (`0.0` before two observations).
+    pub fn rate(&self) -> f64 {
+        self.rate.unwrap_or(0.0)
+    }
+}
+
+/// The live feedback-signal vector for scheduling decisions — exactly
+/// what the ROADMAP's elastic grow/shrink policy consumes, exposed via
+/// `ServiceObserver::signals()`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Signals {
+    /// Aggregate engine steps per second (EWMA-smoothed).
+    pub steps_per_sec: f64,
+    /// Jobs waiting in the service queue right now.
+    pub queue_depth: f64,
+    /// Incumbent improvements per second across all jobs
+    /// (EWMA-smoothed) — the B&B progress signal.
+    pub incumbent_rate: f64,
+    /// Open recursion/B&B records across all jobs (frontier size).
+    pub frontier_size: f64,
+    /// Largest per-shard active-set load reported by any running job.
+    pub shard_load_max: f64,
+    /// Mean per-shard active-set load across reporting shards.
+    pub shard_load_mean: f64,
+    /// Load imbalance `max / mean` (1.0 = perfectly balanced, 0.0 =
+    /// no shard has reported yet).
+    pub shard_imbalance: f64,
+}
+
+impl Signals {
+    /// The vector as a JSON object (stable key order).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("steps_per_sec", JsonValue::Float(self.steps_per_sec)),
+            ("queue_depth", JsonValue::Float(self.queue_depth)),
+            ("incumbent_rate", JsonValue::Float(self.incumbent_rate)),
+            ("frontier_size", JsonValue::Float(self.frontier_size)),
+            ("shard_load_max", JsonValue::Float(self.shard_load_max)),
+            ("shard_load_mean", JsonValue::Float(self.shard_load_mean)),
+            ("shard_imbalance", JsonValue::Float(self.shard_imbalance)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut s = RingSeries::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.push(v);
+        }
+        assert_eq!(s.values(), vec![2.0, 3.0, 4.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.pushed(), 4);
+        assert_eq!(s.last(), Some(4.0));
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn ring_capacity_zero_clamps_to_one() {
+        let mut s = RingSeries::new(0);
+        s.push(1.0);
+        s.push(2.0);
+        assert_eq!(s.values(), vec![2.0]);
+        assert_eq!(s.capacity(), 1);
+    }
+
+    #[test]
+    fn ewma_smooths_toward_the_instantaneous_rate() {
+        let mut e = EwmaRate::new(0.5);
+        assert_eq!(e.observe(0.0, 1.0), 0.0); // first sample only anchors
+        assert_eq!(e.observe(100.0, 1.0), 100.0); // first rate is exact
+        let r = e.observe(100.0, 1.0); // rate dropped to 0
+        assert_eq!(r, 50.0);
+        let r = e.observe(100.0, 1.0);
+        assert_eq!(r, 25.0);
+    }
+
+    #[test]
+    fn ewma_ignores_resets_and_zero_dt() {
+        let mut e = EwmaRate::new(0.5);
+        e.observe(100.0, 1.0);
+        e.observe(200.0, 1.0);
+        let before = e.rate();
+        assert_eq!(e.observe(10.0, 1.0), before, "counter reset ignored");
+        assert_eq!(e.observe(10.0, 0.0), before, "zero dt ignored");
+        assert!(EwmaRate::new(-1.0).alpha == 1.0);
+    }
+
+    #[test]
+    fn signals_json_shape() {
+        let json = Signals::default().to_json().to_string();
+        for key in [
+            "steps_per_sec",
+            "queue_depth",
+            "incumbent_rate",
+            "frontier_size",
+            "shard_load_max",
+            "shard_load_mean",
+            "shard_imbalance",
+        ] {
+            assert!(json.contains(key), "{json}");
+        }
+    }
+}

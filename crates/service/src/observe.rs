@@ -2,25 +2,40 @@
 //!
 //! A cloneable view over the service's [`Registry`] — per-job probes,
 //! lifecycle flight recorder, queue-depth gauge, crash dumps — plus a
-//! small sampling loop that turns the raw counters into the two series
-//! an operator watches first: aggregate **steps/sec** and **queue
-//! depth**. Observation is strictly read-only: nothing an observer does
-//! can reach back into the deterministic solve loops.
+//! small sampling loop that turns the raw counters into ring-buffered
+//! time series and EWMA rate estimators, summarised as the
+//! [`Signals`] vector an elastic scheduler (or a dashboard) consumes.
+//! Observation is strictly read-only: nothing an observer does can
+//! reach back into the deterministic solve loops.
 
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use hyperspace_metrics::ascii::render_multi_chart;
-use hyperspace_obs::{pretty, CrashDump, JobProbe, JsonValue, Registry};
+use hyperspace_obs::{
+    pretty, CrashDump, EwmaRate, JobProbe, JsonValue, Registry, RingSeries, Signals,
+};
+
+/// Samples each dashboard ring series retains.
+const SERIES_CAPACITY: usize = 512;
+/// EWMA smoothing factor for the rate estimators — biased toward
+/// recency (a scheduler reacting to a stale rate oscillates).
+const RATE_ALPHA: f64 = 0.3;
 
 /// Sampled history behind the observer's mutex. Sampling is explicit
 /// (the embedder decides the cadence), so the mutex is never touched by
 /// solver threads.
 struct History {
-    /// Wall-clock and aggregate step count at the previous sample.
-    last: Option<(Instant, u64)>,
-    steps_per_sec: Vec<f64>,
-    queue_depth: Vec<f64>,
+    /// Wall clock at the previous sample.
+    last: Option<Instant>,
+    /// Aggregate steps/sec estimator over the summed step counters.
+    steps_rate: EwmaRate,
+    /// Incumbent improvements/sec estimator (the B&B progress signal).
+    incumbent_rate: EwmaRate,
+    steps_per_sec: RingSeries,
+    queue_depth: RingSeries,
+    /// The most recent full signal vector.
+    signals: Signals,
 }
 
 /// A cloneable, read-only live view of a [`crate::SolverService`].
@@ -41,8 +56,11 @@ impl ServiceObserver {
             registry,
             history: Arc::new(Mutex::new(History {
                 last: None,
-                steps_per_sec: Vec::new(),
-                queue_depth: Vec::new(),
+                steps_rate: EwmaRate::new(RATE_ALPHA),
+                incumbent_rate: EwmaRate::new(RATE_ALPHA),
+                steps_per_sec: RingSeries::new(SERIES_CAPACITY),
+                queue_depth: RingSeries::new(SERIES_CAPACITY),
+                signals: Signals::default(),
             })),
         }
     }
@@ -75,39 +93,76 @@ impl ServiceObserver {
         self.registry.gauge("queue.depth").get()
     }
 
-    /// Takes one sample for the dashboard series and returns the
-    /// aggregate steps/sec since the previous sample (`0.0` on the
-    /// first call). Call this on whatever cadence the display wants —
-    /// the solver threads never pay for it.
+    /// Takes one sample: feeds the ring series and rate estimators,
+    /// refreshes the [`Signals`] vector, and returns the smoothed
+    /// aggregate steps/sec (`0.0` until two samples exist). Call this
+    /// on whatever cadence the display or scheduler wants — the solver
+    /// threads never pay for it.
     pub fn sample(&self) -> f64 {
-        let steps = self.total_steps();
+        let probes = self.registry.probes();
+        let steps: u64 = probes.iter().map(|p| p.steps()).sum();
+        let improvements: u64 = probes.iter().map(|p| p.incumbent_updates()).sum();
+        let frontier: u64 = probes.iter().map(|p| p.open_records()).sum();
         let depth = self.queue_depth();
+        // Per-shard active-set loads pooled across every job's profiler:
+        // the max/mean imbalance is the repartitioning signal.
+        let (mut load_max, mut load_sum, mut load_n) = (0u64, 0u64, 0u64);
+        for probe in &probes {
+            for shard in probe.phases().shards().iter() {
+                let active = shard.active();
+                load_max = load_max.max(active);
+                load_sum += active;
+                load_n += 1;
+            }
+        }
         let now = Instant::now();
         let mut h = self.history.lock().expect("observer history poisoned");
-        let rate = match h.last {
-            Some((then, prev)) => {
-                let dt = now.duration_since(then).as_secs_f64();
-                if dt > 0.0 {
-                    steps.saturating_sub(prev) as f64 / dt
-                } else {
-                    0.0
-                }
-            }
-            None => 0.0,
-        };
-        h.last = Some((now, steps));
+        let dt = h
+            .last
+            .map(|then| now.saturating_duration_since(then).as_secs_f64())
+            .unwrap_or(0.0);
+        h.last = Some(now);
+        let rate = h.steps_rate.observe(steps as f64, dt);
+        let incumbent_rate = h.incumbent_rate.observe(improvements as f64, dt);
         h.steps_per_sec.push(rate);
         h.queue_depth.push(depth as f64);
+        let load_mean = if load_n > 0 {
+            load_sum as f64 / load_n as f64
+        } else {
+            0.0
+        };
+        h.signals = Signals {
+            steps_per_sec: rate,
+            queue_depth: depth as f64,
+            incumbent_rate,
+            frontier_size: frontier as f64,
+            shard_load_max: load_max as f64,
+            shard_load_mean: load_mean,
+            shard_imbalance: if load_mean > 0.0 {
+                load_max as f64 / load_mean
+            } else {
+                0.0
+            },
+        };
         rate
     }
 
-    /// Samples recorded so far.
+    /// The most recent signal vector (all zeros before the first
+    /// [`ServiceObserver::sample`]).
+    pub fn signals(&self) -> Signals {
+        self.history
+            .lock()
+            .expect("observer history poisoned")
+            .signals
+    }
+
+    /// Samples recorded so far (including any the ring has evicted).
     pub fn samples(&self) -> usize {
         self.history
             .lock()
             .expect("observer history poisoned")
             .steps_per_sec
-            .len()
+            .pushed() as usize
     }
 
     /// Point-in-time JSON snapshot of the whole registry: counters,
@@ -131,19 +186,19 @@ impl ServiceObserver {
     pub fn dashboard(&self, width: usize, height: usize) -> String {
         let h = self.history.lock().expect("observer history poisoned");
         let mut out = String::new();
+        let latest = h.steps_per_sec.last().unwrap_or(0.0);
         if h.steps_per_sec.is_empty() {
             out.push_str("(no samples yet — call sample() on a cadence)\n");
         } else {
             out.push_str(&render_multi_chart(
                 &[
-                    ("steps/s", h.steps_per_sec.as_slice()),
-                    ("queue", h.queue_depth.as_slice()),
+                    ("steps/s", &h.steps_per_sec.values()),
+                    ("queue", &h.queue_depth.values()),
                 ],
                 width,
                 height,
             ));
         }
-        let latest = h.steps_per_sec.last().copied().unwrap_or(0.0);
         drop(h);
         out.push_str(&format!(
             "live: {:.0} steps/s | {} queued | {} jobs probed | {} events | {} crashes\n",
@@ -185,6 +240,28 @@ mod tests {
         let dash = obs.dashboard(40, 8);
         assert!(dash.contains("steps/s"), "{dash}");
         assert!(dash.contains("3 queued"), "{dash}");
+    }
+
+    #[test]
+    fn signals_vector_reflects_the_probes() {
+        let registry = Arc::new(Registry::default());
+        let obs = ServiceObserver::new(Arc::clone(&registry));
+        assert_eq!(obs.signals(), Signals::default());
+        let probe = registry.probe(1, "bnb");
+        probe.on_progress(10, 42, Some(100));
+        probe.on_progress(20, 42, Some(90));
+        probe.on_shard_active(0, 30);
+        probe.on_shard_active(1, 10);
+        registry.gauge("queue.depth").set(2);
+        obs.sample();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        obs.sample();
+        let s = obs.signals();
+        assert_eq!(s.queue_depth, 2.0);
+        assert_eq!(s.frontier_size, 42.0);
+        assert_eq!(s.shard_load_max, 30.0);
+        assert_eq!(s.shard_load_mean, 20.0);
+        assert!((s.shard_imbalance - 1.5).abs() < 1e-9, "{s:?}");
     }
 
     #[test]

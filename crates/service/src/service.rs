@@ -7,7 +7,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use hyperspace_core::{ErasedStackJob, JobParams, RunSlice, RunSummary, SliceOutcome, StartedJob};
-use hyperspace_obs::{Event, EventKind, Gauge, ObsHandle, Observer, Registry};
+use hyperspace_obs::{
+    saturating_nanos, Event, EventKind, Gauge, ObsHandle, Observer, Phase, Registry,
+};
 use hyperspace_sim::RunOutcome;
 use hyperspace_store::JobStore;
 
@@ -204,6 +206,14 @@ pub struct ServiceConfig {
     /// ([`SolverService::recovered`]). `None` (the default) disables
     /// persistence entirely.
     pub store_dir: Option<PathBuf>,
+    /// Capacity of the service-wide flight recorder (events kept in the
+    /// ring). Bounds-checked on service construction: values are clamped
+    /// into `[1, 2^20]`, so a zero capacity keeps the most recent event
+    /// rather than silently recording nothing.
+    pub flight_recorder_capacity: usize,
+    /// How many trailing flight-recorder events a crash dump preserves.
+    /// Clamped into `[1, flight_recorder_capacity]`.
+    pub crash_dump_tail: usize,
 }
 
 impl Default for ServiceConfig {
@@ -217,6 +227,8 @@ impl Default for ServiceConfig {
             cache_capacity: 4096,
             max_restarts: 1,
             store_dir: None,
+            flight_recorder_capacity: 256,
+            crash_dump_tail: hyperspace_obs::CRASH_DUMP_TAIL,
         }
     }
 }
@@ -262,7 +274,10 @@ impl SolverService {
             .store_dir
             .as_ref()
             .map(|dir| Arc::new(JobStore::open(dir).expect("open the durable job store")));
-        let registry = Arc::new(Registry::default());
+        let registry = Arc::new(Registry::with_limits(
+            cfg.flight_recorder_capacity.clamp(1, 1 << 20),
+            cfg.crash_dump_tail,
+        ));
         let depth = registry.gauge("queue.depth");
         let inner = Arc::new(ServiceInner {
             queue: Mutex::new(QueueInner {
@@ -349,8 +364,11 @@ impl SolverService {
                 stats.submitted += 1;
                 stats.recovered += 1;
             }
-            self.inner.registry.record(
-                Event::new(
+            // Through the job's probe, not the registry directly: the
+            // probe counts the recovery (see `JobProbe::recovers`) and
+            // forwards the event to the shared flight recorder.
+            self.inner.registry.probe(id, &label).on_event(
+                &Event::new(
                     EventKind::Recovered,
                     Some(id),
                     saturating_i64(record.checkpoint_steps),
@@ -840,11 +858,20 @@ fn persist_job(inner: &ServiceInner, job: &mut QueuedJob, checkpoint: Option<&[u
         return;
     };
     let payload = persist::encode_record(spec, job.checkpoint_steps, checkpoint);
-    match store.put(job.shared.id, job.persist_seq, &payload) {
+    // The store's put is temp-file + fsync + rename; attribute its wall
+    // time to the job's fsync phase and the service-wide persist span.
+    // Events route through the probe so persist/recover counters tick.
+    let probe = inner.registry.probe(job.shared.id, &job.label);
+    let started = Instant::now();
+    let result = store.put(job.shared.id, job.persist_seq, &payload);
+    let nanos = saturating_nanos(started.elapsed());
+    probe.on_phase(0, Phase::Fsync, nanos);
+    inner.registry.span("store.persist").record(nanos);
+    match result {
         Ok(()) => {
             job.persist_seq += 1;
             inner.stats.lock().expect("stats poisoned").persisted += 1;
-            inner.registry.record(Event::new(
+            probe.on_event(&Event::new(
                 EventKind::Persisted,
                 Some(job.shared.id),
                 saturating_i64(job.checkpoint_steps),
@@ -852,8 +879,8 @@ fn persist_job(inner: &ServiceInner, job: &mut QueuedJob, checkpoint: Option<&[u
         }
         Err(err) => {
             inner.stats.lock().expect("stats poisoned").persist_errors += 1;
-            inner.registry.record(
-                Event::new(EventKind::Persisted, Some(job.shared.id), -1)
+            probe.on_event(
+                &Event::new(EventKind::Persisted, Some(job.shared.id), -1)
                     .with_detail(format!("persist failed: {err}")),
             );
         }
@@ -1293,7 +1320,7 @@ mod tests {
             start_workers: true,
             cache_capacity: 0,
             max_restarts: 1,
-            store_dir: None,
+            ..ServiceConfig::default()
         });
         let first = service.submit(small(JobKind::fib(9))).wait();
         let second = service.submit(small(JobKind::fib(9))).wait();

@@ -25,7 +25,7 @@ use crate::control::StopHandle;
 use crate::envelope::Envelope;
 use crate::program::{InitCtx, NodeCtx, NodeProgram, Outbox};
 use crate::record::{SimMetrics, TraceEvent, TraceKind};
-use hyperspace_obs::{saturating_nanos, ObsHandle};
+use hyperspace_obs::{saturating_nanos, ObsHandle, Phase};
 use hyperspace_topology::{NodeId, Topology};
 
 /// How sends traverse the machine.
@@ -390,6 +390,10 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
         // candidate found therefore yields the globally smallest — the
         // same winner the sharded coordinator's min-key rule picks.
         let mut overflow: Option<SimError> = None;
+        // Phase-attributed profiling: `None` (one branch, no clock
+        // reads) unless an observer is attached and this step lands on
+        // the sampling grid.
+        let mut pc = self.cfg.obs.phase_clock(0, step);
 
         // Phase 1: advance routed in-flight messages one hop.
         if self.cfg.delivery == DeliveryModel::Routed {
@@ -493,6 +497,9 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
                 self.metrics.hop_histogram.record(env.hops as u64);
             }
         }
+        if let Some(pc) = pc.as_mut() {
+            pc.lap(Phase::Delivery);
+        }
 
         let halted_flag = {
             let work = std::mem::take(&mut self.work);
@@ -502,6 +509,9 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
         };
         if halted_flag {
             self.halted = true;
+        }
+        if let Some(pc) = pc.as_mut() {
+            pc.lap(Phase::Handler);
         }
 
         // Phase 3: deterministic delivery of staged sends. Only work
@@ -552,6 +562,12 @@ impl<T: Topology, P: NodeProgram> Simulation<T, P> {
                     }
                 }
             }
+        }
+        if let Some(pc) = pc.as_mut() {
+            // The staged-send fan-out is delivery work too; the active
+            // set doubles as the single-shard load signal.
+            pc.lap(Phase::Delivery);
+            self.cfg.obs.on_shard_active(0, self.work.len() as u64);
         }
         if let Some(err) = overflow {
             return Err(err);
@@ -770,9 +786,9 @@ where
             &self.trace,
         );
         if let Some(started) = started {
-            self.cfg
-                .obs
-                .on_checkpoint(body.len() as u64, saturating_nanos(started.elapsed()));
+            let nanos = saturating_nanos(started.elapsed());
+            self.cfg.obs.on_checkpoint(body.len() as u64, nanos);
+            self.cfg.obs.on_phase(0, Phase::CheckpointEncode, nanos);
         }
         SimCheckpoint::new(self.step, self.halted, self.states.len(), body)
     }

@@ -43,7 +43,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Barrier, Mutex};
 
-use hyperspace_obs::saturating_nanos;
+use hyperspace_obs::{saturating_nanos, Phase};
 
 use crate::checkpoint::{encode_body, CheckpointState, SimCheckpoint};
 use crate::codec::{Codec, CodecError};
@@ -895,9 +895,9 @@ where
             &trace,
         );
         if let Some(started) = started {
-            self.cfg
-                .obs
-                .on_checkpoint(body.len() as u64, saturating_nanos(started.elapsed()));
+            let nanos = saturating_nanos(started.elapsed());
+            self.cfg.obs.on_checkpoint(body.len() as u64, nanos);
+            self.cfg.obs.on_phase(0, Phase::CheckpointEncode, nanos);
         }
         SimCheckpoint::new(self.step, self.halted, n, body)
     }
@@ -999,23 +999,61 @@ fn drive<T: Topology, P: NodeProgram>(
         // The coordinator owns the clock: dead-step fast-forwards can
         // advance it by more than one between commands.
         let step = shared.step.load(Ordering::SeqCst);
+        // Phase attribution is sampled (see `ObsHandle::phase_sampled`):
+        // on unsampled steps each phase call below is the bare function,
+        // no clock reads.
+        let sampled = obs.phase_sampled(step);
         if routed {
             for shard in group.iter_mut() {
-                phase_transit(shard, env, shared);
+                if sampled {
+                    let id = shard.id;
+                    obs.time_phase(id, Phase::Delivery, || phase_transit(shard, env, shared));
+                } else {
+                    phase_transit(shard, env, shared);
+                }
             }
             // transit mail fully posted
             obs.time_barrier(worker, || shared.barrier.wait());
             for shard in group.iter_mut() {
-                absorb_transit(shard, env, shared);
+                if sampled {
+                    let id = shard.id;
+                    obs.time_phase(id, Phase::Exchange, || absorb_transit(shard, env, shared));
+                } else {
+                    absorb_transit(shard, env, shared);
+                }
             }
         }
         for shard in group.iter_mut() {
-            phase_handlers(shard, env, shared, step);
+            if sampled {
+                let id = shard.id;
+                obs.time_phase(id, Phase::Handler, || {
+                    phase_handlers(shard, env, shared, step)
+                });
+            } else {
+                phase_handlers(shard, env, shared, step);
+            }
         }
         // send mail fully posted
         obs.time_barrier(worker, || shared.barrier.wait());
         for shard in group.iter_mut() {
-            absorb_sends(shard, env, shared);
+            if sampled {
+                let id = shard.id;
+                obs.time_phase(id, Phase::Exchange, || absorb_sends(shard, env, shared));
+            } else {
+                absorb_sends(shard, env, shared);
+            }
+        }
+        if sampled {
+            // Per-shard load after the step: the active-set size drives
+            // the imbalance signal (dense runs visit every local node).
+            for shard in group.iter() {
+                let load = if env.cfg.dense_stepping {
+                    shard.inboxes.len() as u64
+                } else {
+                    shard.active.len() as u64
+                };
+                obs.on_shard_active(shard.id, load);
+            }
         }
         // step results published
         obs.time_barrier(worker, || shared.barrier.wait());

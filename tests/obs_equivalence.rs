@@ -11,12 +11,13 @@ use hyperspace::core::{
     BackendSpec, MapperSpec, PartitionSpec, PortfolioSpec, RecRunReport, StackBuilder, TopologySpec,
 };
 use hyperspace::obs::{JobProbe, ObsHandle};
+use hyperspace::obs::{Phase, TraceBuffer};
 use hyperspace::portfolio::{PortfolioReport, PortfolioRunner};
 use hyperspace::sat::{gen, DpllProgram, Heuristic, SimplifyMode, SubProblem, Verdict};
 use hyperspace::sim::record::TraceEvent;
 use hyperspace::sim::{
-    InitCtx, NodeId, NodeProgram, Outbox, Partition, ShardedConfig, ShardedSimulation, SimConfig,
-    Simulation,
+    DeliveryModel, InitCtx, NodeId, NodeProgram, Outbox, Partition, ShardedConfig,
+    ShardedSimulation, SimConfig, Simulation,
 };
 
 fn probe() -> (Arc<JobProbe>, ObsHandle) {
@@ -155,6 +156,122 @@ fn observer_sees_the_same_run_with_dense_and_active_set_stepping() {
     let dense = run(true);
     assert_eq!(sparse, dense, "probe view diverged between stepping modes");
     assert_eq!(sparse.0, sparse.1, "probe saw every step");
+}
+
+/// A probe with an attached trace buffer and every-step phase timing —
+/// the most invasive profiling configuration there is.
+fn profiled_probe() -> (Arc<JobProbe>, ObsHandle) {
+    let p = Arc::new(
+        JobProbe::new(0, "profiled", None).with_phase_trace(Arc::new(TraceBuffer::new(4096))),
+    );
+    let h = ObsHandle::new(Arc::clone(&p) as _).with_phase_period(1);
+    (p, h)
+}
+
+#[test]
+fn sequential_runs_are_bit_identical_under_the_phase_profiler() {
+    let run = |obs: ObsHandle| {
+        let cfg = SimConfig {
+            obs,
+            record_trace: true,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(
+            hyperspace::topology::Torus::new_2d(5, 5),
+            SeededScatter,
+            cfg,
+        );
+        sim.inject(3, (0xABCDu64 << 8) | 44);
+        let report = sim.run_to_quiescence().expect("run");
+        (
+            report.steps,
+            sim.snapshot().to_bytes(),
+            sim.trace().to_vec(),
+        )
+    };
+    let off = run(ObsHandle::off());
+    assert!(
+        off.0 >= 16,
+        "workload long enough to cross the default sampling period"
+    );
+
+    // Every-step timing plus a trace buffer: maximum perturbation risk.
+    let (p, handle) = profiled_probe();
+    let on = run(handle);
+    assert_eq!(on, off, "run diverged under every-step phase profiling");
+    for phase in [Phase::Delivery, Phase::Handler, Phase::CheckpointEncode] {
+        let (count, _, _) = p.phases().phase_total(phase);
+        assert!(count > 0, "{phase:?} went unattributed");
+    }
+    assert!(!p.trace_samples().is_empty(), "trace buffer captured spans");
+
+    // Default (sampled) period: still identical, and still attributing.
+    let (p16, h16) = probe();
+    let sampled = run(h16);
+    assert_eq!(sampled, off, "run diverged under sampled profiling");
+    let (count, _, _) = p16.phases().phase_total(Phase::Handler);
+    assert!(count > 0, "sampled profiling attributed nothing");
+    assert!(
+        count <= p.phases().phase_total(Phase::Handler).0,
+        "sampling must not record more spans than every-step timing"
+    );
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_under_the_phase_profiler() {
+    const SHARDS: usize = 4;
+    let run = |obs: ObsHandle| {
+        let cfg = SimConfig {
+            obs,
+            record_trace: true,
+            delivery: DeliveryModel::Routed,
+            ..SimConfig::default()
+        };
+        // One thread per shard so barrier waits attribute to every
+        // shard, and routed delivery so the transit phase runs.
+        let mut sim = ShardedSimulation::new(
+            hyperspace::topology::Torus::new_2d(6, 6),
+            SeededScatter,
+            cfg,
+            ShardedConfig {
+                shards: SHARDS,
+                partition: Partition::RoundRobin,
+                threads: Some(SHARDS),
+            },
+        );
+        sim.inject(0, (0x55AAu64 << 8) | 23);
+        let report = sim.run_to_quiescence().expect("sharded run");
+        (
+            report.steps,
+            sim.snapshot().to_bytes(),
+            sim.trace().to_vec(),
+        )
+    };
+    let off = run(ObsHandle::off());
+    let (p, handle) = profiled_probe();
+    let on = run(handle);
+    assert_eq!(on, off, "sharded run diverged under the phase profiler");
+    assert_eq!(p.phases().shard_count(), SHARDS, "every shard reported");
+    for shard in 0..SHARDS {
+        for phase in [
+            Phase::Delivery,
+            Phase::Exchange,
+            Phase::Handler,
+            Phase::BarrierWait,
+        ] {
+            let slot = p.phases().shard(shard).expect("shard slot");
+            assert!(
+                slot.stat(phase).count() > 0,
+                "shard {shard} {phase:?} unattributed"
+            );
+        }
+    }
+    let (encodes, _, _) = p.phases().phase_total(Phase::CheckpointEncode);
+    assert!(encodes > 0, "snapshot encode unattributed");
+    // The final sampled step may legitimately report empty active sets
+    // (the run quiesces), so only the invariant is asserted here.
+    let (max, mean) = p.phases().load().expect("active-set loads reported");
+    assert!(max >= mean, "load signal: max {max} mean {mean}");
 }
 
 #[test]

@@ -434,6 +434,7 @@ fn checkpointed_jobs_report_identical_summaries_and_share_the_cache() {
         cache_capacity: 0,
         max_restarts: 1,
         store_dir: None,
+        ..hyperspace::service::ServiceConfig::default()
     });
     let a = uncached.submit(spec()).wait();
     let b = uncached

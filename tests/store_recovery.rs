@@ -36,6 +36,7 @@ fn config(dir: &std::path::Path) -> ServiceConfig {
         cache_capacity: 0, // summaries must come from real runs
         max_restarts: 1,
         store_dir: Some(dir.to_path_buf()),
+        ..ServiceConfig::default()
     }
 }
 

@@ -1,4 +1,4 @@
-//! **ABL-X** — cross-layer hint ablation (§III-B3).
+//! **ABL-I** — cross-layer hint ablation (§III-B3).
 //!
 //! The weight-aware mapper keeps sub-problems below a size threshold on
 //! the issuing node, avoiding shipping work that is cheaper than the hop

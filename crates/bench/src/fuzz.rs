@@ -180,6 +180,41 @@ fn decode_record(bytes: &[u8]) -> bool {
     persist::decode_record(bytes).is_ok()
 }
 
+/// Real strategy expressions spanning the whole combinator grammar:
+/// primitives, conjunction, retry chains, restart schedules, every
+/// limit kind, portfolios and deep nesting near the depth bound.
+fn strategy_corpus() -> Vec<Vec<u8>> {
+    [
+        "mesh",
+        "cdcl",
+        "and(branch(dlis),value(neg),simplify(single-pass),mesh)",
+        "or(limit(discrepancy,1,mesh),limit(discrepancy,4,mesh),mesh)",
+        "or(limit(nodes,64,mesh),limit(nodes,4096,mesh),mesh)",
+        "restart(luby:64,cdcl)",
+        "restart(fixed:256,and(probe(9),cdcl))",
+        "limit(time,10000,and(branch(random:7),mesh))",
+        "portfolio(limit(discrepancy,2,mesh),restart(luby:64,cdcl),mesh)",
+        "and(prune(incumbent:40),backend(sharded:4),limit(nodes,512,or(mesh,cdcl)))",
+        "limit(nodes,1,limit(nodes,2,limit(nodes,3,limit(nodes,4,mesh))))",
+    ]
+    .into_iter()
+    .map(|s| s.as_bytes().to_vec())
+    .collect()
+}
+
+/// Decodes a strategy expression the way the service would: parse the
+/// grammar (bounded depth and token count), then lower to member plans
+/// — both halves must reject hostile text without panicking.
+fn decode_strategy(bytes: &[u8]) -> bool {
+    let Ok(text) = std::str::from_utf8(bytes) else {
+        return false;
+    };
+    let Ok(expr) = text.parse::<hyperspace_core::StrategyExpr>() else {
+        return false;
+    };
+    expr.members().is_ok()
+}
+
 /// One decode surface under fuzz: a corpus of valid encodings and the
 /// decoder that must survive their mutations.
 pub struct FuzzTarget {
@@ -208,6 +243,11 @@ pub fn targets() -> Vec<FuzzTarget> {
             name: "job-record",
             corpus: record_corpus(),
             decode: decode_record,
+        },
+        FuzzTarget {
+            name: "strategy-expr",
+            corpus: strategy_corpus(),
+            decode: decode_strategy,
         },
     ]
 }
@@ -268,6 +308,10 @@ pub struct FuzzReport {
     pub accepted: u64,
     /// Inputs rejected with a clean `CodecError`.
     pub rejected: u64,
+    /// Per-target `(name, accepted, rejected)` tallies, in target
+    /// order — a finer fingerprint than the aggregate counts, which
+    /// can coincide across seeds by chance.
+    pub per_target: Vec<(&'static str, u64, u64)>,
 }
 
 /// Fuzzes every target for `iterations` mutated inputs (total, spread
@@ -285,9 +329,13 @@ pub fn run(iterations: u64, seed: u64) -> Result<FuzzReport, String> {
         }
     }
     let mut rng = XorShift64::new(seed);
-    let mut report = FuzzReport::default();
+    let mut report = FuzzReport {
+        per_target: targets.iter().map(|t| (t.name, 0, 0)).collect(),
+        ..FuzzReport::default()
+    };
     for i in 0..iterations {
-        let t = &targets[(i % targets.len() as u64) as usize];
+        let slot = (i % targets.len() as u64) as usize;
+        let t = &targets[slot];
         let mut input = t.corpus[rng.below(t.corpus.len())].clone();
         let donor = &t.corpus[rng.below(t.corpus.len())];
         for _ in 0..1 + rng.below(3) {
@@ -295,8 +343,14 @@ pub fn run(iterations: u64, seed: u64) -> Result<FuzzReport, String> {
         }
         let decode = t.decode;
         match catch_unwind(AssertUnwindSafe(|| decode(&input))) {
-            Ok(true) => report.accepted += 1,
-            Ok(false) => report.rejected += 1,
+            Ok(true) => {
+                report.accepted += 1;
+                report.per_target[slot].1 += 1;
+            }
+            Ok(false) => {
+                report.rejected += 1;
+                report.per_target[slot].2 += 1;
+            }
             Err(_) => {
                 return Err(format!(
                     "{} decoder panicked (seed {seed}, iteration {i}, {} bytes)",

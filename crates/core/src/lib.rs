@@ -29,11 +29,13 @@
 
 #![warn(missing_docs)]
 
+mod expr;
 mod report;
 mod slice;
 mod spec;
 mod stack;
 
+pub use expr::{LimitKind, LimitSpec, MemberPlan, StrategyExpr, MAX_EXPR_DEPTH, MAX_EXPR_TOKENS};
 pub use report::{IncumbentEvent, RecRunReport, RunSummary};
 pub use slice::{CheckpointMeta, RunSlice, SliceOutcome};
 pub use spec::{

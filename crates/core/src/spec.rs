@@ -1,5 +1,6 @@
 //! Runtime-selectable topology, mapper and backend configurations.
 
+use crate::expr::LimitSpec;
 use hyperspace_mapping::{
     GlobalRandomMapper, LeastBusyMapper, Mapper, MapperFactory, RandomMapper, RoundRobinMapper,
     WeightAwareMapper,
@@ -102,6 +103,14 @@ impl std::fmt::Display for SpecParseError {
 
 impl std::error::Error for SpecParseError {}
 
+impl SpecParseError {
+    /// Crate-internal constructor (the expression parser in
+    /// [`crate::expr`] builds positioned errors with it).
+    pub(crate) fn new(msg: impl Into<String>) -> SpecParseError {
+        SpecParseError(msg.into())
+    }
+}
+
 fn parse_dims(text: &str, spec: &str) -> Result<Vec<u32>, SpecParseError> {
     let dims: Result<Vec<u32>, _> = text.split('x').map(str::parse::<u32>).collect();
     match dims {
@@ -171,7 +180,9 @@ impl std::str::FromStr for TopologySpec {
             "full" => Ok(TopologySpec::Full {
                 n: parse_scalar(args, s)?,
             }),
-            other => Err(SpecParseError(format!("unknown topology {other:?}"))),
+            other => Err(SpecParseError(format!(
+                "{s:?}: expected a known topology, got {other:?}"
+            ))),
         }
     }
 }
@@ -324,7 +335,9 @@ impl std::str::FromStr for MapperSpec {
                 local_threshold: threshold(thr)?,
                 status_period: Some(scalar(p)?),
             }),
-            _ => Err(SpecParseError(format!("unknown mapper {s:?}"))),
+            _ => Err(SpecParseError(format!(
+                "{s:?}: expected a known mapper policy, got {name:?}"
+            ))),
         }
     }
 }
@@ -386,7 +399,9 @@ impl std::str::FromStr for ObjectiveSpec {
             "enumerate" => Ok(ObjectiveSpec::Enumerate),
             "max" => Ok(ObjectiveSpec::Maximise),
             "min" => Ok(ObjectiveSpec::Minimise),
-            other => Err(SpecParseError(format!("unknown objective {other:?}"))),
+            other => Err(SpecParseError(format!(
+                "{s:?}: expected enumerate, max or min, got {other:?}"
+            ))),
         }
     }
 }
@@ -469,7 +484,9 @@ impl std::str::FromStr for PruneSpec {
                     .map_err(|_| {
                         SpecParseError(format!("{s:?}: expected an integer incumbent, got {v:?}"))
                     }),
-                None => Err(SpecParseError(format!("unknown prune policy {other:?}"))),
+                None => Err(SpecParseError(format!(
+                    "{s:?}: expected off, incumbent or incumbent:N, got {other:?}"
+                ))),
             },
         }
     }
@@ -548,7 +565,9 @@ impl std::str::FromStr for CheckpointSpec {
                         "{s:?}: expected a step count, got {v:?}"
                     ))),
                 },
-                None => Err(SpecParseError(format!("unknown checkpoint policy {s:?}"))),
+                None => Err(SpecParseError(format!(
+                    "{s:?}: expected off or interval:N, got {other:?}"
+                ))),
             },
         }
     }
@@ -707,7 +726,9 @@ impl std::str::FromStr for BackendSpec {
                     threads,
                 })
             }
-            _ => Err(SpecParseError(format!("unknown backend {s:?}"))),
+            _ => Err(SpecParseError(format!(
+                "{s:?}: expected seq, parallel or sharded:K[:partition][:threads], got {name:?}"
+            ))),
         }
     }
 }
@@ -761,6 +782,14 @@ pub struct StrategySpec {
     /// so this knob never changes what the member computes — it is
     /// excluded from [`StrategySpec::describe`].
     pub backend: BackendSpec,
+    /// Bounds on this member's search (`limit(...)` combinators lowered
+    /// onto the flat spec): discrepancy budgets, per-node activation
+    /// budgets, logical-time budgets. Empty — the default, and the only
+    /// value legacy flat strings produce — renders nothing, so legacy
+    /// `Display`/`describe` output (and every cache key built from it)
+    /// is byte-for-byte unchanged. Flat syntax: repeatable
+    /// `limit=kind:N` pairs.
+    pub limits: Vec<LimitSpec>,
 }
 
 impl Default for StrategySpec {
@@ -774,6 +803,7 @@ impl Default for StrategySpec {
             prune: PruneSpec::Off,
             mapper: None,
             backend: BackendSpec::Sequential,
+            limits: Vec::new(),
         }
     }
 }
@@ -831,6 +861,12 @@ impl StrategySpec {
     /// Sets the execution backend (mesh members).
     pub fn with_backend(mut self, backend: BackendSpec) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Adds one search bound (repeatable — limits accumulate).
+    pub fn with_limit(mut self, limit: LimitSpec) -> Self {
+        self.limits.push(limit);
         self
     }
 
@@ -892,6 +928,9 @@ impl StrategySpec {
         if let Some(mapper) = &self.mapper {
             write!(f, ",map={mapper}")?;
         }
+        for limit in &self.limits {
+            write!(f, ",limit={limit}")?;
+        }
         if with_backend && self.backend != defaults.backend {
             write!(f, ",backend={}", self.backend)?;
         }
@@ -933,13 +972,19 @@ impl std::str::FromStr for StrategySpec {
         let mut spec = match engine {
             "mesh" => StrategySpec::mesh(),
             "cdcl" => StrategySpec::cdcl(RestartPolicy::Off),
-            other => return Err(SpecParseError(format!("unknown member engine {other:?}"))),
+            other => {
+                return Err(SpecParseError(format!(
+                    "{s:?}: expected engine mesh or cdcl, got {other:?}"
+                )))
+            }
         };
         for pair in parts {
             let (key, value) = pair.split_once('=').ok_or_else(|| {
                 SpecParseError(format!("{s:?}: expected key=value, got {pair:?}"))
             })?;
-            let bad = |what: &str| SpecParseError(format!("{s:?}: bad {what} {value:?}"));
+            let bad = |what: &str| {
+                SpecParseError(format!("{s:?}: expected a valid {what}, got {value:?}"))
+            };
             match key {
                 "h" => spec.heuristic = value.parse().map_err(|_| bad("heuristic"))?,
                 "s" => spec.simplify = value.parse().map_err(|_| bad("simplify mode"))?,
@@ -948,6 +993,9 @@ impl std::str::FromStr for StrategySpec {
                 "prune" => spec.prune = value.parse().map_err(|_| bad("prune policy"))?,
                 "map" => spec.mapper = Some(value.parse().map_err(|_| bad("mapper"))?),
                 "backend" => spec.backend = value.parse().map_err(|_| bad("backend"))?,
+                "limit" => spec
+                    .limits
+                    .push(value.parse().map_err(|_| bad("limit (kind:N)"))?),
                 "restart" if engine == "cdcl" => {
                     spec.engine = EngineSpec::Cdcl {
                         restart: value.parse().map_err(|_| bad("restart policy"))?,
@@ -955,7 +1003,7 @@ impl std::str::FromStr for StrategySpec {
                 }
                 other => {
                     return Err(SpecParseError(format!(
-                        "{s:?}: unknown {engine} member key {other:?}"
+                        "{s:?}: expected a known {engine} member key, got {other:?}"
                     )))
                 }
             }
@@ -1451,6 +1499,12 @@ mod tests {
                 .with_heuristic(Heuristic::Dlis)
                 .with_backend(BackendSpec::Parallel)
                 .with_prune(PruneSpec::incumbent()),
+            // Limits render as repeatable limit= pairs, in order.
+            StrategySpec::mesh()
+                .with_limit(LimitSpec::discrepancy(2))
+                .with_limit(LimitSpec::nodes(4096))
+                .with_backend(BackendSpec::sharded(2)),
+            StrategySpec::cdcl(RestartPolicy::Luby(8)).with_limit(LimitSpec::time(1 << 20)),
         ];
         for spec in specs {
             let text = spec.to_string();
@@ -1489,6 +1543,9 @@ mod tests {
             "mesh,seed=x",
             "mesh,pol",
             "turbo",
+            "mesh,limit=nodes",
+            "mesh,limit=nodes:0",
+            "mesh,limit=fuel:9",
         ] {
             assert!(bad.parse::<StrategySpec>().is_err(), "{bad:?} should fail");
         }
@@ -1496,6 +1553,68 @@ mod tests {
         assert!("cdcl,h=dlis,backend=parallel"
             .parse::<StrategySpec>()
             .is_ok());
+        // Repeatable limit= pairs accumulate in order.
+        let spec: StrategySpec = "mesh,limit=discrepancy:2,limit=nodes:64".parse().unwrap();
+        assert_eq!(
+            spec.limits,
+            vec![LimitSpec::discrepancy(2), LimitSpec::nodes(64)]
+        );
+        assert_eq!(spec.describe(), "mesh,limit=discrepancy:2,limit=nodes:64");
+    }
+
+    #[test]
+    fn parse_errors_share_the_expected_got_shape() {
+        // The normalised error contract: `invalid spec: "<spec>":
+        // expected ..., got ...` across every spec grammar.
+        for (err, want) in [
+            (
+                "mobius:4".parse::<TopologySpec>().unwrap_err().to_string(),
+                "invalid spec: \"mobius:4\": expected a known topology, got \"mobius\"",
+            ),
+            (
+                "rr:1".parse::<MapperSpec>().unwrap_err().to_string(),
+                "invalid spec: \"rr:1\": expected a known mapper policy, got \"rr\"",
+            ),
+            (
+                "best".parse::<ObjectiveSpec>().unwrap_err().to_string(),
+                "invalid spec: \"best\": expected enumerate, max or min, got \"best\"",
+            ),
+            (
+                "on".parse::<PruneSpec>().unwrap_err().to_string(),
+                "invalid spec: \"on\": expected off, incumbent or incumbent:N, got \"on\"",
+            ),
+            (
+                "always".parse::<CheckpointSpec>().unwrap_err().to_string(),
+                "invalid spec: \"always\": expected off or interval:N, got \"always\"",
+            ),
+            (
+                "threaded:4".parse::<BackendSpec>().unwrap_err().to_string(),
+                "invalid spec: \"threaded:4\": expected seq, parallel or \
+                 sharded:K[:partition][:threads], got \"threaded\"",
+            ),
+            (
+                "turbo".parse::<StrategySpec>().unwrap_err().to_string(),
+                "invalid spec: \"turbo\": expected engine mesh or cdcl, got \"turbo\"",
+            ),
+            (
+                "mesh,warp=1"
+                    .parse::<StrategySpec>()
+                    .unwrap_err()
+                    .to_string(),
+                "invalid spec: \"mesh,warp=1\": expected a known mesh member key, got \"warp\"",
+            ),
+            (
+                "mesh,h=jw".parse::<StrategySpec>().unwrap_err().to_string(),
+                "invalid spec: \"mesh,h=jw\": expected a valid heuristic, got \"jw\"",
+            ),
+            (
+                "fuel:9".parse::<LimitSpec>().unwrap_err().to_string(),
+                "invalid spec: \"fuel:9\": expected limit kind discrepancy, nodes or time, \
+                 got \"fuel\"",
+            ),
+        ] {
+            assert_eq!(err, want);
+        }
     }
 
     #[test]

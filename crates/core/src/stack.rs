@@ -42,6 +42,8 @@ pub struct StackBuilder<P: RecProgram> {
     objective: ObjectiveSpec,
     prune: PruneSpec,
     checkpoint: CheckpointSpec,
+    node_budget: Option<u64>,
+    logical_cap: Option<u64>,
     sim: SimConfig,
 }
 
@@ -60,6 +62,8 @@ impl<P: RecProgram> StackBuilder<P> {
             objective: ObjectiveSpec::Enumerate,
             prune: PruneSpec::Off,
             checkpoint: CheckpointSpec::Off,
+            node_budget: None,
+            logical_cap: None,
             sim: SimConfig::default(),
         }
     }
@@ -169,6 +173,37 @@ impl<P: RecProgram> StackBuilder<P> {
         if let Some(mapper) = &member.mapper {
             self.mapper = mapper.clone();
         }
+        for limit in &member.limits {
+            match limit.kind {
+                crate::expr::LimitKind::Nodes => self = self.node_budget(limit.n),
+                crate::expr::LimitKind::Time => self = self.logical_cap(limit.n),
+                // Discrepancy limits scope the *root argument* of a search
+                // (e.g. `SubProblem::with_discrepancy`), which the caller
+                // constructs; the machine layers have nothing to apply.
+                crate::expr::LimitKind::Discrepancy => {}
+            }
+        }
+        self
+    }
+
+    /// Caps how many layer-4 activations the run may *expand*
+    /// (`limit(nodes,N)` in the strategy language): once the budget is
+    /// reached, further requests are answered with the program's pruned
+    /// sentinel instead of being expanded. Deterministic — the budget is
+    /// enforced per node against its local start counter, a pure function
+    /// of the delivery order. Tighter of repeated caps wins.
+    pub fn node_budget(mut self, budget: u64) -> Self {
+        self.node_budget = Some(self.node_budget.map_or(budget, |b| b.min(budget)));
+        self
+    }
+
+    /// Caps the run at `cap` *logical* steps (`limit(time,N)` in the
+    /// strategy language) — a deterministic stand-in for wall-clock time
+    /// limits. Applied at assembly as a floor under the engine's
+    /// [`StackBuilder::max_steps`] safety cap, so it composes with later
+    /// `max_steps` calls; tighter of repeated caps wins.
+    pub fn logical_cap(mut self, cap: u64) -> Self {
+        self.logical_cap = Some(self.logical_cap.map_or(cap, |c| c.min(cap)));
         self
     }
 
@@ -219,6 +254,9 @@ impl<P: RecProgram> StackBuilder<P> {
         let topo = self.topology.build();
         let mut sim_cfg = self.sim.clone();
         sim_cfg.tick_every = self.mapper.status_period();
+        if let Some(cap) = self.logical_cap {
+            sim_cfg.max_steps = sim_cfg.max_steps.min(cap);
+        }
         // A `parallel: true` set directly through sim_config() keeps
         // working; the Parallel backend also turns the flag on.
         sim_cfg.parallel |= matches!(self.backend, BackendSpec::Parallel);
@@ -236,6 +274,9 @@ impl<P: RecProgram> StackBuilder<P> {
         let mut rec = RecursionHost::new(self.program);
         if self.cancellation {
             rec = rec.with_cancellation();
+        }
+        if let Some(budget) = self.node_budget {
+            rec = rec.with_node_budget(budget);
         }
         if let Some(objective) = self.objective.objective() {
             rec = rec.with_bnb(BnbMode {
@@ -503,6 +544,13 @@ pub struct JobParams {
     /// the member set changes the search — so services must key caches
     /// on it.
     pub portfolio: Option<crate::spec::PortfolioSpec>,
+    /// Run a strategy *expression* (see [`crate::StrategyExpr`]) instead
+    /// of the flat defaults. Like `portfolio`, honoured by
+    /// strategy-aware runners: `or`/`portfolio` alternatives become race
+    /// members, `limit`/`restart` scopes configure each member's stack. A
+    /// plain [`ErasedStackJob::new`] job ignores it. Part of the
+    /// computation — services must key caches on its `describe()`.
+    pub strategy: Option<crate::expr::StrategyExpr>,
     /// Passive telemetry sink threaded into the assembled stack. Like
     /// the checkpoint policy this never changes what is computed (the
     /// observer has no channel back into the run), so it is *not* part
@@ -526,6 +574,7 @@ impl Default for JobParams {
             root_node: 0,
             stop: None,
             portfolio: None,
+            strategy: None,
             obs: ObsHandle::off(),
         }
     }

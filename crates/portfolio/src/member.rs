@@ -1,7 +1,7 @@
 //! The erased member abstraction: anything that can race in epochs.
 
 use hyperspace_core::{
-    summarise, summarise_sharded, MapperSpec, ObjectiveSpec, RunSummary, StackBuilder,
+    summarise, summarise_sharded, LimitKind, MapperSpec, ObjectiveSpec, RunSummary, StackBuilder,
     StackShardedSim, StackSim, StrategySpec, TopologySpec,
 };
 use hyperspace_recursion::{Objective, RecProgram};
@@ -55,6 +55,9 @@ pub(crate) trait MemberDrive: Send {
     fn finish(self: Box<Self>) -> RunSummary;
 }
 
+/// Boxed acceptance predicate over a program's root result.
+type AcceptFn<Out> = Box<dyn Fn(&Out) -> bool + Send>;
+
 /// The two stack shapes a mesh member can run on.
 enum MeshSim<P: RecProgram> {
     Seq(StackSim<P>),
@@ -70,6 +73,12 @@ pub(crate) struct MeshMember<P: RecProgram> {
     max_steps: u64,
     outcome: RunOutcome,
     terminal: Option<EpochStatus>,
+    /// Acceptance predicate for *limited* (incomplete) attempts: a run
+    /// that completes with a root result this predicate rejects — e.g.
+    /// `Unsat` from a limited-discrepancy search — was merely exhausted,
+    /// not answered, and books as [`EpochStatus::Exhausted`] so an
+    /// `or(...)` chain can hand over to its next attempt.
+    accept: Option<AcceptFn<P::Out>>,
 }
 
 impl<P: RecProgram> MeshMember<P>
@@ -92,6 +101,15 @@ where
         max_steps: u64,
         root: NodeId,
     ) -> Self {
+        // A member-level logical-time limit tightens the race cap: the
+        // member exhausts (and stops being driven) once it spends its
+        // own budget, even if the race continues.
+        let max_steps = member
+            .limits
+            .iter()
+            .filter(|l| l.kind == LimitKind::Time)
+            .map(|l| l.n)
+            .fold(max_steps, u64::min);
         let handle = StopHandle::new();
         let builder = StackBuilder::new(program)
             .topology(topology.clone())
@@ -120,6 +138,25 @@ where
             max_steps,
             outcome: RunOutcome::MaxSteps,
             terminal: None,
+            accept: None,
+        }
+    }
+
+    /// Installs the acceptance predicate limited attempts complete
+    /// through (see the `accept` field).
+    pub(crate) fn with_acceptance(
+        mut self,
+        accept: impl Fn(&P::Out) -> bool + Send + 'static,
+    ) -> Self {
+        self.accept = Some(Box::new(accept));
+        self
+    }
+
+    /// The root node's result, if it has one.
+    fn root_result(&self) -> Option<&P::Out> {
+        match &self.sim {
+            MeshSim::Seq(sim) => sim.states()[self.root as usize].root_result(),
+            MeshSim::Sharded(sim) => sim.state(self.root).root_result(),
         }
     }
 
@@ -161,7 +198,12 @@ where
         let cap = cap.min(self.max_steps);
         self.outcome = self.drive(cap);
         let status = match self.outcome {
-            RunOutcome::Halted | RunOutcome::Quiescent => EpochStatus::Finished,
+            RunOutcome::Halted | RunOutcome::Quiescent => match &self.accept {
+                // A limited attempt only *finishes* when its result is
+                // conclusive; running out of tree is exhaustion.
+                Some(accept) if !self.root_result().is_some_and(accept) => EpochStatus::Exhausted,
+                _ => EpochStatus::Finished,
+            },
             RunOutcome::Stopped => EpochStatus::Stopped,
             RunOutcome::MaxSteps if self.units() >= self.max_steps => EpochStatus::Exhausted,
             RunOutcome::MaxSteps => return EpochStatus::Running,
@@ -245,6 +287,9 @@ where
 pub(crate) struct CdclMember {
     solver: CdclSolver,
     max_ops: u64,
+    /// Decision budget (`limit(nodes,N)` on a CDCL attempt), checked at
+    /// epoch barriers: a solver over budget without an answer exhausts.
+    max_decisions: Option<u64>,
     terminal: Option<EpochStatus>,
 }
 
@@ -253,8 +298,16 @@ impl CdclMember {
         CdclMember {
             solver: CdclSolver::new(cnf, cfg),
             max_ops,
+            max_decisions: None,
             terminal: None,
         }
+    }
+
+    /// Caps the solver's decisions (checked between epochs only, so
+    /// budgeted runs stay deterministic).
+    pub(crate) fn with_max_decisions(mut self, budget: Option<u64>) -> Self {
+        self.max_decisions = budget;
+        self
     }
 }
 
@@ -265,9 +318,15 @@ impl MemberDrive for CdclMember {
         }
         let cap = cap.min(self.max_ops);
         let budget = cap.saturating_sub(self.solver.ops());
+        let max_decisions = self.max_decisions;
         let status = match self.solver.run(budget) {
             CdclStatus::Done(_) => EpochStatus::Finished,
-            CdclStatus::Budget if self.solver.ops() >= self.max_ops => EpochStatus::Exhausted,
+            CdclStatus::Budget
+                if self.solver.ops() >= self.max_ops
+                    || max_decisions.is_some_and(|d| self.solver.stats().decisions >= d) =>
+            {
+                EpochStatus::Exhausted
+            }
             CdclStatus::Budget => return EpochStatus::Running,
         };
         self.terminal = Some(status);
@@ -323,6 +382,107 @@ impl MemberDrive for CdclMember {
             nodes_pruned: 0,
             best_incumbent: None,
         }
+    }
+}
+
+/// An `or(...)` chain racing as one member: attempts tried in sequence,
+/// each constructed lazily when its predecessor exhausts. The chain's
+/// units are cumulative over attempts, so the race's epoch caps and
+/// winner ordering see one continuous member. Only `Exhausted` hands
+/// over — a `Finished` or `Stopped` attempt settles the whole chain.
+pub(crate) struct ChainMember {
+    make: Box<dyn Fn(usize) -> Box<dyn MemberDrive> + Send>,
+    inner: Box<dyn MemberDrive>,
+    attempt: usize,
+    attempts: usize,
+    base_units: u64,
+    terminal: Option<EpochStatus>,
+}
+
+impl ChainMember {
+    pub(crate) fn new(
+        attempts: usize,
+        make: Box<dyn Fn(usize) -> Box<dyn MemberDrive> + Send>,
+    ) -> Self {
+        assert!(attempts > 0, "a chain needs at least one attempt");
+        let inner = make(0);
+        ChainMember {
+            make,
+            inner,
+            attempt: 0,
+            attempts,
+            base_units: 0,
+            terminal: None,
+        }
+    }
+}
+
+impl MemberDrive for ChainMember {
+    fn run_epoch(&mut self, cap: u64) -> EpochStatus {
+        if let Some(terminal) = self.terminal {
+            return terminal;
+        }
+        loop {
+            // The chain's absolute cap, rebased to the current attempt.
+            let inner_cap = cap.saturating_sub(self.base_units);
+            match self.inner.run_epoch(inner_cap) {
+                EpochStatus::Running => return EpochStatus::Running,
+                EpochStatus::Finished => {
+                    self.terminal = Some(EpochStatus::Finished);
+                    return EpochStatus::Finished;
+                }
+                EpochStatus::Stopped => {
+                    self.terminal = Some(EpochStatus::Stopped);
+                    return EpochStatus::Stopped;
+                }
+                EpochStatus::Exhausted => {
+                    self.base_units += self.inner.units();
+                    self.attempt += 1;
+                    if self.attempt >= self.attempts {
+                        self.terminal = Some(EpochStatus::Exhausted);
+                        return EpochStatus::Exhausted;
+                    }
+                    self.inner = (self.make)(self.attempt);
+                    if self.base_units >= cap {
+                        // The fresh attempt starts next epoch.
+                        return EpochStatus::Running;
+                    }
+                }
+            }
+        }
+    }
+
+    fn units(&self) -> u64 {
+        self.base_units + self.inner.units()
+    }
+
+    fn best_incumbent(&self) -> Option<i64> {
+        self.inner.best_incumbent()
+    }
+
+    fn inject_bound(&mut self, value: i64) {
+        self.inner.inject_bound(value);
+    }
+
+    fn export_clauses(&mut self, max_len: usize, max_lbd: usize) -> Vec<Clause> {
+        self.inner.export_clauses(max_len, max_lbd)
+    }
+
+    fn import_clauses(&mut self, clauses: &[&Clause]) -> u64 {
+        self.inner.import_clauses(clauses)
+    }
+
+    fn cancel(&mut self) {
+        if self.terminal.is_none() {
+            self.inner.cancel();
+            self.terminal = Some(EpochStatus::Stopped);
+        }
+    }
+
+    fn finish(self: Box<Self>) -> RunSummary {
+        // The chain's summary is its last live attempt's (earlier
+        // exhausted attempts answered nothing by definition).
+        self.inner.finish()
     }
 }
 

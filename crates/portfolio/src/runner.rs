@@ -5,14 +5,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Barrier, Mutex};
 
 use hyperspace_core::{
-    EngineSpec, JobParams, MapperSpec, ObjectiveSpec, PortfolioSpec, PruneSpec, StrategySpec,
-    TopologySpec,
+    EngineSpec, JobParams, LimitKind, MapperSpec, MemberPlan, ObjectiveSpec, PortfolioSpec,
+    PruneSpec, StrategySpec, TopologySpec,
 };
 use hyperspace_recursion::RecProgram;
-use hyperspace_sat::{Cnf, DpllProgram, Lit, SubProblem};
+use hyperspace_sat::{Cnf, DpllProgram, Lit, SubProblem, Verdict};
 use hyperspace_sim::{NodeId, ObsHandle, RunOutcome, StopHandle};
 
-use crate::member::{cdcl_config, CdclMember, EpochStatus, MemberDrive, MeshMember};
+use crate::member::{cdcl_config, CdclMember, ChainMember, EpochStatus, MemberDrive, MeshMember};
 use crate::report::{MemberReport, PortfolioReport};
 
 /// Races a [`PortfolioSpec`]'s members over one job.
@@ -24,6 +24,7 @@ use crate::report::{MemberReport, PortfolioReport};
 /// [`PortfolioRunner::threads`] values and member backend choices.
 pub struct PortfolioRunner {
     spec: PortfolioSpec,
+    plans: Option<Vec<MemberPlan>>,
     topology: TopologySpec,
     mapper: MapperSpec,
     objective: ObjectiveSpec,
@@ -45,6 +46,7 @@ impl PortfolioRunner {
         let members = spec.members.len().max(1);
         PortfolioRunner {
             spec,
+            plans: None,
             topology: TopologySpec::Torus2D { w: 14, h: 14 },
             mapper: MapperSpec::LeastBusy {
                 status_period: None,
@@ -65,9 +67,17 @@ impl PortfolioRunner {
     }
 
     /// A runner configured from a job's machine parameters (the service
-    /// path). Returns `None` when the params request no portfolio.
+    /// path). Returns `None` when the params request neither a portfolio
+    /// nor a strategy expression. A flat [`JobParams::portfolio`] races
+    /// its members as before; a [`JobParams::strategy`] expression is
+    /// lowered to [`MemberPlan`]s (one per `or`/`portfolio` alternative)
+    /// raced under the default exchange budgets.
     pub fn from_params(params: &JobParams) -> Option<PortfolioRunner> {
-        let spec = params.portfolio.clone()?;
+        let (spec, plans) = match (&params.portfolio, &params.strategy) {
+            (Some(spec), _) => (spec.clone(), None),
+            (None, Some(expr)) => (PortfolioSpec::new(Vec::new()), Some(expr.members().ok()?)),
+            (None, None) => return None,
+        };
         let mut runner = PortfolioRunner::new(spec)
             .topology(params.topology.clone())
             .mapper(params.mapper.clone())
@@ -79,6 +89,9 @@ impl PortfolioRunner {
         if let Some(stop) = params.stop.clone() {
             runner = runner.stop(stop);
         }
+        if let Some(plans) = plans {
+            runner = runner.plans(plans);
+        }
         runner = runner.observer(params.obs.clone());
         Some(runner)
     }
@@ -86,6 +99,45 @@ impl PortfolioRunner {
     /// The portfolio being raced.
     pub fn spec(&self) -> &PortfolioSpec {
         &self.spec
+    }
+
+    /// Replaces the spec's flat member list with lowered expression
+    /// plans (see [`hyperspace_core::StrategyExpr::members`]); the
+    /// spec's epoch/bus budgets still apply.
+    pub fn plans(mut self, plans: Vec<MemberPlan>) -> Self {
+        self.threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+            .min(plans.len().max(1));
+        self.plans = Some(plans);
+        self
+    }
+
+    /// The member plans this runner will race: explicit expression plans
+    /// when set, otherwise the spec's members as single-attempt plans.
+    fn effective_plans(&self) -> Vec<MemberPlan> {
+        match &self.plans {
+            Some(plans) => plans.clone(),
+            None => self
+                .spec
+                .members
+                .iter()
+                .map(|m| MemberPlan::single(m.clone()))
+                .collect(),
+        }
+    }
+
+    /// The shared per-member assembly context.
+    fn env(&self) -> MemberEnv {
+        MemberEnv {
+            topology: self.topology.clone(),
+            mapper: self.mapper.clone(),
+            prune: self.prune,
+            cancellation: self.cancellation,
+            dense_stepping: self.dense_stepping,
+            max_steps: self.max_steps,
+            root_node: self.root_node,
+        }
     }
 
     /// Selects the machine topology shared by all members.
@@ -183,30 +235,14 @@ impl PortfolioRunner {
     /// [`PortfolioRace`] advances epoch by epoch under the caller's
     /// control and can be suspended between epochs indefinitely.
     pub fn start_sat(&self, cnf: &Cnf) -> PortfolioRace {
-        let members: Vec<Box<dyn MemberDrive>> = self
-            .spec
-            .members
+        let plans = self.effective_plans();
+        let env = self.env();
+        let members: Vec<Box<dyn MemberDrive>> = plans
             .iter()
-            .map(|member| match member.engine {
-                EngineSpec::Mesh => {
-                    let program = DpllProgram::new(member.seeded_heuristic())
-                        .with_mode(member.simplify)
-                        .with_polarity(member.polarity);
-                    Box::new(self.mesh_member(
-                        program,
-                        SubProblem::root(cnf.clone()),
-                        member,
-                        ObjectiveSpec::Enumerate,
-                    )) as Box<dyn MemberDrive>
-                }
-                EngineSpec::Cdcl { restart } => Box::new(CdclMember::new(
-                    cnf,
-                    cdcl_config(member, restart),
-                    self.max_steps,
-                )),
-            })
+            .map(|plan| sat_plan_member(&env, cnf, plan))
             .collect();
-        self.begin(members)
+        let labels = plans.iter().map(|p| p.describe()).collect();
+        self.begin(members, labels)
     }
 
     /// Races the portfolio over an arbitrary recursive program; `make`
@@ -244,26 +280,69 @@ impl PortfolioRunner {
         P::Out: std::fmt::Debug,
         F: Fn(usize, &StrategySpec) -> P,
     {
-        let members: Vec<Box<dyn MemberDrive>> = self
-            .spec
-            .members
+        let plans = self.effective_plans();
+        let env = self.env();
+        let members: Vec<Box<dyn MemberDrive>> = plans
             .iter()
             .enumerate()
-            .map(|(id, member)| match member.engine {
-                EngineSpec::Mesh => Box::new(self.mesh_member(
-                    make(id, member),
-                    root_arg.clone(),
-                    member,
-                    self.objective,
-                )) as Box<dyn MemberDrive>,
-                EngineSpec::Cdcl { .. } => {
-                    panic!("member {id} is a CDCL strategy; only SAT portfolios race CDCL members")
+            .map(|(id, plan)| {
+                assert_eq!(
+                    plan.attempts.len(),
+                    1,
+                    "member {id} is an or(...) chain; only SAT portfolios race chains"
+                );
+                let member = &plan.attempts[0];
+                match member.engine {
+                    EngineSpec::Mesh => Box::new(env.mesh_member(
+                        make(id, member),
+                        root_arg.clone(),
+                        member,
+                        self.objective,
+                    )) as Box<dyn MemberDrive>,
+                    EngineSpec::Cdcl { .. } => panic!(
+                        "member {id} is a CDCL strategy; only SAT portfolios race CDCL members"
+                    ),
                 }
             })
             .collect();
-        self.begin(members)
+        let labels = plans.iter().map(|p| p.describe()).collect();
+        self.begin(members, labels)
     }
 
+    /// Wraps freshly assembled members into a suspended race.
+    fn begin(&self, members: Vec<Box<dyn MemberDrive>>, strategies: Vec<String>) -> PortfolioRace {
+        let n = members.len();
+        assert!(n > 0, "a portfolio needs at least one member");
+        PortfolioRace {
+            epoch_len: self.spec.epoch_steps.max(1),
+            max_len: self.spec.max_clause_len as usize,
+            max_lbd: self.spec.max_clause_lbd as usize,
+            objective: self.objective,
+            max_steps: self.max_steps,
+            threads: self.threads,
+            stop: self.stop.clone(),
+            obs: self.obs.clone(),
+            strategies,
+            members: members.into_iter().map(Mutex::new).collect(),
+            st: RaceState::new(n),
+        }
+    }
+}
+
+/// Everything shared by every member's stack assembly — cloneable so
+/// `or(...)` chains can rebuild attempts lazily mid-race.
+#[derive(Clone)]
+struct MemberEnv {
+    topology: TopologySpec,
+    mapper: MapperSpec,
+    prune: PruneSpec,
+    cancellation: bool,
+    dense_stepping: bool,
+    max_steps: u64,
+    root_node: NodeId,
+}
+
+impl MemberEnv {
     fn mesh_member<P>(
         &self,
         program: P,
@@ -298,25 +377,71 @@ impl PortfolioRunner {
             self.root_node,
         )
     }
+}
 
-    /// Wraps freshly assembled members into a suspended race.
-    fn begin(&self, members: Vec<Box<dyn MemberDrive>>) -> PortfolioRace {
-        let n = members.len();
-        assert!(n > 0, "a portfolio needs at least one member");
-        PortfolioRace {
-            epoch_len: self.spec.epoch_steps.max(1),
-            max_len: self.spec.max_clause_len as usize,
-            max_lbd: self.spec.max_clause_lbd as usize,
-            objective: self.objective,
-            max_steps: self.max_steps,
-            threads: self.threads,
-            stop: self.stop.clone(),
-            obs: self.obs.clone(),
-            strategies: self.spec.members.iter().map(|m| m.describe()).collect(),
-            members: members.into_iter().map(Mutex::new).collect(),
-            st: RaceState::new(n),
+/// Assembles one SAT attempt: a mesh DPLL stack (discrepancy limits
+/// scope the root problem, any limit makes completion conditional on a
+/// `Sat` verdict) or a CDCL solver (time limits cap its operations,
+/// node limits its decisions).
+fn sat_attempt(env: &MemberEnv, cnf: &Cnf, spec: &StrategySpec) -> Box<dyn MemberDrive> {
+    match spec.engine {
+        EngineSpec::Mesh => {
+            let program = DpllProgram::new(spec.seeded_heuristic())
+                .with_mode(spec.simplify)
+                .with_polarity(spec.polarity);
+            let mut root = SubProblem::root(cnf.clone());
+            if let Some(d) = spec
+                .limits
+                .iter()
+                .filter(|l| l.kind == LimitKind::Discrepancy)
+                .map(|l| l.n)
+                .min()
+            {
+                root = root.with_discrepancy(d);
+            }
+            let member = env.mesh_member(program, root, spec, ObjectiveSpec::Enumerate);
+            if spec.limits.is_empty() {
+                Box::new(member)
+            } else {
+                // A limited search proves nothing by running dry: only a
+                // model is conclusive, `Unsat` books as exhaustion.
+                Box::new(member.with_acceptance(|v: &Verdict| v.is_sat()))
+            }
+        }
+        EngineSpec::Cdcl { restart } => {
+            let max_ops = spec
+                .limits
+                .iter()
+                .filter(|l| l.kind == LimitKind::Time)
+                .map(|l| l.n)
+                .fold(env.max_steps, u64::min);
+            let max_decisions = spec
+                .limits
+                .iter()
+                .filter(|l| l.kind == LimitKind::Nodes)
+                .map(|l| l.n)
+                .min();
+            Box::new(
+                CdclMember::new(cnf, cdcl_config(spec, restart), max_ops)
+                    .with_max_decisions(max_decisions),
+            )
         }
     }
+}
+
+/// Assembles one racing member from a lowered plan: single attempts run
+/// directly, `or(...)` chains wrap a lazy attempt factory.
+fn sat_plan_member(env: &MemberEnv, cnf: &Cnf, plan: &MemberPlan) -> Box<dyn MemberDrive> {
+    if plan.attempts.len() == 1 {
+        return sat_attempt(env, cnf, &plan.attempts[0]);
+    }
+    let env = env.clone();
+    let cnf = cnf.clone();
+    let attempts = plan.attempts.clone();
+    Box::new(ChainMember::new(
+        attempts.len(),
+        Box::new(move |i| sat_attempt(&env, &cnf, &attempts[i])),
+    ))
 }
 
 /// The coordinator's persistent bookkeeping, carried across

@@ -234,6 +234,7 @@ pub struct RecursionHost<P> {
     program: P,
     cancel_losers: bool,
     bnb: Option<BnbMode>,
+    node_budget: Option<u64>,
 }
 
 impl<P: RecProgram> RecursionHost<P> {
@@ -245,6 +246,7 @@ impl<P: RecProgram> RecursionHost<P> {
             program,
             cancel_losers: false,
             bnb: None,
+            node_budget: None,
         }
     }
 
@@ -259,6 +261,19 @@ impl<P: RecProgram> RecursionHost<P> {
     /// and (per `mode.prune`) pre-expansion pruning.
     pub fn with_bnb(mut self, mode: BnbMode) -> Self {
         self.bnb = Some(mode);
+        self
+    }
+
+    /// Caps how many activations each node may expand (the strategy
+    /// language's `limit(nodes,N)` scope): once a node has started
+    /// `budget` activations, further requests are answered with the
+    /// program's [`RecProgram::pruned`] sentinel instead of expanding.
+    /// The check is purely local — a node's own start counter, a
+    /// function of the deterministic delivery order — so budgeted runs
+    /// stay bit-identical across backends. Programs without a pruned
+    /// sentinel (`None`) cannot be budget-denied and expand normally.
+    pub fn with_node_budget(mut self, budget: u64) -> Self {
+        self.node_budget = Some(budget);
         self
     }
 
@@ -405,6 +420,15 @@ impl<P: RecProgram> TicketHandler for RecursionHost<P> {
             state.stats.pruned += 1;
             ctx.reply(reply_to, out);
             return;
+        }
+        // A spent node budget denies expansion the same way: the pruned
+        // sentinel answers the request and the subtree is never searched.
+        if self.node_budget.is_some_and(|b| state.stats.started >= b) {
+            if let Some(out) = self.program.pruned(&arg) {
+                state.stats.pruned += 1;
+                ctx.reply(reply_to, out);
+                return;
+            }
         }
         state.stats.started += 1;
         let step = self.program.start(arg);
@@ -574,6 +598,67 @@ mod tests {
         // fib spreads real work across many nodes.
         let busy = (0..16).filter(|&n| sim.state(n).requests_in > 0).count();
         assert!(busy >= 8, "expected fan-out, only {busy} busy nodes");
+    }
+
+    /// Binary tree counting its leaves, with a pruned sentinel of 0 —
+    /// lets tests observe exactly how much of the tree was expanded.
+    struct LeafCounter;
+
+    impl RecProgram for LeafCounter {
+        type Arg = u64;
+        type Out = u64;
+        type Frame = ();
+
+        fn start(&self, n: u64) -> Step<Self> {
+            if n == 0 {
+                Step::Done(1)
+            } else {
+                Step::Spawn(Spawn {
+                    calls: vec![n - 1, n - 1],
+                    join: Join::All,
+                    frame: (),
+                })
+            }
+        }
+
+        fn resume(&self, _frame: (), results: Resumed<u64>) -> Step<Self> {
+            match results {
+                Resumed::All(rs) => Step::Done(rs.iter().sum()),
+                Resumed::Any(_) => unreachable!("LeafCounter only joins All"),
+            }
+        }
+
+        fn pruned(&self, _arg: &u64) -> Option<u64> {
+            Some(0)
+        }
+    }
+
+    #[test]
+    fn node_budget_denies_expansion_deterministically() {
+        let run = |budget: Option<u64>| {
+            let mut host = RecursionHost::new(LeafCounter);
+            if let Some(b) = budget {
+                host = host.with_node_budget(b);
+            }
+            let host = MappingHost::new(host, RoundRobinMapper::factory(), MapConfig::default());
+            let mut sim = Simulation::new(Torus::new_2d(4, 4), host, SimConfig::default());
+            sim.inject(0, trigger(6));
+            sim.run_to_quiescence().unwrap();
+            let result = *sim.state(0).root_result().unwrap();
+            let pruned: u64 = (0..16).map(|n| sim.state(n).app.stats.pruned).sum();
+            (result, pruned)
+        };
+        let (full, pruned) = run(None);
+        assert_eq!(full, 64, "unbudgeted tree counts every leaf");
+        assert_eq!(pruned, 0);
+        let (capped, pruned) = run(Some(2));
+        assert!(capped < 64, "budget must deny part of the tree");
+        assert!(pruned > 0, "denied requests count as pruned");
+        assert_eq!(
+            run(Some(2)),
+            (capped, pruned),
+            "budgeted runs deterministic"
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ impl std::str::FromStr for RestartPolicy {
     /// Parses the [`Display`](std::fmt::Display) syntax: `off`,
     /// `fixed:N`, `luby:N`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let bad = || crate::heuristics::SatSpecParseError(format!("unknown restart policy {s:?}"));
+        let bad = || {
+            crate::heuristics::SatSpecParseError(format!(
+                "{s:?}: expected off, fixed:N or luby:N, got {s:?}"
+            ))
+        };
         if s == "off" {
             return Ok(RestartPolicy::Off);
         }

@@ -76,7 +76,9 @@ impl std::str::FromStr for Heuristic {
                     .parse::<u64>()
                     .map(Heuristic::Random)
                     .map_err(|_| SatSpecParseError(format!("{s:?}: bad random seed {seed:?}"))),
-                None => Err(SatSpecParseError(format!("unknown heuristic {other:?}"))),
+                None => Err(SatSpecParseError(format!(
+                    "{s:?}: expected first, most-frequent, dlis, jeroslow-wang or random:SEED, got {other:?}"
+                ))),
             },
         }
     }

@@ -35,13 +35,32 @@ pub struct SubProblem {
     pub cnf: Cnf,
     /// Assignments made so far (decision + forced), full-width.
     pub assign: Assignment,
+    /// Remaining discrepancy budget (limited-discrepancy search): how many
+    /// more times this path may deviate from the heuristic's preferred
+    /// branch. `None` — the default — is the classic unlimited search.
+    /// At `Some(0)` only the preferred branch is spawned, so the tree an
+    /// LDS run explores is a pure function of the root budget — and a
+    /// run ending `Unsat` is *inconclusive* (a model may hide behind a
+    /// denied discrepancy), which the portfolio layer reports as an
+    /// exhausted attempt rather than a verdict.
+    pub discrepancy: Option<u64>,
 }
 
 impl SubProblem {
-    /// The root sub-problem of a formula.
+    /// The root sub-problem of a formula (unlimited discrepancies).
     pub fn root(cnf: Cnf) -> SubProblem {
         let assign = Assignment::new(cnf.num_vars());
-        SubProblem { cnf, assign }
+        SubProblem {
+            cnf,
+            assign,
+            discrepancy: None,
+        }
+    }
+
+    /// The root sub-problem with a limited-discrepancy budget.
+    pub fn with_discrepancy(mut self, budget: u64) -> SubProblem {
+        self.discrepancy = Some(budget);
+        self
     }
 }
 
@@ -93,7 +112,7 @@ impl std::str::FromStr for Polarity {
             "pos" => Ok(Polarity::Positive),
             "neg" => Ok(Polarity::Negative),
             other => Err(crate::heuristics::SatSpecParseError(format!(
-                "unknown polarity {other:?}"
+                "{s:?}: expected pos or neg, got {other:?}"
             ))),
         }
     }
@@ -174,13 +193,27 @@ impl RecProgram for DpllProgram {
         let subp1 = SubProblem {
             cnf: sub.cnf.assign(lit.var(), lit.demanded_value()),
             assign: assign_true,
+            // Following the heuristic costs no discrepancy.
+            discrepancy: sub.discrepancy,
         };
+
+        // The preferred branch alone when the discrepancy budget is spent:
+        // deviating would cost a discrepancy we no longer have.
+        if sub.discrepancy == Some(0) {
+            return Step::Spawn(Spawn {
+                calls: vec![subp1],
+                join: Join::Any(|v: &Verdict| v.is_sat()),
+                frame: (),
+            });
+        }
 
         let mut assign_false = sub.assign;
         assign_false.assign(lit.var(), !lit.demanded_value());
         let subp2 = SubProblem {
             cnf: sub.cnf.assign(lit.var(), !lit.demanded_value()),
             assign: assign_false,
+            // Going against the heuristic spends one discrepancy.
+            discrepancy: sub.discrepancy.map(|d| d - 1),
         };
 
         Step::Spawn(Spawn {
@@ -202,6 +235,15 @@ impl RecProgram for DpllProgram {
     /// work a sub-problem represents.
     fn weight(&self, arg: &SubProblem) -> Weight {
         arg.cnf.num_clauses() as Weight
+    }
+
+    /// A subtree denied by a budget (e.g. the strategy language's
+    /// `limit(nodes,N)`) answers `Unsat` — neutral under the `Any` join
+    /// (it never wins the race), so a budget-limited run reporting
+    /// `Unsat` is *inconclusive*, exactly like an exhausted
+    /// limited-discrepancy search.
+    fn pruned(&self, _arg: &SubProblem) -> Option<Verdict> {
+        Some(Verdict::Unsat)
     }
 }
 
@@ -263,6 +305,77 @@ mod tests {
             assert_eq!(p.to_string().parse::<Polarity>().unwrap(), p);
         }
         assert!("positive".parse::<Polarity>().is_err());
+    }
+
+    #[test]
+    fn sat_parse_errors_share_the_expected_got_shape() {
+        use crate::cdcl::RestartPolicy;
+
+        let cases: [(&str, String); 4] = [
+            (
+                "\"up\": expected pos or neg, got \"up\"",
+                "up".parse::<Polarity>().unwrap_err().to_string(),
+            ),
+            (
+                "\"vsids\": expected first, most-frequent, dlis, jeroslow-wang or random:SEED, \
+                 got \"vsids\"",
+                "vsids".parse::<Heuristic>().unwrap_err().to_string(),
+            ),
+            (
+                "\"none\": expected fixpoint, single-pass or split-only, got \"none\"",
+                "none".parse::<SimplifyMode>().unwrap_err().to_string(),
+            ),
+            (
+                "\"luby:0\": expected off, fixed:N or luby:N, got \"luby:0\"",
+                "luby:0".parse::<RestartPolicy>().unwrap_err().to_string(),
+            ),
+        ];
+        for (expected, got) in cases {
+            assert_eq!(got, format!("invalid solver spec: {expected}"));
+        }
+    }
+
+    #[test]
+    fn limited_discrepancy_sat_verdicts_are_sound() {
+        // An LDS run may miss models (Unsat is inconclusive), but any model
+        // it does report must be genuine, and a generous budget must
+        // reconverge with the oracle.
+        for seed in 0..12 {
+            let cnf = gen::random_ksat(seed, 8, 34, 3);
+            let oracle = brute::solve(&cnf);
+            let program = DpllProgram::new(Heuristic::JeroslowWang);
+            for budget in [0, 1, 2, 64] {
+                let root = SubProblem::root(cnf.clone()).with_discrepancy(budget);
+                let verdict = eval_local(&program, root);
+                if let Verdict::Sat(model) = &verdict {
+                    assert!(check_model(&cnf, model), "seed {seed} budget {budget}");
+                }
+                if verdict.is_sat() {
+                    assert!(
+                        oracle.is_sat(),
+                        "seed {seed} budget {budget}: phantom model"
+                    );
+                }
+            }
+            // 64 discrepancies over 8 variables is effectively unbounded.
+            let root = SubProblem::root(cnf.clone()).with_discrepancy(64);
+            assert_eq!(
+                eval_local(&program, root).is_sat(),
+                oracle.is_sat(),
+                "seed {seed}: generous LDS budget diverges from oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_discrepancy_follows_only_the_heuristic_path() {
+        // With budget 0 the search is a single heuristic-guided probe.
+        let cnf = gen::uf20_91(7);
+        let program = DpllProgram::new(Heuristic::JeroslowWang);
+        let root = SubProblem::root(cnf.clone()).with_discrepancy(0);
+        if let Verdict::Sat(model) = eval_local(&program, root) {
+            assert!(check_model(&cnf, &model));
+        }
     }
 
     #[test]

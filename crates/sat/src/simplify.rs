@@ -69,7 +69,7 @@ impl std::str::FromStr for SimplifyMode {
             "single-pass" => Ok(SimplifyMode::SinglePass),
             "split-only" => Ok(SimplifyMode::SplitOnly),
             other => Err(crate::heuristics::SatSpecParseError(format!(
-                "unknown simplify mode {other:?}"
+                "{s:?}: expected fixpoint, single-pass or split-only, got {other:?}"
             ))),
         }
     }

@@ -385,6 +385,16 @@ fn start_race(race: PortfolioRace, checkpoint: CheckpointSpec) -> StartedJob {
 /// clauses over a formula, so they are only meaningful on SAT jobs
 /// (erased workloads ignore the portfolio entirely and stay valid).
 pub(crate) fn validate_portfolio(spec: &JobSpec) -> Option<String> {
+    if spec.params.portfolio.is_some() && spec.params.strategy.is_some() {
+        return Some(
+            "spec sets both a portfolio and a strategy expression; \
+             pick one (a strategy expression already describes its member set)"
+                .into(),
+        );
+    }
+    if let Some(reason) = validate_strategy(spec) {
+        return Some(reason);
+    }
     let folio = spec.params.portfolio.as_ref()?;
     if matches!(
         spec.kind,
@@ -401,6 +411,56 @@ pub(crate) fn validate_portfolio(spec: &JobSpec) -> Option<String> {
          only SAT portfolios race CDCL members",
         spec.kind.label()
     ))
+}
+
+/// Checks a spec's strategy expression against its workload. Lowering
+/// errors (over-deep trees, CDCL under a discrepancy limit, nested
+/// portfolios) reject at submission rather than panicking on a worker,
+/// as do strategies that only SAT workloads can execute: CDCL engines,
+/// `limit(discrepancy, ...)` scopes and `or(...)` retry chains all
+/// manipulate the SAT search tree.
+pub(crate) fn validate_strategy(spec: &JobSpec) -> Option<String> {
+    let expr = spec.params.strategy.as_ref()?;
+    let plans = match expr.members() {
+        Ok(plans) => plans,
+        Err(e) => return Some(format!("invalid strategy expression: {e}")),
+    };
+    if matches!(
+        spec.kind,
+        JobKind::Sat { .. } | JobKind::Erased { .. } | JobKind::ErasedFactory { .. }
+    ) {
+        return None;
+    }
+    for (id, plan) in plans.iter().enumerate() {
+        if plan.attempts.len() > 1 {
+            return Some(format!(
+                "strategy member {id} is an or(...) retry chain, but workload {:?} \
+                 is not SAT; only SAT jobs re-run exhausted attempts",
+                spec.kind.label()
+            ));
+        }
+        for attempt in &plan.attempts {
+            if matches!(attempt.engine, hyperspace_core::EngineSpec::Cdcl { .. }) {
+                return Some(format!(
+                    "strategy member {id} is a CDCL strategy, but workload {:?} is \
+                     not SAT; only SAT portfolios race CDCL members",
+                    spec.kind.label()
+                ));
+            }
+            if let Some(l) = attempt
+                .limits
+                .iter()
+                .find(|l| l.kind == hyperspace_core::LimitKind::Discrepancy)
+            {
+                return Some(format!(
+                    "strategy member {id} scopes limit({l}), but workload {:?} is \
+                     not SAT; discrepancy budgets follow the SAT branching heuristic",
+                    spec.kind.label()
+                ));
+            }
+        }
+    }
+    None
 }
 
 /// Boxes a mesh-program portfolio race as a uniform pool job.
@@ -509,6 +569,22 @@ impl JobSpec {
         self
     }
 
+    /// Races the member set described by a strategy expression instead
+    /// of one stack: `portfolio(...)` alternatives (and the branches of
+    /// a top-level `or(...)` distribution) become racing members, each
+    /// possibly an `or(...)` retry chain of limited attempts. The
+    /// expression is part of the computation — and of the cache key via
+    /// its backend-stripped [`StrategyExpr::describe`] rendering —
+    /// superseding kind-level SAT knobs exactly like
+    /// [`JobSpec::portfolio`]. Mutually exclusive with an explicit
+    /// portfolio spec.
+    ///
+    /// [`StrategyExpr::describe`]: hyperspace_core::StrategyExpr::describe
+    pub fn strategy(mut self, expr: hyperspace_core::StrategyExpr) -> Self {
+        self.params.strategy = Some(expr);
+        self
+    }
+
     /// Overrides the step cap.
     pub fn max_steps(mut self, steps: u64) -> Self {
         self.params.max_steps = steps;
@@ -527,9 +603,9 @@ impl JobSpec {
     /// bit-identical, so a summary computed sequentially may be served
     /// to a sharded resubmission and vice versa.
     pub fn cache_key(&self) -> Option<String> {
-        let portfolio = self.params.portfolio.is_some();
-        self.kind.cache_token(portfolio).map(|token| {
-            format!(
+        let races = self.params.portfolio.is_some() || self.params.strategy.is_some();
+        self.kind.cache_token(races).map(|token| {
+            let mut key = format!(
                 "{token}|{}|{}|cancel={}|obj={}|prune={}|steps={}|root={}|portfolio={}",
                 self.params.topology,
                 self.params.mapper,
@@ -546,7 +622,16 @@ impl JobSpec {
                     .as_ref()
                     .map(|p| p.describe())
                     .unwrap_or_else(|| "none".into())
-            )
+            );
+            // Strategy expressions extend the key only when present, so
+            // every pre-expression spec keeps its exact legacy key (the
+            // cache stays warm across the upgrade). describe() strips
+            // member backends like the portfolio rendering above.
+            if let Some(expr) = &self.params.strategy {
+                key.push_str("|strategy=");
+                key.push_str(&expr.describe());
+            }
+            key
         })
     }
 }

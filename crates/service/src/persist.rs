@@ -27,7 +27,7 @@ use std::str::FromStr;
 use hyperspace_apps::{Item, TspInstance};
 use hyperspace_core::{
     BackendSpec, CheckpointSpec, JobParams, MapperSpec, ObjectiveSpec, PortfolioSpec, PruneSpec,
-    TopologySpec,
+    StrategyExpr, TopologySpec,
 };
 use hyperspace_sat::{dimacs, Heuristic, SimplifyMode};
 use hyperspace_sim::codec::{Reader, Writer};
@@ -37,7 +37,9 @@ use crate::job::JobKind;
 
 /// Version of the record payload layout (independent of the manifest
 /// header version: the store frames bytes, this module fills them).
-pub const RECORD_VERSION: u32 = 1;
+/// Version 2 appended the optional strategy expression after the
+/// portfolio; version-1 records (no strategy field) still decode.
+pub const RECORD_VERSION: u32 = 2;
 
 /// Upper bound on a persisted TSP instance's city count. The decoder
 /// must validate `n * n == dist.len()` before `TspInstance::new` (which
@@ -147,6 +149,11 @@ pub fn encode_spec(priority: i32, kind: &JobKind, params: &JobParams) -> Option<
         .as_ref()
         .map(|p| p.to_string())
         .encode(&mut w);
+    params
+        .strategy
+        .as_ref()
+        .map(|e| e.to_string())
+        .encode(&mut w);
     Some(w.into_bytes())
 }
 
@@ -198,9 +205,9 @@ pub fn decode_record(payload: &[u8]) -> Result<RecoveredJob, CodecError> {
 
     let mut r = Reader::new(spec_bytes);
     let version = r.get_u32()?;
-    if version != RECORD_VERSION {
+    if !(1..=RECORD_VERSION).contains(&version) {
         return Err(invalid(format!(
-            "unsupported job record version {version} (expected {RECORD_VERSION})"
+            "unsupported job record version {version} (expected 1..={RECORD_VERSION})"
         )));
     }
     let priority = r.get_i64()?;
@@ -270,6 +277,19 @@ pub fn decode_record(payload: &[u8]) -> Result<RecoveredJob, CodecError> {
         ),
         None => None,
     };
+    // Version 1 records predate strategy expressions and simply end
+    // here; the field was appended, so earlier offsets are unchanged.
+    let strategy = if version >= 2 {
+        match Option::<String>::decode(&mut r)? {
+            Some(s) => Some(
+                s.parse::<StrategyExpr>()
+                    .map_err(|err| invalid(format!("strategy `{s}`: {err}")))?,
+            ),
+            None => None,
+        }
+    } else {
+        None
+    };
     let params = JobParams {
         topology,
         mapper,
@@ -281,6 +301,7 @@ pub fn decode_record(payload: &[u8]) -> Result<RecoveredJob, CodecError> {
         max_steps,
         root_node,
         portfolio,
+        strategy,
         ..JobParams::default()
     };
     if r.remaining() != 0 {
@@ -381,6 +402,47 @@ mod tests {
         assert!(back.params.cancellation);
         assert_eq!(back.checkpoint_steps, 2048);
         assert_eq!(back.checkpoint.as_deref(), Some(&b"checkpoint-bytes"[..]));
+    }
+
+    #[test]
+    fn strategy_expressions_survive_persistence() {
+        let expr: StrategyExpr = "portfolio(limit(discrepancy,2,mesh),restart(luby:64,cdcl))"
+            .parse()
+            .expect("valid expression");
+        let kind = JobKind::sat(gen::uf20_91(4));
+        let params = JobParams {
+            strategy: Some(expr.clone()),
+            ..JobParams::default()
+        };
+        let spec = encode_spec(0, &kind, &params).expect("persistable");
+        let back = decode_record(&encode_record(&spec, 0, None)).expect("decodes");
+        assert_eq!(back.params.strategy, Some(expr));
+        use crate::job::JobSpec;
+        let original = JobSpec {
+            kind: kind.try_clone().expect("clonable"),
+            params,
+        };
+        let recovered = JobSpec {
+            kind: back.kind,
+            params: back.params,
+        };
+        assert_eq!(original.cache_key(), recovered.cache_key());
+    }
+
+    #[test]
+    fn version_1_records_without_a_strategy_still_decode() {
+        // A version-1 spec is exactly a version-2 spec minus the
+        // trailing strategy option: strip the appended None tag, stamp
+        // the old version, and the decoder must accept it unchanged.
+        let (priority, kind, params) = sat_spec();
+        let spec = encode_spec(priority, &kind, &params).expect("persistable");
+        assert_eq!(*spec.last().expect("non-empty"), 0, "trailing None tag");
+        let mut v1 = spec[..spec.len() - 1].to_vec();
+        v1[0..4].copy_from_slice(&1u32.to_le_bytes());
+        let back = decode_record(&encode_record(&v1, 64, None)).expect("v1 decodes");
+        assert_eq!(back.priority, 7);
+        assert!(back.params.strategy.is_none());
+        assert_eq!(back.params.max_steps, 123_456);
     }
 
     #[test]

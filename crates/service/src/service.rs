@@ -346,7 +346,7 @@ impl SolverService {
             };
             let cache_key = spec.cache_key();
             let label = spec.kind.label();
-            let portfolio = spec.params.portfolio.is_some();
+            let portfolio = spec.params.portfolio.is_some() || spec.params.strategy.is_some();
             let rebuild: Option<Box<dyn Fn() -> ErasedStackJob + Send>> =
                 spec.kind.try_clone().map(|kind| {
                     Box::new(move || {
@@ -514,7 +514,8 @@ impl SolverService {
             Event::new(EventKind::Submitted, Some(id), i64::from(request.priority))
                 .with_detail(label.clone()),
         );
-        let portfolio = request.spec.params.portfolio.is_some();
+        let portfolio =
+            request.spec.params.portfolio.is_some() || request.spec.params.strategy.is_some();
         // Checkpoint restarts need a second copy of the job; build the
         // factory before the kind is consumed. Non-checkpointed jobs
         // never restart, so they skip the clone.

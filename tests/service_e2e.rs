@@ -637,3 +637,130 @@ fn portfolio_bnb_job_reports_the_oracle_optimum() {
     let summary = result.outcome.summary().expect("completed");
     assert_eq!(summary.best_incumbent, Some(oracle as i64));
 }
+
+#[test]
+fn legacy_cache_keys_are_byte_for_byte_unchanged() {
+    // Satellite audit for the strategy-language upgrade: every
+    // pre-expression spec must keep its exact legacy key, byte for byte
+    // — an upgraded service re-serves its warm cache. The snapshots
+    // below are pinned from the pre-upgrade key format.
+    use hyperspace::core::{PortfolioSpec, StrategyExpr};
+
+    let sum = on_small_torus(JobKind::sum(5));
+    assert_eq!(
+        sum.cache_key().as_deref(),
+        Some(
+            "sum/5|torus2d:4x4|least-busy|cancel=false|obj=enumerate|prune=off|\
+             steps=1000000|root=0|portfolio=none"
+        )
+    );
+    // Flat portfolios keep the legacy `portfolio=` rendering (the giant
+    // DIMACS token is elided; prefix and suffix pin the shape).
+    let folio =
+        JobSpec::new(JobKind::sat(gen::uf20_91(1))).portfolio(PortfolioSpec::diversified_sat(2));
+    let key = folio.cache_key().expect("cacheable");
+    assert!(key.starts_with("sat/-/-/p cnf 20 91\n"), "{key}");
+    assert!(
+        key.ends_with(
+            "|torus2d:14x14|least-busy|cancel=false|obj=enumerate|prune=off|\
+             steps=1000000|root=0|portfolio=epoch=32;len=8;lbd=8;mesh|mesh,h=dlis,pol=neg,seed=1"
+        ),
+        "{key}"
+    );
+    // A strategy expression only ever *appends* to the legacy key.
+    let expr: StrategyExpr = "limit(nodes,64,mesh)".parse().expect("valid");
+    let strategic = on_small_torus(JobKind::sum(5)).strategy(expr);
+    assert_eq!(
+        strategic.cache_key().as_deref(),
+        Some(
+            "sum/5|torus2d:4x4|least-busy|cancel=false|obj=enumerate|prune=off|\
+             steps=1000000|root=0|portfolio=none|strategy=limit(nodes,64,mesh)"
+        )
+    );
+}
+
+#[test]
+fn strategy_expression_jobs_complete_and_cache_on_describe() {
+    use hyperspace::core::StrategyExpr;
+
+    let service = SolverService::with_workers(2);
+    let cnf = gen::uf20_91(7);
+    let sub = |text: &str| {
+        on_small_torus(JobKind::sat(cnf.clone()))
+            .mapper(MapperSpec::LeastBusy {
+                status_period: None,
+            })
+            .strategy(text.parse::<StrategyExpr>().expect("valid expression"))
+    };
+
+    let race = "portfolio(limit(discrepancy,2,mesh),restart(luby:64,cdcl),mesh)";
+    let first = service.submit(sub(race)).wait();
+    let summary = first.outcome.summary().expect("strategy job completed");
+    assert!(
+        summary.result.as_deref().unwrap_or("").starts_with("Sat"),
+        "uf20-91 is satisfiable: {:?}",
+        summary.result
+    );
+    assert!(!first.from_cache);
+
+    // The same expression is the same computation: cache hit.
+    let second = service.submit(sub(race)).wait();
+    assert!(second.from_cache);
+    assert_eq!(
+        first.outcome.summary().unwrap(),
+        second.outcome.summary().unwrap()
+    );
+
+    // A different expression is a different computation.
+    let third = service
+        .submit(sub("portfolio(limit(discrepancy,4,mesh),mesh)"))
+        .wait();
+    assert!(!third.from_cache);
+
+    // backend(...) combinators are bit-identical execution detail:
+    // describe() strips them, so the key matches the first submission.
+    let fourth = service
+        .submit(sub(
+            "portfolio(limit(discrepancy,2,and(backend(sharded:2:rr),mesh)),\
+             restart(luby:64,cdcl),mesh)",
+        ))
+        .wait();
+    assert!(fourth.from_cache, "backend nodes must not split the cache");
+
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.cache_hits, 2);
+}
+
+#[test]
+fn invalid_strategy_requests_fail_at_submission() {
+    use hyperspace::core::{PortfolioSpec, StrategyExpr};
+
+    let service = SolverService::with_workers(1);
+    // Portfolio and strategy together are ambiguous: rejected.
+    let both = on_small_torus(JobKind::sat(gen::uf20_91(1)))
+        .portfolio(PortfolioSpec::diversified_sat(2))
+        .strategy("mesh".parse::<StrategyExpr>().expect("valid"));
+    match service.submit(both).wait().outcome {
+        JobOutcome::Failed(reason) => assert!(reason.contains("both"), "{reason}"),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    // SAT-only combinators on a non-SAT workload: rejected.
+    let lds_on_queens = on_small_torus(JobKind::nqueens(5)).strategy(
+        "limit(discrepancy,2,mesh)"
+            .parse::<StrategyExpr>()
+            .expect("valid"),
+    );
+    match service.submit(lds_on_queens).wait().outcome {
+        JobOutcome::Failed(reason) => assert!(reason.contains("discrepancy"), "{reason}"),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    // Node-limited mesh strategies on recursion workloads are fine.
+    let budgeted = on_small_torus(JobKind::nqueens(5)).strategy(
+        "limit(nodes,100000,mesh)"
+            .parse::<StrategyExpr>()
+            .expect("valid"),
+    );
+    let result = service.submit(budgeted).wait();
+    assert!(result.outcome.is_completed(), "{:?}", result.outcome);
+}
